@@ -1,0 +1,509 @@
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus the ablations of DESIGN.md. Custom metrics report the mapped
+// delay/area/cells alongside the wall-clock cost, so a -bench run
+// regenerates both the quality and the CPU columns of the tables.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable3 -benchtime=1x
+package dagcover
+
+import (
+	"fmt"
+	"testing"
+
+	"dagcover/internal/bench"
+	"dagcover/internal/core"
+	"dagcover/internal/cutmap"
+	"dagcover/internal/experiments"
+	"dagcover/internal/flowmap"
+	"dagcover/internal/genlib"
+	"dagcover/internal/libgen"
+	"dagcover/internal/logic"
+	"dagcover/internal/mapping"
+	"dagcover/internal/match"
+	"dagcover/internal/subject"
+	"dagcover/internal/treemap"
+)
+
+// tableCase precompiles everything so each benchmark iteration times
+// exactly one mapping run (the CPU column of the paper's tables).
+type tableCase struct {
+	name  string
+	graph *subject.Graph
+	dagM  *match.Matcher
+	treeM *match.Matcher
+	delay genlib.DelayModel
+}
+
+func tableCases(b *testing.B, spec experiments.TableSpec) []tableCase {
+	b.Helper()
+	shared, _, err := subject.CompileLibrary(spec.Library, subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trees, _, err := subject.CompileLibrary(spec.Library, subject.CompileOptions{Share: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []tableCase
+	for _, c := range bench.Suite() {
+		g, err := subject.FromNetwork(c.Network)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, tableCase{
+			name:  c.Name,
+			graph: g,
+			dagM:  match.NewMatcher(shared),
+			treeM: match.NewMatcher(trees),
+			delay: spec.Delay,
+		})
+	}
+	return out
+}
+
+func benchTable(b *testing.B, spec experiments.TableSpec) {
+	for _, tc := range tableCases(b, spec) {
+		b.Run(tc.name+"/tree", func(b *testing.B) {
+			var delay, area float64
+			var cells int
+			for i := 0; i < b.N; i++ {
+				res, err := treemap.Map(tc.graph, tc.treeM, treemap.Options{Delay: tc.delay})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay, area, cells = res.Delay, res.Netlist.Area(), res.Netlist.NumCells()
+			}
+			b.ReportMetric(delay, "delay")
+			b.ReportMetric(area, "area")
+			b.ReportMetric(float64(cells), "cells")
+		})
+		b.Run(tc.name+"/dag", func(b *testing.B) {
+			var delay, area float64
+			var cells, dup int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(tc.graph, tc.dagM, core.Options{Class: match.Standard, Delay: tc.delay})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay, area = res.Delay, res.Netlist.Area()
+				cells, dup = res.Netlist.NumCells(), res.Stats.DuplicatedNodes
+			}
+			b.ReportMetric(delay, "delay")
+			b.ReportMetric(area, "area")
+			b.ReportMetric(float64(cells), "cells")
+			b.ReportMetric(float64(dup), "dup")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: tree vs DAG covering under the
+// lib2-like library with intrinsic pin delays.
+func BenchmarkTable1(b *testing.B) { benchTable(b, experiments.Table1()) }
+
+// BenchmarkTable2 regenerates Table 2: the 7-gate 44-1 library with
+// unit delay.
+func BenchmarkTable2(b *testing.B) { benchTable(b, experiments.Table2()) }
+
+// BenchmarkTable3 regenerates Table 3: the rich 44-3 library with
+// unit delay (the paper's headline result).
+func BenchmarkTable3(b *testing.B) { benchTable(b, experiments.Table3()) }
+
+// BenchmarkFigure1Matching times match enumeration on the Figure 1
+// structure in both classes (the cost of relaxing one-to-one).
+func BenchmarkFigure1Matching(b *testing.B) {
+	lib := genlib.NewLibrary("fig1")
+	e := logic.MustParse("!(a*!b)")
+	g := &genlib.Gate{Name: "andnot", Area: 2, Output: "O", Expr: e}
+	for _, v := range e.Vars() {
+		g.Pins = append(g.Pins, genlib.Pin{Name: v, RiseBlock: 1, FallBlock: 1, InputLoad: 1, MaxLoad: 999})
+	}
+	if err := lib.Add(g); err != nil {
+		b.Fatal(err)
+	}
+	pats, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := match.NewMatcher(pats)
+	sg := subject.NewGraph("fig1", true)
+	p, _ := sg.AddPI("p")
+	q, _ := sg.AddPI("q")
+	n := sg.Nand(p, q)
+	top := sg.Nand(n, sg.Not(n))
+	for _, class := range []match.Class{match.Standard, match.Extended} {
+		b.Run(class.String(), func(b *testing.B) {
+			found := 0
+			for i := 0; i < b.N; i++ {
+				found = len(m.AllMatches(top, class))
+			}
+			b.ReportMetric(float64(found), "matches")
+		})
+	}
+}
+
+// BenchmarkFigure2Duplication times the Figure 2 mapping in both
+// modes; the metrics show the delay-1-vs-2 and duplication effects.
+func BenchmarkFigure2Duplication(b *testing.B) {
+	lib := genlib.NewLibrary("fig2")
+	for _, spec := range []struct {
+		name, expr string
+		area       float64
+	}{{"inv", "!a", 1}, {"nand2", "!(a*b)", 2}, {"ao21n", "a*b+!c", 3}} {
+		e := logic.MustParse(spec.expr)
+		g := &genlib.Gate{Name: spec.name, Area: spec.area, Output: "O", Expr: e}
+		for _, v := range e.Vars() {
+			g.Pins = append(g.Pins, genlib.Pin{Name: v, RiseBlock: 1, FallBlock: 1, InputLoad: 1, MaxLoad: 999})
+		}
+		if err := lib.Add(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pats, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := match.NewMatcher(pats)
+	sg := subject.NewGraph("fig2", true)
+	pa, _ := sg.AddPI("a")
+	pb, _ := sg.AddPI("b")
+	pc, _ := sg.AddPI("c")
+	pd, _ := sg.AddPI("d")
+	mid := sg.Nand(pa, pb)
+	sg.MarkOutput("o1", sg.Nand(mid, pc))
+	sg.MarkOutput("o2", sg.Nand(mid, pd))
+	for _, mode := range []struct {
+		name  string
+		class match.Class
+	}{{"tree", match.Exact}, {"dag", match.Standard}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(sg, m, core.Options{Class: mode.class, Delay: genlib.UnitDelay{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay = res.Delay
+			}
+			b.ReportMetric(delay, "delay")
+		})
+	}
+}
+
+// BenchmarkFlowMap times the §2 FPGA mapper across k on the suite's
+// multiplier (the deepest circuit).
+func BenchmarkFlowMap(b *testing.B) {
+	g, err := subject.FromNetwork(bench.C6288())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			var depth, luts int
+			for i := 0; i < b.N; i++ {
+				res, err := flowmap.Map(g, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				depth, luts = res.Depth, res.LUTs
+			}
+			b.ReportMetric(float64(depth), "depth")
+			b.ReportMetric(float64(luts), "LUTs")
+		})
+	}
+}
+
+// BenchmarkSequential times the §4 flow (map + retime) on pipelined
+// circuits.
+func BenchmarkSequential(b *testing.B) {
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		nw   *Network
+	}{
+		{"palu8x2", bench.PipelinedALU(8, 2)},
+		{"palu8x3", bench.PipelinedALU(8, 3)},
+		{"correlator16", bench.Correlator(16)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var before, after float64
+			for i := 0; i < b.N; i++ {
+				res, err := mapper.MapSequential(cfg.nw, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				before, after = res.PeriodBefore, res.PeriodAfter
+			}
+			b.ReportMetric(before, "period0")
+			b.ReportMetric(after, "period")
+		})
+	}
+}
+
+// BenchmarkAblationMatchClass compares standard vs extended matching
+// cost on the suite under 44-1 (footnote 3: quality is equal; this
+// measures the price of the larger search space).
+func BenchmarkAblationMatchClass(b *testing.B) {
+	spec := experiments.Table2()
+	shared, _, err := subject.CompileLibrary(spec.Library, subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := match.NewMatcher(shared)
+	g, err := subject.FromNetwork(bench.C2670())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, class := range []match.Class{match.Standard, match.Extended} {
+		b.Run(class.String(), func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(g, m, core.Options{Class: class, Delay: spec.Delay})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay = res.Delay
+			}
+			b.ReportMetric(delay, "delay")
+		})
+	}
+}
+
+// BenchmarkAblationLibraryRichness sweeps the maximum AOI group size
+// (ablation A2) on an 8x8 multiplier.
+func BenchmarkAblationLibraryRichness(b *testing.B) {
+	g, err := subject.FromNetwork(bench.ArrayMultiplier(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for gs := 1; gs <= 4; gs++ {
+		lib := libgen.Rich(fmt.Sprintf("rich-%d", gs), libgen.RichOptions{MaxGroupSize: gs})
+		shared, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := match.NewMatcher(shared)
+		b.Run(fmt.Sprintf("groupsize%d", gs), func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(g, m, core.Options{Class: match.Standard, Delay: genlib.UnitDelay{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay = res.Delay
+			}
+			b.ReportMetric(delay, "delay")
+			b.ReportMetric(float64(len(lib.Gates)), "gates")
+		})
+	}
+}
+
+// BenchmarkAblationAreaRecovery measures the cost and benefit of the
+// slack-driven area recovery pass (ablation A3).
+func BenchmarkAblationAreaRecovery(b *testing.B) {
+	shared, _, err := subject.CompileLibrary(libgen.Lib2(), subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := match.NewMatcher(shared)
+	g, err := subject.FromNetwork(bench.C5315())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		recovery bool
+	}{{"plain", false}, {"recovery", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var area float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(g, m, core.Options{
+					Class: match.Standard, Delay: genlib.IntrinsicDelay{},
+					AreaRecovery: mode.recovery,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				area = res.Netlist.Area()
+			}
+			b.ReportMetric(area, "area")
+		})
+	}
+}
+
+// BenchmarkMatcherEnumerate is a microbenchmark of the graph-match
+// inner loop: all standard matches at every node of the multiplier
+// under 44-3.
+func BenchmarkMatcherEnumerate(b *testing.B) {
+	shared, _, err := subject.CompileLibrary(libgen.Lib443(), subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := match.NewMatcher(shared)
+	g, err := subject.FromNetwork(bench.ArrayMultiplier(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		count = 0
+		for _, n := range g.Nodes {
+			m.Enumerate(n, match.Standard, func(*match.Match) bool {
+				count++
+				return true
+			})
+		}
+	}
+	b.ReportMetric(float64(count), "matches")
+}
+
+// BenchmarkSubjectBuild times technology decomposition of the suite's
+// largest circuit.
+func BenchmarkSubjectBuild(b *testing.B) {
+	nw := bench.C7552()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subject.FromNetwork(nw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerify times the 64-way simulation equivalence check used
+// to validate every mapping.
+func BenchmarkVerify(b *testing.B) {
+	nw := bench.ALU(8)
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := mapper.MapDAG(nw, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(nw, res.Netlist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLUTTradeoff sweeps the depth slack in the priority-cut
+// area mode (study E4: the area/depth trade-off of the conclusion's
+// reference [3]).
+func BenchmarkLUTTradeoff(b *testing.B) {
+	g, err := subject.FromNetwork(bench.ArrayMultiplier(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for slack := 0; slack <= 3; slack++ {
+		b.Run(fmt.Sprintf("slack%d", slack), func(b *testing.B) {
+			var depth, luts int
+			for i := 0; i < b.N; i++ {
+				res, err := cutmap.Map(g, cutmap.Options{K: 4, Mode: cutmap.ModeArea, Slack: slack})
+				if err != nil {
+					b.Fatal(err)
+				}
+				depth, luts = res.Depth, res.LUTs
+			}
+			b.ReportMetric(float64(depth), "depth")
+			b.ReportMetric(float64(luts), "LUTs")
+		})
+	}
+}
+
+// BenchmarkBuffering measures the fanout-buffering post-pass (study
+// E3) on a DAG-covered netlist.
+func BenchmarkBuffering(b *testing.B) {
+	lib := libgen.Lib2()
+	mapper, err := NewMapper(lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := mapper.MapDAG(bench.C5315(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buffer := lib.Buffer()
+	b.ResetTimer()
+	var loaded float64
+	for i := 0; i < b.N; i++ {
+		buffered, err := res.Netlist.InsertBuffers(buffer, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t, err := buffered.DelayLoaded(mapping.LoadOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded = t.Delay
+	}
+	b.ReportMetric(loaded, "loadedDelay")
+}
+
+// BenchmarkChoices measures choice-encoded mapping (study E8) against
+// plain DAG covering on the multiplier.
+func BenchmarkChoices(b *testing.B) {
+	nw := bench.ArrayMultiplier(8)
+	mapper, err := NewMapper(Lib441())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := &MapOptions{Delay: UnitDelay}
+	for _, mode := range []string{"plain", "choices"} {
+		b.Run(mode, func(b *testing.B) {
+			var delay float64
+			for i := 0; i < b.N; i++ {
+				var res *MapResult
+				var err error
+				if mode == "plain" {
+					res, err = mapper.MapDAG(nw, opt)
+				} else {
+					res, err = mapper.MapDAGWithChoices(nw, opt)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay = res.Delay
+			}
+			b.ReportMetric(delay, "delay")
+		})
+	}
+}
+
+// BenchmarkSeqMap times Pan-Liu joint sequential mapping (study E11)
+// against the three-step flow.
+func BenchmarkSeqMap(b *testing.B) {
+	nw := bench.PipelinedALU(8, 2)
+	b.Run("joint", func(b *testing.B) {
+		var period int
+		for i := 0; i < b.N; i++ {
+			res, err := MapSequentialLUT(nw, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			period = res.Period
+		}
+		b.ReportMetric(float64(period), "period")
+	})
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("threestep", func(b *testing.B) {
+		var period float64
+		for i := 0; i < b.N; i++ {
+			res, err := mapper.MapSequential(nw, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			period = res.PeriodAfter
+		}
+		b.ReportMetric(period, "period")
+	})
+}

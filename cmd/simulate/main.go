@@ -1,0 +1,234 @@
+// Command simulate evaluates a BLIF circuit on input vectors:
+// random vectors by default, or explicit ones from a file (one line
+// per vector, one 0/1 column per primary input, in .inputs order).
+// Sequential circuits are clocked from their latch initial values.
+//
+// Usage:
+//
+//	simulate -n 8 circuit.blif
+//	simulate -vectors v.txt circuit.blif
+//	simulate -cycles 20 sequential.blif
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"dagcover"
+	"dagcover/internal/network"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 8, "number of random vectors (combinational)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		cycles  = flag.Int("cycles", 16, "cycles to clock (sequential)")
+		vecFile = flag.String("vectors", "", "file of explicit input vectors")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: simulate [flags] circuit.blif")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *n, *seed, *cycles, *vecFile); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, n int, seed int64, cycles int, vecFile string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	nw, err := dagcover.ParseBLIF(f)
+	if err != nil {
+		return err
+	}
+	sim, err := network.NewSimulator(nw)
+	if err != nil {
+		return err
+	}
+	var vectors [][]uint64 // per input, packed 64-wide words
+	inputs := nw.Inputs()
+	rng := rand.New(rand.NewSource(seed))
+	count := n
+	if vecFile != "" {
+		rows, err := readVectors(vecFile, len(inputs))
+		if err != nil {
+			return err
+		}
+		count = len(rows)
+		vectors = packRows(rows, len(inputs))
+	} else if len(nw.Latches()) > 0 {
+		count = cycles
+	}
+
+	if len(nw.Latches()) > 0 {
+		return simulateSequential(nw, sim, rng, count, vecFile, vectors)
+	}
+
+	// Combinational: pack vectors 64 at a time.
+	if vectors == nil {
+		vectors = make([][]uint64, len(inputs))
+		words := (count + 63) / 64
+		for i := range vectors {
+			vectors[i] = make([]uint64, words)
+			for w := range vectors[i] {
+				vectors[i][w] = rng.Uint64()
+			}
+		}
+	}
+	header := make([]string, 0, len(inputs)+len(nw.Outputs()))
+	for _, in := range inputs {
+		header = append(header, in.Name)
+	}
+	for _, o := range nw.Outputs() {
+		header = append(header, o.Name)
+	}
+	fmt.Println(strings.Join(header, " "))
+	words := (count + 63) / 64
+	for w := 0; w < words; w++ {
+		in := map[string]uint64{}
+		for i, pi := range inputs {
+			in[pi.Name] = vectors[i][w]
+		}
+		out, err := sim.RunOutputs(in)
+		if err != nil {
+			return err
+		}
+		for lane := 0; lane < 64 && w*64+lane < count; lane++ {
+			var row []string
+			for _, pi := range inputs {
+				row = append(row, bit(in[pi.Name], lane))
+			}
+			for _, o := range nw.Outputs() {
+				row = append(row, bit(out[o.Name], lane))
+			}
+			fmt.Println(strings.Join(row, " "))
+		}
+	}
+	return nil
+}
+
+func simulateSequential(nw *dagcover.Network, sim *network.Simulator, rng *rand.Rand, cycles int, vecFile string, vectors [][]uint64) error {
+	inputs := nw.Inputs()
+	state := map[string]uint64{}
+	for _, l := range nw.Latches() {
+		if l.Init {
+			state[l.Output.Name] = 1
+		} else {
+			state[l.Output.Name] = 0
+		}
+	}
+	var header []string
+	header = append(header, "cycle")
+	for _, in := range inputs {
+		header = append(header, in.Name)
+	}
+	for _, o := range nw.Outputs() {
+		header = append(header, o.Name)
+	}
+	fmt.Println(strings.Join(header, " "))
+	for c := 0; c < cycles; c++ {
+		in := map[string]uint64{}
+		for i, pi := range inputs {
+			if vectors != nil {
+				in[pi.Name] = vectors[i][c/64] >> uint(c%64) & 1
+			} else {
+				in[pi.Name] = uint64(rng.Intn(2))
+			}
+		}
+		for k, v := range state {
+			in[k] = v
+		}
+		vals, err := sim.Run(in)
+		if err != nil {
+			return err
+		}
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, pi := range inputs {
+			row = append(row, bit(in[pi.Name], 0))
+		}
+		for _, o := range nw.Outputs() {
+			row = append(row, bit(vals[o.Name], 0))
+		}
+		fmt.Println(strings.Join(row, " "))
+		for _, l := range nw.Latches() {
+			state[l.Output.Name] = vals[l.Input.Name] & 1
+		}
+	}
+	return nil
+}
+
+func bit(v uint64, lane int) string {
+	if v>>uint(lane)&1 == 1 {
+		return "1"
+	}
+	return "0"
+}
+
+// readVectors parses one vector per line: whitespace-separated 0/1
+// columns, one per primary input.
+func readVectors(path string, width int) ([][]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]bool
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != width {
+			return nil, fmt.Errorf("%s:%d: %d columns, want %d", path, lineNo, len(fields), width)
+		}
+		row := make([]bool, width)
+		for i, fstr := range fields {
+			switch fstr {
+			case "0":
+			case "1":
+				row[i] = true
+			default:
+				return nil, fmt.Errorf("%s:%d: bad bit %q", path, lineNo, fstr)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no vectors", path)
+	}
+	return rows, nil
+}
+
+// packRows packs per-row bools into per-input 64-wide words.
+func packRows(rows [][]bool, width int) [][]uint64 {
+	words := (len(rows) + 63) / 64
+	out := make([][]uint64, width)
+	for i := range out {
+		out[i] = make([]uint64, words)
+	}
+	for r, row := range rows {
+		for i, v := range row {
+			if v {
+				out[i][r/64] |= 1 << uint(r%64)
+			}
+		}
+	}
+	return out
+}

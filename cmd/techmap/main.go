@@ -1,0 +1,157 @@
+// Command techmap maps a BLIF circuit onto a gate library by
+// delay-optimal DAG covering (default) or conventional tree covering.
+//
+// Usage:
+//
+//	techmap -lib lib2 -mode dag circuit.blif
+//	techmap -lib my.genlib -mode tree -delay unit -o mapped.blif circuit.blif
+//
+// The built-in libraries lib2, 44-1 and 44-3 may be named directly;
+// any other -lib value is read as a genlib file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dagcover"
+)
+
+func main() {
+	var (
+		libName  = flag.String("lib", "lib2", "library: lib2, 44-1, 44-3, or a genlib file path")
+		mode     = flag.String("mode", "dag", "mapping mode: dag or tree")
+		class    = flag.String("class", "standard", "DAG match class: standard or extended")
+		delay    = flag.String("delay", "intrinsic", "delay model: intrinsic or unit")
+		output   = flag.String("o", "", "write the mapped netlist (.gate BLIF) to this file")
+		doVerify = flag.Bool("verify", false, "verify the mapping against the input by simulation")
+		recover  = flag.Bool("arearecovery", false, "relax off-critical nodes to smaller gates")
+		critPath = flag.Bool("critical", false, "print the critical path")
+		slack    = flag.Bool("slack", false, "print the worst timing paths and a slack histogram")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: techmap [flags] circuit.blif")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *libName, *mode, *class, *delay, *output, *doVerify, *recover, *critPath, *slack); err != nil {
+		fmt.Fprintln(os.Stderr, "techmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, libName, mode, class, delayName, output string, doVerify, recover, critPath, slack bool) error {
+	lib, err := loadLibrary(libName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	nw, err := dagcover.ParseBLIF(f)
+	if err != nil {
+		return err
+	}
+	var dm dagcover.DelayModel
+	switch delayName {
+	case "intrinsic":
+		dm = dagcover.IntrinsicDelay
+	case "unit":
+		dm = dagcover.UnitDelay
+	default:
+		return fmt.Errorf("unknown delay model %q", delayName)
+	}
+	mapper, err := dagcover.NewMapper(lib)
+	if err != nil {
+		return err
+	}
+	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: recover}
+	switch class {
+	case "standard":
+		opt.Class = dagcover.MatchStandard
+	case "extended":
+		opt.Class = dagcover.MatchExtended
+	default:
+		return fmt.Errorf("unknown match class %q", class)
+	}
+	var res *dagcover.MapResult
+	switch mode {
+	case "dag":
+		res, err = mapper.MapDAG(nw, opt)
+	case "tree":
+		res, err = mapper.MapTree(nw, opt)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s mapping with %s (%s delay)\n", nw.Name, mode, lib.Name, delayName)
+	fmt.Printf("  subject nodes: %d\n", res.SubjectNodes)
+	fmt.Printf("  delay:         %.3f\n", res.Delay)
+	fmt.Printf("  area:          %.1f\n", res.Area)
+	fmt.Printf("  cells:         %d\n", res.Cells)
+	if mode == "dag" {
+		fmt.Printf("  duplicated:    %d subject nodes\n", res.DuplicatedNodes)
+	}
+	fmt.Printf("  cpu:           %v\n", res.CPU)
+	if doVerify {
+		if err := dagcover.Verify(nw, res.Netlist); err != nil {
+			return fmt.Errorf("verification FAILED: %v", err)
+		}
+		fmt.Println("  verification:  equivalent")
+	}
+	if slack {
+		paths, err := dagcover.WorstTimingPaths(res.Netlist, dm, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  worst paths:")
+		for _, p := range paths {
+			fmt.Printf("    %s (slack %.3f): %d cells\n", p.Port, p.Slack, len(p.Cells))
+		}
+	}
+	if critPath {
+		cells, err := res.Netlist.CriticalPath(dm, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  critical path:")
+		for _, c := range cells {
+			fmt.Printf("    %-10s -> %s\n", c.Gate.Name, c.Output)
+		}
+	}
+	if output != "" {
+		out, err := os.Create(output)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := res.Netlist.WriteBLIF(out); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote:         %s\n", output)
+	}
+	return nil
+}
+
+func loadLibrary(name string) (*dagcover.Library, error) {
+	switch name {
+	case "lib2":
+		return dagcover.Lib2(), nil
+	case "44-1":
+		return dagcover.Lib441(), nil
+	case "44-3":
+		return dagcover.Lib443(), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("library %q is not built in and could not be opened: %v", name, err)
+	}
+	defer f.Close()
+	return dagcover.LoadLibrary(name, f)
+}

@@ -1,0 +1,589 @@
+// Package dagcover is a library-based technology mapper implementing
+// "Delay-Optimal Technology Mapping by DAG Covering" (Kukimoto,
+// Brayton, Sawkar, DAC 1998), together with the systems the paper
+// builds on: Keutzer/Rudell subject-graph construction and pattern
+// matching, conventional tree covering (the baseline), the FlowMap
+// k-LUT mapper (§2), and Leiserson-Saxe retiming for the sequential
+// extension (§4).
+//
+// Quick start:
+//
+//	lib := dagcover.Lib2()
+//	mapper, _ := dagcover.NewMapper(lib)
+//	nw, _ := dagcover.ParseBLIF(file)
+//	res, _ := mapper.MapDAG(nw, nil)
+//	fmt.Println(res.Delay, res.Area)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the system inventory.
+package dagcover
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dagcover/internal/core"
+	"dagcover/internal/cutmap"
+	"dagcover/internal/flowmap"
+	"dagcover/internal/genlib"
+	"dagcover/internal/libgen"
+	"dagcover/internal/mapping"
+	"dagcover/internal/match"
+	"dagcover/internal/network"
+	"dagcover/internal/resynth"
+	"dagcover/internal/retime"
+	"dagcover/internal/seqmap"
+	"dagcover/internal/sta"
+	"dagcover/internal/subject"
+	"dagcover/internal/treemap"
+	"dagcover/internal/verify"
+
+	blifpkg "dagcover/internal/blif"
+)
+
+// Re-exported types: the facade works in terms of these.
+type (
+	// Network is a technology-independent Boolean network.
+	Network = network.Network
+	// Library is a genlib gate library.
+	Library = genlib.Library
+	// Gate is a library cell.
+	Gate = genlib.Gate
+	// Netlist is a technology-mapped circuit.
+	Netlist = mapping.Netlist
+	// DelayModel maps (gate, pin) to a pin-to-output delay.
+	DelayModel = genlib.DelayModel
+	// SubjectGraph is a NAND2/INV decomposition of a network.
+	SubjectGraph = subject.Graph
+	// MatchClass selects the matching semantics (Definitions 1-3).
+	MatchClass = match.Class
+	// LUTResult is a FlowMap mapping.
+	LUTResult = flowmap.Result
+)
+
+// Match classes (paper Definitions 1-3).
+const (
+	// MatchExact confines matches to fanout-free regions: tree
+	// covering semantics.
+	MatchExact = match.Exact
+	// MatchStandard is the paper's default for DAG covering.
+	MatchStandard = match.Standard
+	// MatchExtended additionally allows subject-node duplication
+	// during matching (Figure 1).
+	MatchExtended = match.Extended
+)
+
+// Delay models.
+var (
+	// IntrinsicDelay uses genlib block delays with zero load terms
+	// (the paper's model, footnote 4).
+	IntrinsicDelay DelayModel = genlib.IntrinsicDelay{}
+	// UnitDelay charges one unit per gate (the 44-1/44-3 tables).
+	UnitDelay DelayModel = genlib.UnitDelay{}
+)
+
+// Built-in libraries (synthesized stand-ins for the MCNC libraries;
+// see DESIGN.md §4).
+func Lib2() *Library   { return libgen.Lib2() }
+func Lib441() *Library { return libgen.Lib441() }
+func Lib443() *Library { return libgen.Lib443() }
+
+// LoadLibrary parses a genlib library.
+func LoadLibrary(name string, r io.Reader) (*Library, error) { return genlib.Parse(name, r) }
+
+// WriteLibrary emits a library as genlib text.
+func WriteLibrary(w io.Writer, lib *Library) error { return genlib.Write(w, lib) }
+
+// ParseBLIF reads a Boolean network in BLIF format (.names/.latch).
+func ParseBLIF(r io.Reader) (*Network, error) { return (&blifpkg.Reader{}).Parse(r) }
+
+// ParseMappedBLIF reads BLIF that may contain .gate constructs
+// resolved against lib.
+func ParseMappedBLIF(r io.Reader, lib *Library) (*Network, error) {
+	return (&blifpkg.Reader{Gates: lib}).Parse(r)
+}
+
+// WriteBLIF emits a network in BLIF format.
+func WriteBLIF(w io.Writer, nw *Network) error { return blifpkg.Write(w, nw) }
+
+// BuildSubject technology-decomposes a network into its NAND2/INV
+// subject graph (deterministic, structurally hashed).
+func BuildSubject(nw *Network) (*SubjectGraph, error) { return subject.FromNetwork(nw) }
+
+// BalanceSubject re-associates single-fanout conjunction chains into
+// level-balanced trees (AIG-style balancing), reducing subject depth
+// — and therefore the mapped-delay bound — without changing the
+// function. Run it before MapSubjectDAG/MapSubjectTree for a
+// technology-independent head start.
+func BalanceSubject(g *SubjectGraph) (*SubjectGraph, error) { return resynth.Balance(g) }
+
+// MapOptions tunes a mapping run. The zero value is the paper's
+// default configuration: standard matches, intrinsic delay model.
+type MapOptions struct {
+	// Class is the match class; defaults to MatchStandard for MapDAG
+	// (footnote 3) and is ignored by MapTree (always exact).
+	Class MatchClass
+	// Delay is the delay model; defaults to IntrinsicDelay.
+	Delay DelayModel
+	// Arrivals optionally gives primary-input arrival times.
+	Arrivals map[string]float64
+	// AreaRecovery relaxes off-critical nodes to smaller gates
+	// without giving up the delay target.
+	AreaRecovery bool
+	// RequiredTime relaxes the AreaRecovery delay target above the
+	// optimum (0 or below-optimal values mean delay-optimal); the
+	// area/delay trade-off of the paper's conclusion.
+	RequiredTime float64
+}
+
+// MapResult reports a completed technology mapping.
+type MapResult struct {
+	Netlist *Netlist
+	// Delay is the worst primary-output arrival time.
+	Delay float64
+	// Area is the summed gate area.
+	Area float64
+	// Cells is the number of gate instances.
+	Cells int
+	// DuplicatedNodes counts subject nodes realized more than once
+	// (always 0 for tree mapping).
+	DuplicatedNodes int
+	// MatchesEnumerated counts the pattern-match attempts that
+	// succeeded during labeling.
+	MatchesEnumerated int
+	// CPU is the wall-clock mapping time.
+	CPU time.Duration
+	// SubjectNodes is the size of the subject graph.
+	SubjectNodes int
+}
+
+// Mapper holds a library compiled into pattern graphs. Construction
+// is relatively expensive (every gate is decomposed twice: shared
+// DAG patterns for DAG covering, tree patterns for tree covering);
+// reuse one Mapper across circuits. A Mapper is not safe for
+// concurrent use; Clone one per goroutine.
+type Mapper struct {
+	lib         *Library
+	dagMatcher  *match.Matcher
+	treeMatcher *match.Matcher
+	// SkippedGates lists library gates with no pattern (buffers,
+	// constants).
+	SkippedGates []string
+}
+
+// NewMapper compiles the library.
+func NewMapper(lib *Library) (*Mapper, error) {
+	shared, skipped, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+	if err != nil {
+		return nil, err
+	}
+	trees, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: false})
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{
+		lib:          lib,
+		dagMatcher:   match.NewMatcher(shared),
+		treeMatcher:  match.NewMatcher(trees),
+		SkippedGates: skipped,
+	}, nil
+}
+
+// Library returns the mapper's library.
+func (m *Mapper) Library() *Library { return m.lib }
+
+// Clone returns an independent mapper sharing the compiled patterns.
+func (m *Mapper) Clone() *Mapper {
+	return &Mapper{
+		lib:          m.lib,
+		dagMatcher:   m.dagMatcher.Clone(),
+		treeMatcher:  m.treeMatcher.Clone(),
+		SkippedGates: m.SkippedGates,
+	}
+}
+
+func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {
+	out := MapOptions{Class: defaultClass, Delay: IntrinsicDelay}
+	if o != nil {
+		if o.Class != 0 || defaultClass == MatchExact {
+			out.Class = o.Class
+		}
+		if o.Delay != nil {
+			out.Delay = o.Delay
+		}
+		out.Arrivals = o.Arrivals
+		out.AreaRecovery = o.AreaRecovery
+		out.RequiredTime = o.RequiredTime
+	}
+	return out
+}
+
+// MapDAG maps the network by delay-optimal DAG covering (the paper's
+// algorithm). opt may be nil for defaults.
+func (m *Mapper) MapDAG(nw *Network, opt *MapOptions) (*MapResult, error) {
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	return m.MapSubjectDAG(g, opt)
+}
+
+// MapSubjectDAG maps an already-built subject graph by DAG covering.
+func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, error) {
+	o := opt.normalize(MatchStandard)
+	if o.Class == MatchExact {
+		return nil, fmt.Errorf("dagcover: MapDAG with exact matches is tree mapping; use MapTree")
+	}
+	start := time.Now()
+	res, err := core.Map(g, m.dagMatcher, core.Options{
+		Class:        o.Class,
+		Delay:        o.Delay,
+		Arrivals:     o.Arrivals,
+		AreaRecovery: o.AreaRecovery,
+		RequiredTime: o.RequiredTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MapResult{
+		Netlist:           res.Netlist,
+		Delay:             res.Delay,
+		Area:              res.Netlist.Area(),
+		Cells:             res.Netlist.NumCells(),
+		DuplicatedNodes:   res.Stats.DuplicatedNodes,
+		MatchesEnumerated: res.Stats.MatchesEnumerated,
+		CPU:               time.Since(start),
+		SubjectNodes:      len(g.Nodes),
+	}, nil
+}
+
+// MapDAGWithChoices maps the network by DAG covering over a
+// choice-encoded subject graph: every node is decomposed both
+// balanced and as a chain into one shared graph (a light version of
+// Lehman et al.'s mapping graphs, §4), and matching may realize
+// either alternative. Never slower than MapDAG on either single
+// decomposition; costs roughly twice the subject size.
+func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, error) {
+	g, choices, err := subject.FromNetworkWithChoices(nw)
+	if err != nil {
+		return nil, err
+	}
+	o := opt.normalize(MatchStandard)
+	matcher := m.dagMatcher.Clone()
+	matcher.SetChoices(choices)
+	start := time.Now()
+	res, err := core.Map(g, matcher, core.Options{
+		Class:        o.Class,
+		Delay:        o.Delay,
+		Arrivals:     o.Arrivals,
+		AreaRecovery: o.AreaRecovery,
+		RequiredTime: o.RequiredTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MapResult{
+		Netlist:           res.Netlist,
+		Delay:             res.Delay,
+		Area:              res.Netlist.Area(),
+		Cells:             res.Netlist.NumCells(),
+		DuplicatedNodes:   res.Stats.DuplicatedNodes,
+		MatchesEnumerated: res.Stats.MatchesEnumerated,
+		CPU:               time.Since(start),
+		SubjectNodes:      len(g.Nodes),
+	}, nil
+}
+
+// MapTree maps the network by conventional tree covering (the
+// baseline of Tables 1-3). opt.Class is ignored.
+func (m *Mapper) MapTree(nw *Network, opt *MapOptions) (*MapResult, error) {
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	return m.MapSubjectTree(g, opt)
+}
+
+// MapSubjectTree maps an already-built subject graph by tree covering.
+func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, error) {
+	o := opt.normalize(MatchExact)
+	start := time.Now()
+	res, err := treemap.Map(g, m.treeMatcher, treemap.Options{
+		Objective: treemap.MinDelay,
+		Delay:     o.Delay,
+		Arrivals:  o.Arrivals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MapResult{
+		Netlist:      res.Netlist,
+		Delay:        res.Delay,
+		Area:         res.Netlist.Area(),
+		Cells:        res.Netlist.NumCells(),
+		CPU:          time.Since(start),
+		SubjectNodes: len(g.Nodes),
+	}, nil
+}
+
+// MapTreeMinArea maps by tree covering with Keutzer's minimum-area
+// objective instead of delay.
+func (m *Mapper) MapTreeMinArea(nw *Network, opt *MapOptions) (*MapResult, error) {
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	o := opt.normalize(MatchExact)
+	start := time.Now()
+	res, err := treemap.Map(g, m.treeMatcher, treemap.Options{
+		Objective: treemap.MinArea,
+		Delay:     o.Delay,
+		Arrivals:  o.Arrivals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MapResult{
+		Netlist:      res.Netlist,
+		Delay:        res.Delay,
+		Area:         res.Netlist.Area(),
+		Cells:        res.Netlist.NumCells(),
+		CPU:          time.Since(start),
+		SubjectNodes: len(g.Nodes),
+	}, nil
+}
+
+// TimingReport is a full slack analysis (see AnalyzeTiming).
+type TimingReport = sta.Report
+
+// TimingPath is one extracted timing path.
+type TimingPath = sta.Path
+
+// AnalyzeTiming computes arrival times, required times against the
+// target (0 = the worst arrival, so the critical path gets slack 0),
+// and per-net slacks for a mapped netlist.
+func AnalyzeTiming(nl *Netlist, dm DelayModel, requiredTime float64) (*TimingReport, error) {
+	return sta.Analyze(nl, dm, sta.Options{RequiredTime: requiredTime})
+}
+
+// WorstTimingPaths returns the k most critical paths of the netlist.
+func WorstTimingPaths(nl *Netlist, dm DelayModel, k int) ([]TimingPath, error) {
+	return sta.WorstPaths(nl, dm, sta.Options{}, k)
+}
+
+// LoadTiming reports a netlist's delay under the full load-dependent
+// genlib model (block + fanout-coefficient * load). The paper's
+// mapping model deliberately zeroes the load term (footnote 4);
+// this function quantifies the approximation.
+func LoadTiming(nl *Netlist, outputLoad float64) (float64, error) {
+	t, err := nl.DelayLoaded(mapping.LoadOptions{OutputLoad: outputLoad})
+	if err != nil {
+		return 0, err
+	}
+	return t.Delay, nil
+}
+
+// InsertBuffers splits nets driving more than maxFanout sinks with
+// balanced trees of the library's buffer gate (§3.5: buffering
+// complements DAG covering at the multiple-fanout points it creates).
+func InsertBuffers(nl *Netlist, lib *Library, maxFanout int) (*Netlist, error) {
+	buf := lib.Buffer()
+	if buf == nil {
+		return nil, fmt.Errorf("dagcover: library %q has no buffer gate", lib.Name)
+	}
+	return nl.InsertBuffers(buf, maxFanout)
+}
+
+// MapLUT maps the network onto k-input LUTs with FlowMap (§2).
+func MapLUT(nw *Network, k int) (*LUTResult, error) {
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	return flowmap.Map(g, k)
+}
+
+// LUTAreaResult is a cut-based LUT mapping (see MapLUTArea).
+type LUTAreaResult = cutmap.Result
+
+// MapLUTArea maps the network onto k-input LUTs by priority-cut
+// enumeration, minimizing LUT count under a depth bound of (optimal
+// depth + slack) — the area/depth trade-off the paper's conclusion
+// points to (Cong & Ding [3]).
+func MapLUTArea(nw *Network, k, slack int) (*LUTAreaResult, error) {
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		return nil, err
+	}
+	return cutmap.Map(g, cutmap.Options{K: k, Mode: cutmap.ModeArea, Slack: slack})
+}
+
+// Verify checks a mapped netlist against the original network by
+// exhaustive (small inputs) or random simulation.
+func Verify(orig *Network, mapped *Netlist) error {
+	return verify.Mapped(orig, mapped, verify.Options{})
+}
+
+// VerifyNetworks checks two networks for functional equivalence on
+// their common outputs.
+func VerifyNetworks(orig, candidate *Network) error {
+	return verify.Networks(orig, candidate, verify.Options{})
+}
+
+// MinPeriod computes the minimum clock period achievable by retiming
+// under the given per-node delays (nil = unit delays).
+func MinPeriod(nw *Network, delays retime.Delays) (float64, error) {
+	if delays == nil {
+		delays = retime.UnitDelays
+	}
+	p, _, err := retime.MinPeriod(nw, delays)
+	return p, err
+}
+
+// Retime applies a minimum-period retiming and returns the retimed
+// network.
+func Retime(nw *Network, delays retime.Delays) (*Network, float64, error) {
+	if delays == nil {
+		delays = retime.UnitDelays
+	}
+	p, r, err := retime.MinPeriod(nw, delays)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := retime.Apply(nw, delays, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, p, nil
+}
+
+// SeqLUTResult is a jointly optimal sequential LUT mapping.
+type SeqLUTResult = seqmap.Result
+
+// MapSequentialLUT runs Pan & Liu's sequential k-LUT mapping (the
+// algorithm the paper's §4 builds on): a binary search on the clock
+// period whose decision procedure labels every node over all k-cuts
+// of its register-crossing cone. Unlike MapSequential's practical
+// three-step flow, cuts may cross registers, so the result can beat
+// any map-then-retime combination (optimal up to the documented cut
+// bounds). Latch initial values must be zero.
+func MapSequentialLUT(nw *Network, k int) (*SeqLUTResult, error) {
+	return seqmap.Map(nw, seqmap.Options{K: k})
+}
+
+// SeqResult reports sequential mapping (§4: retime, map, retime).
+type SeqResult struct {
+	// Network is the mapped and retimed sequential circuit; cell
+	// functions are inlined as node functions.
+	Network *Network
+	// PeriodBefore is the clock period of the mapped circuit before
+	// the final retiming; PeriodAfter is the optimal period after it.
+	PeriodBefore, PeriodAfter float64
+	// Comb is the combinational mapping result.
+	Comb *MapResult
+}
+
+// MapSequential performs the paper's §4 flow: map the combinational
+// portion with DAG covering (latch boundaries fixed), reattach the
+// latches, then retime the mapped circuit to its minimum period. Gate
+// delays for retiming are each cell's worst pin delay under the
+// mapping delay model.
+func (m *Mapper) MapSequential(nw *Network, opt *MapOptions) (*SeqResult, error) {
+	if len(nw.Latches()) == 0 {
+		return nil, fmt.Errorf("dagcover: MapSequential needs a sequential circuit; use MapDAG")
+	}
+	o := opt.normalize(MatchStandard)
+	comb, err := m.MapDAG(nw, &o)
+	if err != nil {
+		return nil, err
+	}
+	mappedNet, err := comb.Netlist.ToNetwork()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := reattachLatches(mappedNet, nw)
+	if err != nil {
+		return nil, err
+	}
+	// Per-node delays: worst pin delay of the driving cell.
+	cellDelay := map[string]float64{}
+	for _, c := range comb.Netlist.Cells {
+		worst := 0.0
+		for pin := range c.Inputs {
+			if d := o.Delay.PinDelay(c.Gate, pin); d > worst {
+				worst = d
+			}
+		}
+		cellDelay[c.Output] = worst
+	}
+	delays := func(n *network.Node) float64 { return cellDelay[n.Name] }
+	before, err := retime.Period(seq, delays)
+	if err != nil {
+		return nil, err
+	}
+	after, r, err := retime.MinPeriod(seq, delays)
+	if err != nil {
+		return nil, err
+	}
+	final, err := retime.Apply(seq, delays, r)
+	if err != nil {
+		return nil, err
+	}
+	return &SeqResult{
+		Network:      final,
+		PeriodBefore: before,
+		PeriodAfter:  after,
+		Comb:         comb,
+	}, nil
+}
+
+// reattachLatches rebuilds the mapped combinational network with the
+// original circuit's latches reconnected: the mapped network exposes
+// each latch input as an output port and each latch output as a free
+// input.
+func reattachLatches(mapped, orig *Network) (*Network, error) {
+	latchOut := map[string]bool{}
+	for _, l := range orig.Latches() {
+		latchOut[l.Output.Name] = true
+	}
+	out := network.New(mapped.Name + "_seq")
+	for _, pi := range mapped.Inputs() {
+		if latchOut[pi.Name] {
+			if _, err := out.AddLatchOutput(pi.Name); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := out.AddInput(pi.Name); err != nil {
+			return nil, err
+		}
+	}
+	topo, err := mapped.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range topo {
+		if n.Func == nil {
+			continue
+		}
+		names := make([]string, len(n.Fanins))
+		for i, fi := range n.Fanins {
+			names[i] = fi.Name
+		}
+		if _, err := out.AddNode(n.Name, names, n.Func.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range orig.Latches() {
+		if _, err := out.ConnectLatch(l.Input.Name, l.Output.Name, l.Init); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range orig.Outputs() {
+		if err := out.MarkOutput(o.Name); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

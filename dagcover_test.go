@@ -1,0 +1,411 @@
+package dagcover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dagcover/internal/bench"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	nw, err := ParseBLIF(strings.NewReader(`
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := mapper.MapDAG(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := mapper.MapTree(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Delay > tree.Delay+1e-9 {
+		t.Errorf("DAG delay %v exceeds tree delay %v", dag.Delay, tree.Delay)
+	}
+	for _, r := range []*MapResult{dag, tree} {
+		if err := Verify(nw, r.Netlist); err != nil {
+			t.Fatal(err)
+		}
+		if r.Cells == 0 || r.Area <= 0 || r.SubjectNodes == 0 {
+			t.Errorf("result fields not populated: %+v", r)
+		}
+	}
+}
+
+func TestFacadeLibraries(t *testing.T) {
+	for _, lib := range []*Library{Lib2(), Lib441(), Lib443()} {
+		if lib.Inverter() == nil || lib.Nand2() == nil {
+			t.Errorf("%s: missing inv/nand2", lib.Name)
+		}
+		var buf bytes.Buffer
+		if err := WriteLibrary(&buf, lib); err != nil {
+			t.Fatal(err)
+		}
+		again, err := LoadLibrary(lib.Name, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Gates) != len(lib.Gates) {
+			t.Errorf("%s: library round trip lost gates", lib.Name)
+		}
+	}
+}
+
+func TestFacadeMapLUT(t *testing.T) {
+	nw := bench.RippleAdder(8)
+	res, err := MapLUT(nw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth <= 0 || res.LUTs <= 0 {
+		t.Errorf("LUT result degenerate: %+v", res)
+	}
+	if err := VerifyNetworks(nw, res.Network); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMapOptions(t *testing.T) {
+	nw := bench.RippleAdder(6)
+	mapper, err := NewMapper(Lib441())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := mapper.MapDAG(nw, &MapOptions{Delay: UnitDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := mapper.MapDAG(nw, &MapOptions{Delay: UnitDelay, Class: MatchExtended})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Delay > unit.Delay+1e-9 {
+		t.Errorf("extended (%v) worse than standard (%v)", ext.Delay, unit.Delay)
+	}
+	rec, err := mapper.MapDAG(nw, &MapOptions{Delay: UnitDelay, AreaRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Delay != unit.Delay {
+		t.Errorf("area recovery changed delay: %v vs %v", rec.Delay, unit.Delay)
+	}
+	if _, err := mapper.MapDAG(nw, &MapOptions{Class: MatchExact}); err == nil {
+		t.Log("exact class on MapDAG silently treated as default (documented zero-value behaviour)")
+	}
+}
+
+func TestFacadeMinAreaTree(t *testing.T) {
+	nw := bench.ALU(4)
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minDelay, err := mapper.MapTree(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minArea, err := mapper.MapTreeMinArea(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minArea.Area > minDelay.Area+1e-9 {
+		t.Errorf("min-area (%v) larger than min-delay (%v)", minArea.Area, minDelay.Area)
+	}
+	if err := Verify(nw, minArea.Netlist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSequential(t *testing.T) {
+	nw := bench.PipelinedALU(4, 2)
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapper.MapSequential(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodAfter > res.PeriodBefore+1e-9 {
+		t.Errorf("retiming worsened period: %v -> %v", res.PeriodBefore, res.PeriodAfter)
+	}
+	if len(res.Network.Latches()) == 0 {
+		t.Error("sequential mapping lost the latches")
+	}
+	if err := res.Network.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Combinational circuits are rejected.
+	if _, err := mapper.MapSequential(bench.RippleAdder(4), nil); err == nil {
+		t.Error("combinational circuit accepted by MapSequential")
+	}
+}
+
+func TestFacadeRetime(t *testing.T) {
+	nw := bench.Correlator(8)
+	before, err := MinPeriod(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, p, err := Retime(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > before+1e-9 {
+		t.Errorf("retiming worsened period %v -> %v", before, p)
+	}
+	if err := rt.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCloneMapper(t *testing.T) {
+	mapper, err := NewMapper(Lib441())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mapper.Clone()
+	nw := bench.ParityTree(8)
+	a, err := mapper.MapDAG(nw, &MapOptions{Delay: UnitDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.MapDAG(nw, &MapOptions{Delay: UnitDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delay != b.Delay || a.Cells != b.Cells {
+		t.Errorf("clone mapped differently: %+v vs %+v", a, b)
+	}
+	if mapper.Library() != Lib441() && mapper.Library().Name != "44-1" {
+		t.Errorf("library accessor wrong")
+	}
+}
+
+func TestFacadeSubjectReuse(t *testing.T) {
+	nw := bench.Comparator(8)
+	g, err := BuildSubject(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag, err := mapper.MapSubjectDAG(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := mapper.MapSubjectTree(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both used the same subject graph, as in the paper's setup.
+	if dag.SubjectNodes != tree.SubjectNodes {
+		t.Errorf("subject sizes differ: %d vs %d", dag.SubjectNodes, tree.SubjectNodes)
+	}
+	if dag.Delay > tree.Delay+1e-9 {
+		t.Errorf("DAG (%v) worse than tree (%v)", dag.Delay, tree.Delay)
+	}
+}
+
+func TestFacadeMappedBLIFRoundTrip(t *testing.T) {
+	nw := bench.RippleAdder(4)
+	lib := Lib2()
+	mapper, err := NewMapper(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapper.MapDAG(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Netlist.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseMappedBLIF(bytes.NewReader(buf.Bytes()), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNetworks(nw, again); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBalanceSubject(t *testing.T) {
+	nw := bench.ALU(4)
+	g, err := BuildSubject(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := BalanceSubject(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewMapper(Lib441())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapper.MapSubjectDAG(bg, &MapOptions{Delay: UnitDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(nw, res.Netlist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMapDAGWithChoices(t *testing.T) {
+	nw := bench.ArrayMultiplier(6)
+	mapper, err := NewMapper(Lib441())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &MapOptions{Delay: UnitDelay}
+	plain, err := mapper.MapDAG(nw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices, err := mapper.MapDAGWithChoices(nw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices.Delay > plain.Delay+1e-9 {
+		t.Errorf("choices (%v) worse than plain DAG covering (%v)", choices.Delay, plain.Delay)
+	}
+	if err := Verify(nw, choices.Netlist); err != nil {
+		t.Fatal(err)
+	}
+	if choices.SubjectNodes <= plain.SubjectNodes {
+		t.Errorf("choice graph (%d nodes) should exceed the single graph (%d)",
+			choices.SubjectNodes, plain.SubjectNodes)
+	}
+}
+
+func TestFacadeMapSequentialLUT(t *testing.T) {
+	nw := bench.PipelinedALU(4, 2)
+	res, err := MapSequentialLUT(nw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period <= 0 || res.LUTs <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if err := res.Network.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapSequentialLUT(bench.RippleAdder(4), 4); err == nil {
+		t.Error("combinational circuit accepted")
+	}
+}
+
+func TestFacadeTimingAndBuffering(t *testing.T) {
+	nw := bench.ALU(4)
+	lib := Lib2()
+	mapper, err := NewMapper(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapper.MapDAG(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slack analysis.
+	rep, err := AnalyzeTiming(res.Netlist, IntrinsicDelay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstSlack > 1e-9 || rep.WorstSlack < -1e-9 {
+		t.Errorf("worst slack = %v, want 0", rep.WorstSlack)
+	}
+	paths, err := WorstTimingPaths(res.Netlist, IntrinsicDelay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || len(paths[0].Cells) == 0 {
+		t.Errorf("paths degenerate: %d", len(paths))
+	}
+	// Loaded timing and buffering.
+	loaded, err := LoadTiming(res.Netlist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded < res.Delay {
+		t.Errorf("loaded delay %v below intrinsic %v", loaded, res.Delay)
+	}
+	buffered, err := InsertBuffers(res.Netlist, lib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(nw, buffered); err != nil {
+		t.Fatal(err)
+	}
+	// A buffer-less library fails cleanly.
+	if _, err := InsertBuffers(res.Netlist, Lib441(), 4); err == nil {
+		t.Error("buffer-less library accepted")
+	}
+}
+
+func TestFacadeRequiredTimeTradeoff(t *testing.T) {
+	nw := bench.ArrayMultiplier(6)
+	mapper, err := NewMapper(Lib2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt0, err := mapper.MapDAG(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := mapper.MapDAG(nw, &MapOptions{
+		AreaRecovery: true,
+		RequiredTime: opt0.Delay * 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Delay > opt0.Delay*1.2+1e-6 {
+		t.Errorf("relaxed delay %v exceeds target %v", relaxed.Delay, opt0.Delay*1.2)
+	}
+	if relaxed.Area > opt0.Area+1e-9 {
+		t.Errorf("relaxed mapping larger than optimal-delay mapping: %v vs %v", relaxed.Area, opt0.Area)
+	}
+	if err := Verify(nw, relaxed.Netlist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeWriteBLIFNetwork(t *testing.T) {
+	nw := bench.ParityTree(5)
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseBLIF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNetworks(nw, again); err != nil {
+		t.Fatal(err)
+	}
+}

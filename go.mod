@@ -1,0 +1,3 @@
+module dagcover
+
+go 1.22

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+
+	"dagcover/internal/network"
+)
+
+// KoggeStoneAdder builds an n-bit parallel-prefix adder: the same
+// ports as RippleAdder but logarithmic carry depth — a structurally
+// different adder for architecture studies.
+func KoggeStoneAdder(n int) *network.Network {
+	b := newBuilder(fmt.Sprintf("ksadd%d", n))
+	for i := 0; i < n; i++ {
+		b.in(bit("a", i))
+	}
+	for i := 0; i < n; i++ {
+		b.in(bit("b", i))
+	}
+	cin := b.in("cin")
+	// Generate/propagate pairs.
+	gen := make([]string, n)
+	prop := make([]string, n)
+	for i := 0; i < n; i++ {
+		a, bb := bit("a", i), bit("b", i)
+		gen[i] = b.node(fmt.Sprintf("g0_%d", i), fmt.Sprintf("%s*%s", a, bb), a, bb)
+		prop[i] = b.node(fmt.Sprintf("p0_%d", i), fmt.Sprintf("%s^%s", a, bb), a, bb)
+	}
+	// Kogge-Stone prefix tree over (g, p).
+	g := append([]string(nil), gen...)
+	p := append([]string(nil), prop...)
+	for d, lvl := 1, 1; d < n; d, lvl = d*2, lvl+1 {
+		ng := append([]string(nil), g...)
+		np := append([]string(nil), p...)
+		for i := d; i < n; i++ {
+			ng[i] = b.node(fmt.Sprintf("g%d_%d", lvl, i),
+				fmt.Sprintf("%s+%s*%s", g[i], p[i], g[i-d]), g[i], p[i], g[i-d])
+			np[i] = b.node(fmt.Sprintf("p%d_%d", lvl, i),
+				fmt.Sprintf("%s*%s", p[i], p[i-d]), p[i], p[i-d])
+		}
+		g, p = ng, np
+	}
+	// Carries: c0 = cin; c(i+1) = g[i] + p[i]*cin (prefix includes bit 0).
+	carry := make([]string, n+1)
+	carry[0] = cin
+	for i := 0; i < n; i++ {
+		carry[i+1] = b.node(fmt.Sprintf("c%d", i+1),
+			fmt.Sprintf("%s+%s*%s", g[i], p[i], cin), g[i], p[i], cin)
+	}
+	for i := 0; i < n; i++ {
+		b.out(b.node(bit("s", i), fmt.Sprintf("%s^%s", prop[i], carry[i]), prop[i], carry[i]))
+	}
+	b.out(b.node("cout", carry[n], carry[n]))
+	return b.done()
+}
+
+// WallaceMultiplier builds an n x n multiplier with a Wallace-tree
+// partial-product reduction and a final ripple adder: the same ports
+// as ArrayMultiplier but logarithmic reduction depth.
+func WallaceMultiplier(n int) *network.Network {
+	b := newBuilder(fmt.Sprintf("wmult%d", n))
+	for i := 0; i < n; i++ {
+		b.in(bit("a", i))
+	}
+	for j := 0; j < n; j++ {
+		b.in(bit("b", j))
+	}
+	// Buckets of bits per weight.
+	buckets := make([][]string, 2*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			pp := b.node(fmt.Sprintf("pp%d_%d", j, i),
+				fmt.Sprintf("%s*%s", bit("a", i), bit("b", j)), bit("a", i), bit("b", j))
+			buckets[i+j] = append(buckets[i+j], pp)
+		}
+	}
+	// Reduce with 3:2 compressors until every bucket has <= 2 bits.
+	stage := 0
+	for {
+		again := false
+		next := make([][]string, 2*n)
+		for w := 0; w < 2*n; w++ {
+			bits := buckets[w]
+			i := 0
+			for ; i+2 < len(bits); i += 3 {
+				name := fmt.Sprintf("w%d_%d_%d", stage, w, i)
+				s, c := b.addBits(name, bits[i], bits[i+1], bits[i+2])
+				next[w] = append(next[w], s)
+				if c != "" {
+					next[w+1] = append(next[w+1], c)
+				}
+				again = true
+			}
+			// 2 leftovers pass through (or compress with a half adder
+			// when the bucket is still oversized).
+			next[w] = append(next[w], bits[i:]...)
+		}
+		buckets = next
+		stage++
+		oversized := false
+		for _, bits := range buckets {
+			if len(bits) > 2 {
+				oversized = true
+			}
+		}
+		if !oversized {
+			break
+		}
+		if !again && oversized {
+			panic("bench: Wallace reduction stalled")
+		}
+	}
+	// Final carry-propagate ripple over the two rows.
+	carry := ""
+	for w := 0; w < 2*n; w++ {
+		bits := buckets[w]
+		var x, y string
+		if len(bits) > 0 {
+			x = bits[0]
+		}
+		if len(bits) > 1 {
+			y = bits[1]
+		}
+		name := fmt.Sprintf("f%d", w)
+		s, c := b.addBits(name, x, y, carry)
+		carry = c
+		if s == "" {
+			// Only the top weight can be empty (n == 1: no carries
+			// ever reach it); the product bit is constant 0 and the
+			// output is simply omitted.
+			continue
+		}
+		b.out(b.node(bit("p", w), s, s))
+	}
+	return b.done()
+}
+
+// BarrelShifter builds an n-bit logical left shifter (n a power of
+// two): data d0.., shift amount s0..s(log2 n - 1), outputs y0...
+func BarrelShifter(n int) *network.Network {
+	if n&(n-1) != 0 || n < 2 {
+		panic("bench: BarrelShifter needs a power-of-two width")
+	}
+	b := newBuilder(fmt.Sprintf("bshift%d", n))
+	cur := make([]string, n)
+	for i := 0; i < n; i++ {
+		cur[i] = b.in(bit("d", i))
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	var sel []string
+	for k := 0; k < bits; k++ {
+		sel = append(sel, b.in(bit("s", k)))
+	}
+	for k := 0; k < bits; k++ {
+		shift := 1 << k
+		next := make([]string, n)
+		for i := 0; i < n; i++ {
+			var from string
+			if i >= shift {
+				from = cur[i-shift]
+			}
+			name := fmt.Sprintf("l%d_%d", k, i)
+			if from == "" {
+				// Shifted-in zero: y = !s * cur
+				next[i] = b.node(name, fmt.Sprintf("!%s*%s", sel[k], cur[i]), sel[k], cur[i])
+				continue
+			}
+			next[i] = b.node(name,
+				fmt.Sprintf("%s*%s+!%s*%s", sel[k], from, sel[k], cur[i]), sel[k], from, cur[i])
+		}
+		cur = next
+	}
+	for i := 0; i < n; i++ {
+		b.out(b.node(bit("y", i), cur[i], cur[i]))
+	}
+	return b.done()
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKoggeStoneAdder(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for _, n := range []int{1, 2, 8, 16, 32} {
+		nw := KoggeStoneAdder(n)
+		l, in := runLanes(t, nw, rng)
+		for lane := 0; lane < 64; lane += 3 {
+			a := inputWord(in, "a", n, lane)
+			b := inputWord(in, "b", n, lane)
+			cin := in["cin"] >> uint(lane) & 1
+			want := a + b + cin
+			got := l.word("s", n, lane) | l.vals["cout"]>>uint(lane)&1<<uint(n)
+			if got != want {
+				t.Fatalf("n=%d lane %d: %d+%d+%d = %d, got %d", n, lane, a, b, cin, want, got)
+			}
+		}
+	}
+}
+
+func TestKoggeStoneShallowerThanRipple(t *testing.T) {
+	const n = 32
+	ks, err := KoggeStoneAdder(n).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RippleAdder(n).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Depth >= rp.Depth {
+		t.Errorf("Kogge-Stone depth %d not below ripple depth %d", ks.Depth, rp.Depth)
+	}
+}
+
+func TestWallaceMultiplier(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for _, n := range []int{1, 2, 4, 8, 12} {
+		nw := WallaceMultiplier(n)
+		l, in := runLanes(t, nw, rng)
+		for lane := 0; lane < 64; lane += 5 {
+			a := inputWord(in, "a", n, lane)
+			b := inputWord(in, "b", n, lane)
+			want := a * b
+			got := l.word("p", 2*n, lane)
+			if got != want {
+				t.Fatalf("n=%d lane %d: %d*%d = %d, got %d", n, lane, a, b, want, got)
+			}
+		}
+	}
+}
+
+func TestWallaceShallowerThanArray(t *testing.T) {
+	const n = 12
+	w, err := WallaceMultiplier(n).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ArrayMultiplier(n).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Depth >= a.Depth {
+		t.Errorf("Wallace depth %d not below array depth %d", w.Depth, a.Depth)
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	for _, n := range []int{2, 8, 16} {
+		nw := BarrelShifter(n)
+		bits := 0
+		for 1<<bits < n {
+			bits++
+		}
+		l, in := runLanes(t, nw, rng)
+		for lane := 0; lane < 64; lane += 7 {
+			d := inputWord(in, "d", n, lane)
+			s := int(inputWord(in, "s", bits, lane))
+			want := d << uint(s) & (1<<uint(n) - 1)
+			got := l.word("y", n, lane)
+			if got != want {
+				t.Fatalf("n=%d lane %d: %d<<%d = %d, got %d", n, lane, d, s, want, got)
+			}
+		}
+	}
+}
+
+func TestBarrelShifterRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two width accepted")
+		}
+	}()
+	BarrelShifter(6)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+
+	"dagcover/internal/network"
+)
+
+// ShiftRegister builds an n-stage shift register on input "x" with
+// outputs q1..qn (qi = x delayed by i cycles).
+func ShiftRegister(n int) *network.Network {
+	b := newBuilder(fmt.Sprintf("shift%d", n))
+	prev := b.in("x")
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("q%d", i)
+		if _, err := b.nw.AddLatch(prev, name, false); err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		prev = name
+	}
+	// Expose the final stage through a buffer node so the PO is a
+	// gate (mappable).
+	b.out(b.node("y", prev, prev))
+	return b.done()
+}
+
+// Correlator builds a Leiserson-Saxe-style correlator: the input
+// stream is shifted through k registers, each tap is compared against
+// a pattern input, and the match bits are combined by a balanced XOR
+// tree into "y". All combinational logic sits after the registers, so
+// retiming can pipeline the tree — the classic retiming benchmark
+// shape.
+func Correlator(k int) *network.Network {
+	b := newBuilder(fmt.Sprintf("corr%d", k))
+	x := b.in("x")
+	var taps []string
+	prev := x
+	for i := 1; i <= k; i++ {
+		name := fmt.Sprintf("sr%d", i)
+		if _, err := b.nw.AddLatch(prev, name, false); err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		taps = append(taps, name)
+		prev = name
+	}
+	// Compare each tap with a pattern bit.
+	var match []string
+	for i, tap := range taps {
+		p := b.in(fmt.Sprintf("p%d", i))
+		match = append(match, b.node(fmt.Sprintf("m%d", i),
+			fmt.Sprintf("!(%s^%s)", tap, p), tap, p))
+	}
+	// Balanced XOR-combine tree (stands in for the adder tree).
+	level := 0
+	cur := match
+	for len(cur) > 1 {
+		var next []string
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, b.node(fmt.Sprintf("t%d_%d", level, i/2),
+				fmt.Sprintf("%s^%s", cur[i], cur[i+1]), cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+		level++
+	}
+	b.out(b.node("y", cur[0], cur[0]))
+	return b.done()
+}
+
+// PipelinedALU builds an n-bit ALU whose inputs pass through `stages`
+// register stages before the logic — a deep sequential circuit whose
+// minimum period improves substantially under retiming.
+func PipelinedALU(n, stages int) *network.Network {
+	b := newBuilder(fmt.Sprintf("palu%d_%d", n, stages))
+	inputMap := map[string]string{}
+	pipe := func(base string) string {
+		cur := b.in(base)
+		for s := 1; s <= stages; s++ {
+			name := fmt.Sprintf("%s_q%d", base, s)
+			if _, err := b.nw.AddLatch(cur, name, false); err != nil {
+				panic(fmt.Sprintf("bench: %v", err))
+			}
+			cur = name
+		}
+		return cur
+	}
+	for i := 0; i < n; i++ {
+		inputMap[bit("a", i)] = pipe(bit("a", i))
+		inputMap[bit("b", i)] = pipe(bit("b", i))
+	}
+	inputMap["op0"] = pipe("op0")
+	inputMap["op1"] = pipe("op1")
+	b.graft(ALU(n), "alu_", inputMap, true)
+	return b.done()
+}
+
+// Counter builds an n-bit binary up-counter with enable: an
+// autonomous registered loop (state feeds back through increment
+// logic), outputs q0..q(n-1). A useful retiming/sequential-mapping
+// subject whose cycles bound the achievable period.
+func Counter(n int) *network.Network {
+	b := newBuilder(fmt.Sprintf("count%d", n))
+	en := b.in("en")
+	// State registers exist before their drivers (feedback).
+	for i := 0; i < n; i++ {
+		if _, err := b.nw.AddLatchOutput(bit("q", i)); err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		q := bit("q", i)
+		d := b.node(fmt.Sprintf("d%d", i), fmt.Sprintf("%s^%s", q, carry), q, carry)
+		if i+1 < n {
+			carry = b.node(fmt.Sprintf("c%d", i), fmt.Sprintf("%s*%s", q, carry), q, carry)
+		}
+		if _, err := b.nw.ConnectLatch(d, q, false); err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		b.out(b.node(fmt.Sprintf("o%d", i), q, q))
+	}
+	return b.done()
+}

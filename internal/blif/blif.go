@@ -1,0 +1,733 @@
+// Package blif reads and writes Boolean networks in the Berkeley Logic
+// Interchange Format (BLIF).
+//
+// Supported constructs: .model, .inputs, .outputs, .names (PLA-style
+// single-output covers), .latch (edge-triggered, initial value), .gate
+// (library cells, via an optional GateResolver), .end, comments (#)
+// and line continuations (\). Unsupported timing directives such as
+// .default_input_arrival are skipped with no error.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+// GateResolver resolves a .gate cell name to its single-output logic
+// function and the ordered formal pin names of that function. It is
+// typically a genlib library.
+type GateResolver interface {
+	GateFunc(name string) (fn *logic.Expr, formals []string, ok bool)
+}
+
+// Reader parses BLIF input.
+type Reader struct {
+	// Gates resolves .gate constructs; if nil, .gate is an error.
+	Gates GateResolver
+}
+
+// Parse reads one BLIF model from r.
+// nodeDecl is one logic-node declaration (.names or .gate) with the
+// function expressed over its input signal names.
+type nodeDecl struct {
+	output string
+	inputs []string
+	fn     *logic.Expr
+	ln     line
+}
+
+type latchDecl struct {
+	in, out string
+	init    bool
+	ln      line
+}
+
+type subcktDecl struct {
+	model string
+	bind  map[string]string // formal -> actual
+	ln    line
+}
+
+// protoModel is a parsed-but-unbuilt BLIF model.
+type protoModel struct {
+	name    string
+	inputs  []string
+	outputs []string
+	nodes   []nodeDecl
+	latches []latchDecl
+	subckts []subcktDecl
+	ln      line
+}
+
+// Parse reads a BLIF file. The first .model is the main model;
+// further models may be instantiated through .subckt and are
+// flattened into the result. Signals may be used before they are
+// defined (forward references), as the BLIF format allows.
+func (rd *Reader) Parse(r io.Reader) (*network.Network, error) {
+	lines, err := logicalLines(r)
+	if err != nil {
+		return nil, err
+	}
+	protos, err := rd.parseModels(lines)
+	if err != nil {
+		return nil, err
+	}
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("blif: no model found")
+	}
+	byName := map[string]*protoModel{}
+	for _, p := range protos {
+		if _, dup := byName[p.name]; dup {
+			return nil, p.ln.errorf("duplicate model %q", p.name)
+		}
+		byName[p.name] = p
+	}
+	main := protos[0]
+
+	// Flatten the hierarchy into global declaration lists.
+	var nodes []nodeDecl
+	var latches []latchDecl
+	instCtr := 0
+	var instantiate func(p *protoModel, prefix string, bind map[string]string, stack []string) error
+	instantiate = func(p *protoModel, prefix string, bind map[string]string, stack []string) error {
+		for _, s := range stack {
+			if s == p.name {
+				return p.ln.errorf("recursive model instantiation of %q", p.name)
+			}
+		}
+		stack = append(stack, p.name)
+		resolve := func(s string) string {
+			if a, ok := bind[s]; ok {
+				return a
+			}
+			return prefix + s
+		}
+		for _, nd := range p.nodes {
+			rn := nodeDecl{output: resolve(nd.output), ln: nd.ln}
+			ren := map[string]string{}
+			seen := map[string]bool{}
+			for _, in := range nd.inputs {
+				a := resolve(in)
+				ren[in] = a
+				if !seen[a] {
+					seen[a] = true
+					rn.inputs = append(rn.inputs, a)
+				}
+			}
+			rn.fn = nd.fn.Rename(ren)
+			nodes = append(nodes, rn)
+		}
+		for _, ld := range p.latches {
+			latches = append(latches, latchDecl{
+				in: resolve(ld.in), out: resolve(ld.out), init: ld.init, ln: ld.ln,
+			})
+		}
+		for _, sc := range p.subckts {
+			child, ok := byName[sc.model]
+			if !ok {
+				return sc.ln.errorf(".subckt references unknown model %q", sc.model)
+			}
+			formals := map[string]bool{}
+			for _, in := range child.inputs {
+				formals[in] = true
+			}
+			for _, out := range child.outputs {
+				formals[out] = true
+			}
+			childBind := map[string]string{}
+			for formal, actual := range sc.bind {
+				if !formals[formal] {
+					return sc.ln.errorf(".subckt %s: %q is not an interface pin", sc.model, formal)
+				}
+				childBind[formal] = resolve(actual)
+			}
+			for _, in := range child.inputs {
+				if _, ok := childBind[in]; !ok {
+					return sc.ln.errorf(".subckt %s: input %q unbound", sc.model, in)
+				}
+			}
+			instCtr++
+			childPrefix := fmt.Sprintf("%s%s$%d/", prefix, sc.model, instCtr)
+			if err := instantiate(child, childPrefix, childBind, stack); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := instantiate(main, "", map[string]string{}, nil); err != nil {
+		return nil, err
+	}
+
+	// Build the network in dependency order.
+	nw := network.New(main.name)
+	for _, in := range main.inputs {
+		if _, err := nw.AddInput(in); err != nil {
+			return nil, fmt.Errorf("blif: %v", err)
+		}
+	}
+	for _, ld := range latches {
+		if _, err := nw.AddLatchOutput(ld.out); err != nil {
+			return nil, ld.ln.errorf("%v", err)
+		}
+	}
+	driver := map[string]*nodeDecl{}
+	for i := range nodes {
+		nd := &nodes[i]
+		if prev, dup := driver[nd.output]; dup {
+			return nil, nd.ln.errorf("signal %q driven twice (also line %d)", nd.output, prev.ln.num)
+		}
+		if nw.Node(nd.output) != nil {
+			return nil, nd.ln.errorf("signal %q collides with an input or latch output", nd.output)
+		}
+		driver[nd.output] = nd
+	}
+	state := map[string]int{} // 0 new, 1 visiting, 2 done
+	var emit func(nd *nodeDecl) error
+	emit = func(nd *nodeDecl) error {
+		switch state[nd.output] {
+		case 1:
+			return nd.ln.errorf("combinational cycle through %q", nd.output)
+		case 2:
+			return nil
+		}
+		state[nd.output] = 1
+		for _, in := range nd.inputs {
+			if nw.Node(in) != nil {
+				continue
+			}
+			d, ok := driver[in]
+			if !ok {
+				return nd.ln.errorf("signal %q is never defined", in)
+			}
+			if err := emit(d); err != nil {
+				return err
+			}
+		}
+		state[nd.output] = 2
+		_, err := nw.AddNode(nd.output, nd.inputs, nd.fn)
+		if err != nil {
+			return nd.ln.errorf("%v", err)
+		}
+		return nil
+	}
+	for i := range nodes {
+		if err := emit(&nodes[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, ld := range latches {
+		if _, err := nw.ConnectLatch(ld.in, ld.out, ld.init); err != nil {
+			return nil, ld.ln.errorf("%v", err)
+		}
+	}
+	for _, o := range main.outputs {
+		if err := nw.MarkOutput(o); err != nil {
+			return nil, fmt.Errorf("blif: %v", err)
+		}
+	}
+	if len(nw.Outputs()) == 0 && len(nw.Latches()) == 0 {
+		return nil, fmt.Errorf("blif: model %q declares no outputs and no latches", nw.Name)
+	}
+	return nw, nil
+}
+
+// parseModels splits the logical lines into proto models.
+func (rd *Reader) parseModels(lines []line) ([]*protoModel, error) {
+	var protos []*protoModel
+	var cur *protoModel
+	need := func(ln line) (*protoModel, error) {
+		if cur == nil {
+			cur = &protoModel{name: "top", ln: ln}
+			protos = append(protos, cur)
+		}
+		return cur, nil
+	}
+	i := 0
+	for i < len(lines) {
+		ln := lines[i]
+		fields := strings.Fields(ln.text)
+		if len(fields) == 0 {
+			i++
+			continue
+		}
+		switch fields[0] {
+		case ".model":
+			name := "top"
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			cur = &protoModel{name: name, ln: ln}
+			protos = append(protos, cur)
+			i++
+		case ".inputs":
+			p, err := need(ln)
+			if err != nil {
+				return nil, err
+			}
+			p.inputs = append(p.inputs, fields[1:]...)
+			i++
+		case ".outputs":
+			p, err := need(ln)
+			if err != nil {
+				return nil, err
+			}
+			p.outputs = append(p.outputs, fields[1:]...)
+			i++
+		case ".names":
+			p, err := need(ln)
+			if err != nil {
+				return nil, err
+			}
+			if len(fields) < 2 {
+				return nil, ln.errorf(".names needs at least an output")
+			}
+			inputs := fields[1 : len(fields)-1]
+			output := fields[len(fields)-1]
+			var cover []string
+			i++
+			for i < len(lines) && !strings.HasPrefix(strings.TrimSpace(lines[i].text), ".") {
+				row := strings.TrimSpace(lines[i].text)
+				if row != "" {
+					cover = append(cover, row)
+				}
+				i++
+			}
+			fn, err := coverToExpr(inputs, cover)
+			if err != nil {
+				return nil, ln.errorf("%v", err)
+			}
+			p.nodes = append(p.nodes, nodeDecl{output: output, inputs: inputs, fn: fn, ln: ln})
+		case ".latch":
+			p, err := need(ln)
+			if err != nil {
+				return nil, err
+			}
+			if len(fields) < 3 {
+				return nil, ln.errorf(".latch needs input and output")
+			}
+			init := false
+			if last := fields[len(fields)-1]; len(fields) > 3 {
+				switch last {
+				case "1":
+					init = true
+				case "0", "2", "3": // 2=don't care, 3=unknown: treat as 0
+				default:
+					// trailing token was a clock name; init defaults 0
+				}
+			}
+			p.latches = append(p.latches, latchDecl{in: fields[1], out: fields[2], init: init, ln: ln})
+			i++
+		case ".gate":
+			p, err := need(ln)
+			if err != nil {
+				return nil, err
+			}
+			if rd.Gates == nil {
+				return nil, ln.errorf(".gate requires a gate resolver (library)")
+			}
+			nd, err := rd.gateDecl(fields[1:], ln)
+			if err != nil {
+				return nil, err
+			}
+			p.nodes = append(p.nodes, nd)
+			i++
+		case ".subckt":
+			p, err := need(ln)
+			if err != nil {
+				return nil, err
+			}
+			if len(fields) < 2 {
+				return nil, ln.errorf(".subckt needs a model name")
+			}
+			bind := map[string]string{}
+			for _, as := range fields[2:] {
+				eq := strings.IndexByte(as, '=')
+				if eq < 0 {
+					return nil, ln.errorf(".subckt binding %q is not formal=actual", as)
+				}
+				bind[as[:eq]] = as[eq+1:]
+			}
+			p.subckts = append(p.subckts, subcktDecl{model: fields[1], bind: bind, ln: ln})
+			i++
+		case ".end":
+			cur = nil
+			i++
+		case ".exdc":
+			return nil, ln.errorf(".exdc networks are not supported")
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				i++ // skip unsupported directives (timing etc.)
+				continue
+			}
+			return nil, ln.errorf("unexpected token %q", fields[0])
+		}
+	}
+	return protos, nil
+}
+
+// gateDecl resolves a .gate line into a node declaration.
+func (rd *Reader) gateDecl(fields []string, ln line) (nodeDecl, error) {
+	if len(fields) < 2 {
+		return nodeDecl{}, ln.errorf(".gate needs a name and pin bindings")
+	}
+	gname := fields[0]
+	fn, formals, ok := rd.Gates.GateFunc(gname)
+	if !ok {
+		return nodeDecl{}, ln.errorf(".gate references unknown gate %q", gname)
+	}
+	formalSet := map[string]bool{}
+	for _, f := range formals {
+		formalSet[f] = true
+	}
+	bind := map[string]string{}
+	var outActual, outFormal string
+	for _, as := range fields[1:] {
+		eq := strings.IndexByte(as, '=')
+		if eq < 0 {
+			return nodeDecl{}, ln.errorf(".gate binding %q is not formal=actual", as)
+		}
+		formal, actual := as[:eq], as[eq+1:]
+		if formalSet[formal] {
+			bind[formal] = actual
+			continue
+		}
+		if outActual != "" {
+			return nodeDecl{}, ln.errorf(".gate %s has two output bindings (%s, %s)", gname, outFormal, formal)
+		}
+		outFormal, outActual = formal, actual
+	}
+	if outActual == "" {
+		return nodeDecl{}, ln.errorf(".gate %s missing output binding", gname)
+	}
+	rename := map[string]string{}
+	var inputs []string
+	seen := map[string]bool{}
+	for _, f := range formals {
+		a, ok := bind[f]
+		if !ok {
+			return nodeDecl{}, ln.errorf(".gate %s missing binding for pin %s", gname, f)
+		}
+		rename[f] = a
+		if !seen[a] {
+			seen[a] = true
+			inputs = append(inputs, a)
+		}
+	}
+	return nodeDecl{output: outActual, inputs: inputs, fn: fn.Rename(rename), ln: ln}, nil
+}
+
+type line struct {
+	num  int
+	text string
+}
+
+func (l line) errorf(format string, args ...any) error {
+	return fmt.Errorf("blif: line %d: %s", l.num, fmt.Sprintf(format, args...))
+}
+
+// logicalLines joins continuation lines and strips comments.
+func logicalLines(r io.Reader) ([]line, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []line
+	var buf strings.Builder
+	startNum := 0
+	num := 0
+	flush := func() {
+		if buf.Len() > 0 {
+			out = append(out, line{num: startNum, text: buf.String()})
+			buf.Reset()
+		}
+	}
+	for sc.Scan() {
+		num++
+		txt := sc.Text()
+		if idx := strings.IndexByte(txt, '#'); idx >= 0 {
+			txt = txt[:idx]
+		}
+		cont := strings.HasSuffix(txt, "\\")
+		if cont {
+			txt = txt[:len(txt)-1]
+		}
+		if buf.Len() == 0 {
+			startNum = num
+		}
+		buf.WriteString(txt)
+		if cont {
+			buf.WriteByte(' ')
+			continue
+		}
+		flush()
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: %v", err)
+	}
+	return out, nil
+}
+
+// coverToExpr converts a single-output PLA cover to an expression.
+func coverToExpr(inputs []string, cover []string) (*logic.Expr, error) {
+	if len(inputs) == 0 {
+		// Constant node: "1" means const 1; empty or "0" means const 0.
+		for _, row := range cover {
+			if strings.TrimSpace(row) == "1" {
+				return logic.Constant(true), nil
+			}
+		}
+		return logic.Constant(false), nil
+	}
+	onPhase := true
+	var cubes []*logic.Expr
+	for ri, row := range cover {
+		fields := strings.Fields(row)
+		var in, out string
+		switch len(fields) {
+		case 2:
+			in, out = fields[0], fields[1]
+		case 1:
+			return nil, fmt.Errorf("cover row %d (%q) missing output column", ri, row)
+		default:
+			return nil, fmt.Errorf("cover row %d (%q) malformed", ri, row)
+		}
+		if len(in) != len(inputs) {
+			return nil, fmt.Errorf("cover row %d has %d input columns, want %d", ri, len(in), len(inputs))
+		}
+		phase := out == "1"
+		if ri == 0 {
+			onPhase = phase
+		} else if phase != onPhase {
+			return nil, fmt.Errorf("cover mixes output phases")
+		}
+		var lits []*logic.Expr
+		for ci, c := range in {
+			switch c {
+			case '1':
+				lits = append(lits, logic.Variable(inputs[ci]))
+			case '0':
+				lits = append(lits, logic.Not(logic.Variable(inputs[ci])))
+			case '-':
+			default:
+				return nil, fmt.Errorf("cover row %d has invalid column %q", ri, string(c))
+			}
+		}
+		cubes = append(cubes, logic.And(lits...))
+	}
+	fn := logic.Or(cubes...)
+	if !onPhase {
+		fn = logic.Not(fn)
+	}
+	return fn, nil
+}
+
+// Write renders the network as BLIF using .names for every internal
+// node. Node functions are emitted as sum-of-products covers.
+func Write(w io.Writer, nw *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", nw.Name)
+	fmt.Fprintf(bw, ".inputs")
+	for _, in := range nw.Inputs() {
+		fmt.Fprintf(bw, " %s", in.Name)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, ".outputs")
+	for _, o := range nw.Outputs() {
+		fmt.Fprintf(bw, " %s", o.Name)
+	}
+	fmt.Fprintln(bw)
+	for _, l := range nw.Latches() {
+		init := 0
+		if l.Init {
+			init = 1
+		}
+		fmt.Fprintf(bw, ".latch %s %s %d\n", l.Input.Name, l.Output.Name, init)
+	}
+	topo, err := nw.TopoSort()
+	if err != nil {
+		return fmt.Errorf("blif: %v", err)
+	}
+	for _, n := range topo {
+		if n.Func == nil {
+			continue
+		}
+		if err := writeNames(bw, n); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeNames(w io.Writer, n *network.Node) error {
+	names := make([]string, len(n.Fanins))
+	for i, fi := range n.Fanins {
+		names[i] = fi.Name
+	}
+	cubes, onPhase, err := exprCover(n.Func, names)
+	if err != nil {
+		return fmt.Errorf("blif: node %q: %v", n.Name, err)
+	}
+	fmt.Fprintf(w, ".names %s %s\n", strings.Join(names, " "), n.Name)
+	outCol := "1"
+	if !onPhase {
+		outCol = "0"
+	}
+	for _, c := range cubes {
+		fmt.Fprintf(w, "%s %s\n", c, outCol)
+	}
+	return nil
+}
+
+// exprCover returns a single-phase cube cover of fn over the ordered
+// fanin list. It first tries a DNF expansion of the expression; if that
+// is degenerate (constant) it falls back to explicit handling.
+func exprCover(fn *logic.Expr, inputs []string) (cubes []string, onPhase bool, err error) {
+	idx := map[string]int{}
+	for i, in := range inputs {
+		idx[in] = i
+	}
+	dnf, ok := toDNF(fn, 4096)
+	if !ok {
+		// Fall back to the complement: useful for wide XOR-like
+		// functions whose off-set is smaller, and otherwise a last
+		// resort truth-table expansion.
+		dnf, ok = toDNF(logic.Not(fn), 4096)
+		if !ok {
+			return nil, false, fmt.Errorf("function too complex to expand into a cover")
+		}
+		return cubeStrings(dnf, idx, len(inputs)), false, nil
+	}
+	return cubeStrings(dnf, idx, len(inputs)), true, nil
+}
+
+// cube maps variable name -> required phase.
+type cube map[string]bool
+
+func cubeStrings(cs []cube, idx map[string]int, width int) []string {
+	if len(cs) == 0 {
+		// Empty DNF = constant 0: represent as an off-phase row "all
+		// don't-care -> 0"? BLIF encodes constants with no rows; the
+		// caller handles constants before this point in practice.
+		return nil
+	}
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = '-'
+		}
+		for v, ph := range c {
+			if ph {
+				row[idx[v]] = '1'
+			} else {
+				row[idx[v]] = '0'
+			}
+		}
+		out[i] = string(row)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// toDNF expands fn into a set of cubes, giving up (ok=false) past the
+// limit. The expansion works on a negation-normal form computed on the
+// fly.
+func toDNF(fn *logic.Expr, limit int) ([]cube, bool) {
+	return dnf(fn, false, limit)
+}
+
+func dnf(e *logic.Expr, neg bool, limit int) ([]cube, bool) {
+	switch e.Op {
+	case logic.OpConst:
+		v := e.Const != neg
+		if v {
+			return []cube{{}}, true // tautology cube
+		}
+		return nil, true
+	case logic.OpVar:
+		return []cube{{e.Var: !neg}}, true
+	case logic.OpNot:
+		return dnf(e.Kids[0], !neg, limit)
+	case logic.OpAnd, logic.OpOr:
+		isAnd := (e.Op == logic.OpAnd) != neg // De Morgan under negation
+		var acc []cube
+		if isAnd {
+			acc = []cube{{}}
+			for _, k := range e.Kids {
+				kd, ok := dnf(k, neg, limit)
+				if !ok {
+					return nil, false
+				}
+				acc = cubeProduct(acc, kd)
+				if len(acc) > limit {
+					return nil, false
+				}
+			}
+			return acc, true
+		}
+		for _, k := range e.Kids {
+			kd, ok := dnf(k, neg, limit)
+			if !ok {
+				return nil, false
+			}
+			acc = append(acc, kd...)
+			if len(acc) > limit {
+				return nil, false
+			}
+		}
+		return acc, true
+	case logic.OpXor:
+		// XOR(a, rest...) = a*!XOR(rest) + !a*XOR(rest); under
+		// negation flip once at the top.
+		expanded := expandXor(e.Kids, neg)
+		return dnf(expanded, false, limit)
+	}
+	return nil, false
+}
+
+// expandXor rewrites an XOR (or XNOR when neg) into AND/OR/NOT form.
+func expandXor(kids []*logic.Expr, neg bool) *logic.Expr {
+	cur := kids[0]
+	for _, k := range kids[1:] {
+		cur = logic.Or(logic.And(cur, logic.Not(k)), logic.And(logic.Not(cur), k))
+	}
+	if neg {
+		cur = logic.Not(cur)
+	}
+	return cur
+}
+
+func cubeProduct(a, b []cube) []cube {
+	var out []cube
+	for _, ca := range a {
+		for _, cb := range b {
+			m := cube{}
+			ok := true
+			for v, ph := range ca {
+				m[v] = ph
+			}
+			for v, ph := range cb {
+				if old, exists := m[v]; exists && old != ph {
+					ok = false
+					break
+				}
+				m[v] = ph
+			}
+			if ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// ParseString parses BLIF text without a gate resolver.
+func ParseString(s string) (*network.Network, error) {
+	return (&Reader{}).Parse(strings.NewReader(s))
+}

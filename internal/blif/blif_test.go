@@ -1,0 +1,581 @@
+package blif
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+const sampleBLIF = `
+# full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+
+func TestParseFullAdder(t *testing.T) {
+	nw, err := ParseString(sampleBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name != "fa" {
+		t.Errorf("model name = %q", nw.Name)
+	}
+	if len(nw.Inputs()) != 3 || len(nw.Outputs()) != 2 {
+		t.Fatalf("io counts wrong: %d/%d", len(nw.Inputs()), len(nw.Outputs()))
+	}
+	sim, err := network.NewSimulator(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]uint64{"a": 0xAA, "b": 0xCC, "cin": 0xF0}
+	out, err := sim.RunOutputs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		a := int(in["a"] >> uint(r) & 1)
+		b := int(in["b"] >> uint(r) & 1)
+		c := int(in["cin"] >> uint(r) & 1)
+		s := a + b + c
+		if got := int(out["sum"] >> uint(r) & 1); got != s&1 {
+			t.Errorf("row %d: sum=%d want %d", r, got, s&1)
+		}
+		if got := int(out["cout"] >> uint(r) & 1); got != s>>1 {
+			t.Errorf("row %d: cout=%d want %d", r, got, s>>1)
+		}
+	}
+}
+
+func TestParseOffPhaseCover(t *testing.T) {
+	// NOR via off-phase: output 0 when any input is 1.
+	nw, err := ParseString(`
+.model nor
+.inputs a b
+.outputs y
+.names a b y
+1- 0
+-1 0
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := nw.Node("y")
+	eq, err := logic.Equivalent(y.Func, logic.MustParse("!(a+b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("off-phase cover parsed as %v", y.Func)
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	nw, err := ParseString(`
+.model c
+.inputs a
+.outputs one zero f
+.names one
+1
+.names zero
+.names a one zero f
+1-- 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Node("one").Func.Const || nw.Node("one").Func.Op != logic.OpConst {
+		t.Error("constant 1 not parsed")
+	}
+	if nw.Node("zero").Func.Const || nw.Node("zero").Func.Op != logic.OpConst {
+		t.Error("constant 0 not parsed")
+	}
+}
+
+func TestParseLatch(t *testing.T) {
+	// Forward reference: the latch input n is defined after .latch —
+	// standard in real BLIF files (state feedback loops).
+	nw, err := ParseString(`
+.model seq
+.inputs d
+.outputs q
+.latch n q 1
+.names d q n
+10 1
+01 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Latches()) != 1 {
+		t.Fatalf("latches = %d", len(nw.Latches()))
+	}
+	l := nw.Latches()[0]
+	if l.Input.Name != "n" || l.Output.Name != "q" || !l.Init {
+		t.Errorf("latch = %+v", l)
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Missing driver must still be an error.
+	if _, err := ParseString(".model m\n.inputs d\n.outputs q\n.latch ghost q 1\n.end"); err == nil {
+		t.Error("latch with undefined input accepted")
+	}
+}
+
+func TestParseContinuationAndComments(t *testing.T) {
+	nw, err := ParseString(`
+.model cont
+.inputs a \
+b
+.outputs f # trailing comment
+.names a b f
+11 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs()) != 2 {
+		t.Fatalf("continuation line not joined: inputs=%d", len(nw.Inputs()))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", // no model
+		".model m\n.inputs a\n.names a a f\n1 1\n.end",    // malformed row width
+		".model m\n.inputs a\n.names a f\n1 1\n0 0\n.end", // mixed phase
+		".model m\n.inputs a\n.names a f\n2 1\n.end",      // bad column
+		".model m\n.inputs a\n.outputs g\n.end",           // unknown output
+		".model m\n.inputs a\ngarbage\n.end",              // stray token
+		".model m\n.inputs a\n.gate NAND2 a=a O=f\n.end",  // .gate without resolver
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+type fakeResolver struct{}
+
+func (fakeResolver) GateFunc(name string) (*logic.Expr, []string, bool) {
+	switch name {
+	case "NAND2":
+		return logic.MustParse("!(a*b)"), []string{"a", "b"}, true
+	case "INV":
+		return logic.MustParse("!a"), []string{"a"}, true
+	}
+	return nil, nil, false
+}
+
+func TestParseGate(t *testing.T) {
+	rd := &Reader{Gates: fakeResolver{}}
+	nw, err := rd.Parse(strings.NewReader(`
+.model mapped
+.inputs x y
+.outputs f
+.gate NAND2 a=x b=y O=n1
+.gate INV a=n1 O=f
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := nw.Node("f")
+	if f == nil {
+		t.Fatal("node f missing")
+	}
+	sim, _ := network.NewSimulator(nw)
+	out, err := sim.RunOutputs(map[string]uint64{"x": 0xA, "y": 0xC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = x AND y
+	if out["f"] != (0xA & 0xC) {
+		t.Errorf("mapped gate network computed %x, want %x", out["f"], 0xA&0xC)
+	}
+	// Unknown gate
+	if _, err := rd.Parse(strings.NewReader(".model m\n.inputs a\n.outputs f\n.gate XYZ a=a O=f\n.end")); err == nil {
+		t.Error("unknown gate accepted")
+	}
+	// Missing pin binding
+	if _, err := rd.Parse(strings.NewReader(".model m\n.inputs a\n.outputs f\n.gate NAND2 a=a O=f\n.end")); err == nil {
+		t.Error("missing binding accepted")
+	}
+}
+
+func TestGateSharedActual(t *testing.T) {
+	// Both pins tied to the same net: f = !(x*x) = !x.
+	rd := &Reader{Gates: fakeResolver{}}
+	nw, err := rd.Parse(strings.NewReader(`
+.model m
+.inputs x
+.outputs f
+.gate NAND2 a=x b=x O=f
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := network.NewSimulator(nw)
+	out, _ := sim.RunOutputs(map[string]uint64{"x": 0b01})
+	if out["f"]&0b11 != 0b10 {
+		t.Errorf("tied-input NAND computed %b", out["f"]&0b11)
+	}
+}
+
+// Property: Write then Parse preserves network behaviour.
+func TestWriteParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		nw := randomNetwork(t, rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, nw); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		if !sameBehaviour(t, nw, again, rng) {
+			t.Fatalf("trial %d: round trip changed behaviour\n%s", trial, buf.String())
+		}
+	}
+}
+
+func randomNetwork(t *testing.T, rng *rand.Rand) *network.Network {
+	t.Helper()
+	nw := network.New("rt")
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		if _, err := nw.AddInput(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := 0; g < 15; g++ {
+		name := "n" + string(rune('0'+g/10)) + string(rune('0'+g%10))
+		k := 1 + rng.Intn(3)
+		var fanins []string
+		seen := map[string]bool{}
+		for len(fanins) < k {
+			f := names[rng.Intn(len(names))]
+			if !seen[f] {
+				seen[f] = true
+				fanins = append(fanins, f)
+			}
+		}
+		kids := make([]*logic.Expr, len(fanins))
+		for i, f := range fanins {
+			kids[i] = logic.Variable(f)
+		}
+		var fn *logic.Expr
+		switch rng.Intn(4) {
+		case 0:
+			fn = logic.Not(logic.And(kids...))
+		case 1:
+			fn = logic.Or(kids...)
+		case 2:
+			fn = logic.Xor(kids...)
+		default:
+			fn = logic.Not(kids[0])
+		}
+		if _, err := nw.AddNode(name, fanins, fn); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	if err := nw.MarkOutput(names[len(names)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput(names[len(names)-2]); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func sameBehaviour(t *testing.T, a, b *network.Network, rng *rand.Rand) bool {
+	t.Helper()
+	sa, err := network.NewSimulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := network.NewSimulator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		in := map[string]uint64{}
+		for _, pi := range a.Inputs() {
+			in[pi.Name] = rng.Uint64()
+		}
+		oa, err := sa.RunOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := sb.RunOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range oa {
+			if ob[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWriteLatches(t *testing.T) {
+	nw := network.New("seq")
+	if _, err := nw.AddInput("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddLatch("d", "q", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode("f", []string{"q"}, logic.MustParse("!q")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput("f"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".latch d q 1") {
+		t.Errorf("latch not written:\n%s", buf.String())
+	}
+	again, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Latches()) != 1 || !again.Latches()[0].Init {
+		t.Error("latch round trip failed")
+	}
+}
+
+func TestXorCoverExpansion(t *testing.T) {
+	// 5-input XOR stresses the DNF expansion (16 cubes).
+	nw := network.New("xor5")
+	vars := []string{"a", "b", "c", "d", "e"}
+	kids := make([]*logic.Expr, 5)
+	for i, v := range vars {
+		if _, err := nw.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+		kids[i] = logic.Variable(v)
+	}
+	if _, err := nw.AddNode("f", vars, logic.Xor(kids...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput("f"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := logic.Equivalent(again.Node("f").Func, logic.MustParse("a^b^c^d^e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("XOR5 round trip changed function")
+	}
+}
+
+func TestParseForwardReferences(t *testing.T) {
+	// g is used by f before g is declared — legal BLIF.
+	nw, err := ParseString(`
+.model fwd
+.inputs a b
+.outputs f
+.names g a f
+11 1
+.names a b g
+10 1
+01 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := network.NewSimulator(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.RunOutputs(map[string]uint64{"a": 0b0101, "b": 0b0011})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = (a^b)*a: only row 2 (a=1, b=0) sets f.
+	if out["f"]&0b1111 != 0b0100 {
+		t.Errorf("forward-ref network computed %04b", out["f"]&0b1111)
+	}
+}
+
+func TestParseSubcktFlattening(t *testing.T) {
+	nw, err := ParseString(`
+.model top
+.inputs x y z
+.outputs s c
+.subckt ha a=x b=y sum=s1 carry=c1
+.subckt ha a=s1 b=z sum=s carry=c2
+.names c1 c2 c
+1- 1
+-1 1
+.end
+
+.model ha
+.inputs a b
+.outputs sum carry
+.names a b sum
+10 1
+01 1
+.names a b carry
+11 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flattened circuit is a full adder built from two half adders.
+	sim, err := network.NewSimulator(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]uint64{"x": 0xAA, "y": 0xCC, "z": 0xF0}
+	out, err := sim.RunOutputs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		sum := int(in["x"]>>uint(r)&1) + int(in["y"]>>uint(r)&1) + int(in["z"]>>uint(r)&1)
+		if got := int(out["s"] >> uint(r) & 1); got != sum&1 {
+			t.Errorf("row %d: s=%d want %d", r, got, sum&1)
+		}
+		if got := int(out["c"] >> uint(r) & 1); got != sum>>1 {
+			t.Errorf("row %d: c=%d want %d", r, got, sum>>1)
+		}
+	}
+}
+
+func TestParseSubcktNested(t *testing.T) {
+	// Two levels of hierarchy.
+	nw, err := ParseString(`
+.model top
+.inputs a b c d
+.outputs f
+.subckt and4 w=a x=b y=c z=d out=f
+.end
+
+.model and4
+.inputs w x y z
+.outputs out
+.subckt and2 p=w q=x r=t1
+.subckt and2 p=y q=z r=t2
+.subckt and2 p=t1 q=t2 r=out
+.end
+
+.model and2
+.inputs p q
+.outputs r
+.names p q r
+11 1
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := network.NewSimulator(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.RunOutputs(map[string]uint64{"a": 0xFF, "b": 0xF0, "c": 0xCC, "d": 0xAA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["f"] != (0xFF & 0xF0 & 0xCC & 0xAA) {
+		t.Errorf("nested AND4 = %x", out["f"])
+	}
+}
+
+func TestParseSubcktErrors(t *testing.T) {
+	cases := []string{
+		// unknown model
+		".model m\n.inputs a\n.outputs f\n.subckt nope x=a y=f\n.end",
+		// unbound input
+		".model m\n.inputs a\n.outputs f\n.subckt s o=f\n.end\n.model s\n.inputs i\n.outputs o\n.names i o\n1 1\n.end",
+		// non-interface pin
+		".model m\n.inputs a\n.outputs f\n.subckt s i=a o=f zz=a\n.end\n.model s\n.inputs i\n.outputs o\n.names i o\n1 1\n.end",
+		// recursion
+		".model m\n.inputs a\n.outputs f\n.subckt m a=a f=f\n.end",
+		// malformed binding
+		".model m\n.inputs a\n.outputs f\n.subckt s ia\n.end\n.model s\n.inputs i\n.outputs o\n.names i o\n1 1\n.end",
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("expected error for:\n%s", c)
+		}
+	}
+}
+
+func TestParseCombinationalLoopDetected(t *testing.T) {
+	_, err := ParseString(`
+.model loop
+.inputs a
+.outputs f
+.names g a f
+11 1
+.names f a g
+11 1
+.end
+`)
+	if err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestParseUndefinedSignal(t *testing.T) {
+	_, err := ParseString(`
+.model u
+.inputs a
+.outputs f
+.names a ghost f
+11 1
+.end
+`)
+	if err == nil {
+		t.Fatal("undefined signal accepted")
+	}
+	if !strings.Contains(err.Error(), "never defined") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

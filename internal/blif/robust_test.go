@@ -1,0 +1,71 @@
+package blif
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Random mutations of a valid BLIF file must never panic the reader;
+// every accepted parse must yield a structurally valid network.
+func TestParseMutationRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 1500; trial++ {
+		bs := []byte(sampleBLIF)
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				bs[rng.Intn(len(bs))] = byte(rng.Intn(128))
+			case 1: // delete a run
+				i := rng.Intn(len(bs))
+				j := i + rng.Intn(8)
+				if j > len(bs) {
+					j = len(bs)
+				}
+				bs = append(bs[:i], bs[j:]...)
+				if len(bs) == 0 {
+					bs = []byte(".")
+				}
+			case 2: // duplicate a line
+				lines := strings.Split(string(bs), "\n")
+				k := rng.Intn(len(lines))
+				lines = append(lines[:k], append([]string{lines[k]}, lines[k:]...)...)
+				bs = []byte(strings.Join(lines, "\n"))
+			}
+		}
+		in := string(bs)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseString panicked on mutation:\n%s\npanic: %v", in, r)
+				}
+			}()
+			nw, err := ParseString(in)
+			if err == nil {
+				if cerr := nw.Check(); cerr != nil {
+					t.Fatalf("accepted BLIF produced invalid network: %v\n%s", cerr, in)
+				}
+			}
+		}()
+	}
+}
+
+// Garbage input never panics.
+func TestParseGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 1000; trial++ {
+		n := rng.Intn(120)
+		bs := make([]byte, n)
+		for i := range bs {
+			bs[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseString panicked on garbage: %v", r)
+				}
+			}()
+			_, _ = ParseString(string(bs))
+		}()
+	}
+}

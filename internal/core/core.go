@@ -1,0 +1,442 @@
+// Package core implements the paper's contribution: delay-optimal
+// technology mapping of a subject DAG by DAG covering (Kukimoto,
+// Brayton, Sawkar, DAC 1998).
+//
+// The algorithm adapts FlowMap's labeling to library-based mapping
+// (§3): nodes are visited in topological order and each is labeled
+// with the best arrival time achievable by any library match rooted
+// there,
+//
+//	arr(n) = min over matches M at n of
+//	         max over leaves l of M of (arr(l) + pinDelay(M, l)),
+//
+// which satisfies the principle of optimality under a load-independent
+// delay model. A mapped netlist is then constructed backwards from the
+// primary outputs (§3.3): a queue is seeded with the output nodes, the
+// best gate stored at each popped node is instantiated, and its match
+// leaves are enqueued unless already available. Subject nodes covered
+// internally by one match and used as leaves by another are duplicated
+// automatically (§3.5, Figure 2).
+//
+// The same engine runs the conventional tree-covering baseline when
+// given match.Exact (every internally covered node must then have all
+// fanouts inside the match, which confines matches to fanout-free
+// regions — exactly SIS tree mapping on the same subject graph).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagcover/internal/genlib"
+	"dagcover/internal/mapping"
+	"dagcover/internal/match"
+	"dagcover/internal/subject"
+)
+
+// Options configures Map.
+type Options struct {
+	// Class selects the match semantics. match.Standard is the
+	// paper's default for DAG covering (footnote 3); match.Exact turns
+	// the engine into the tree-covering baseline.
+	Class match.Class
+	// Delay is the delay model (default genlib.IntrinsicDelay).
+	Delay genlib.DelayModel
+	// Arrivals optionally gives primary-input arrival times.
+	Arrivals map[string]float64
+	// AreaRecovery, when set, relaxes off-critical nodes to the
+	// smallest match that still meets the delay target (the area/delay
+	// trade-off sketched in the paper's conclusion).
+	AreaRecovery bool
+	// RequiredTime relaxes the delay target for AreaRecovery: the
+	// mapping may be up to RequiredTime slow instead of delay-optimal.
+	// Values below the optimal delay are clamped to it; 0 means
+	// optimal. This is the extension of Cong & Ding's area/depth
+	// trade-off to library mapping that the paper's conclusion
+	// announces as under investigation.
+	RequiredTime float64
+	// Choices declares functionally equivalent alternative subject
+	// nodes (mapping-graph style, §4): the label of every class member
+	// becomes the best over the class, and construction may realize
+	// whichever member's match won. The matcher must have been given
+	// the same choices (match.Matcher.SetChoices) so structural
+	// descent can cross into alternative cones.
+	Choices *subject.Choices
+}
+
+// Label is the dynamic-programming state of one subject node.
+type Label struct {
+	// Arrival is the best arrival time achievable at the node.
+	Arrival float64
+	// Best is the match realizing Arrival (nil for PIs).
+	Best *match.Match
+}
+
+// Stats reports work done by the mapper.
+type Stats struct {
+	NodesLabeled      int
+	MatchesEnumerated int
+	CellsEmitted      int
+	// DuplicatedNodes counts subject nodes that are covered
+	// internally by one emitted match and also emitted as a cell root
+	// themselves — the duplication of §3.5.
+	DuplicatedNodes int
+}
+
+// Result is a completed mapping.
+type Result struct {
+	Netlist *mapping.Netlist
+	// Delay is the netlist's worst output arrival. Without a relaxed
+	// RequiredTime it equals the optimal label delay.
+	Delay float64
+	// Labels holds the per-node DP state indexed by subject node ID.
+	Labels []Label
+	Stats  Stats
+}
+
+// Map covers the subject graph with the matcher's pattern set.
+func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
+	if opt.Delay == nil {
+		opt.Delay = genlib.IntrinsicDelay{}
+	}
+	if len(g.Outputs) == 0 {
+		return nil, fmt.Errorf("core: subject graph %q has no outputs", g.Name)
+	}
+	res := &Result{Labels: make([]Label, len(g.Nodes))}
+
+	// classMax[i] is the largest node ID in i's choice class (i when
+	// the node has no alternatives). Labels merge across a class once
+	// its last member is labeled; construction orders demands by this
+	// key so a match rooted at any member resolves before its leaves.
+	classMax := make([]int, len(g.Nodes))
+	for i := range classMax {
+		classMax[i] = i
+	}
+	if opt.Choices != nil {
+		for _, n := range g.Nodes {
+			members := opt.Choices.Members(n)
+			if members == nil {
+				continue
+			}
+			max := n.ID
+			for _, mm := range members {
+				if mm.ID > max {
+					max = mm.ID
+				}
+			}
+			classMax[n.ID] = max
+		}
+	}
+
+	// Phase 1: labeling in topological order.
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			res.Labels[n.ID] = Label{Arrival: opt.Arrivals[n.Name]}
+			continue
+		}
+		best, enumerated, err := bestMatch(g, m, n, opt, res.Labels, math.Inf(1), nil)
+		res.Stats.MatchesEnumerated += enumerated
+		if err != nil {
+			return nil, err
+		}
+		arr := matchArrival(best, opt.Delay, res.Labels)
+		res.Labels[n.ID] = Label{Arrival: arr, Best: best}
+		res.Stats.NodesLabeled++
+		// Merge the class once its last member is labeled: every
+		// member takes the best member's label (consumers only appear
+		// later, so they see the merged value).
+		if opt.Choices != nil && classMax[n.ID] == n.ID {
+			if members := opt.Choices.Members(n); members != nil {
+				best := members[0]
+				for _, mm := range members[1:] {
+					if res.Labels[mm.ID].Arrival < res.Labels[best.ID].Arrival {
+						best = mm
+					}
+				}
+				for _, mm := range members {
+					res.Labels[mm.ID] = res.Labels[best.ID]
+				}
+			}
+		}
+	}
+
+	// Phase 2: backward construction.
+	if err := construct(g, m, opt, res, classMax); err != nil {
+		return nil, err
+	}
+	// Report the constructed netlist's delay. It equals the optimal
+	// label delay except under a relaxed RequiredTime, where it may
+	// sit anywhere between the optimum and the target.
+	tm, err := res.Netlist.Delay(opt.Delay, opt.Arrivals)
+	if err != nil {
+		return nil, err
+	}
+	res.Delay = tm.Delay
+	return res, nil
+}
+
+// matchArrival computes the arrival time of a match from its leaves.
+func matchArrival(mt *match.Match, dm genlib.DelayModel, labels []Label) float64 {
+	worst := math.Inf(-1)
+	for pin, leaf := range mt.Leaves {
+		if v := labels[leaf.ID].Arrival + dm.PinDelay(mt.Pattern.Gate, pin); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// bestMatch enumerates matches at n and selects the minimum-arrival
+// one (ties broken toward smaller gate area). Matches slower than
+// limit are discarded. When areaCost is non-nil the selection instead
+// minimizes the match's area cost among matches meeting the limit —
+// the area-recovery mode.
+func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options, labels []Label, limit float64, areaCost func(*match.Match) float64) (*match.Match, int, error) {
+	var best *match.Match
+	var bestArr, bestArea float64
+	enumerated := 0
+	const eps = 1e-9 // guards against float drift in required-time subtraction
+	m.Enumerate(n, opt.Class, func(mt *match.Match) bool {
+		enumerated++
+		arr := matchArrival(mt, opt.Delay, labels)
+		if arr > limit+eps {
+			return true
+		}
+		area := mt.Pattern.Gate.Area
+		if areaCost != nil {
+			area = areaCost(mt)
+		}
+		better := false
+		switch {
+		case best == nil:
+			better = true
+		case areaCost != nil:
+			better = area < bestArea || (area == bestArea && arr < bestArr)
+		default:
+			better = arr < bestArr || (arr == bestArr && area < bestArea)
+		}
+		if better {
+			best = &match.Match{
+				Pattern: mt.Pattern,
+				Root:    mt.Root,
+				Leaves:  append([]*subject.Node(nil), mt.Leaves...),
+				Covered: append([]*subject.Node(nil), mt.Covered...),
+			}
+			bestArr, bestArea = arr, area
+		}
+		return true
+	})
+	if best == nil {
+		return nil, enumerated, fmt.Errorf(
+			"core: no %v match at node %v of %q; the library must at least contain a 2-input NAND and an inverter",
+			opt.Class, n, g.Name)
+	}
+	return best, enumerated, nil
+}
+
+// areaEstimates computes a min-area cover DP (sharing ignored):
+// est(n) = min over matches of (gate area + sum of est(leaves)).
+// Used by area recovery to score the logic a match newly demands.
+func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options) ([]float64, int, error) {
+	est := make([]float64, len(g.Nodes))
+	enumerated := 0
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			continue
+		}
+		best := math.Inf(1)
+		found := false
+		m.Enumerate(n, opt.Class, func(mt *match.Match) bool {
+			enumerated++
+			cost := mt.Pattern.Gate.Area
+			for _, leaf := range mt.Leaves {
+				cost += est[leaf.ID]
+			}
+			if cost < best {
+				best = cost
+				found = true
+			}
+			return true
+		})
+		if !found {
+			return nil, enumerated, fmt.Errorf("core: no %v match at node %v of %q", opt.Class, n, g.Name)
+		}
+		est[n.ID] = best
+	}
+	return est, enumerated, nil
+}
+
+// construct performs the backward netlist-construction phase. When
+// opt.AreaRecovery is set it first computes required times in reverse
+// topological order and re-selects the smallest sufficient match per
+// demanded node; otherwise it emits each node's labeled best match.
+func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, classMax []int) error {
+	// Required times per demanded node; +Inf = not demanded.
+	required := make([]float64, len(g.Nodes))
+	for i := range required {
+		required[i] = math.Inf(1)
+	}
+	// Global optimal delay = worst labeled output arrival.
+	delay := math.Inf(-1)
+	for _, o := range g.Outputs {
+		if a := res.Labels[o.Node.ID].Arrival; a > delay {
+			delay = a
+		}
+	}
+	res.Delay = delay
+	target := delay
+	if opt.AreaRecovery && opt.RequiredTime > target {
+		target = opt.RequiredTime
+	}
+	for _, o := range g.Outputs {
+		req := target
+		if !opt.AreaRecovery {
+			// Without recovery each output is demanded at its own
+			// optimal arrival; the chosen matches are the labels'.
+			req = res.Labels[o.Node.ID].Arrival
+		}
+		if req < required[o.Node.ID] {
+			required[o.Node.ID] = req
+		}
+	}
+
+	// Choose matches in reverse topological order of classMax: every
+	// match leaf lies strictly below its root's class maximum, so all
+	// demands on a node are known by the time it is visited.
+	order := make([]int, len(g.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if classMax[a] != classMax[b] {
+			return classMax[a] < classMax[b]
+		}
+		return a < b
+	})
+	var areaEst []float64
+	if opt.AreaRecovery {
+		est, enumerated, err := areaEstimates(g, m, opt)
+		res.Stats.MatchesEnumerated += enumerated
+		if err != nil {
+			return err
+		}
+		areaEst = est
+	}
+	chosen := make([]*match.Match, len(g.Nodes))
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		id := order[oi]
+		n := g.Nodes[id]
+		if math.IsInf(required[id], 1) || n.Kind == subject.PI {
+			continue
+		}
+		mt := res.Labels[id].Best
+		if opt.AreaRecovery {
+			// Score by incremental area: the gate itself plus the
+			// estimated cost of leaves nobody has demanded yet.
+			cost := func(cand *match.Match) float64 {
+				c := cand.Pattern.Gate.Area
+				for _, leaf := range cand.Leaves {
+					if leaf.Kind != subject.PI && math.IsInf(required[leaf.ID], 1) {
+						c += areaEst[leaf.ID]
+					}
+				}
+				return c
+			}
+			rel, enumerated, err := bestMatch(g, m, n, opt, res.Labels, required[id], cost)
+			res.Stats.MatchesEnumerated += enumerated
+			if err == nil {
+				mt = rel
+			} else {
+				return err // cannot happen: the labeled match meets any required >= label
+			}
+		}
+		chosen[id] = mt
+		for pin, leaf := range mt.Leaves {
+			r := required[id] - opt.Delay.PinDelay(mt.Pattern.Gate, pin)
+			if r < required[leaf.ID] {
+				required[leaf.ID] = r
+			}
+		}
+	}
+
+	// Emit cells bottom-up (ascending ID keeps the builder happy) and
+	// count duplicated nodes: cell roots that some other emitted match
+	// covers internally.
+	b := mapping.NewBuilder(g.Name)
+	for _, pi := range g.PIs {
+		if err := b.AddInput(pi.Name); err != nil {
+			return err
+		}
+	}
+	// Reserve port names after the inputs: a port that sits directly
+	// on a PI shares the PI's net and needs no reservation of its own.
+	for _, o := range g.Outputs {
+		if o.Node.Kind != subject.PI {
+			b.Reserve(o.Name)
+		}
+	}
+	// Preferred names: outputs keep their port name when they own it.
+	preferred := make([]string, len(g.Nodes))
+	for _, o := range g.Outputs {
+		if preferred[o.Node.ID] == "" {
+			preferred[o.Node.ID] = o.Name
+		}
+	}
+	nets := make([]string, len(g.Nodes))
+	coverUses := make([]int, len(g.Nodes))
+	for _, id := range order {
+		mt := chosen[id]
+		if mt == nil {
+			continue
+		}
+		n := g.Nodes[id]
+		inputs := make([]string, len(mt.Leaves))
+		for pin, leaf := range mt.Leaves {
+			if nets[leaf.ID] == "" {
+				if leaf.Kind == subject.PI {
+					nets[leaf.ID] = leaf.Name
+				} else {
+					return fmt.Errorf("core: internal error: leaf %v demanded but not built", leaf)
+				}
+			}
+			inputs[pin] = nets[leaf.ID]
+		}
+		var net string
+		if preferred[id] != "" {
+			net = preferred[id]
+		} else {
+			net = b.FreshNet()
+		}
+		b.AddCell(mt.Pattern.Gate, inputs, net)
+		nets[n.ID] = net
+		res.Stats.CellsEmitted++
+		for _, c := range mt.Covered {
+			coverUses[c.ID]++
+		}
+	}
+	// A subject node realized inside two or more emitted matches has
+	// been duplicated (§3.5).
+	for _, uses := range coverUses {
+		if uses >= 2 {
+			res.Stats.DuplicatedNodes++
+		}
+	}
+	for _, o := range g.Outputs {
+		net := nets[o.Node.ID]
+		if net == "" {
+			if o.Node.Kind != subject.PI {
+				return fmt.Errorf("core: internal error: output %q not built", o.Name)
+			}
+			net = o.Node.Name
+		}
+		b.MarkOutput(o.Name, net)
+	}
+	nl, err := b.Netlist()
+	if err != nil {
+		return err
+	}
+	res.Netlist = nl
+	return nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagcover/internal/genlib"
+	"dagcover/internal/libgen"
+	"dagcover/internal/match"
+	"dagcover/internal/subject"
+	"dagcover/internal/verify"
+)
+
+// Property (testing/quick): for any random circuit, DAG covering is
+// never slower than tree covering, the predicted delay equals the
+// netlist's static timing, and the mapping is functionally correct.
+func TestQuickDAGCoveringInvariants(t *testing.T) {
+	lib := libgen.Lib441()
+	shared, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := match.NewMatcher(shared)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(t, rng, 4+rng.Intn(3), 10+rng.Intn(25))
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		dag, err := Map(g, m, Options{Class: match.Standard, Delay: genlib.UnitDelay{}})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		tree, err := Map(g, m, Options{Class: match.Exact, Delay: genlib.UnitDelay{}})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if dag.Delay > tree.Delay+1e-9 {
+			t.Logf("seed %d: DAG %v > tree %v", seed, dag.Delay, tree.Delay)
+			return false
+		}
+		tm, err := dag.Netlist.Delay(genlib.UnitDelay{}, nil)
+		if err != nil || math.Abs(tm.Delay-dag.Delay) > 1e-9 {
+			t.Logf("seed %d: timing mismatch %v vs %v (%v)", seed, tm.Delay, dag.Delay, err)
+			return false
+		}
+		if err := verify.Mapped(nw, dag.Netlist, verify.Options{}); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mapping is deterministic — the same subject graph maps to
+// the identical netlist every time.
+func TestQuickDeterminism(t *testing.T) {
+	lib := libgen.Lib2()
+	shared, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := match.NewMatcher(shared)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(t, rng, 4, 20)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			return false
+		}
+		a, err := Map(g, m, Options{Class: match.Standard})
+		if err != nil {
+			return false
+		}
+		b, err := Map(g, m, Options{Class: match.Standard})
+		if err != nil {
+			return false
+		}
+		if a.Delay != b.Delay || a.Netlist.NumCells() != b.Netlist.NumCells() {
+			return false
+		}
+		for i := range a.Netlist.Cells {
+			ca, cb := a.Netlist.Cells[i], b.Netlist.Cells[i]
+			if ca.Gate != cb.Gate || ca.Output != cb.Output {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: delaying a primary input never improves the mapped delay,
+// and delaying it by D increases the delay by at most D.
+func TestQuickArrivalMonotonicity(t *testing.T) {
+	lib := libgen.Lib441()
+	shared, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := match.NewMatcher(shared)
+	prop := func(seed int64, delayRaw uint8) bool {
+		d := float64(delayRaw % 16)
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(t, rng, 4, 15)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			return false
+		}
+		base, err := Map(g, m, Options{Class: match.Standard, Delay: genlib.UnitDelay{}})
+		if err != nil {
+			return false
+		}
+		late, err := Map(g, m, Options{
+			Class:    match.Standard,
+			Delay:    genlib.UnitDelay{},
+			Arrivals: map[string]float64{"i0": d},
+		})
+		if err != nil {
+			return false
+		}
+		return late.Delay >= base.Delay-1e-9 && late.Delay <= base.Delay+d+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,435 @@
+// Package cutmap implements k-LUT technology mapping by explicit
+// k-feasible cut enumeration with priority pruning — the successor
+// technique to FlowMap's network-flow labeling, and the vehicle for
+// the area/depth trade-off the paper's conclusion points to (Cong &
+// Ding, "On area/depth trade-off in LUT-based FPGA technology
+// mapping").
+//
+// Modes:
+//
+//   - ModeDepth: minimize LUT depth. With unbounded cut lists the
+//     labels equal FlowMap's provably optimal depths; with priority
+//     pruning they match in practice (the tests cross-check both).
+//   - ModeArea: minimize LUT count by area-flow selection, subject to
+//     a depth bound of (optimal depth + Slack).
+package cutmap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+	"dagcover/internal/subject"
+)
+
+// Mode selects the optimization objective.
+type Mode int
+
+const (
+	// ModeDepth minimizes depth (FlowMap's objective).
+	ModeDepth Mode = iota
+	// ModeArea minimizes LUT count under a depth bound.
+	ModeArea
+)
+
+func (m Mode) String() string {
+	if m == ModeArea {
+		return "area"
+	}
+	return "depth"
+}
+
+// Options configures the mapper.
+type Options struct {
+	// K is the LUT input count (required, >= 2).
+	K int
+	// MaxCuts bounds the cut list kept per node (priority cuts);
+	// 0 means 8. Larger lists are slower and more exact.
+	MaxCuts int
+	// Mode selects depth or area optimization.
+	Mode Mode
+	// Slack relaxes the depth bound in ModeArea: the mapping may be
+	// up to Slack levels deeper than optimal.
+	Slack int
+}
+
+// Result is a completed cut-based LUT mapping.
+type Result struct {
+	// Network is the LUT netlist.
+	Network *network.Network
+	// Depth is the mapped LUT depth.
+	Depth int
+	// OptimalDepth is the depth lower bound from the labels.
+	OptimalDepth int
+	// LUTs is the number of LUTs.
+	LUTs int
+	// Labels holds each node's optimal depth, indexed by subject ID.
+	Labels []int
+}
+
+// cut is a set of leaves sorted by ID with a subsumption signature.
+type cut struct {
+	leaves []*subject.Node
+	sig    uint64
+	depth  int     // max leaf label + 1
+	flow   float64 // area flow estimate
+}
+
+// Map covers the subject graph with k-input LUTs.
+func Map(g *subject.Graph, opt Options) (*Result, error) {
+	if opt.K < 2 {
+		return nil, fmt.Errorf("cutmap: K must be at least 2, got %d", opt.K)
+	}
+	if opt.MaxCuts == 0 {
+		opt.MaxCuts = 8
+	}
+	if opt.MaxCuts < 0 {
+		return nil, fmt.Errorf("cutmap: MaxCuts must be non-negative")
+	}
+	if len(g.Outputs) == 0 {
+		return nil, fmt.Errorf("cutmap: subject graph %q has no outputs", g.Name)
+	}
+
+	// Fanout estimates for area flow (at least 1 to avoid division
+	// blowup on dangling nodes).
+	fanouts := make([]float64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		f := len(n.Fanouts)
+		if f < 1 {
+			f = 1
+		}
+		fanouts[n.ID] = float64(f)
+	}
+
+	labels := make([]int, len(g.Nodes))
+	flows := make([]float64, len(g.Nodes))
+	cutsOf := make([][]cut, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			cutsOf[n.ID] = []cut{unitCut(n, labels, flows)}
+			continue
+		}
+		merged := mergeCuts(g, n, cutsOf, opt, labels, flows)
+		// Label: best depth over the enumerated (non-trivial) cuts.
+		best := math.MaxInt32
+		bestFlow := math.Inf(1)
+		for _, c := range merged {
+			if c.depth < best {
+				best = c.depth
+			}
+			if c.flow < bestFlow {
+				bestFlow = c.flow
+			}
+		}
+		if best == math.MaxInt32 {
+			return nil, fmt.Errorf("cutmap: node %v has no %d-feasible cut", n, opt.K)
+		}
+		labels[n.ID] = best
+		flows[n.ID] = bestFlow / fanouts[n.ID]
+		// Keep the trivial cut for the parents' merges.
+		merged = append(merged, unitCut(n, labels, flows))
+		cutsOf[n.ID] = merged
+	}
+
+	res := &Result{Labels: labels}
+	for _, o := range g.Outputs {
+		if labels[o.Node.ID] > res.OptimalDepth {
+			res.OptimalDepth = labels[o.Node.ID]
+		}
+	}
+
+	// Cover: choose one cut per demanded node in reverse topological
+	// order, respecting required depths.
+	required := make([]int, len(g.Nodes))
+	for i := range required {
+		required[i] = math.MaxInt32
+	}
+	bound := res.OptimalDepth
+	if opt.Mode == ModeArea {
+		bound += opt.Slack
+	}
+	for _, o := range g.Outputs {
+		if o.Node.Kind == subject.PI {
+			continue
+		}
+		req := labels[o.Node.ID]
+		if opt.Mode == ModeArea {
+			req = bound
+		}
+		if req < required[o.Node.ID] {
+			required[o.Node.ID] = req
+		}
+	}
+	chosen := make([][]*subject.Node, len(g.Nodes))
+	for id := len(g.Nodes) - 1; id >= 0; id-- {
+		n := g.Nodes[id]
+		if n.Kind == subject.PI || required[id] == math.MaxInt32 {
+			continue
+		}
+		var pick *cut
+		for i := range cutsOf[id] {
+			c := &cutsOf[id][i]
+			if len(c.leaves) == 1 && c.leaves[0] == n {
+				continue // trivial cut does not implement the node
+			}
+			if c.depth > required[id] {
+				continue
+			}
+			if pick == nil {
+				pick = c
+				continue
+			}
+			var better bool
+			if opt.Mode == ModeArea {
+				better = c.flow < pick.flow || (c.flow == pick.flow && c.depth < pick.depth)
+			} else {
+				better = c.depth < pick.depth || (c.depth == pick.depth && c.flow < pick.flow)
+			}
+			if better {
+				pick = c
+			}
+		}
+		if pick == nil {
+			return nil, fmt.Errorf("cutmap: internal error: node %v has no cut within depth %d", n, required[id])
+		}
+		chosen[id] = pick.leaves
+		for _, leaf := range pick.leaves {
+			if leaf.Kind == subject.PI {
+				continue
+			}
+			r := required[id] - 1
+			if r < labels[leaf.ID] {
+				// Cannot happen when the pick respected its depth.
+				r = labels[leaf.ID]
+			}
+			if r < required[leaf.ID] {
+				required[leaf.ID] = r
+			}
+		}
+	}
+
+	nw, luts, depth, err := buildLUTs(g, chosen, labels)
+	if err != nil {
+		return nil, err
+	}
+	res.Network = nw
+	res.LUTs = luts
+	res.Depth = depth
+	return res, nil
+}
+
+func unitCut(n *subject.Node, labels []int, flows []float64) cut {
+	return cut{
+		leaves: []*subject.Node{n},
+		sig:    1 << uint(n.ID%64),
+		depth:  labels[n.ID], // a unit cut "costs" the node's own label
+		flow:   flows[n.ID],
+	}
+}
+
+// mergeCuts combines the fanin cut lists into the node's k-feasible
+// cuts, with subsumption filtering and priority pruning.
+func mergeCuts(g *subject.Graph, n *subject.Node, cutsOf [][]cut, opt Options, labels []int, flows []float64) []cut {
+	var raw []cut
+	appendMerge := func(a, b cut) {
+		leaves := mergeLeaves(a.leaves, b.leaves)
+		if len(leaves) > opt.K {
+			return
+		}
+		c := cut{leaves: leaves, sig: a.sig | b.sig}
+		d := 0
+		fl := 1.0
+		for _, l := range leaves {
+			if labels[l.ID] > d {
+				d = labels[l.ID]
+			}
+			fl += flows[l.ID]
+		}
+		c.depth = d + 1
+		c.flow = fl
+		raw = append(raw, c)
+	}
+	switch n.NumFanins() {
+	case 1:
+		for _, a := range cutsOf[n.Fanin[0].ID] {
+			appendMerge(a, cut{})
+		}
+	case 2:
+		for _, a := range cutsOf[n.Fanin[0].ID] {
+			for _, b := range cutsOf[n.Fanin[1].ID] {
+				appendMerge(a, b)
+			}
+		}
+	}
+	// Subsumption: drop cuts whose leaf set is a superset of another.
+	filtered := filterDominated(raw)
+	// Priority: depth first, then flow, then size.
+	sort.Slice(filtered, func(i, j int) bool {
+		a, b := filtered[i], filtered[j]
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		if a.flow != b.flow {
+			return a.flow < b.flow
+		}
+		return len(a.leaves) < len(b.leaves)
+	})
+	if len(filtered) > opt.MaxCuts {
+		filtered = filtered[:opt.MaxCuts]
+	}
+	return filtered
+}
+
+func mergeLeaves(a, b []*subject.Node) []*subject.Node {
+	out := make([]*subject.Node, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID < b[j].ID:
+			out = append(out, a[i])
+			i++
+		case a[i].ID > b[j].ID:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// filterDominated removes duplicate and superset cuts.
+func filterDominated(cuts []cut) []cut {
+	var out []cut
+	for i, c := range cuts {
+		dominated := false
+		for j, d := range cuts {
+			if i == j {
+				continue
+			}
+			if d.sig&^c.sig != 0 {
+				continue // quick reject: d has bits outside c
+			}
+			if isSubsetOrEqual(d.leaves, c.leaves) && (len(d.leaves) < len(c.leaves) || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// isSubsetOrEqual reports whether a ⊆ b (both sorted by ID).
+func isSubsetOrEqual(a, b []*subject.Node) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// buildLUTs constructs the LUT network from the chosen cuts.
+func buildLUTs(g *subject.Graph, chosen [][]*subject.Node, labels []int) (*network.Network, int, int, error) {
+	nw := network.New(g.Name + "_cutluts")
+	used := map[string]bool{}
+	for _, pi := range g.PIs {
+		if _, err := nw.AddInput(pi.Name); err != nil {
+			return nil, 0, 0, err
+		}
+		used[pi.Name] = true
+	}
+	portOf := map[*subject.Node]string{}
+	for _, o := range g.Outputs {
+		if _, taken := portOf[o.Node]; !taken && !used[o.Name] {
+			portOf[o.Node] = o.Name
+			used[o.Name] = true
+		}
+	}
+	ctr := 0
+	fresh := func() string {
+		for {
+			name := fmt.Sprintf("lut%d", ctr)
+			ctr++
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	names := map[*subject.Node]string{}
+	depthOf := map[*subject.Node]int{}
+	luts := 0
+	var emit func(n *subject.Node) (string, error)
+	emit = func(n *subject.Node) (string, error) {
+		if name, ok := names[n]; ok {
+			return name, nil
+		}
+		if n.Kind == subject.PI {
+			names[n] = n.Name
+			return n.Name, nil
+		}
+		leaves := chosen[n.ID]
+		if leaves == nil {
+			return "", fmt.Errorf("cutmap: node %v demanded without a chosen cut", n)
+		}
+		boundary := map[*subject.Node]string{}
+		var fanins []string
+		d := 0
+		for _, l := range leaves {
+			ln, err := emit(l)
+			if err != nil {
+				return "", err
+			}
+			boundary[l] = ln
+			fanins = append(fanins, ln)
+			if depthOf[l] > d {
+				d = depthOf[l]
+			}
+		}
+		fn, err := subject.Expr(n, boundary)
+		if err != nil {
+			return "", err
+		}
+		name := portOf[n]
+		if name == "" {
+			name = fresh()
+		}
+		if _, err := nw.AddNode(name, fanins, fn); err != nil {
+			return "", err
+		}
+		names[n] = name
+		depthOf[n] = d + 1
+		luts++
+		return name, nil
+	}
+	depth := 0
+	for _, o := range g.Outputs {
+		net, err := emit(o.Node)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if depthOf[o.Node] > depth {
+			depth = depthOf[o.Node]
+		}
+		if net != o.Name && nw.Node(o.Name) == nil {
+			if _, err := nw.AddNode(o.Name, []string{net}, logic.Variable(net)); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		if err := nw.MarkOutput(o.Name); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return nw, luts, depth, nil
+}

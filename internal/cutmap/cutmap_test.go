@@ -1,0 +1,237 @@
+package cutmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dagcover/internal/flowmap"
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+	"dagcover/internal/subject"
+	"dagcover/internal/verify"
+)
+
+func randomNetwork(t *testing.T, rng *rand.Rand, nIn, nGates int) *network.Network {
+	t.Helper()
+	nw := network.New(fmt.Sprintf("rand%d", rng.Int63n(1<<30)))
+	var names []string
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("i%d", i)
+		if _, err := nw.AddInput(name); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	for g := 0; g < nGates; g++ {
+		name := fmt.Sprintf("g%d", g)
+		k := 1 + rng.Intn(3)
+		var fanins []string
+		seen := map[string]bool{}
+		for len(fanins) < k {
+			f := names[rng.Intn(len(names))]
+			if !seen[f] {
+				seen[f] = true
+				fanins = append(fanins, f)
+			}
+		}
+		kids := make([]*logic.Expr, len(fanins))
+		for i, f := range fanins {
+			kids[i] = logic.Variable(f)
+		}
+		var fn *logic.Expr
+		switch rng.Intn(4) {
+		case 0:
+			fn = logic.Not(logic.And(kids...))
+		case 1:
+			fn = logic.Or(kids...)
+		case 2:
+			fn = logic.Xor(kids...)
+		default:
+			fn = logic.And(kids...)
+		}
+		if _, err := nw.AddNode(name, fanins, fn); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	for i := 0; i < 2; i++ {
+		if err := nw.MarkOutput(names[len(names)-1-i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// With exhaustive cut lists, the labels equal FlowMap's optimal
+// depths at every node.
+func TestLabelsMatchFlowMapExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 8; trial++ {
+		nw := randomNetwork(t, rng, 4, 18)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3, 4} {
+			cm, err := Map(g, Options{K: k, MaxCuts: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fm, err := flowmap.Map(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range g.Nodes {
+				if cm.Labels[n.ID] != fm.Labels[n.ID] {
+					t.Errorf("trial %d k=%d node %v: cutmap label %d, flowmap %d",
+						trial, k, n, cm.Labels[n.ID], fm.Labels[n.ID])
+				}
+			}
+		}
+	}
+}
+
+// With default priority pruning the mapped depth still matches the
+// optimum on these graphs, and the mapping is functionally correct.
+func TestPrunedDepthAndEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 8; trial++ {
+		nw := randomNetwork(t, rng, 5, 30)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{3, 4, 5} {
+			res, err := Map(g, Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fm, err := flowmap.Map(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Depth < fm.Depth {
+				t.Errorf("trial %d k=%d: cutmap depth %d beats the optimum %d",
+					trial, k, res.Depth, fm.Depth)
+			}
+			if res.Depth > fm.Depth {
+				t.Logf("trial %d k=%d: pruning cost depth %d vs %d", trial, k, res.Depth, fm.Depth)
+			}
+			if err := verify.Networks(nw, res.Network, verify.Options{}); err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			// Every LUT respects k.
+			for _, n := range res.Network.Nodes() {
+				if n.Func != nil && len(n.Fanins) > k {
+					t.Fatalf("trial %d: LUT %q has %d inputs", trial, n.Name, len(n.Fanins))
+				}
+			}
+		}
+	}
+}
+
+func TestAreaModeRespectsDepthBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	for trial := 0; trial < 6; trial++ {
+		nw := randomNetwork(t, rng, 5, 35)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depthRes, err := Map(g, Options{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, slack := range []int{0, 1, 2} {
+			areaRes, err := Map(g, Options{K: 4, Mode: ModeArea, Slack: slack})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if areaRes.Depth > depthRes.OptimalDepth+slack {
+				t.Errorf("trial %d slack %d: depth %d exceeds bound %d",
+					trial, slack, areaRes.Depth, depthRes.OptimalDepth+slack)
+			}
+			if err := verify.Networks(nw, areaRes.Network, verify.Options{}); err != nil {
+				t.Fatalf("trial %d slack %d: %v", trial, slack, err)
+			}
+		}
+	}
+}
+
+func TestAreaModeReducesLUTs(t *testing.T) {
+	// On a reconvergent arithmetic circuit, area mode with slack
+	// should use no more LUTs than depth mode (aggregate check).
+	rng := rand.New(rand.NewSource(211))
+	totalDepthLUTs, totalAreaLUTs := 0, 0
+	for trial := 0; trial < 6; trial++ {
+		nw := randomNetwork(t, rng, 6, 60)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Map(g, Options{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Map(g, Options{K: 4, Mode: ModeArea, Slack: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalDepthLUTs += d.LUTs
+		totalAreaLUTs += a.LUTs
+	}
+	if totalAreaLUTs > totalDepthLUTs {
+		t.Errorf("area mode used more LUTs overall: %d vs %d", totalAreaLUTs, totalDepthLUTs)
+	}
+	t.Logf("aggregate LUTs: depth mode %d, area mode (slack 2) %d", totalDepthLUTs, totalAreaLUTs)
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := subject.NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	g.MarkOutput("o", a)
+	if _, err := Map(g, Options{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := Map(g, Options{K: 4, MaxCuts: -1}); err == nil {
+		t.Error("negative MaxCuts accepted")
+	}
+	empty := subject.NewGraph("e", true)
+	if _, err := Map(empty, Options{K: 4}); err == nil {
+		t.Error("no outputs accepted")
+	}
+	// Wire-only circuit works.
+	res, err := Map(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LUTs != 0 || res.Depth != 0 {
+		t.Errorf("wire mapping: %+v", res)
+	}
+}
+
+func TestCutHelpers(t *testing.T) {
+	g := subject.NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	c, _ := g.AddPI("c")
+	ab := []*subject.Node{a, b}
+	bc := []*subject.Node{b, c}
+	merged := mergeLeaves(ab, bc)
+	if len(merged) != 3 {
+		t.Errorf("merge = %v", merged)
+	}
+	if !isSubsetOrEqual(ab, merged) || !isSubsetOrEqual(bc, merged) {
+		t.Error("subset check failed")
+	}
+	if isSubsetOrEqual(merged, ab) {
+		t.Error("superset accepted as subset")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDepth.String() != "depth" || ModeArea.String() != "area" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package cutmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagcover/internal/flowmap"
+	"dagcover/internal/subject"
+	"dagcover/internal/verify"
+)
+
+// Property (testing/quick): cut-based mapping is sound at every k —
+// never claims a depth below FlowMap's optimum, respects the LUT
+// input bound, and its netlists are functionally correct.
+func TestQuickCutMappingInvariants(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		k := 2 + int(kRaw%4)
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(t, rng, 4+rng.Intn(3), 10+rng.Intn(20))
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			return false
+		}
+		res, err := Map(g, Options{K: k})
+		if err != nil {
+			t.Logf("seed %d k %d: %v", seed, k, err)
+			return false
+		}
+		fm, err := flowmap.Map(g, k)
+		if err != nil {
+			t.Logf("seed %d k %d: %v", seed, k, err)
+			return false
+		}
+		if res.OptimalDepth < fm.Depth {
+			t.Logf("seed %d k %d: claimed depth %d below optimum %d", seed, k, res.OptimalDepth, fm.Depth)
+			return false
+		}
+		for _, n := range res.Network.Nodes() {
+			if n.Func != nil && len(n.Fanins) > k {
+				t.Logf("seed %d k %d: LUT %q too wide", seed, k, n.Name)
+				return false
+			}
+		}
+		if err := verify.Networks(nw, res.Network, verify.Options{}); err != nil {
+			t.Logf("seed %d k %d: %v", seed, k, err)
+			return false
+		}
+		// Area mode respects the bound and stays correct.
+		area, err := Map(g, Options{K: k, Mode: ModeArea, Slack: 1})
+		if err != nil {
+			t.Logf("seed %d k %d: %v", seed, k, err)
+			return false
+		}
+		if area.Depth > res.OptimalDepth+1 {
+			t.Logf("seed %d k %d: area-mode depth %d exceeds bound %d", seed, k, area.Depth, res.OptimalDepth+1)
+			return false
+		}
+		if err := verify.Networks(nw, area.Network, verify.Options{}); err != nil {
+			t.Logf("seed %d k %d: %v", seed, k, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package flowmap implements the FlowMap algorithm of Cong & Ding
+// (§2 of the paper): delay-optimal technology mapping for k-input
+// LUT FPGAs by network-flow-based labeling.
+//
+// Labels are computed in topological order. For node t with
+// p = max fanin label, a k-feasible cut whose nodes all carry labels
+// <= p-1 exists iff, after collapsing every label-p cone node into t,
+// the node-capacity-1 min cut between the cone inputs and t is at most
+// k. If it exists, label(t) = p and the min cut is stored; otherwise
+// label(t) = p+1 with the trivial cut (the fanins). The mapping phase
+// walks back from the outputs creating one LUT per visited node from
+// its stored cut, duplicating logic exactly as DAG covering does.
+//
+// The implementation maps NAND2/INV subject graphs, which are
+// 2-bounded by construction (any k-bounded network can be decomposed
+// into one).
+package flowmap
+
+import (
+	"fmt"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/maxflow"
+	"dagcover/internal/network"
+	"dagcover/internal/subject"
+)
+
+// Result is a completed LUT mapping.
+type Result struct {
+	// Network is the LUT netlist: every internal node is one k-LUT.
+	Network *network.Network
+	// Depth is the optimal LUT depth (the maximum output label).
+	Depth int
+	// Labels holds each subject node's optimal depth, indexed by ID.
+	Labels []int
+	// LUTs is the number of LUTs created.
+	LUTs int
+}
+
+// Map covers the subject graph with k-input LUTs.
+func Map(g *subject.Graph, k int) (*Result, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("flowmap: k must be at least 2, got %d", k)
+	}
+	if len(g.Outputs) == 0 {
+		return nil, fmt.Errorf("flowmap: subject graph %q has no outputs", g.Name)
+	}
+	labels := make([]int, len(g.Nodes))
+	cuts := make([][]*subject.Node, len(g.Nodes))
+	lb := &labeler{
+		k:      k,
+		labels: labels,
+		seen:   make([]uint64, len(g.Nodes)),
+		inID:   make([]int32, len(g.Nodes)),
+		outID:  make([]int32, len(g.Nodes)),
+		fg:     maxflow.New(2),
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			labels[n.ID] = 0
+			continue
+		}
+		labels[n.ID], cuts[n.ID] = lb.labelNode(n)
+	}
+
+	res := &Result{Labels: labels}
+	nw, luts, err := construct(g, cuts)
+	if err != nil {
+		return nil, err
+	}
+	res.Network = nw
+	res.LUTs = luts
+	for _, o := range g.Outputs {
+		if labels[o.Node.ID] > res.Depth {
+			res.Depth = labels[o.Node.ID]
+		}
+	}
+	return res, nil
+}
+
+// labeler carries the reusable scratch of the labeling loop: the cone
+// list, epoch-stamped visited marks, node-split index tables and the
+// flow network are all recycled, so labeling allocates only the cuts
+// it returns.
+type labeler struct {
+	k      int
+	labels []int
+	seen   []uint64
+	epoch  uint64
+	cone   []*subject.Node
+	inID   []int32
+	outID  []int32
+	fg     *maxflow.Graph
+}
+
+// collectCone fills l.cone with the transitive fanin of t (inclusive).
+func (l *labeler) collectCone(t *subject.Node) {
+	l.epoch++
+	l.cone = l.cone[:0]
+	stack := append(l.cone[:0:0], t) // small local stack
+	l.seen[t.ID] = l.epoch
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		l.cone = append(l.cone, n)
+		for _, fi := range n.Fanins() {
+			if l.seen[fi.ID] != l.epoch {
+				l.seen[fi.ID] = l.epoch
+				stack = append(stack, fi)
+			}
+		}
+	}
+}
+
+// labelNode computes label(t) and the stored cut.
+func (l *labeler) labelNode(t *subject.Node) (int, []*subject.Node) {
+	k, labels := l.k, l.labels
+	l.collectCone(t)
+	p := 0
+	for _, fi := range t.Fanins() {
+		if labels[fi.ID] > p {
+			p = labels[fi.ID]
+		}
+	}
+	fanins := append([]*subject.Node(nil), t.Fanins()...)
+	if p == 0 {
+		// All cone inputs are primary inputs with label 0; any cut
+		// yields depth 1. Prefer the whole PI support if k-feasible
+		// (maximally wide LUT), else the fanins.
+		var pis []*subject.Node
+		for _, n := range l.cone {
+			if n.Kind == subject.PI {
+				pis = append(pis, n)
+			}
+		}
+		if len(pis) <= k {
+			sortByID(pis)
+			return 1, pis
+		}
+		return 1, fanins
+	}
+
+	// Build the node-split flow network. Nodes with label == p (and t
+	// itself) collapse into the sink.
+	fg := l.fg
+	fg.Reset(2)
+	const source, sink = 0, 1
+	collapsed := func(n *subject.Node) bool { return n == t || labels[n.ID] == p }
+	for _, n := range l.cone {
+		if collapsed(n) {
+			continue
+		}
+		in := fg.AddNode()
+		out := fg.AddNode()
+		l.inID[n.ID], l.outID[n.ID] = int32(in), int32(out)
+		mustEdge(fg, in, out, 1)
+		if n.Kind == subject.PI {
+			mustEdge(fg, source, in, maxflow.Inf)
+		}
+	}
+	for _, n := range l.cone {
+		if n.Kind == subject.PI {
+			continue
+		}
+		for _, fi := range n.Fanins() {
+			// Edge fi -> n within the cone.
+			if collapsed(fi) {
+				// fi collapsed implies n collapsed (labels are
+				// monotone along edges); no edge needed.
+				continue
+			}
+			from := int(l.outID[fi.ID])
+			if collapsed(n) {
+				mustEdge(fg, from, sink, maxflow.Inf)
+			} else {
+				mustEdge(fg, from, int(l.inID[n.ID]), maxflow.Inf)
+			}
+		}
+	}
+	flow := fg.MaxFlow(source, sink, k)
+	if flow > k {
+		return p + 1, fanins
+	}
+	// Extract the cut: nodes whose split edge crosses the source side.
+	side := fg.SourceSide(source)
+	var cut []*subject.Node
+	for _, n := range l.cone {
+		if collapsed(n) {
+			continue
+		}
+		if side[int(l.inID[n.ID])] && !side[int(l.outID[n.ID])] {
+			cut = append(cut, n)
+		}
+	}
+	if len(cut) == 0 || len(cut) > k {
+		// Defensive: fall back to the trivial cut.
+		return p + 1, fanins
+	}
+	sortByID(cut)
+	return p, cut
+}
+
+func mustEdge(fg *maxflow.Graph, u, v, cap int) {
+	if err := fg.AddEdge(u, v, cap); err != nil {
+		panic(fmt.Sprintf("flowmap: %v", err))
+	}
+}
+
+func sortByID(nodes []*subject.Node) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].ID < nodes[j-1].ID; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+// construct builds the LUT network from the stored cuts, walking back
+// from the outputs (§2: intermediate nodes are duplicated in an
+// optimal way automatically).
+func construct(g *subject.Graph, cuts [][]*subject.Node) (*network.Network, int, error) {
+	nw := network.New(g.Name + "_luts")
+	for _, pi := range g.PIs {
+		if _, err := nw.AddInput(pi.Name); err != nil {
+			return nil, 0, err
+		}
+	}
+	used := map[string]bool{}
+	for _, pi := range g.PIs {
+		used[pi.Name] = true
+	}
+	portOf := map[*subject.Node]string{}
+	for _, o := range g.Outputs {
+		if _, taken := portOf[o.Node]; !taken && !used[o.Name] {
+			portOf[o.Node] = o.Name
+			used[o.Name] = true
+		}
+	}
+	names := map[*subject.Node]string{}
+	ctr := 0
+	fresh := func() string {
+		for {
+			name := fmt.Sprintf("lut%d", ctr)
+			ctr++
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	luts := 0
+	var emit func(n *subject.Node) (string, error)
+	emit = func(n *subject.Node) (string, error) {
+		if name, ok := names[n]; ok {
+			return name, nil
+		}
+		if n.Kind == subject.PI {
+			names[n] = n.Name
+			return n.Name, nil
+		}
+		cut := cuts[n.ID]
+		boundary := map[*subject.Node]string{}
+		var fanins []string
+		for _, c := range cut {
+			cn, err := emit(c)
+			if err != nil {
+				return "", err
+			}
+			boundary[c] = cn
+			fanins = append(fanins, cn)
+		}
+		fn, err := subject.Expr(n, boundary)
+		if err != nil {
+			return "", err
+		}
+		name := portOf[n]
+		if name == "" {
+			name = fresh()
+		}
+		if _, err := nw.AddNode(name, fanins, fn); err != nil {
+			return "", err
+		}
+		names[n] = name
+		luts++
+		return name, nil
+	}
+	for _, o := range g.Outputs {
+		net, err := emit(o.Node)
+		if err != nil {
+			return nil, 0, err
+		}
+		if net == o.Name {
+			if err := nw.MarkOutput(o.Name); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		// Alias port (PO on a PI or a shared node).
+		if nw.Node(o.Name) == nil {
+			if _, err := nw.AddNode(o.Name, []string{net}, logic.Variable(net)); err != nil {
+				return nil, 0, err
+			}
+		}
+		if err := nw.MarkOutput(o.Name); err != nil {
+			return nil, 0, err
+		}
+	}
+	return nw, luts, nil
+}
+
+// Check validates a result against its subject graph: every LUT must
+// have at most k inputs and the label invariants must hold.
+func Check(g *subject.Graph, res *Result, k int) error {
+	for _, n := range res.Network.Nodes() {
+		if n.Func != nil && len(n.Fanins) > k {
+			return fmt.Errorf("flowmap: LUT %q has %d inputs > k=%d", n.Name, len(n.Fanins), k)
+		}
+	}
+	for _, n := range g.Nodes {
+		l := res.Labels[n.ID]
+		if n.Kind == subject.PI {
+			if l != 0 {
+				return fmt.Errorf("flowmap: PI %v labeled %d", n, l)
+			}
+			continue
+		}
+		p := 0
+		for _, fi := range n.Fanins() {
+			if res.Labels[fi.ID] > p {
+				p = res.Labels[fi.ID]
+			}
+		}
+		if l != p && l != p+1 {
+			return fmt.Errorf("flowmap: node %v label %d outside {p, p+1} = {%d, %d}", n, l, p, p+1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package flowmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+	"dagcover/internal/subject"
+	"dagcover/internal/verify"
+)
+
+func randomNetwork(t *testing.T, rng *rand.Rand, nIn, nGates int) *network.Network {
+	t.Helper()
+	nw := network.New(fmt.Sprintf("rand%d", rng.Int63n(1<<30)))
+	var names []string
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("i%d", i)
+		if _, err := nw.AddInput(name); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	for g := 0; g < nGates; g++ {
+		name := fmt.Sprintf("g%d", g)
+		k := 1 + rng.Intn(3)
+		var fanins []string
+		seen := map[string]bool{}
+		for len(fanins) < k {
+			f := names[rng.Intn(len(names))]
+			if !seen[f] {
+				seen[f] = true
+				fanins = append(fanins, f)
+			}
+		}
+		kids := make([]*logic.Expr, len(fanins))
+		for i, f := range fanins {
+			kids[i] = logic.Variable(f)
+		}
+		var fn *logic.Expr
+		switch rng.Intn(4) {
+		case 0:
+			fn = logic.Not(logic.And(kids...))
+		case 1:
+			fn = logic.Or(kids...)
+		case 2:
+			fn = logic.Xor(kids...)
+		default:
+			fn = logic.And(kids...)
+		}
+		if _, err := nw.AddNode(name, fanins, fn); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	for i := 0; i < 2; i++ {
+		if err := nw.MarkOutput(names[len(names)-1-i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func TestMapSmall(t *testing.T) {
+	nw := network.New("s")
+	for _, v := range []string{"a", "b", "c", "d"} {
+		if _, err := nw.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.AddNode("f", []string{"a", "b", "c", "d"}, logic.MustParse("(a*b)^(c+d)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput("f"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 inputs, k=4: one LUT of depth 1.
+	if res.Depth != 1 {
+		t.Errorf("depth = %d, want 1", res.Depth)
+	}
+	if res.LUTs != 1 {
+		t.Errorf("LUTs = %d, want 1", res.LUTs)
+	}
+	if err := Check(g, res, 4); err != nil {
+		t.Error(err)
+	}
+	if err := verify.Networks(nw, res.Network, verify.Options{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapVerifyAndInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 8; trial++ {
+		nw := randomNetwork(t, rng, 5, 20)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3, 4, 5} {
+			res, err := Map(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(g, res, k); err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			if err := verify.Networks(nw, res.Network, verify.Options{}); err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+		}
+	}
+}
+
+func TestDepthMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 6; trial++ {
+		nw := randomNetwork(t, rng, 5, 25)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 1 << 30
+		for _, k := range []int{2, 3, 4, 6, 8} {
+			res, err := Map(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Depth > prev {
+				t.Errorf("trial %d: depth increased from %d to %d at k=%d", trial, prev, res.Depth, k)
+			}
+			prev = res.Depth
+		}
+	}
+}
+
+// bruteLabels computes optimal depth labels by explicit k-feasible cut
+// enumeration — exponential, for small graphs only.
+func bruteLabels(g *subject.Graph, k int) []int {
+	labels := make([]int, len(g.Nodes))
+	cutsets := make([][][]*subject.Node, len(g.Nodes))
+	key := func(c []*subject.Node) string {
+		ids := make([]int, len(c))
+		for i, n := range c {
+			ids[i] = n.ID
+		}
+		sort.Ints(ids)
+		var b strings.Builder
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+		return b.String()
+	}
+	merge := func(a, b []*subject.Node) []*subject.Node {
+		seen := map[*subject.Node]bool{}
+		var out []*subject.Node
+		for _, n := range append(append([]*subject.Node{}, a...), b...) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			labels[n.ID] = 0
+			cutsets[n.ID] = [][]*subject.Node{{n}}
+			continue
+		}
+		// All k-feasible cuts: products of fanin cutsets.
+		var all [][]*subject.Node
+		seen := map[string]bool{}
+		addCut := func(c []*subject.Node) {
+			if len(c) > k {
+				return
+			}
+			kk := key(c)
+			if !seen[kk] {
+				seen[kk] = true
+				all = append(all, c)
+			}
+		}
+		switch n.NumFanins() {
+		case 1:
+			for _, c := range cutsets[n.Fanin[0].ID] {
+				addCut(c)
+			}
+		case 2:
+			for _, c1 := range cutsets[n.Fanin[0].ID] {
+				for _, c2 := range cutsets[n.Fanin[1].ID] {
+					addCut(merge(c1, c2))
+				}
+			}
+		}
+		best := 1 << 30
+		for _, c := range all {
+			h := 0
+			for _, x := range c {
+				if labels[x.ID] > h {
+					h = labels[x.ID]
+				}
+			}
+			if h+1 < best {
+				best = h + 1
+			}
+		}
+		labels[n.ID] = best
+		// The node's cutset: all cuts plus the trivial {n}.
+		cutsets[n.ID] = append(all, []*subject.Node{n})
+	}
+	return labels
+}
+
+// FlowMap labels must equal the brute-force optimal depth (the
+// algorithm's optimality theorem).
+func TestLabelsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 10; trial++ {
+		nw := randomNetwork(t, rng, 4, 12)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3, 4} {
+			res, err := Map(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteLabels(g, k)
+			for _, n := range g.Nodes {
+				if res.Labels[n.ID] != want[n.ID] {
+					t.Errorf("trial %d k=%d node %v: FlowMap label %d, optimal %d",
+						trial, k, n, res.Labels[n.ID], want[n.ID])
+				}
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := subject.NewGraph("empty", true)
+	if _, err := Map(g, 4); err == nil {
+		t.Error("no outputs accepted")
+	}
+	a, _ := g.AddPI("a")
+	g.MarkOutput("o", a)
+	if _, err := Map(g, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	res, err := Map(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth != 0 || res.LUTs != 0 {
+		t.Errorf("wire-only mapping: depth=%d luts=%d", res.Depth, res.LUTs)
+	}
+}
+
+func TestOutputAliasOnPI(t *testing.T) {
+	g := subject.NewGraph("alias", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	n := g.Nand(a, b)
+	g.MarkOutput("f", n)
+	g.MarkOutput("copy_a", a)
+	res, err := Map(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Network.Outputs()) != 2 {
+		t.Errorf("outputs = %d", len(res.Network.Outputs()))
+	}
+	sim, err := network.NewSimulator(res.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.RunOutputs(map[string]uint64{"a": 0b01, "b": 0b11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["copy_a"]&0b11 != 0b01 {
+		t.Errorf("alias output wrong: %b", out["copy_a"]&0b11)
+	}
+}

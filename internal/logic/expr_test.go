@@ -1,0 +1,266 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		vars []string
+	}{
+		{"a", []string{"a"}},
+		{"!a", []string{"a"}},
+		{"a'", []string{"a"}},
+		{"a*b", []string{"a", "b"}},
+		{"a b", []string{"a", "b"}},
+		{"a+b", []string{"a", "b"}},
+		{"a^b", []string{"a", "b"}},
+		{"!(a*b+c)", []string{"a", "b", "c"}},
+		{"(a+b)*(c+d)", []string{"a", "b", "c", "d"}},
+		{"CONST0", nil},
+		{"CONST1", nil},
+		{"a*CONST1", []string{"a"}},
+		{"!(!(a))", []string{"a"}},
+		{"a1*b_2+c.3", []string{"a1", "b_2", "c.3"}},
+		{"in[0]*in[1]", []string{"in[0]", "in[1]"}},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		got := e.Vars()
+		if len(got) != len(c.vars) {
+			t.Fatalf("Parse(%q).Vars() = %v, want %v", c.in, got, c.vars)
+		}
+		for i := range got {
+			if got[i] != c.vars[i] {
+				t.Fatalf("Parse(%q).Vars() = %v, want %v", c.in, got, c.vars)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a+", "(a", "a)", "*a", "a**b", "!", "a+*b", "a b + ", "^a"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", in)
+		}
+	}
+}
+
+func TestEvalSemantics(t *testing.T) {
+	cases := []struct {
+		in     string
+		assign map[string]bool
+		want   bool
+	}{
+		{"a*b", map[string]bool{"a": true, "b": true}, true},
+		{"a*b", map[string]bool{"a": true, "b": false}, false},
+		{"a+b", map[string]bool{"a": false, "b": true}, true},
+		{"a+b", map[string]bool{}, false},
+		{"!a", map[string]bool{"a": false}, true},
+		{"a'", map[string]bool{"a": true}, false},
+		{"a^b", map[string]bool{"a": true, "b": true}, false},
+		{"a^b^c", map[string]bool{"a": true, "b": true, "c": true}, true},
+		{"!(a*b+c)", map[string]bool{"c": true}, false},
+		{"CONST1", nil, true},
+		{"CONST0", nil, false},
+		{"a*(b+!c)", map[string]bool{"a": true, "c": false}, true},
+	}
+	for _, c := range cases {
+		e := MustParse(c.in)
+		if got := e.Eval(c.assign); got != c.want {
+			t.Errorf("Eval(%q, %v) = %v, want %v", c.in, c.assign, got, c.want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"a", "!a", "a*b+c", "(a+b)*c", "a^b", "!(a+b)", "a*!b*c+!a*d",
+		"!(a*b)*!(c*d)", "(a+b)*(c+d)*(e+f)", "a^(b*c)",
+	}
+	for _, s := range exprs {
+		e := MustParse(s)
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", e.String(), s, err)
+		}
+		eq, err := Equivalent(e, again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("round trip of %q through %q changed the function", s, e.String())
+		}
+	}
+}
+
+func TestConstructorFolding(t *testing.T) {
+	a, b := Variable("a"), Variable("b")
+	if got := Not(Not(a)); got != a {
+		t.Errorf("Not(Not(a)) did not fold to a")
+	}
+	if e := And(a, Constant(true), b); e.Op != OpAnd || len(e.Kids) != 2 {
+		t.Errorf("And with identity did not drop constant: %v", e)
+	}
+	if e := And(a, Constant(false)); e.Op != OpConst || e.Const {
+		t.Errorf("And with 0 did not fold to 0: %v", e)
+	}
+	if e := Or(a, Constant(true)); e.Op != OpConst || !e.Const {
+		t.Errorf("Or with 1 did not fold to 1: %v", e)
+	}
+	if e := Or(Or(a, b), Variable("c")); len(e.Kids) != 3 {
+		t.Errorf("nested Or not flattened: %v", e)
+	}
+	if e := Xor(a, Constant(true)); e.Op != OpNot {
+		t.Errorf("Xor with 1 did not become Not: %v", e)
+	}
+	if e := And(); e.Op != OpConst || !e.Const {
+		t.Errorf("empty And != 1: %v", e)
+	}
+	if e := Or(); e.Op != OpConst || e.Const {
+		t.Errorf("empty Or != 0: %v", e)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	e := MustParse("a*b + !c*(a+d)")
+	if got := e.Literals(); got != 5 {
+		t.Errorf("Literals = %d, want 5", got)
+	}
+	if got := len(e.Vars()); got != 4 {
+		t.Errorf("|Vars| = %d, want 4", got)
+	}
+	if e.Depth() < 2 {
+		t.Errorf("Depth = %d, want >= 2", e.Depth())
+	}
+}
+
+func TestRename(t *testing.T) {
+	e := MustParse("a*b+!a")
+	r := e.Rename(map[string]string{"a": "x"})
+	want := MustParse("x*b+!x")
+	eq, err := Equivalent(r, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("Rename produced %v, want equivalent of %v", r, want)
+	}
+	// Original untouched.
+	if vs := e.Vars(); vs[0] != "a" {
+		t.Errorf("Rename mutated the receiver: vars %v", vs)
+	}
+}
+
+// randExpr builds a random expression over nVars variables.
+func randExpr(rng *rand.Rand, depth, nVars int) *Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		return Variable(varName(rng.Intn(nVars)))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Not(randExpr(rng, depth-1, nVars))
+	case 1:
+		return And(randExpr(rng, depth-1, nVars), randExpr(rng, depth-1, nVars))
+	case 2:
+		return Or(randExpr(rng, depth-1, nVars), randExpr(rng, depth-1, nVars))
+	default:
+		return Xor(randExpr(rng, depth-1, nVars), randExpr(rng, depth-1, nVars))
+	}
+}
+
+func varName(i int) string { return string(rune('a' + i)) }
+
+// Property: EvalBatch agrees with Eval on every row.
+func TestEvalBatchMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 1 + rng.Intn(5)
+		e := randExpr(rng, 4, nVars)
+		vars := e.Vars()
+		// Build 64 random assignments packed into words.
+		words := make(map[string]uint64, len(vars))
+		for _, v := range vars {
+			words[v] = rng.Uint64()
+		}
+		batch := e.EvalBatch(words)
+		for bit := 0; bit < 64; bit += 7 {
+			assign := map[string]bool{}
+			for _, v := range vars {
+				assign[v] = words[v]>>uint(bit)&1 == 1
+			}
+			want := e.Eval(assign)
+			got := batch>>uint(bit)&1 == 1
+			if got != want {
+				t.Fatalf("trial %d bit %d: EvalBatch=%v Eval=%v for %v", trial, bit, got, want, e)
+			}
+		}
+	}
+}
+
+// Property: parsing the String() of a random expression preserves the
+// function (via testing/quick on a seed).
+func TestQuickStringParseEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 5, 4)
+		again, err := Parse(e.String())
+		if err != nil {
+			return false
+		}
+		eq, err := Equivalent(e, again)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganEquivalences(t *testing.T) {
+	pairs := [][2]string{
+		{"!(a*b)", "!a+!b"},
+		{"!(a+b)", "!a*!b"},
+		{"a^b", "a*!b+!a*b"},
+		{"!(a^b)", "a*b+!a*!b"},
+		{"a*(b+c)", "a*b+a*c"},
+		{"a+(b*c)", "(a+b)*(a+c)"},
+	}
+	for _, p := range pairs {
+		eq, err := Equivalent(MustParse(p[0]), MustParse(p[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("%q and %q should be equivalent", p[0], p[1])
+		}
+	}
+	if eq, _ := Equivalent(MustParse("a*b"), MustParse("a+b")); eq {
+		t.Errorf("a*b and a+b must not be equivalent")
+	}
+}
+
+func TestParseWhitespaceAndJuxtaposition(t *testing.T) {
+	a := MustParse("  a *  b +   c ")
+	b := MustParse("a b + c")
+	eq, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("whitespace handling changed the function")
+	}
+}
+
+func TestStringHasNoSpaces(t *testing.T) {
+	e := MustParse("a b + c d")
+	if s := e.String(); strings.ContainsAny(s, " \t") {
+		t.Errorf("String() output %q contains whitespace", s)
+	}
+}

@@ -1,0 +1,208 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a Boolean expression in genlib syntax.
+//
+// Grammar (highest to lowest precedence):
+//
+//	atom   := IDENT | CONST0 | CONST1 | 0 | 1 | '(' expr ')'
+//	factor := '!' factor | atom { '\'' }
+//	term   := factor { ['*'] factor }       (adjacency means AND)
+//	xterm  := term { '^' term }
+//	expr   := xterm { '+' xterm }
+//
+// Identifiers may contain letters, digits, and the characters
+// _ . [ ] < > -.
+func Parse(s string) (*Expr, error) {
+	p := &parser{in: s}
+	p.skipSpace()
+	if p.eof() {
+		return nil, fmt.Errorf("logic: empty expression")
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("logic: unexpected %q at offset %d in %q", p.in[p.pos], p.pos, s)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.in) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func isIdentByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '.', c == '[', c == ']', c == '<', c == '>', c == '-':
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	left, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{left}
+	for {
+		p.skipSpace()
+		if p.peek() != '+' {
+			break
+		}
+		p.pos++
+		right, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return Or(kids...), nil
+}
+
+func (p *parser) parseXor() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{left}
+	for {
+		p.skipSpace()
+		if p.peek() != '^' {
+			break
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return Xor(kids...), nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{left}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == '*' {
+			p.pos++
+		} else if !(c == '!' || c == '(' || isIdentByte(c)) {
+			break // adjacency AND only before a factor start
+		}
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return And(kids...), nil
+}
+
+func (p *parser) parseFactor() (*Expr, error) {
+	p.skipSpace()
+	if p.peek() == '!' {
+		p.pos++
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	}
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '\'' {
+			break
+		}
+		p.pos++
+		e = Not(e)
+	}
+	return e, nil
+}
+
+func (p *parser) parseAtom() (*Expr, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, fmt.Errorf("logic: unexpected end of expression in %q", p.in)
+	}
+	if p.peek() == '(' {
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("logic: missing ')' at offset %d in %q", p.pos, p.in)
+		}
+		p.pos++
+		return e, nil
+	}
+	start := p.pos
+	for !p.eof() && isIdentByte(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("logic: unexpected %q at offset %d in %q", p.in[p.pos], p.pos, p.in)
+	}
+	name := p.in[start:p.pos]
+	switch strings.ToUpper(name) {
+	case "CONST0", "0":
+		return Constant(false), nil
+	case "CONST1", "1":
+		return Constant(true), nil
+	}
+	return Variable(name), nil
+}

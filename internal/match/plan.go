@@ -1,0 +1,54 @@
+package match
+
+import "dagcover/internal/subject"
+
+// planStep is one slot of a pattern's precompiled matching plan: the
+// DFS-preorder traversal of the pattern graph from its root. A step
+// binds (or re-checks, for shared DAG nodes) one pattern node against
+// a subject node determined by its parent step's binding.
+type planStep struct {
+	pn     *subject.Node
+	parent int  // index of the parent step; -1 for the root
+	slot   int  // fanin slot of the parent pattern node this step fills
+	first  bool // first visit of pn (binds); otherwise agreement check
+	// swap is true when the parent may try both child orders (NAND2
+	// with non-isomorphic children under pruning, or pruning off).
+	// It is stored on the PARENT step.
+	swap bool
+	// exact precomputes the pattern fanout count for Definition 2's
+	// |o(v)| check (0 for the root, which is exempt).
+	patFanouts int
+}
+
+// plan is the compiled matching program of one pattern.
+type plan struct {
+	steps []planStep
+}
+
+// compilePlan builds the DFS-preorder plan. shapes are the pattern's
+// shape hashes (for symmetric-sibling pruning).
+func compilePlan(p *subject.Pattern, shapes []uint64, prune bool) plan {
+	var steps []planStep
+	visited := map[*subject.Node]bool{}
+	var dfs func(pn *subject.Node, parent, slot int)
+	dfs = func(pn *subject.Node, parent, slot int) {
+		idx := len(steps)
+		st := planStep{pn: pn, parent: parent, slot: slot, first: !visited[pn]}
+		if pn != p.Root {
+			st.patFanouts = len(pn.Fanouts)
+		}
+		if st.first && pn.Kind == subject.Nand2 {
+			st.swap = !prune || shapes[pn.Fanin[0].ID] != shapes[pn.Fanin[1].ID]
+		}
+		steps = append(steps, st)
+		if !st.first {
+			return
+		}
+		visited[pn] = true
+		for i, fi := range pn.Fanins() {
+			dfs(fi, idx, i)
+		}
+	}
+	dfs(p.Root, -1, 0)
+	return plan{steps: steps}
+}

@@ -1,0 +1,154 @@
+// Package maxflow implements maximum flow on unit-ish capacity
+// networks via Dinic's algorithm, with residual-reachability min-cut
+// extraction. It is the substrate of the FlowMap labeling step, where
+// each node-capacity-1 network asks for a k-feasible cut.
+package maxflow
+
+import "fmt"
+
+// Inf is a practically infinite capacity.
+const Inf = int(1) << 30
+
+type edge struct {
+	to  int
+	cap int
+	rev int // index of the reverse edge in adj[to]
+}
+
+// Graph is a flow network over nodes 0..n-1.
+type Graph struct {
+	adj [][]edge
+	// scratch for Dinic
+	level []int
+	iter  []int
+}
+
+// New creates a flow network with n nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge adds a directed edge u->v with the given capacity.
+func (g *Graph) AddEdge(u, v, cap int) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("maxflow: edge (%d,%d) out of range", u, v)
+	}
+	if cap < 0 {
+		return fmt.Errorf("maxflow: negative capacity on (%d,%d)", u, v)
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, cap: cap, rev: len(g.adj[v])})
+	g.adj[v] = append(g.adj[v], edge{to: u, cap: 0, rev: len(g.adj[u]) - 1})
+	return nil
+}
+
+// MaxFlow computes the maximum s-t flow, stopping early once the flow
+// exceeds limit (pass Inf for no limit). The graph retains the
+// residual state for MinCut.
+func (g *Graph) MaxFlow(s, t int, limit int) int {
+	if s == t {
+		return Inf
+	}
+	flow := 0
+	for flow <= limit {
+		if !g.bfs(s, t) {
+			break
+		}
+		g.iter = make([]int, len(g.adj))
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+			if flow > limit {
+				return flow
+			}
+		}
+	}
+	return flow
+}
+
+func (g *Graph) bfs(s, t int) bool {
+	g.level = make([]int, len(g.adj))
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int{s}
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(u, t, f int) int {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap > 0 && g.level[e.to] == g.level[u]+1 {
+			m := f
+			if e.cap < m {
+				m = e.cap
+			}
+			d := g.dfs(e.to, t, m)
+			if d > 0 {
+				e.cap -= d
+				g.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// SourceSide returns the set of nodes reachable from s in the residual
+// graph after MaxFlow; the saturated edges leaving this set form a
+// minimum cut.
+func (g *Graph) SourceSide(s int) []bool {
+	seen := make([]bool, len(g.adj))
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// Reset reuses the graph's storage for a fresh network with n nodes:
+// adjacency lists are truncated in place, so steady-state labeling
+// loops allocate almost nothing.
+func (g *Graph) Reset(n int) {
+	if cap(g.adj) < n {
+		g.adj = make([][]edge, n)
+		return
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+}

@@ -1,0 +1,58 @@
+package network
+
+import "fmt"
+
+// Simulator evaluates a combinational network 64 input vectors at a
+// time. Latch outputs are treated as free inputs (their values must be
+// supplied alongside the primary inputs).
+type Simulator struct {
+	nw   *Network
+	topo []*Node
+}
+
+// NewSimulator prepares a simulator; it fails on cyclic networks.
+func NewSimulator(nw *Network) (*Simulator, error) {
+	topo, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{nw: nw, topo: topo}, nil
+}
+
+// Run evaluates the network on 64 parallel vectors. inputs maps each
+// source node name (primary input or latch output) to a 64-bit packed
+// value. It returns the packed value of every node.
+func (s *Simulator) Run(inputs map[string]uint64) (map[string]uint64, error) {
+	values := make(map[string]uint64, len(s.topo))
+	assign := map[string]uint64{}
+	for _, n := range s.topo {
+		if n.Func == nil {
+			v, ok := inputs[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("network: simulation input %q not supplied", n.Name)
+			}
+			values[n.Name] = v
+			continue
+		}
+		clear(assign)
+		for _, fi := range n.Fanins {
+			assign[fi.Name] = values[fi.Name]
+		}
+		values[n.Name] = n.Func.EvalBatch(assign)
+	}
+	return values, nil
+}
+
+// RunOutputs evaluates the network and returns only the primary-output
+// values (packed 64-way).
+func (s *Simulator) RunOutputs(inputs map[string]uint64) (map[string]uint64, error) {
+	all, err := s.Run(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(s.nw.Outputs()))
+	for _, o := range s.nw.Outputs() {
+		out[o.Name] = all[o.Name]
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+// Package resynth provides technology-independent optimization of
+// subject graphs before mapping. The main pass is Balance, the
+// AIG-style conjunction re-association used by modern synthesis
+// flows: single-fanout AND chains are collected into n-ary
+// conjunctions and rebuilt as level-balanced trees, reducing subject
+// depth — and therefore the mapped delay bound — without changing the
+// function. Sweep removes logic unreachable from the outputs.
+//
+// A NAND2/INV subject graph is an AIG in disguise: NAND(x, y) is a
+// complemented AND and inverters are complement edges. Balance works
+// on that view.
+package resynth
+
+import (
+	"fmt"
+	"sort"
+
+	"dagcover/internal/subject"
+)
+
+// lit is a literal in the new graph: a node plus a complement flag.
+type lit struct {
+	node *subject.Node
+	neg  bool
+}
+
+func (l lit) not() lit { return lit{l.node, !l.neg} }
+
+// Balance rebuilds g with level-balanced conjunction trees. The
+// result computes the same functions (same PIs, same output names)
+// and its depth never exceeds a balanced reconstruction of the
+// original conjunctions.
+func Balance(g *subject.Graph) (*subject.Graph, error) {
+	out := subject.NewGraph(g.Name, true)
+	newLit := make([]lit, len(g.Nodes))
+	level := map[*subject.Node]int{}
+
+	// Fanout pressure in the ORIGINAL graph decides what may be
+	// inlined: a conjunction feeding more than one parent (or an
+	// output) keeps its own node so sharing survives.
+	uses := make([]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, fi := range n.Fanins() {
+			uses[fi.ID]++
+		}
+	}
+	for _, o := range g.Outputs {
+		uses[o.Node.ID]++
+	}
+
+	materialize := func(l lit) *subject.Node {
+		if l.neg {
+			return out.Not(l.node)
+		}
+		return l.node
+	}
+	var lvlOf func(n *subject.Node) int
+	lvlOf = func(n *subject.Node) int {
+		if l, ok := level[n]; ok {
+			return l
+		}
+		l := 0
+		for _, fi := range n.Fanins() {
+			if v := lvlOf(fi) + 1; v > l {
+				l = v
+			}
+		}
+		level[n] = l
+		return l
+	}
+
+	// buildAnd assembles a balanced conjunction of the literals,
+	// combining the two shallowest operands first (Huffman on levels).
+	buildAnd := func(ops []lit) lit {
+		nodes := make([]*subject.Node, len(ops))
+		for i, op := range ops {
+			nodes[i] = materialize(op)
+		}
+		for len(nodes) > 1 {
+			sort.SliceStable(nodes, func(i, j int) bool { return lvlOf(nodes[i]) < lvlOf(nodes[j]) })
+			a, b := nodes[0], nodes[1]
+			// AND(a,b) = INV(NAND(a,b)); levels resolve lazily.
+			andNode := out.Not(out.Nand(a, b))
+			nodes = append([]*subject.Node{andNode}, nodes[2:]...)
+		}
+		return lit{nodes[0], false}
+	}
+
+	// collect gathers the operand literals of the conjunction rooted
+	// at original node n (n is viewed as AND when reached through an
+	// even number of complements). Operands of single-use AND
+	// sub-nodes are inlined recursively.
+	var collect func(n *subject.Node) []lit
+	collect = func(n *subject.Node) []lit {
+		// n must be a NAND2 node: its AND view has the two fanins as
+		// conjuncts.
+		var ops []lit
+		for _, fi := range n.Fanins() {
+			l := newLit[fi.ID]
+			// Chase the original structure, not the new one: an
+			// original fanin that was INV(NAND(...)) with single use
+			// is an inlinable AND.
+			orig := fi
+			negs := 0
+			for orig.Kind == subject.Inv {
+				negs++
+				orig = orig.Fanin[0]
+			}
+			if orig.Kind == subject.Nand2 && negs%2 == 1 && uses[fi.ID] <= 1 && uses[orig.ID] <= 1 && singleInvChain(fi, orig) {
+				ops = append(ops, collect(orig)...)
+				continue
+			}
+			ops = append(ops, l)
+		}
+		return ops
+	}
+
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case subject.PI:
+			pi, err := out.AddPI(n.Name)
+			if err != nil {
+				return nil, err
+			}
+			newLit[n.ID] = lit{pi, false}
+		case subject.Inv:
+			newLit[n.ID] = newLit[n.Fanin[0].ID].not()
+		case subject.Nand2:
+			ops := collect(n)
+			if len(ops) < 2 {
+				return nil, fmt.Errorf("resynth: conjunction at %v collapsed to %d operands", n, len(ops))
+			}
+			andLit := buildAnd(ops)
+			newLit[n.ID] = andLit.not() // NAND = complemented AND
+		}
+	}
+	for _, o := range g.Outputs {
+		l := newLit[o.Node.ID]
+		out.MarkOutput(o.Name, materialize(l))
+	}
+	// Inlined conjunctions may have left dead intermediates behind.
+	swept, _, err := Sweep(out)
+	if err != nil {
+		return nil, err
+	}
+	return swept, nil
+}
+
+// singleInvChain reports whether the inverter chain from fi down to
+// orig consists of single-use nodes (safe to absorb).
+func singleInvChain(fi, orig *subject.Node) bool {
+	n := fi
+	for n != orig {
+		if n.Kind != subject.Inv {
+			return false
+		}
+		if len(n.Fanin[0].Fanouts) > 1 && n.Fanin[0] != orig {
+			return false
+		}
+		n = n.Fanin[0]
+	}
+	return true
+}
+
+// Sweep rebuilds g keeping only nodes reachable from its outputs
+// (plus all PIs, which are interface-fixed). It returns the new graph
+// and the number of internal nodes dropped.
+func Sweep(g *subject.Graph) (*subject.Graph, int, error) {
+	live := map[*subject.Node]bool{}
+	for _, o := range g.Outputs {
+		for n := range subject.TransitiveFanin(o.Node) {
+			live[n] = true
+		}
+	}
+	out := subject.NewGraph(g.Name, true)
+	newNode := make([]*subject.Node, len(g.Nodes))
+	dropped := 0
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			pi, err := out.AddPI(n.Name)
+			if err != nil {
+				return nil, 0, err
+			}
+			newNode[n.ID] = pi
+			continue
+		}
+		if !live[n] {
+			dropped++
+			continue
+		}
+		switch n.Kind {
+		case subject.Inv:
+			newNode[n.ID] = out.Not(newNode[n.Fanin[0].ID])
+		case subject.Nand2:
+			newNode[n.ID] = out.Nand(newNode[n.Fanin[0].ID], newNode[n.Fanin[1].ID])
+		}
+	}
+	for _, o := range g.Outputs {
+		out.MarkOutput(o.Name, newNode[o.Node.ID])
+	}
+	return out, dropped, nil
+}

@@ -1,0 +1,205 @@
+package resynth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagcover/internal/bench"
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+	"dagcover/internal/subject"
+)
+
+// equalFunctions checks two subject graphs compute the same outputs
+// by 64-way random simulation.
+func equalFunctions(t *testing.T, a, b *subject.Graph, seed int64) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 8; round++ {
+		in := map[string]uint64{}
+		for _, pi := range a.PIs {
+			in[pi.Name] = rng.Uint64()
+		}
+		va, err := a.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outA := map[string]uint64{}
+		for _, o := range a.Outputs {
+			outA[o.Name] = va[o.Node.ID]
+		}
+		for _, o := range b.Outputs {
+			if outA[o.Name] != vb[o.Node.ID] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// chainNetwork builds a deliberately left-leaning conjunction chain:
+// f = x0 * x1 * ... * x(n-1) built as n-1 two-input nodes.
+func chainNetwork(t *testing.T, n int) *network.Network {
+	t.Helper()
+	nw := network.New("chain")
+	prev := ""
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("x%d", i)
+		if _, err := nw.AddInput(name); err != nil {
+			t.Fatal(err)
+		}
+		if prev == "" {
+			prev = name
+			continue
+		}
+		node := fmt.Sprintf("a%d", i)
+		if _, err := nw.AddNode(node, []string{prev, name},
+			logic.MustParse(prev+"*"+name)); err != nil {
+			t.Fatal(err)
+		}
+		prev = node
+	}
+	if err := nw.MarkOutput(prev); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBalanceFlattensChains(t *testing.T) {
+	nw := chainNetwork(t, 16)
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Balance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// A 16-way conjunction balances to ceil(log2 16) AND levels = 4
+	// ANDs deep = 8 NAND/INV levels at most; the chain is ~30 deep.
+	if b.Depth() >= g.Depth() {
+		t.Errorf("balance did not reduce depth: %d -> %d", g.Depth(), b.Depth())
+	}
+	if b.Depth() > 9 {
+		t.Errorf("balanced 16-way AND depth %d; want about 8", b.Depth())
+	}
+	if !equalFunctions(t, g, b, 1) {
+		t.Error("balance changed the function")
+	}
+}
+
+func TestBalancePreservesSharing(t *testing.T) {
+	// A conjunction node with two consumers must not be duplicated.
+	g := subject.NewGraph("share", true)
+	a, _ := g.AddPI("a")
+	bb, _ := g.AddPI("b")
+	c, _ := g.AddPI("c")
+	d, _ := g.AddPI("d")
+	shared := g.Not(g.Nand(a, bb)) // AND(a,b), fanout 2
+	o1 := g.Nand(shared, c)
+	o2 := g.Nand(shared, d)
+	g.MarkOutput("o1", o1)
+	g.MarkOutput("o2", o2)
+	out, err := Balance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalFunctions(t, g, out, 2) {
+		t.Fatal("balance changed the function")
+	}
+	st := out.Stats()
+	// Sharing preserved: the AND(a,b) NAND appears once -> at most
+	// 3 NANDs and some inverters.
+	if st.Nands > 3 {
+		t.Errorf("sharing lost: %d NANDs", st.Nands)
+	}
+}
+
+func TestBalanceOnSuite(t *testing.T) {
+	for _, c := range []bench.Circuit{
+		{Name: "adder8", Network: bench.RippleAdder(8)},
+		{Name: "alu4", Network: bench.ALU(4)},
+		{Name: "mult6", Network: bench.ArrayMultiplier(6)},
+		{Name: "c432", Network: bench.C432()},
+	} {
+		g, err := subject.FromNetwork(c.Network)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Balance(g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if err := b.Check(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !equalFunctions(t, g, b, 3) {
+			t.Errorf("%s: balance changed the function", c.Name)
+		}
+		if b.Depth() > g.Depth() {
+			t.Errorf("%s: balance increased depth %d -> %d", c.Name, g.Depth(), b.Depth())
+		}
+		t.Logf("%s: depth %d -> %d, nodes %d -> %d",
+			c.Name, g.Depth(), b.Depth(), len(g.Nodes), len(b.Nodes))
+	}
+}
+
+// Property (testing/quick): balance preserves functions on random
+// circuits and never increases depth.
+func TestQuickBalance(t *testing.T) {
+	prop := func(seed int64) bool {
+		nw := bench.RandomDAG(5, 20+int(uint8(seed))%40, seed)
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			return false
+		}
+		b, err := Balance(g)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := b.Check(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if b.Depth() > g.Depth() {
+			t.Logf("seed %d: depth rose %d -> %d", seed, g.Depth(), b.Depth())
+			return false
+		}
+		return equalFunctions(t, g, b, seed)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepDropsDeadLogic(t *testing.T) {
+	g := subject.NewGraph("dead", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	live := g.Nand(a, b)
+	g.Not(live) // dead inverter
+	g.MarkOutput("o", live)
+	out, dropped, err := Sweep(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if len(out.Nodes) != 3 {
+		t.Errorf("nodes = %d, want 3", len(out.Nodes))
+	}
+	if !equalFunctions(t, g, out, 4) {
+		t.Error("sweep changed the function")
+	}
+}

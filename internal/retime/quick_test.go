@@ -1,0 +1,124 @@
+package retime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+	"dagcover/internal/verify"
+)
+
+// randomPipeline builds a random sequential DAG: layered logic with
+// latch chains sprinkled on the inter-layer connections.
+func randomPipeline(rng *rand.Rand) (*network.Network, error) {
+	nw := network.New("qpipe")
+	var signals []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("in%d", i)
+		if _, err := nw.AddInput(name); err != nil {
+			return nil, err
+		}
+		signals = append(signals, name)
+	}
+	latchCtr := 0
+	gates := 6 + rng.Intn(14)
+	for gIdx := 0; gIdx < gates; gIdx++ {
+		k := 1 + rng.Intn(2)
+		var fanins []string
+		seen := map[string]bool{}
+		for len(fanins) < k {
+			src := signals[rng.Intn(len(signals))]
+			// Possibly interpose a latch on this connection.
+			if rng.Intn(4) == 0 {
+				lname := fmt.Sprintf("q%d", latchCtr)
+				latchCtr++
+				if _, err := nw.AddLatch(src, lname, false); err != nil {
+					return nil, err
+				}
+				src = lname
+			}
+			if !seen[src] {
+				seen[src] = true
+				fanins = append(fanins, src)
+			}
+		}
+		name := fmt.Sprintf("n%d", gIdx)
+		kids := make([]*logic.Expr, len(fanins))
+		for i, f := range fanins {
+			kids[i] = logic.Variable(f)
+		}
+		var fn *logic.Expr
+		if rng.Intn(2) == 0 {
+			fn = logic.Not(logic.And(kids...))
+		} else {
+			fn = logic.Xor(kids...)
+		}
+		if _, err := nw.AddNode(name, fanins, fn); err != nil {
+			return nil, err
+		}
+		signals = append(signals, name)
+	}
+	if err := nw.MarkOutput(signals[len(signals)-1]); err != nil {
+		return nil, err
+	}
+	return nw, nw.Check()
+}
+
+// Property (testing/quick): MinPeriod never exceeds the unretimed
+// period, Apply realizes exactly the computed period, and the retimed
+// circuit is structurally valid.
+func TestQuickRetimingInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw, err := randomPipeline(rng)
+		if err != nil {
+			t.Logf("seed %d: generator: %v", seed, err)
+			return false
+		}
+		p0, err := Period(nw, UnitDelays)
+		if err != nil {
+			t.Logf("seed %d: period: %v", seed, err)
+			return false
+		}
+		pMin, r, err := MinPeriod(nw, UnitDelays)
+		if err != nil {
+			t.Logf("seed %d: minperiod: %v", seed, err)
+			return false
+		}
+		if pMin > p0+1e-9 {
+			t.Logf("seed %d: min period %v exceeds original %v", seed, pMin, p0)
+			return false
+		}
+		rt, err := Apply(nw, UnitDelays, r)
+		if err != nil {
+			t.Logf("seed %d: apply: %v", seed, err)
+			return false
+		}
+		if err := rt.Check(); err != nil {
+			t.Logf("seed %d: retimed check: %v", seed, err)
+			return false
+		}
+		pRt, err := Period(rt, UnitDelays)
+		if err != nil {
+			t.Logf("seed %d: retimed period: %v", seed, err)
+			return false
+		}
+		if pRt > pMin+1e-9 {
+			t.Logf("seed %d: applied period %v exceeds computed %v", seed, pRt, pMin)
+			return false
+		}
+		// Retiming preserves cycle-accurate I/O behaviour (host path
+		// weights are invariant) once both transients flush.
+		if err := verify.Sequential(nw, rt, verify.SeqOptions{Cycles: 60, Seed: seed}); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

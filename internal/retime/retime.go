@@ -1,0 +1,539 @@
+// Package retime implements Leiserson-Saxe retiming of edge-triggered
+// single-clock circuits: minimum clock-period computation (FEAS with
+// binary search) and application of a retiming to a network. Together
+// with the DAG-covering mapper it realizes the paper's §4 extension:
+// retime, map the combinational portion, retime the mapped circuit.
+//
+// The retiming graph uses the classic host-vertex formulation; input
+// and output interface latency may shift by the host-edge latches the
+// retiming introduces (the standard Leiserson-Saxe semantics). Initial
+// latch values in retimed circuits are reset to false: computing
+// equivalent initial states is NP-hard in general and outside the
+// paper's scope.
+package retime
+
+import (
+	"fmt"
+	"math"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+// Delays gives each function node's combinational delay. Source nodes
+// (PIs, latch outputs) are implicitly 0.
+type Delays func(n *network.Node) float64
+
+// UnitDelays assigns every function node delay 1.
+func UnitDelays(n *network.Node) float64 {
+	if n.Func == nil {
+		return 0
+	}
+	return 1
+}
+
+// graph is the retiming graph: vertex 0 is the host; vertices 1..n are
+// the function nodes.
+type graph struct {
+	nodes []*network.Node // index 1..; nodes[0] == nil (host)
+	idx   map[*network.Node]int
+	// edges[u] lists (v, weight) pairs.
+	edges [][]arc
+	delay []float64
+}
+
+type arc struct {
+	to int
+	w  int
+}
+
+// build constructs the retiming graph of nw.
+func build(nw *network.Network, d Delays) (*graph, error) {
+	g := &graph{idx: map[*network.Node]int{}}
+	g.nodes = append(g.nodes, nil) // host
+	g.delay = append(g.delay, 0)
+	for _, n := range nw.Nodes() {
+		if n.Func == nil {
+			continue
+		}
+		g.idx[n] = len(g.nodes)
+		g.nodes = append(g.nodes, n)
+		g.delay = append(g.delay, d(n))
+	}
+	g.edges = make([][]arc, len(g.nodes))
+
+	for _, n := range nw.Nodes() {
+		if n.Func == nil {
+			continue
+		}
+		v := g.idx[n]
+		for _, fi := range n.Fanins {
+			src, w, _, err := resolveConn(nw, fi)
+			if err != nil {
+				return nil, err
+			}
+			u := 0 // host for PIs
+			if src != nil {
+				u = g.idx[src]
+			}
+			g.edges[u] = append(g.edges[u], arc{to: v, w: w})
+		}
+	}
+	// Output edges to the host.
+	for _, o := range nw.Outputs() {
+		if o.Func == nil {
+			continue // PO directly on a PI or latch output: no constraint
+		}
+		g.edges[g.idx[o]] = append(g.edges[g.idx[o]], arc{to: 0, w: 0})
+	}
+	// Latch inputs that feed only latches still constrain through the
+	// chains resolved above; latches whose output is unused simply
+	// disappear, like dead logic.
+	return g, nil
+}
+
+// period computes the maximum combinational (zero-weight) path delay
+// of the graph under retiming r, or an error on a zero-weight cycle.
+func (g *graph) period(r []int) (float64, error) {
+	// Arrival DP over the DAG of zero-weight edges.
+	indeg := make([]int, len(g.nodes))
+	adj := make([][]int, len(g.nodes))
+	for u := range g.edges {
+		for _, e := range g.edges[u] {
+			w := e.w + r[e.to] - r[u]
+			if w < 0 {
+				return 0, fmt.Errorf("retime: negative edge weight after retiming")
+			}
+			if w == 0 && u != 0 && e.to != 0 {
+				adj[u] = append(adj[u], e.to)
+				indeg[e.to]++
+			}
+		}
+	}
+	arr := make([]float64, len(g.nodes))
+	queue := make([]int, 0, len(g.nodes))
+	for v := 1; v < len(g.nodes); v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+			arr[v] = g.delay[v]
+		}
+	}
+	processed := 0
+	worst := 0.0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		processed++
+		if arr[u] > worst {
+			worst = arr[u]
+		}
+		for _, v := range adj[u] {
+			if a := arr[u] + g.delay[v]; a > arr[v] {
+				arr[v] = a
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if processed != len(g.nodes)-1 {
+		return 0, fmt.Errorf("retime: combinational cycle (zero-weight cycle)")
+	}
+	return worst, nil
+}
+
+// feas attempts to find a retiming with period <= target (the FEAS
+// algorithm, host vertex included). It returns the normalized retiming
+// (r[host] subtracted, so r[0] == 0) and true on success.
+func (g *graph) feas(target float64) ([]int, bool) {
+	r := make([]int, len(g.nodes))
+	for iter := 0; iter < len(g.nodes); iter++ {
+		delta, ok := g.arrivals(r)
+		if !ok {
+			return nil, false // zero-weight cycle: infeasible target
+		}
+		changed := false
+		for v := 0; v < len(g.nodes); v++ {
+			if delta[v] > target+1e-9 {
+				r[v]++
+				changed = true
+			}
+		}
+		if !changed {
+			return normalize(r), true
+		}
+	}
+	delta, ok := g.arrivals(r)
+	if !ok {
+		return nil, false
+	}
+	for v := 0; v < len(g.nodes); v++ {
+		if delta[v] > target+1e-9 {
+			return nil, false
+		}
+	}
+	return normalize(r), true
+}
+
+// normalize shifts the retiming so the host is 0 (retimings are
+// invariant under a constant shift).
+func normalize(r []int) []int {
+	out := make([]int, len(r))
+	for i := range r {
+		out[i] = r[i] - r[0]
+	}
+	return out
+}
+
+// arrivals computes zero-weight-path arrival times under retiming r;
+// ok=false on a zero-weight cycle or a negative edge weight. The host
+// (vertex 0, delay 0) is split for path purposes: its outgoing edges
+// never extend paths, and its own arrival is the worst over its
+// zero-weight incoming edges.
+func (g *graph) arrivals(r []int) ([]float64, bool) {
+	indeg := make([]int, len(g.nodes))
+	adj := make([][]int, len(g.nodes))
+	for u := range g.edges {
+		for _, e := range g.edges[u] {
+			w := e.w + r[e.to] - r[u]
+			if w < 0 {
+				return nil, false
+			}
+			if w == 0 && u != 0 && e.to != 0 {
+				adj[u] = append(adj[u], e.to)
+				indeg[e.to]++
+			}
+		}
+	}
+	arr := make([]float64, len(g.nodes))
+	var queue []int
+	for v := 1; v < len(g.nodes); v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+			arr[v] = g.delay[v]
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		processed++
+		for _, v := range adj[u] {
+			if a := arr[u] + g.delay[v]; a > arr[v] {
+				arr[v] = a
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if processed != len(g.nodes)-1 {
+		return nil, false
+	}
+	// Host arrival: worst zero-weight incoming edge.
+	for u := 1; u < len(g.nodes); u++ {
+		for _, e := range g.edges[u] {
+			if e.to == 0 && e.w+r[0]-r[u] == 0 && arr[u] > arr[0] {
+				arr[0] = arr[u]
+			}
+		}
+	}
+	return arr, true
+}
+
+// Period returns the current minimum clock period of nw (the longest
+// combinational path delay, including node delays).
+func Period(nw *network.Network, d Delays) (float64, error) {
+	g, err := build(nw, d)
+	if err != nil {
+		return 0, err
+	}
+	return g.period(make([]int, len(g.nodes)))
+}
+
+// MinPeriod finds the minimum clock period achievable by retiming and
+// the retiming that achieves it (keyed by function node).
+func MinPeriod(nw *network.Network, d Delays) (float64, map[*network.Node]int, error) {
+	g, err := build(nw, d)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(g.nodes) == 1 {
+		return 0, map[*network.Node]int{}, nil
+	}
+	hi, err := g.period(make([]int, len(g.nodes)))
+	if err != nil {
+		return 0, nil, err
+	}
+	// Lower bound: the largest single-node delay.
+	lo := 0.0
+	for _, dv := range g.delay {
+		if dv > lo {
+			lo = dv
+		}
+	}
+	bestT := hi
+	bestR := make([]int, len(g.nodes))
+	// Binary search on the period. Delays are sums of node delays, so
+	// 64 iterations of numeric bisection are ample; afterwards snap to
+	// the feasible target found.
+	for iter := 0; iter < 64 && hi-lo > 1e-7; iter++ {
+		mid := (lo + hi) / 2
+		if r, ok := g.feas(mid); ok {
+			// Tighten to the exact period realized by r.
+			p, err := g.period(r)
+			if err != nil {
+				return 0, nil, err
+			}
+			if p < bestT {
+				bestT, bestR = p, r
+			}
+			hi = math.Min(mid, p)
+		} else {
+			lo = mid
+		}
+	}
+	out := map[*network.Node]int{}
+	for v := 1; v < len(g.nodes); v++ {
+		out[g.nodes[v]] = bestR[v]
+	}
+	return bestT, out, nil
+}
+
+// Apply rebuilds nw with the retiming r (keyed by function node;
+// missing nodes retime by 0). Latch initial values are reset to false.
+func Apply(nw *network.Network, d Delays, r map[*network.Node]int) (*network.Network, error) {
+	g, err := build(nw, d)
+	if err != nil {
+		return nil, err
+	}
+	rv := make([]int, len(g.nodes))
+	for v := 1; v < len(g.nodes); v++ {
+		rv[v] = r[g.nodes[v]]
+	}
+	// Legality check.
+	if _, err := g.period(rv); err != nil {
+		return nil, err
+	}
+
+	out := network.New(nw.Name + "_retimed")
+	for _, pi := range nw.Inputs() {
+		if _, err := out.AddInput(pi.Name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve every retimed connection first: (base signal, latch
+	// count) per fanin and per output, collecting the longest chain
+	// needed from each base. Chains must be pre-created as latch
+	// placeholders because a chain's driver may be emitted after its
+	// consumers in the retimed order.
+	// nodeName[v] is the emitted name of vertex v. An output driver
+	// that ends up with latches after it (r < 0) is renamed to
+	// name$pre so the port name can bind to the end of its chain.
+	nodeName := make([]string, len(g.nodes))
+	for v := 1; v < len(g.nodes); v++ {
+		nodeName[v] = g.nodes[v].Name
+	}
+	for _, o := range nw.Outputs() {
+		if o.Func == nil {
+			continue
+		}
+		v := g.idx[o]
+		if -rv[v] > 0 && nodeName[v] == o.Name {
+			nodeName[v] = o.Name + "$pre"
+		}
+	}
+
+	type conn struct {
+		base string
+		wr   int
+	}
+	resolve := func(fi *network.Node, consumer int) (conn, error) {
+		src, w, pin, err := resolveConn(nw, fi)
+		if err != nil {
+			return conn{}, err
+		}
+		rc := 0 // r of the consumer side (host = 0 for outputs)
+		if consumer > 0 {
+			rc = rv[consumer]
+		}
+		if src == nil {
+			return conn{base: pin, wr: w + rc}, nil
+		}
+		sv := g.idx[src]
+		return conn{base: nodeName[sv], wr: w + rc - rv[sv]}, nil
+	}
+	fanconns := map[int][]conn{} // per vertex, in fanin order
+	maxChain := map[string]int{}
+	noteChain := func(c conn) {
+		if c.wr > maxChain[c.base] {
+			maxChain[c.base] = c.wr
+		}
+	}
+	for v := 1; v < len(g.nodes); v++ {
+		n := g.nodes[v]
+		for _, fi := range n.Fanins {
+			c, err := resolve(fi, v)
+			if err != nil {
+				return nil, err
+			}
+			if c.wr < 0 {
+				return nil, fmt.Errorf("retime: negative latches on edge into %q", n.Name)
+			}
+			fanconns[v] = append(fanconns[v], c)
+			noteChain(c)
+		}
+	}
+	outconns := make([]conn, len(nw.Outputs()))
+	for i, o := range nw.Outputs() {
+		var c conn
+		var err error
+		if o.Func == nil {
+			c, err = resolve(o, 0)
+		} else {
+			v := g.idx[o]
+			c = conn{base: nodeName[v], wr: -rv[v]}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if c.wr < 0 {
+			return nil, fmt.Errorf("retime: negative latches on output %q", o.Name)
+		}
+		outconns[i] = c
+		noteChain(c)
+	}
+
+	chainName := func(base string, k int) string {
+		if k == 0 {
+			return base
+		}
+		return fmt.Sprintf("%s$r%d", base, k)
+	}
+	for base, k := range maxChain {
+		for i := 1; i <= k; i++ {
+			if _, err := out.AddLatchOutput(chainName(base, i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Emit function nodes in a topological order of the retimed
+	// zero-weight subgraph; nonzero-latch fanins reference the
+	// placeholders created above.
+	order, err := retimedOrder(g, rv)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range order {
+		n := g.nodes[v]
+		rename := map[string]string{}
+		var fanins []string
+		seen := map[string]bool{}
+		for i, fi := range n.Fanins {
+			sig := chainName(fanconns[v][i].base, fanconns[v][i].wr)
+			rename[fi.Name] = sig
+			if !seen[sig] {
+				seen[sig] = true
+				fanins = append(fanins, sig)
+			}
+		}
+		if _, err := out.AddNode(nodeName[v], fanins, n.Func.Rename(rename)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Connect the chains now that every driver exists.
+	for base, k := range maxChain {
+		for i := 1; i <= k; i++ {
+			if _, err := out.ConnectLatch(chainName(base, i-1), chainName(base, i), false); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i, o := range nw.Outputs() {
+		sig := chainName(outconns[i].base, outconns[i].wr)
+		if err := markOutputAs(out, o.Name, sig); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// resolveConn follows latch chains from fanin node fi, returning the
+// driving function node (nil for PI), the latch count, and the PI name
+// when the driver is a primary input.
+func resolveConn(nw *network.Network, fi *network.Node) (*network.Node, int, string, error) {
+	w := 0
+	n := fi
+	for n.Func == nil && !n.IsInput {
+		l := nw.LatchFor(n)
+		if l == nil {
+			return nil, 0, "", fmt.Errorf("retime: node %q is neither PI, latch output, nor gate", n.Name)
+		}
+		w++
+		n = l.Input
+	}
+	if n.IsInput {
+		return nil, w, n.Name, nil
+	}
+	return n, w, "", nil
+}
+
+// markOutputAs marks sig as output port, adding an alias node when
+// the names differ. A pre-existing node under the port name that is
+// not sig itself would silently misbind the port, so it is an error
+// (Apply prevents it by renaming chained output drivers).
+func markOutputAs(out *network.Network, port, sig string) error {
+	if port == sig {
+		return out.MarkOutput(port)
+	}
+	if out.Node(port) != nil {
+		return fmt.Errorf("retime: output port %q collides with an internal node", port)
+	}
+	if _, err := out.AddNode(port, []string{sig}, logic.Variable(sig)); err != nil {
+		return err
+	}
+	return out.MarkOutput(port)
+}
+
+// retimedOrder returns vertices 1.. in a topological order of the
+// retimed zero-weight subgraph.
+func retimedOrder(g *graph, rv []int) ([]int, error) {
+	indeg := make([]int, len(g.nodes))
+	adj := make([][]int, len(g.nodes))
+	for u := range g.edges {
+		for _, e := range g.edges[u] {
+			w := e.w + rv[e.to] - rv[u]
+			if w == 0 && u != 0 && e.to != 0 {
+				adj[u] = append(adj[u], e.to)
+				indeg[e.to]++
+			}
+		}
+	}
+	var queue, order []int
+	for v := 1; v < len(g.nodes); v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != len(g.nodes)-1 {
+		return nil, fmt.Errorf("retime: zero-weight cycle after retiming")
+	}
+	return order, nil
+}

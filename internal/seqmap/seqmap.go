@@ -1,0 +1,497 @@
+package seqmap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+// Options configures sequential mapping.
+type Options struct {
+	// K is the LUT input count (>= 2).
+	K int
+	// MaxCuts bounds the priority-cut list per node (default 8).
+	MaxCuts int
+	// MaxWeight bounds the register offset of cut leaves (default 8).
+	MaxWeight int
+	// MaxRounds bounds the label fixed-point iteration per φ
+	// (default 200); non-convergence is treated as infeasible, which
+	// keeps the result an upper bound on the true optimum.
+	MaxRounds int
+}
+
+func (o *Options) defaults() error {
+	if o.K < 2 {
+		return fmt.Errorf("seqmap: K must be at least 2, got %d", o.K)
+	}
+	if o.MaxCuts == 0 {
+		o.MaxCuts = 8
+	}
+	if o.MaxWeight == 0 {
+		o.MaxWeight = 8
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 200
+	}
+	return nil
+}
+
+// Result is a completed sequential mapping.
+type Result struct {
+	// Network is the mapped and retimed circuit (k-LUT nodes plus
+	// register chains), cycle-accurate to the original from reset.
+	Network *network.Network
+	// Period is the achieved clock period in LUT levels.
+	Period int
+	// LUTs is the number of LUTs.
+	LUTs int
+	// Registers is the number of registers in the result.
+	Registers int
+}
+
+const negInf = math.MinInt32 / 4
+
+type cutLeaf struct {
+	node   *seqNode
+	weight int
+}
+
+type scut struct {
+	leaves []cutLeaf // sorted by (id, weight)
+}
+
+// Map performs the Pan-Liu flow: binary search on φ with the
+// retiming-aware labeling as the decision procedure.
+func Map(nw *network.Network, opt Options) (*Result, error) {
+	if err := opt.defaults(); err != nil {
+		return nil, err
+	}
+	if len(nw.Latches()) == 0 {
+		return nil, fmt.Errorf("seqmap: combinational circuit; use flowmap")
+	}
+	g, err := buildSeqGraph(nw)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.outputs) == 0 {
+		return nil, fmt.Errorf("seqmap: circuit has no primary outputs")
+	}
+	if g.nonZeroInit {
+		return nil, fmt.Errorf("seqmap: non-zero latch initial values are not supported (retimed initial states are not computed)")
+	}
+
+	// Upper bound: the purely combinational view (every register a
+	// hard boundary) is always feasible at φ = its LUT depth; use the
+	// node count as a safe cap and search down.
+	hi := len(g.nodes) + 1
+	if lab, _, ok := labels(g, hi, opt); ok {
+		_ = lab
+	} else {
+		return nil, fmt.Errorf("seqmap: labeling failed to converge even at φ=%d", hi)
+	}
+	lo := 1
+	bestPhi := hi
+	var bestLabels []int
+	var bestCuts []scut
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if lab, cuts, ok := labels(g, mid, opt); ok {
+			bestPhi, bestLabels, bestCuts = mid, lab, cuts
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestLabels == nil {
+		// Recompute at the known-feasible cap.
+		lab, cuts, ok := labels(g, bestPhi, opt)
+		if !ok {
+			return nil, fmt.Errorf("seqmap: internal error: cap became infeasible")
+		}
+		bestLabels, bestCuts = lab, cuts
+	}
+	res, err := construct(nw, g, bestPhi, bestLabels, bestCuts, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Period = bestPhi
+	return res, nil
+}
+
+// labels runs the fixed-point labeling for target φ. It returns the
+// labels and each node's best cut on success.
+func labels(g *seqGraph, phi int, opt Options) ([]int, []scut, bool) {
+	n := len(g.nodes)
+	l := make([]int, n)
+	cuts := make([][]scut, n)
+	best := make([]scut, n)
+	for _, v := range g.nodes {
+		if v.kind == kindPI {
+			l[v.id] = 0
+			cuts[v.id] = []scut{unitCut(v)}
+		} else {
+			l[v.id] = negInf
+			cuts[v.id] = []scut{unitCut(v)}
+		}
+	}
+	cost := func(c scut) int {
+		worst := negInf
+		for _, leaf := range c.leaves {
+			if v := l[leaf.node.id] - phi*leaf.weight; v > worst {
+				worst = v
+			}
+		}
+		return worst + 1
+	}
+	cap := phi*(n+2) + n
+	for round := 0; round < opt.MaxRounds; round++ {
+		changed := false
+		for _, v := range g.nodes {
+			if v.kind == kindPI {
+				continue
+			}
+			merged := enumerate(v, cuts, opt)
+			bestCost := math.MaxInt32
+			var bestCut scut
+			for _, c := range merged {
+				if cc := cost(c); cc < bestCost {
+					bestCost = cc
+					bestCut = c
+				}
+			}
+			if bestCost == math.MaxInt32 {
+				return nil, nil, false
+			}
+			// Keep the list sorted by cost for priority pruning, plus
+			// the unit cut for parents.
+			sort.SliceStable(merged, func(i, j int) bool { return cost(merged[i]) < cost(merged[j]) })
+			if len(merged) > opt.MaxCuts {
+				merged = merged[:opt.MaxCuts]
+			}
+			cuts[v.id] = append([]scut{unitCut(v)}, merged...)
+			best[v.id] = bestCut
+			if bestCost != l[v.id] {
+				l[v.id] = bestCost
+				changed = true
+				if bestCost > cap {
+					return nil, nil, false
+				}
+			}
+		}
+		if !changed {
+			// Converged: check the output constraint.
+			for _, o := range g.outputs {
+				if l[o.e.node.id]-phi*o.e.weight > phi {
+					return nil, nil, false
+				}
+			}
+			return l, best, true
+		}
+	}
+	return nil, nil, false
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func unitCut(v *seqNode) scut {
+	return scut{leaves: []cutLeaf{{node: v, weight: 0}}}
+}
+
+// enumerate merges the fanin cut lists (shifted by edge weights) into
+// candidate cuts for v.
+func enumerate(v *seqNode, cuts [][]scut, opt Options) []scut {
+	shift := func(c scut, w int) (scut, bool) {
+		out := scut{leaves: make([]cutLeaf, len(c.leaves))}
+		for i, leaf := range c.leaves {
+			nw := leaf.weight + w
+			if nw > opt.MaxWeight {
+				return scut{}, false
+			}
+			out.leaves[i] = cutLeaf{node: leaf.node, weight: nw}
+		}
+		return out, true
+	}
+	var raw []scut
+	switch len(v.fanins) {
+	case 1:
+		for _, c := range cuts[v.fanins[0].node.id] {
+			if s, ok := shift(c, v.fanins[0].weight); ok {
+				raw = append(raw, s)
+			}
+		}
+	case 2:
+		for _, a := range cuts[v.fanins[0].node.id] {
+			sa, ok := shift(a, v.fanins[0].weight)
+			if !ok {
+				continue
+			}
+			for _, b := range cuts[v.fanins[1].node.id] {
+				sb, ok := shift(b, v.fanins[1].weight)
+				if !ok {
+					continue
+				}
+				m := mergeLeaves(sa.leaves, sb.leaves)
+				if len(m) <= opt.K {
+					raw = append(raw, scut{leaves: m})
+				}
+			}
+		}
+	}
+	return dedupe(raw)
+}
+
+func mergeLeaves(a, b []cutLeaf) []cutLeaf {
+	out := make([]cutLeaf, 0, len(a)+len(b))
+	i, j := 0, 0
+	less := func(x, y cutLeaf) int {
+		if x.node.id != y.node.id {
+			return x.node.id - y.node.id
+		}
+		return x.weight - y.weight
+	}
+	for i < len(a) && j < len(b) {
+		switch d := less(a[i], b[j]); {
+		case d < 0:
+			out = append(out, a[i])
+			i++
+		case d > 0:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func dedupe(cs []scut) []scut {
+	seen := map[string]bool{}
+	var out []scut
+	for _, c := range cs {
+		key := ""
+		for _, leaf := range c.leaves {
+			key += fmt.Sprintf("%d@%d,", leaf.node.id, leaf.weight)
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// construct realizes the mapping and retiming from the labels.
+func construct(orig *network.Network, g *seqGraph, phi int, l []int, best []scut, opt Options) (*Result, error) {
+	cycle := func(v *seqNode) int {
+		if v.kind == kindPI {
+			return 0
+		}
+		// c(v) = ceil(l/φ) - 1 = floor((l-1)/φ). Labels may be zero or
+		// negative (cuts entirely behind registers), so the division
+		// must floor rather than truncate.
+		return floorDiv(l[v.id]-1, phi)
+	}
+
+	out := network.New(orig.Name + "_seqmap")
+	for _, pi := range orig.Inputs() {
+		if _, err := out.AddInput(pi.Name); err != nil {
+			return nil, err
+		}
+	}
+	used := map[string]bool{}
+	for _, pi := range orig.Inputs() {
+		used[pi.Name] = true
+	}
+	for _, o := range g.outputs {
+		used[o.name] = true
+	}
+	ctr := 0
+	fresh := func(prefix string) string {
+		for {
+			name := fmt.Sprintf("%s%d", prefix, ctr)
+			ctr++
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+
+	// Demand-driven LUT emission.
+	lutName := map[*seqNode]string{}
+	luts := 0
+	// Register chains per base signal.
+	type chainKey struct {
+		base string
+		k    int
+	}
+	chains := map[chainKey]string{}
+	var pendingChains []struct{ prev, name string }
+	var delayed func(base string, k int) string
+	delayed = func(base string, k int) string {
+		if k == 0 {
+			return base
+		}
+		key := chainKey{base, k}
+		if name, ok := chains[key]; ok {
+			return name
+		}
+		prev := delayed(base, k-1)
+		name := fresh(base + "$d")
+		if _, err := out.AddLatchOutput(name); err != nil {
+			// Name collisions are prevented by fresh(); treat as fatal.
+			panic(fmt.Sprintf("seqmap: %v", err))
+		}
+		pendingChains = append(pendingChains, struct{ prev, name string }{prev, name})
+		chains[key] = name
+		return name
+	}
+
+	var emit func(v *seqNode) (string, error)
+	emit = func(v *seqNode) (string, error) {
+		if name, ok := lutName[v]; ok {
+			return name, nil
+		}
+		if v.kind == kindPI {
+			lutName[v] = v.name
+			return v.name, nil
+		}
+		name := fresh("slut")
+		lutName[v] = name // set before recursion: cycles resolve via chains
+		cut := best[v.id]
+		// Inputs: leaf (u, w) arrives through w + c(v) - c(u) registers.
+		type bound struct {
+			leaf cutLeaf
+			sig  string
+		}
+		var binds []bound
+		for _, leaf := range cut.leaves {
+			base, err := emit(leaf.node)
+			if err != nil {
+				return "", err
+			}
+			regs := leaf.weight + cycle(v) - cycle(leaf.node)
+			if regs < 0 {
+				return "", fmt.Errorf("seqmap: internal error: negative registers (%d) on cut edge", regs)
+			}
+			binds = append(binds, bound{leaf: leaf, sig: delayed(base, regs)})
+		}
+		// LUT function: unfold the cone down to the cut leaves.
+		boundary := map[string]string{}
+		for _, b := range binds {
+			boundary[fmt.Sprintf("%d@%d", b.leaf.node.id, b.leaf.weight)] = b.sig
+		}
+		fn, fanins, err := coneExpr(v, boundary)
+		if err != nil {
+			return "", err
+		}
+		if len(fanins) > opt.K {
+			return "", fmt.Errorf("seqmap: internal error: LUT with %d inputs", len(fanins))
+		}
+		if _, err := out.AddNode(name, fanins, fn); err != nil {
+			return "", err
+		}
+		luts++
+		return name, nil
+	}
+
+	for _, o := range g.outputs {
+		base, err := emit(o.e.node)
+		if err != nil {
+			return nil, err
+		}
+		regs := o.e.weight + 0 - cycle(o.e.node)
+		if regs < 0 {
+			return nil, fmt.Errorf("seqmap: internal error: negative registers at output %q", o.name)
+		}
+		sig := delayed(base, regs)
+		if sig == o.name {
+			if err := out.MarkOutput(o.name); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if out.Node(o.name) != nil {
+			return nil, fmt.Errorf("seqmap: output port %q collides with a net", o.name)
+		}
+		if _, err := out.AddNode(o.name, []string{sig}, logic.Variable(sig)); err != nil {
+			return nil, err
+		}
+		if err := out.MarkOutput(o.name); err != nil {
+			return nil, err
+		}
+	}
+	for _, pc := range pendingChains {
+		if _, err := out.ConnectLatch(pc.prev, pc.name, false); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Network: out, LUTs: luts, Registers: len(out.Latches())}, nil
+}
+
+// coneExpr unfolds the cone of v down to the boundary, which is keyed
+// by "nodeID@weight" and maps to the signal name carrying that value.
+func coneExpr(v *seqNode, boundary map[string]string) (*logic.Expr, []string, error) {
+	memo := map[string]*logic.Expr{}
+	faninSet := map[string]bool{}
+	var fanins []string
+	var rec func(n *seqNode, w int) (*logic.Expr, error)
+	rec = func(n *seqNode, w int) (*logic.Expr, error) {
+		key := fmt.Sprintf("%d@%d", n.id, w)
+		if e, ok := memo[key]; ok {
+			return e, nil
+		}
+		if sig, ok := boundary[key]; ok {
+			if !faninSet[sig] {
+				faninSet[sig] = true
+				fanins = append(fanins, sig)
+			}
+			e := logic.Variable(sig)
+			memo[key] = e
+			return e, nil
+		}
+		if n.kind == kindPI {
+			return nil, fmt.Errorf("seqmap: cone escaped past primary input %q", n.name)
+		}
+		memo[key] = nil // cycle guard
+		var kids []*logic.Expr
+		for _, fe := range n.fanins {
+			k, err := rec(fe.node, w+fe.weight)
+			if err != nil {
+				return nil, err
+			}
+			if k == nil {
+				return nil, fmt.Errorf("seqmap: unfolding loop without a register at node %d", n.id)
+			}
+			kids = append(kids, k)
+		}
+		var e *logic.Expr
+		switch n.kind {
+		case kindInv:
+			e = logic.Not(kids[0])
+		case kindNand:
+			e = logic.Not(logic.And(kids...))
+		}
+		memo[key] = e
+		return e, nil
+	}
+	e, err := rec(v, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, fanins, nil
+}

@@ -1,0 +1,417 @@
+package seqmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagcover/internal/bench"
+	"dagcover/internal/flowmap"
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+	"dagcover/internal/retime"
+	"dagcover/internal/subject"
+	"dagcover/internal/verify"
+)
+
+// threeStepPeriod runs the paper's practical flow for comparison:
+// FlowMap the combinational portion (latch boundaries fixed), then
+// retime the LUT network to its minimum period (unit LUT delay).
+func threeStepPeriod(t *testing.T, nw *network.Network, k int) float64 {
+	t.Helper()
+	g, err := subject.FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := flowmap.Map(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reattach latches: the LUT network exposes latch inputs as
+	// outputs and latch outputs as free inputs.
+	seq := network.New(nw.Name + "_3step")
+	latchOut := map[string]bool{}
+	for _, l := range nw.Latches() {
+		latchOut[l.Output.Name] = true
+	}
+	for _, in := range fm.Network.Inputs() {
+		if latchOut[in.Name] {
+			if _, err := seq.AddLatchOutput(in.Name); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if _, err := seq.AddInput(in.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := fm.Network.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range topo {
+		if n.Func == nil {
+			continue
+		}
+		var names []string
+		for _, fi := range n.Fanins {
+			names = append(names, fi.Name)
+		}
+		if _, err := seq.AddNode(n.Name, names, n.Func.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range nw.Latches() {
+		if _, err := seq.ConnectLatch(l.Input.Name, l.Output.Name, l.Init); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range nw.Outputs() {
+		if err := seq.MarkOutput(o.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _, err := retime.MinPeriod(seq, retime.UnitDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func checkResult(t *testing.T, nw *network.Network, res *Result, k int) {
+	t.Helper()
+	if err := res.Network.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// LUT width bound.
+	for _, n := range res.Network.Nodes() {
+		if n.Func != nil && len(n.Fanins) > k {
+			t.Errorf("LUT %q has %d inputs > k=%d", n.Name, len(n.Fanins), k)
+		}
+	}
+	// The structural period must not exceed the claimed one
+	// (identity alias nodes for output ports are zero-cost LUTs but
+	// count 1 in UnitDelays; tolerate +1 for them).
+	p, err := retime.Period(res.Network, func(n *network.Node) float64 {
+		if n.Func == nil {
+			return 0
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(p) > res.Period+1 {
+		t.Errorf("structural period %v exceeds claimed %d", p, res.Period)
+	}
+	// Cycle-accurate equivalence from reset.
+	if err := verify.Sequential(nw, res.Network, verify.SeqOptions{Cycles: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqMapShiftRegister(t *testing.T) {
+	nw := bench.ShiftRegister(6)
+	res, err := Map(nw, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 1 {
+		t.Errorf("shift register period = %d, want 1", res.Period)
+	}
+	checkResult(t, nw, res, 4)
+}
+
+func TestSeqMapPipelinedALU(t *testing.T) {
+	nw := bench.PipelinedALU(4, 2)
+	for _, k := range []int{3, 4, 5} {
+		res, err := Map(nw, Options{K: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		checkResult(t, nw, res, k)
+		three := threeStepPeriod(t, nw, k)
+		if float64(res.Period) > three+1e-9 {
+			t.Errorf("k=%d: joint optimization (%d) worse than 3-step flow (%v)", k, res.Period, three)
+		}
+		t.Logf("k=%d: seqmap period %d (3-step %v), %d LUTs, %d regs",
+			k, res.Period, three, res.LUTs, res.Registers)
+	}
+}
+
+func TestSeqMapCorrelator(t *testing.T) {
+	nw := bench.Correlator(8)
+	res, err := Map(nw, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, nw, res, 4)
+	three := threeStepPeriod(t, nw, 4)
+	if float64(res.Period) > three+1e-9 {
+		t.Errorf("joint optimization (%d) worse than 3-step flow (%v)", res.Period, three)
+	}
+	t.Logf("correlator: seqmap period %d, 3-step %v", res.Period, three)
+}
+
+func TestSeqMapRing(t *testing.T) {
+	// A registered feedback loop: q' = q XOR x through 3 inverter
+	// stages; the cycle has one register, so the period is bounded
+	// below by the loop's LUT depth at k=2... with k=4 the whole loop
+	// fits in one LUT: period 1.
+	nw := network.New("ring")
+	if _, err := nw.AddInput("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddLatchOutput("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode("g1", []string{"q", "x"}, logic.MustParse("q^x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode("g2", []string{"g1"}, logic.MustParse("!g1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.ConnectLatch("g2", "q", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode("y", []string{"g2"}, logic.MustParse("g2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput("y"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(nw, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, nw, res, 4)
+	if res.Period > 2 {
+		t.Errorf("ring period = %d, want <= 2", res.Period)
+	}
+}
+
+func TestSeqMapRejects(t *testing.T) {
+	if _, err := Map(bench.RippleAdder(4), Options{K: 4}); err == nil {
+		t.Error("combinational circuit accepted")
+	}
+	nw := bench.ShiftRegister(2)
+	nw.Latches()[0].Init = true
+	if _, err := Map(nw, Options{K: 4}); err == nil {
+		t.Error("non-zero initial value accepted")
+	}
+	if _, err := Map(bench.ShiftRegister(2), Options{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+}
+
+// Feasibility is monotone in φ.
+func TestSeqMapMonotonePhi(t *testing.T) {
+	nw := bench.PipelinedALU(4, 1)
+	g, err := buildSeqGraph(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{K: 4}
+	if err := opt.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	feas := make(map[int]bool)
+	for phi := 1; phi <= 12; phi++ {
+		_, _, ok := labels(g, phi, opt)
+		feas[phi] = ok
+	}
+	seen := false
+	for phi := 1; phi <= 12; phi++ {
+		if feas[phi] {
+			seen = true
+		} else if seen {
+			t.Errorf("feasibility not monotone: φ=%d infeasible after a feasible smaller φ", phi)
+		}
+	}
+	if !seen {
+		t.Error("no feasible φ up to 12")
+	}
+}
+
+// xorPipeline builds a 16-input XOR tree whose first level is
+// registered: x0..x15 -> 8 XOR2s -> latches -> XOR8 tree -> y.
+func xorPipeline(t *testing.T) *network.Network {
+	t.Helper()
+	nw := network.New("xorpipe")
+	var regs []string
+	for i := 0; i < 16; i += 2 {
+		a := addIn(t, nw, i)
+		b := addIn(t, nw, i+1)
+		x := mustNode(t, nw, name("x", i/2), logic.MustParse(a+"^"+b), a, b)
+		q := name("q", i/2)
+		if _, err := nw.AddLatch(x, q, false); err != nil {
+			t.Fatal(err)
+		}
+		regs = append(regs, q)
+	}
+	cur := regs
+	lvl := 0
+	for len(cur) > 1 {
+		var next []string
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, mustNode(t, nw,
+				name("t", lvl*10+i), logic.MustParse(cur[i]+"^"+cur[i+1]), cur[i], cur[i+1]))
+		}
+		cur = next
+		lvl++
+	}
+	y := mustNode(t, nw, "y", logic.MustParse(cur[0]), cur[0])
+	if err := nw.MarkOutput(y); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func addIn(t *testing.T, nw *network.Network, i int) string {
+	t.Helper()
+	n := name("in", i)
+	if _, err := nw.AddInput(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func name(p string, i int) string { return fmt.Sprintf("%s%d", p, i) }
+
+func mustNode(t *testing.T, nw *network.Network, nm string, fn *logic.Expr, fanins ...string) string {
+	t.Helper()
+	if _, err := nw.AddNode(nm, fanins, fn); err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+// The joint optimization's signature advantage: cuts crossing the
+// registers let the mapper re-place them between its own LUT levels,
+// beating the fixed-boundary three-step flow.
+func TestSeqMapBeatsThreeStep(t *testing.T) {
+	nw := xorPipeline(t)
+	res, err := Map(nw, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, nw, res, 4)
+	three := threeStepPeriod(t, nw, 4)
+	t.Logf("xor pipeline: seqmap period %d, 3-step %v", res.Period, three)
+	if res.Period != 1 || three != 2 {
+		t.Errorf("expected the strict win 1 vs 2, got %d vs %v", res.Period, three)
+	}
+}
+
+// Autonomous feedback: an n-bit counter's carry chain is a real
+// register-to-register critical path; the joint mapper must find a
+// small period and stay cycle-accurate.
+func TestSeqMapCounter(t *testing.T) {
+	nw := bench.Counter(6)
+	res, err := Map(nw, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, nw, res, 4)
+	three := threeStepPeriod(t, nw, 4)
+	if float64(res.Period) > three+1e-9 {
+		t.Errorf("joint (%d) worse than 3-step (%v)", res.Period, three)
+	}
+	t.Logf("counter: joint period %d, 3-step %v, %d LUTs", res.Period, three, res.LUTs)
+}
+
+// Property (testing/quick): on random sequential circuits the joint
+// mapper never loses to the three-step flow and always produces a
+// cycle-accurate, width-legal netlist.
+func TestQuickSeqMapInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw, err := randomPipelineFor(rng)
+		if err != nil {
+			t.Logf("seed %d: generator: %v", seed, err)
+			return false
+		}
+		if len(nw.Latches()) == 0 {
+			return true // nothing to map sequentially
+		}
+		res, err := Map(nw, Options{K: 4})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := res.Network.Check(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, n := range res.Network.Nodes() {
+			if n.Func != nil && len(n.Fanins) > 4 {
+				t.Logf("seed %d: LUT too wide", seed)
+				return false
+			}
+		}
+		if err := verify.Sequential(nw, res.Network, verify.SeqOptions{Cycles: 60, Seed: seed}); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomPipelineFor builds a random sequential DAG with latch chains
+// sprinkled on connections (mirrors the retime package's generator).
+func randomPipelineFor(rng *rand.Rand) (*network.Network, error) {
+	nw := network.New("qseq")
+	var signals []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("in%d", i)
+		if _, err := nw.AddInput(name); err != nil {
+			return nil, err
+		}
+		signals = append(signals, name)
+	}
+	latchCtr := 0
+	gates := 5 + rng.Intn(12)
+	for gIdx := 0; gIdx < gates; gIdx++ {
+		k := 1 + rng.Intn(2)
+		var fanins []string
+		seen := map[string]bool{}
+		for len(fanins) < k {
+			src := signals[rng.Intn(len(signals))]
+			if rng.Intn(4) == 0 {
+				lname := fmt.Sprintf("q%d", latchCtr)
+				latchCtr++
+				if _, err := nw.AddLatch(src, lname, false); err != nil {
+					return nil, err
+				}
+				src = lname
+			}
+			if !seen[src] {
+				seen[src] = true
+				fanins = append(fanins, src)
+			}
+		}
+		name := fmt.Sprintf("n%d", gIdx)
+		kids := make([]*logic.Expr, len(fanins))
+		for i, f := range fanins {
+			kids[i] = logic.Variable(f)
+		}
+		var fn *logic.Expr
+		if rng.Intn(2) == 0 {
+			fn = logic.Not(logic.And(kids...))
+		} else {
+			fn = logic.Xor(kids...)
+		}
+		if _, err := nw.AddNode(name, fanins, fn); err != nil {
+			return nil, err
+		}
+		signals = append(signals, name)
+	}
+	if err := nw.MarkOutput(signals[len(signals)-1]); err != nil {
+		return nil, err
+	}
+	return nw, nw.Check()
+}

@@ -1,0 +1,161 @@
+package subject
+
+import (
+	"fmt"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+// Choices records functionally equivalent alternative subject nodes
+// (the light version of Lehman et al.'s mapping graphs the paper's §4
+// points at): each class groups nodes computing the same function,
+// typically produced by decomposing the same network node in several
+// ways into one shared graph. Mappers may realize any member.
+type Choices struct {
+	classOf map[*Node]int
+	classes [][]*Node
+}
+
+// NewChoices returns an empty choice set.
+func NewChoices() *Choices {
+	return &Choices{classOf: map[*Node]int{}}
+}
+
+// Declare registers the nodes as functionally equivalent. Nodes
+// already in classes are merged.
+func (c *Choices) Declare(nodes ...*Node) error {
+	if len(nodes) < 2 {
+		return nil
+	}
+	target := -1
+	for _, n := range nodes {
+		if id, ok := c.classOf[n]; ok {
+			if target == -1 || id == target {
+				target = id
+				continue
+			}
+			// Merge class id into target.
+			for _, m := range c.classes[id] {
+				c.classOf[m] = target
+			}
+			c.classes[target] = append(c.classes[target], c.classes[id]...)
+			c.classes[id] = nil
+		}
+	}
+	if target == -1 {
+		target = len(c.classes)
+		c.classes = append(c.classes, nil)
+	}
+	for _, n := range nodes {
+		if id, ok := c.classOf[n]; ok && id == target {
+			continue
+		}
+		if _, ok := c.classOf[n]; ok {
+			continue // merged above
+		}
+		c.classOf[n] = target
+		c.classes[target] = append(c.classes[target], n)
+	}
+	return nil
+}
+
+// Members returns the equivalence class of n (including n), or nil
+// when n has no registered alternatives.
+func (c *Choices) Members(n *Node) []*Node {
+	if c == nil {
+		return nil
+	}
+	id, ok := c.classOf[n]
+	if !ok {
+		return nil
+	}
+	return c.classes[id]
+}
+
+// NumClasses returns the number of non-empty classes.
+func (c *Choices) NumClasses() int {
+	n := 0
+	for _, cl := range c.classes {
+		if len(cl) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// FromNetworkWithChoices decomposes every network node twice —
+// chain and balanced — into one shared, structurally hashed graph and
+// records the alternatives as choice classes. Downstream logic is
+// built on the chain representative (empirically the stronger
+// canonical: structural hashing shares more of the alternative cones
+// that one-to-one matching can then reach); mappers reach the other
+// cones through the choices. Constant handling matches FromNetwork.
+func FromNetworkWithChoices(nw *network.Network) (*Graph, *Choices, error) {
+	topo, err := nw.TopoSort()
+	if err != nil {
+		return nil, nil, err
+	}
+	g := NewGraph(nw.Name, true)
+	choices := NewChoices()
+	nodeOf := map[*network.Node]*Node{}
+	constOf := map[*network.Node]*logic.Expr{}
+	for _, n := range topo {
+		if n.Func == nil {
+			pi, err := g.AddPI(n.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			nodeOf[n] = pi
+			continue
+		}
+		fn := n.Func
+		for _, fi := range n.Fanins {
+			if c, isConst := constOf[fi]; isConst {
+				fn = substitute(fn, fi.Name, c)
+			}
+		}
+		fn = simplify(fn)
+		if fn.Op == logic.OpConst {
+			constOf[n] = fn
+			continue
+		}
+		env := map[string]*Node{}
+		for _, fi := range n.Fanins {
+			if sn, ok := nodeOf[fi]; ok {
+				env[fi.Name] = sn
+			}
+		}
+		g.SetChainDecomposition(true)
+		chain, err := g.Build(fn, env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("subject: node %q: %v", n.Name, err)
+		}
+		g.SetChainDecomposition(false)
+		balanced, err := g.Build(fn, env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("subject: node %q: %v", n.Name, err)
+		}
+		if chain != balanced {
+			if err := choices.Declare(balanced, chain); err != nil {
+				return nil, nil, err
+			}
+		}
+		nodeOf[n] = chain
+	}
+	for _, o := range nw.Outputs() {
+		sn, ok := nodeOf[o]
+		if !ok {
+			return nil, nil, fmt.Errorf("subject: primary output %q is constant; constant outputs cannot be mapped", o.Name)
+		}
+		g.MarkOutput(o.Name, sn)
+	}
+	for _, l := range nw.Latches() {
+		sn, ok := nodeOf[l.Input]
+		if !ok {
+			return nil, nil, fmt.Errorf("subject: latch input %q is constant; constant latch inputs cannot be mapped", l.Input.Name)
+		}
+		g.MarkOutput(l.Input.Name, sn)
+	}
+	return g, choices, nil
+}

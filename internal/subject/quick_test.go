@@ -1,0 +1,154 @@
+package subject
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagcover/internal/logic"
+)
+
+// randQuickExpr builds a random expression over up to nVars variables.
+func randQuickExpr(rng *rand.Rand, depth, nVars int) *logic.Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		return logic.Variable(string(rune('a' + rng.Intn(nVars))))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return logic.Not(randQuickExpr(rng, depth-1, nVars))
+	case 1:
+		kids := make([]*logic.Expr, 2+rng.Intn(3))
+		for i := range kids {
+			kids[i] = randQuickExpr(rng, depth-1, nVars)
+		}
+		return logic.And(kids...)
+	case 2:
+		kids := make([]*logic.Expr, 2+rng.Intn(3))
+		for i := range kids {
+			kids[i] = randQuickExpr(rng, depth-1, nVars)
+		}
+		return logic.Or(kids...)
+	default:
+		return logic.Xor(randQuickExpr(rng, depth-1, nVars), randQuickExpr(rng, depth-1, nVars))
+	}
+}
+
+// Property (testing/quick): decomposition preserves the function in
+// every mode (shared/unshared x balanced/chain), produces only
+// NAND2/INV nodes, and keeps the graph structurally valid.
+func TestQuickDecompositionEquivalence(t *testing.T) {
+	prop := func(seed int64, shared, chain bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randQuickExpr(rng, 4, 4)
+		if e.Op == logic.OpConst {
+			return true
+		}
+		g := NewGraph("q", shared)
+		g.SetChainDecomposition(chain)
+		env := map[string]*Node{}
+		for _, v := range e.Vars() {
+			pi, err := g.AddPI(v)
+			if err != nil {
+				return false
+			}
+			env[v] = pi
+		}
+		n, err := g.Build(e, env)
+		if err != nil {
+			// Constants can only arise from folding; the constructors
+			// already fold them, so Build must succeed here.
+			return false
+		}
+		if err := g.Check(); err != nil {
+			return false
+		}
+		for _, nd := range g.Nodes {
+			if nd.Kind != PI && nd.Kind != Inv && nd.Kind != Nand2 {
+				return false
+			}
+		}
+		back, err := Expr(n, nil)
+		if err != nil {
+			return false
+		}
+		eq, err := logic.Equivalent(e, back)
+		return err == nil && eq
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: strashing is idempotent — building the same expression
+// twice into one shared graph adds no new nodes the second time.
+func TestQuickStrashIdempotence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randQuickExpr(rng, 4, 4)
+		g := NewGraph("q", true)
+		env := map[string]*Node{}
+		for _, v := range e.Vars() {
+			pi, err := g.AddPI(v)
+			if err != nil {
+				return false
+			}
+			env[v] = pi
+		}
+		n1, err := g.Build(e, env)
+		if err != nil {
+			return false
+		}
+		size := len(g.Nodes)
+		n2, err := g.Build(e, env)
+		if err != nil {
+			return false
+		}
+		return n1 == n2 && len(g.Nodes) == size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shared graphs are never larger than unshared ones and
+// node IDs always appear in topological order.
+func TestQuickSharingNeverGrows(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randQuickExpr(rng, 5, 3)
+		build := func(share bool) (*Graph, bool) {
+			g := NewGraph("q", share)
+			env := map[string]*Node{}
+			for _, v := range e.Vars() {
+				pi, err := g.AddPI(v)
+				if err != nil {
+					return nil, false
+				}
+				env[v] = pi
+			}
+			if _, err := g.Build(e, env); err != nil {
+				return nil, false
+			}
+			return g, true
+		}
+		gs, ok1 := build(true)
+		gu, ok2 := build(false)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if len(gs.Nodes) > len(gu.Nodes) {
+			return false
+		}
+		for _, n := range gs.Nodes {
+			for _, fi := range n.Fanins() {
+				if fi.ID >= n.ID {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,568 @@
+// Package subject implements Keutzer-style subject graphs and pattern
+// graphs: directed acyclic graphs whose internal nodes are 2-input
+// NANDs and inverters. A circuit (network.Network) is technology-
+// decomposed into a subject graph; each library gate is decomposed
+// into a pattern graph. Technology mapping covers the former with the
+// latter.
+//
+// Decomposition is deterministic and balanced, and uses structural
+// hashing (with inverter-pair folding) so that identical subexpressions
+// share nodes. Tree mapping and DAG mapping therefore always operate
+// on the same subject graph, as in the paper's experiments.
+package subject
+
+import (
+	"fmt"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+// Kind classifies subject-graph nodes.
+type Kind uint8
+
+const (
+	// PI is a source: a primary input, a latch output, or a pattern
+	// leaf.
+	PI Kind = iota
+	// Inv is an inverter.
+	Inv
+	// Nand2 is a 2-input NAND.
+	Nand2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PI:
+		return "pi"
+	case Inv:
+		return "inv"
+	case Nand2:
+		return "nand2"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Node is a subject-graph vertex.
+type Node struct {
+	ID      int
+	Kind    Kind
+	Fanin   [2]*Node // Fanin[1] is nil for Inv; both nil for PI
+	Fanouts []*Node
+	Name    string // source name for PI nodes; empty otherwise
+}
+
+// NumFanins returns 0, 1 or 2 according to the node kind.
+func (n *Node) NumFanins() int {
+	switch n.Kind {
+	case PI:
+		return 0
+	case Inv:
+		return 1
+	}
+	return 2
+}
+
+// Fanins returns the fanin slice (length NumFanins).
+func (n *Node) Fanins() []*Node { return n.Fanin[:n.NumFanins()] }
+
+// String renders the node for diagnostics.
+func (n *Node) String() string {
+	switch n.Kind {
+	case PI:
+		return fmt.Sprintf("%d:pi(%s)", n.ID, n.Name)
+	case Inv:
+		return fmt.Sprintf("%d:inv(%d)", n.ID, n.Fanin[0].ID)
+	}
+	return fmt.Sprintf("%d:nand2(%d,%d)", n.ID, n.Fanin[0].ID, n.Fanin[1].ID)
+}
+
+// Output names a subject node that must be made available in the
+// mapped circuit (a primary output or a latch input).
+type Output struct {
+	Name string
+	Node *Node
+}
+
+// Graph is a subject graph. Nodes appear in topological order (every
+// node after its fanins).
+type Graph struct {
+	Name    string
+	Nodes   []*Node
+	PIs     []*Node
+	Outputs []Output
+
+	share  bool
+	chain  bool // left-leaning decomposition instead of balanced
+	strash map[[3]int64]*Node
+	byName map[string]*Node // PI lookup
+}
+
+// SetChainDecomposition switches n-ary AND/OR/XOR decomposition from
+// balanced trees to left-leaning chains; used by the decomposition-
+// sensitivity ablation (optimality is relative to the subject graph,
+// §4's discussion of Lehman et al.). Must be called before Build.
+func (g *Graph) SetChainDecomposition(on bool) { g.chain = on }
+
+// splitPoint picks the n-ary operator split: the midpoint for
+// balanced trees, n-1 for chains.
+func (g *Graph) splitPoint(n int) int {
+	if g.chain {
+		return n - 1
+	}
+	return n / 2
+}
+
+// NewGraph returns an empty subject graph. If share is true, identical
+// subexpressions are merged by structural hashing and inverter pairs
+// are folded (the normal mode for circuits); pattern graphs for tree
+// matching may disable sharing.
+func NewGraph(name string, share bool) *Graph {
+	return &Graph{
+		Name:   name,
+		share:  share,
+		strash: map[[3]int64]*Node{},
+		byName: map[string]*Node{},
+	}
+}
+
+// AddPI creates a source node.
+func (g *Graph) AddPI(name string) (*Node, error) {
+	if _, dup := g.byName[name]; dup {
+		return nil, fmt.Errorf("subject: duplicate source %q", name)
+	}
+	n := &Node{ID: len(g.Nodes), Kind: PI, Name: name}
+	g.Nodes = append(g.Nodes, n)
+	g.PIs = append(g.PIs, n)
+	g.byName[name] = n
+	return n, nil
+}
+
+// PI returns the source node with the given name, or nil.
+func (g *Graph) PI(name string) *Node { return g.byName[name] }
+
+// Not returns an inverter over x (folding double inversion when
+// sharing is enabled).
+func (g *Graph) Not(x *Node) *Node {
+	if g.share && x.Kind == Inv {
+		return x.Fanin[0]
+	}
+	key := [3]int64{int64(Inv), int64(x.ID), -1}
+	if g.share {
+		if n, ok := g.strash[key]; ok {
+			return n
+		}
+	}
+	n := &Node{ID: len(g.Nodes), Kind: Inv, Fanin: [2]*Node{x, nil}}
+	x.Fanouts = append(x.Fanouts, n)
+	g.Nodes = append(g.Nodes, n)
+	if g.share {
+		g.strash[key] = n
+	}
+	return n
+}
+
+// Nand returns a 2-input NAND over x and y (commutatively hashed).
+// With sharing enabled, NAND(x,x) folds to NOT(x).
+func (g *Graph) Nand(x, y *Node) *Node {
+	if g.share && x == y {
+		return g.Not(x)
+	}
+	a, b := x, y
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	key := [3]int64{int64(Nand2), int64(a.ID), int64(b.ID)}
+	if g.share {
+		if n, ok := g.strash[key]; ok {
+			return n
+		}
+	}
+	n := &Node{ID: len(g.Nodes), Kind: Nand2, Fanin: [2]*Node{a, b}}
+	// Tied inputs (a == b) record two fanout entries, matching the two
+	// fanin slots; Check relies on this symmetry.
+	a.Fanouts = append(a.Fanouts, n)
+	b.Fanouts = append(b.Fanouts, n)
+	g.Nodes = append(g.Nodes, n)
+	if g.share {
+		g.strash[key] = n
+	}
+	return n
+}
+
+// MarkOutput registers node as a required output with the given name.
+func (g *Graph) MarkOutput(name string, n *Node) {
+	g.Outputs = append(g.Outputs, Output{Name: name, Node: n})
+}
+
+// Build decomposes expression e (over the named sources in env) into
+// the graph and returns the node computing e.
+func (g *Graph) Build(e *logic.Expr, env map[string]*Node) (*Node, error) {
+	return g.build(e, false, env)
+}
+
+func (g *Graph) build(e *logic.Expr, neg bool, env map[string]*Node) (*Node, error) {
+	switch e.Op {
+	case logic.OpConst:
+		return nil, fmt.Errorf("subject: constant functions cannot be decomposed (run constant propagation first)")
+	case logic.OpVar:
+		n, ok := env[e.Var]
+		if !ok {
+			return nil, fmt.Errorf("subject: unbound variable %q", e.Var)
+		}
+		if neg {
+			n = g.Not(n)
+		}
+		return n, nil
+	case logic.OpNot:
+		return g.build(e.Kids[0], !neg, env)
+	case logic.OpAnd:
+		return g.buildAnd(e.Kids, neg, env)
+	case logic.OpOr:
+		// De Morgan: x1+...+xn = !(!x1 * ... * !xn).
+		negKids := make([]*logic.Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			negKids[i] = logic.Not(k)
+		}
+		return g.buildAnd(negKids, !neg, env)
+	case logic.OpXor:
+		return g.buildXor(e.Kids, neg, env)
+	}
+	return nil, fmt.Errorf("subject: invalid expression op %v", e.Op)
+}
+
+// buildAnd decomposes AND(kids) (negated if neg) into a balanced
+// NAND2/INV tree.
+func (g *Graph) buildAnd(kids []*logic.Expr, neg bool, env map[string]*Node) (*Node, error) {
+	if len(kids) == 1 {
+		return g.build(kids[0], neg, env)
+	}
+	mid := g.splitPoint(len(kids))
+	l, err := g.buildAnd2(kids[:mid], env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := g.buildAnd2(kids[mid:], env)
+	if err != nil {
+		return nil, err
+	}
+	n := g.Nand(l, r)
+	if !neg {
+		n = g.Not(n)
+	}
+	return n, nil
+}
+
+// buildAnd2 builds the positive AND of kids.
+func (g *Graph) buildAnd2(kids []*logic.Expr, env map[string]*Node) (*Node, error) {
+	return g.buildAnd(kids, false, env)
+}
+
+// buildXor decomposes XOR(kids) in sum-of-products form,
+// a^b = !(!(a*!b) * !(!a*b)), the shape SIS's technology
+// decomposition produces from the SOP representation. The operand
+// subgraphs are built once and reused for both polarities (only an
+// inverter separates them), so the expansion stays linear for n-ary
+// XOR.
+func (g *Graph) buildXor(kids []*logic.Expr, neg bool, env map[string]*Node) (*Node, error) {
+	if len(kids) == 1 {
+		return g.build(kids[0], neg, env)
+	}
+	mid := g.splitPoint(len(kids))
+	a, err := g.buildXor(kids[:mid], false, env)
+	if err != nil {
+		return nil, err
+	}
+	b, err := g.buildXor(kids[mid:], false, env)
+	if err != nil {
+		return nil, err
+	}
+	n := g.Nand(g.Nand(a, g.Not(b)), g.Nand(g.Not(a), b))
+	if neg {
+		n = g.Not(n)
+	}
+	return n, nil
+}
+
+// Check validates fanin/fanout symmetry and topological node order.
+func (g *Graph) Check() error {
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("subject: node %d has ID %d", i, n.ID)
+		}
+		for _, fi := range n.Fanins() {
+			if fi == nil {
+				return fmt.Errorf("subject: node %v has nil fanin", n)
+			}
+			if fi.ID >= n.ID {
+				return fmt.Errorf("subject: node %v not topologically after fanin %v", n, fi)
+			}
+			count := 0
+			for _, fo := range fi.Fanouts {
+				if fo == n {
+					count++
+				}
+			}
+			uses := 0
+			for _, x := range n.Fanins() {
+				if x == fi {
+					uses++
+				}
+			}
+			if count != uses {
+				return fmt.Errorf("subject: fanout bookkeeping broken between %v and %v", fi, n)
+			}
+		}
+	}
+	for _, o := range g.Outputs {
+		if o.Node == nil || o.Node.ID >= len(g.Nodes) || g.Nodes[o.Node.ID] != o.Node {
+			return fmt.Errorf("subject: output %q references foreign node", o.Name)
+		}
+	}
+	return nil
+}
+
+// Depth returns the maximum level over all nodes (PIs at level 0).
+func (g *Graph) Depth() int {
+	lv := make([]int, len(g.Nodes))
+	max := 0
+	for _, n := range g.Nodes {
+		d := 0
+		for _, fi := range n.Fanins() {
+			if lv[fi.ID]+1 > d {
+				d = lv[fi.ID] + 1
+			}
+		}
+		lv[n.ID] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Stats summarizes a subject graph.
+type Stats struct {
+	Nodes, PIs, Outputs int
+	Nands, Invs         int
+	Depth               int
+	MultiFanout         int // nodes with fanout >= 2
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: len(g.Nodes), PIs: len(g.PIs), Outputs: len(g.Outputs), Depth: g.Depth()}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Nand2:
+			s.Nands++
+		case Inv:
+			s.Invs++
+		}
+		if len(n.Fanouts) >= 2 {
+			s.MultiFanout++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d (nand2=%d inv=%d) pi=%d out=%d depth=%d multifanout=%d",
+		s.Nodes, s.Nands, s.Invs, s.PIs, s.Outputs, s.Depth, s.MultiFanout)
+}
+
+// FromNetwork technology-decomposes a Boolean network into a subject
+// graph. Latch outputs become PI nodes; latch inputs are appended to
+// Outputs after the primary outputs (callers that need to distinguish
+// them can count: the first len(nw.Outputs()) entries are POs).
+//
+// Constant node functions are propagated into their fanouts first; a
+// constant primary output is an error.
+func FromNetwork(nw *network.Network) (*Graph, error) {
+	return FromNetworkChained(nw, false)
+}
+
+// FromNetworkChained is FromNetwork with a left-leaning (chain)
+// decomposition when chain is true; the default is balanced.
+func FromNetworkChained(nw *network.Network, chain bool) (*Graph, error) {
+	topo, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	g := NewGraph(nw.Name, true)
+	g.SetChainDecomposition(chain)
+	nodeOf := map[*network.Node]*Node{}
+	constOf := map[*network.Node]*logic.Expr{} // constant nodes
+	for _, n := range topo {
+		if n.Func == nil {
+			pi, err := g.AddPI(n.Name)
+			if err != nil {
+				return nil, err
+			}
+			nodeOf[n] = pi
+			continue
+		}
+		// Substitute constant fanins, then decompose.
+		fn := n.Func
+		for _, fi := range n.Fanins {
+			if c, isConst := constOf[fi]; isConst {
+				fn = substitute(fn, fi.Name, c)
+			}
+		}
+		fn = simplify(fn)
+		if fn.Op == logic.OpConst {
+			constOf[n] = fn
+			continue
+		}
+		env := map[string]*Node{}
+		for _, fi := range n.Fanins {
+			if sn, ok := nodeOf[fi]; ok {
+				env[fi.Name] = sn
+			}
+		}
+		sn, err := g.Build(fn, env)
+		if err != nil {
+			return nil, fmt.Errorf("subject: node %q: %v", n.Name, err)
+		}
+		nodeOf[n] = sn
+	}
+	for _, o := range nw.Outputs() {
+		sn, ok := nodeOf[o]
+		if !ok {
+			return nil, fmt.Errorf("subject: primary output %q is constant; constant outputs cannot be mapped", o.Name)
+		}
+		g.MarkOutput(o.Name, sn)
+	}
+	for _, l := range nw.Latches() {
+		sn, ok := nodeOf[l.Input]
+		if !ok {
+			return nil, fmt.Errorf("subject: latch input %q is constant; constant latch inputs cannot be mapped", l.Input.Name)
+		}
+		g.MarkOutput(l.Input.Name, sn)
+	}
+	return g, nil
+}
+
+// substitute replaces variable v with expression rep in e.
+func substitute(e *logic.Expr, v string, rep *logic.Expr) *logic.Expr {
+	if e.Op == logic.OpVar {
+		if e.Var == v {
+			return rep.Clone()
+		}
+		return e
+	}
+	c := &logic.Expr{Op: e.Op, Var: e.Var, Const: e.Const}
+	c.Kids = make([]*logic.Expr, len(e.Kids))
+	for i, k := range e.Kids {
+		c.Kids[i] = substitute(k, v, rep)
+	}
+	return c
+}
+
+// simplify rebuilds e through the folding constructors, propagating
+// constants.
+func simplify(e *logic.Expr) *logic.Expr {
+	switch e.Op {
+	case logic.OpConst, logic.OpVar:
+		return e
+	case logic.OpNot:
+		return logic.Not(simplify(e.Kids[0]))
+	case logic.OpAnd, logic.OpOr, logic.OpXor:
+		kids := make([]*logic.Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[i] = simplify(k)
+		}
+		switch e.Op {
+		case logic.OpAnd:
+			return logic.And(kids...)
+		case logic.OpOr:
+			return logic.Or(kids...)
+		default:
+			return logic.Xor(kids...)
+		}
+	}
+	return e
+}
+
+// Eval evaluates every node of the graph on 64 packed input vectors
+// (keyed by PI name) and returns the packed value of each node,
+// indexed by node ID.
+func (g *Graph) Eval(inputs map[string]uint64) ([]uint64, error) {
+	vals := make([]uint64, len(g.Nodes))
+	for _, n := range g.Nodes { // topological order
+		switch n.Kind {
+		case PI:
+			v, ok := inputs[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("subject: evaluation input %q not supplied", n.Name)
+			}
+			vals[n.ID] = v
+		case Inv:
+			vals[n.ID] = ^vals[n.Fanin[0].ID]
+		case Nand2:
+			vals[n.ID] = ^(vals[n.Fanin[0].ID] & vals[n.Fanin[1].ID])
+		}
+	}
+	return vals, nil
+}
+
+// TransitiveFanin returns the TFI cone of root (including root).
+func TransitiveFanin(root *Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	stack := []*Node{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.Fanins()...)
+	}
+	return seen
+}
+
+// Expr reconstructs the Boolean expression computed by node n over the
+// PI names of its cone, stopping at the given boundary nodes (which
+// are treated as variables named by boundary[node]). Used for LUT
+// function extraction and verification.
+func Expr(n *Node, boundary map[*Node]string) (*logic.Expr, error) {
+	memo := map[*Node]*logic.Expr{}
+	var rec func(x *Node) (*logic.Expr, error)
+	rec = func(x *Node) (*logic.Expr, error) {
+		if e, ok := memo[x]; ok {
+			return e, nil
+		}
+		if name, ok := boundary[x]; ok {
+			e := logic.Variable(name)
+			memo[x] = e
+			return e, nil
+		}
+		var e *logic.Expr
+		switch x.Kind {
+		case PI:
+			e = logic.Variable(x.Name)
+		case Inv:
+			k, err := rec(x.Fanin[0])
+			if err != nil {
+				return nil, err
+			}
+			e = logic.Not(k)
+		case Nand2:
+			a, err := rec(x.Fanin[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := rec(x.Fanin[1])
+			if err != nil {
+				return nil, err
+			}
+			e = logic.Not(logic.And(a, b))
+		default:
+			return nil, fmt.Errorf("subject: invalid node kind %v", x.Kind)
+		}
+		memo[x] = e
+		return e, nil
+	}
+	return rec(n)
+}

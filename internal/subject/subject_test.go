@@ -1,0 +1,352 @@
+package subject
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+)
+
+func TestBuildGates(t *testing.T) {
+	g := NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	n := g.Nand(a, b)
+	if n.Kind != Nand2 || n.NumFanins() != 2 {
+		t.Fatalf("nand wrong: %v", n)
+	}
+	i := g.Not(n)
+	if i.Kind != Inv || i.Fanin[0] != n {
+		t.Fatalf("inv wrong: %v", i)
+	}
+	// Strashing: same NAND again returns the same node.
+	if g.Nand(b, a) != n {
+		t.Error("commutative strash failed")
+	}
+	// Inverter pair folds.
+	if g.Not(i) != n {
+		t.Error("inverter-pair folding failed")
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSharing(t *testing.T) {
+	g := NewGraph("t", false)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	n1 := g.Nand(a, b)
+	n2 := g.Nand(a, b)
+	if n1 == n2 {
+		t.Error("unshared graph merged nodes")
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiedInputs(t *testing.T) {
+	// With sharing, NAND(x,x) folds to NOT(x).
+	g := NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	n := g.Nand(a, a)
+	if n.Kind != Inv || n.Fanin[0] != a {
+		t.Fatalf("shared tied nand should fold to inverter, got %v", n)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Without sharing, the tied NAND is kept verbatim.
+	g2 := NewGraph("t", false)
+	b, _ := g2.AddPI("b")
+	n2 := g2.Nand(b, b)
+	if n2.Kind != Nand2 || n2.Fanin[0] != b || n2.Fanin[1] != b {
+		t.Fatalf("unshared tied nand wrong: %v", n2)
+	}
+	if len(b.Fanouts) != 2 {
+		t.Errorf("tied input fanout entries = %d, want 2", len(b.Fanouts))
+	}
+	if err := g2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// exprOf evaluates a subject node back to an expression over PIs.
+func exprOf(t *testing.T, n *Node) *logic.Expr {
+	t.Helper()
+	e, err := Expr(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBuildExpressionEquivalence(t *testing.T) {
+	cases := []string{
+		"a*b", "a+b", "!a", "!(a*b)", "!(a+b)", "a^b", "!(a^b)",
+		"a*b+c", "!(a*b+c)", "(a+b)*(c+d)", "a*b*c*d",
+		"a+b+c+d+e", "a^b^c", "s*a+!s*b", "!(a*b+c*d+e*f)",
+		"!((a+b)*(c+d)+(e+f))",
+	}
+	for _, shared := range []bool{true, false} {
+		for _, src := range cases {
+			e := logic.MustParse(src)
+			g := NewGraph("t", shared)
+			env := map[string]*Node{}
+			for _, v := range e.Vars() {
+				pi, err := g.AddPI(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				env[v] = pi
+			}
+			n, err := g.Build(e, env)
+			if err != nil {
+				t.Fatalf("Build(%q): %v", src, err)
+			}
+			if err := g.Check(); err != nil {
+				t.Fatalf("Build(%q): %v", src, err)
+			}
+			back := exprOf(t, n)
+			eq, err := logic.Equivalent(e, back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Errorf("decomposition of %q (share=%v) computes %q", src, shared, back)
+			}
+			// Only NAND2/INV nodes created.
+			for _, nd := range g.Nodes {
+				if nd.Kind != PI && nd.Kind != Inv && nd.Kind != Nand2 {
+					t.Errorf("non-NAND2/INV node %v", nd)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildConstantRejected(t *testing.T) {
+	g := NewGraph("t", true)
+	if _, err := g.Build(logic.Constant(true), nil); err == nil {
+		t.Error("constant decomposition accepted")
+	}
+	if _, err := g.Build(logic.Variable("zz"), nil); err == nil {
+		t.Error("unbound variable accepted")
+	}
+}
+
+func TestXorDecompositionShape(t *testing.T) {
+	// SOP-form XOR: 2 PIs + 2 inverters + 3 NANDs = 7 nodes, in both
+	// sharing modes (the operand subgraphs are reused by reference,
+	// so tree mode does not blow up either).
+	for _, share := range []bool{true, false} {
+		g := NewGraph("t", share)
+		a, _ := g.AddPI("a")
+		b, _ := g.AddPI("b")
+		env := map[string]*Node{"a": a, "b": b}
+		n, err := g.Build(logic.MustParse("a^b"), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Nodes) != 7 {
+			t.Errorf("share=%v: XOR node count = %d, want 7", share, len(g.Nodes))
+		}
+		if n.Kind != Nand2 {
+			t.Errorf("share=%v: XOR root kind = %v", share, n.Kind)
+		}
+	}
+	// n-ary XOR stays linear: XOR8 uses 7 XOR2 blocks = 7*5 internal
+	// nodes + inverters between stages, well under 64 nodes.
+	g := NewGraph("t", true)
+	env := map[string]*Node{}
+	kids := make([]*logic.Expr, 8)
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		pi, _ := g.AddPI(name)
+		env[name] = pi
+		kids[i] = logic.Variable(name)
+	}
+	if _, err := g.Build(logic.Xor(kids...), env); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) > 64 {
+		t.Errorf("XOR8 exploded to %d nodes; the SOP expansion must stay linear", len(g.Nodes))
+	}
+}
+
+func buildNet(t *testing.T) *network.Network {
+	t.Helper()
+	nw := network.New("m")
+	for _, v := range []string{"a", "b", "c", "d"} {
+		if _, err := nw.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustNode := func(name string, fanins []string, fn string) {
+		if _, err := nw.AddNode(name, fanins, logic.MustParse(fn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustNode("x", []string{"a", "b"}, "a*b")
+	mustNode("y", []string{"x", "c"}, "x^c")
+	mustNode("z", []string{"y", "d"}, "!(y+d)")
+	if err := nw.MarkOutput("z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput("y"); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestFromNetwork(t *testing.T) {
+	nw := buildNet(t)
+	g, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.PIs) != 4 || len(g.Outputs) != 2 {
+		t.Fatalf("io wrong: %d PIs, %d outputs", len(g.PIs), len(g.Outputs))
+	}
+	// Verify each output function against direct network evaluation.
+	sim, err := network.NewSimulator(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	in := map[string]uint64{}
+	for _, pi := range nw.Inputs() {
+		in[pi.Name] = rng.Uint64()
+	}
+	want, err := sim.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range g.Outputs {
+		e := exprOf(t, o.Node)
+		got := e.EvalBatch(in)
+		if got != want[o.Name] {
+			t.Errorf("output %q: subject graph %x, network %x", o.Name, got, want[o.Name])
+		}
+	}
+}
+
+func TestFromNetworkConstantPropagation(t *testing.T) {
+	nw := network.New("c")
+	if _, err := nw.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	// one = const 1; f = a * one should simplify to a... which makes f
+	// a wire; g = !(a*one) = !a is mappable.
+	if _, err := nw.AddNode("one", nil, logic.Constant(true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode("g", []string{"a", "one"}, logic.MustParse("!(a*one)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput("g"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := exprOf(t, g.Outputs[0].Node)
+	eq, err := logic.Equivalent(e, logic.MustParse("!a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("constant propagation produced %v", e)
+	}
+	// Constant output is an error.
+	nw2 := network.New("c2")
+	if _, err := nw2.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw2.AddNode("k", nil, logic.Constant(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw2.MarkOutput("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromNetwork(nw2); err == nil {
+		t.Error("constant output accepted")
+	}
+}
+
+func TestFromNetworkLatches(t *testing.T) {
+	nw := network.New("seq")
+	if _, err := nw.AddInput("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddLatch("n", "q", false); err == nil {
+		t.Fatal("latch on unknown input should fail")
+	}
+	if _, err := nw.AddNode("n", []string{"d"}, logic.MustParse("!d")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddLatch("n", "q", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode("f", []string{"q", "d"}, logic.MustParse("q*d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.MarkOutput("f"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PIs: d and the latch output q. Outputs: f and the latch input n.
+	if len(g.PIs) != 2 {
+		t.Errorf("PIs = %d, want 2 (d and q)", len(g.PIs))
+	}
+	if len(g.Outputs) != 2 || g.Outputs[0].Name != "f" || g.Outputs[1].Name != "n" {
+		t.Errorf("outputs = %v", g.Outputs)
+	}
+}
+
+func TestDepthAndStats(t *testing.T) {
+	g := NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	n := g.Nand(a, b)
+	i := g.Not(n)
+	g.MarkOutput("o", i)
+	if d := g.Depth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+	s := g.Stats()
+	if s.Nands != 1 || s.Invs != 1 || s.PIs != 2 || s.Outputs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestExprWithBoundary(t *testing.T) {
+	g := NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	n := g.Nand(a, b)
+	top := g.Not(n)
+	e, err := Expr(top, map[*Node]string{n: "cut"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := logic.Equivalent(e, logic.MustParse("!cut"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("boundary expr = %v", e)
+	}
+}

@@ -1,0 +1,66 @@
+package treemap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagcover/internal/libgen"
+	"dagcover/internal/match"
+	"dagcover/internal/subject"
+	"dagcover/internal/verify"
+)
+
+// Property (testing/quick): tree covering produces a valid,
+// functionally correct netlist whose delay the min-area mode never
+// beats, and min-area never uses more area than min-delay.
+func TestQuickTreeMappingInvariants(t *testing.T) {
+	lib := libgen.Lib2()
+	pats, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := match.NewMatcher(pats)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(t, rng, 4+rng.Intn(3), 12+rng.Intn(20))
+		g, err := subject.FromNetwork(nw)
+		if err != nil {
+			return false
+		}
+		minDelay, err := Map(g, m, Options{Objective: MinDelay})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		minArea, err := Map(g, m, Options{Objective: MinArea})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if minArea.Netlist.Area() > minDelay.Netlist.Area()+1e-9 {
+			t.Logf("seed %d: min-area area %v > min-delay area %v",
+				seed, minArea.Netlist.Area(), minDelay.Netlist.Area())
+			return false
+		}
+		if minArea.Delay+1e-9 < minDelay.Delay {
+			t.Logf("seed %d: min-area delay %v beats optimal %v",
+				seed, minArea.Delay, minDelay.Delay)
+			return false
+		}
+		for _, res := range []*Result{minDelay, minArea} {
+			if err := res.Netlist.Check(); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if err := verify.Mapped(nw, res.Netlist, verify.Options{}); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

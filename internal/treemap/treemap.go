@@ -1,0 +1,220 @@
+// Package treemap implements conventional tree covering — the
+// Keutzer/Rudell technology-mapping baseline the paper compares
+// against. The subject DAG is partitioned at multiple-fanout points
+// into trees, each tree is covered optimally by dynamic programming
+// using exact matches (Definition 2), and the per-tree results are
+// glued: a multi-fanout node is implemented exactly once and no
+// subject node is ever duplicated.
+//
+// Two objectives are provided: minimum delay under a load-independent
+// model (Rudell) and minimum area (Keutzer). The delay objective must
+// agree exactly with the generic covering engine run in exact-match
+// mode (internal/core with match.Exact); the test suite asserts this.
+package treemap
+
+import (
+	"fmt"
+	"math"
+
+	"dagcover/internal/genlib"
+	"dagcover/internal/mapping"
+	"dagcover/internal/match"
+	"dagcover/internal/subject"
+)
+
+// Objective selects the DP cost.
+type Objective int
+
+const (
+	// MinDelay minimizes worst output arrival (Rudell).
+	MinDelay Objective = iota
+	// MinArea minimizes total gate area (Keutzer).
+	MinArea
+)
+
+func (o Objective) String() string {
+	if o == MinArea {
+		return "min-area"
+	}
+	return "min-delay"
+}
+
+// Options configures Map.
+type Options struct {
+	Objective Objective
+	// Delay is the delay model (default genlib.IntrinsicDelay); it is
+	// also used to report the delay of min-area mappings.
+	Delay genlib.DelayModel
+	// Arrivals optionally gives primary-input arrival times.
+	Arrivals map[string]float64
+}
+
+// Result is a completed tree mapping.
+type Result struct {
+	Netlist *mapping.Netlist
+	// Delay is the worst output arrival of the mapped netlist.
+	Delay float64
+	// Cost is the optimized DP cost summed over emitted trees: equal
+	// to Delay for MinDelay, total area for MinArea.
+	Cost float64
+	// Trees is the number of trees in the static partition.
+	Trees int
+}
+
+// Map covers the subject graph tree by tree. The matcher should hold
+// tree-shaped patterns (subject.CompileOptions{Share: false}); shared
+// DAG patterns are legal but can never produce exact matches beyond
+// fully reconvergent cones.
+func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
+	if opt.Delay == nil {
+		opt.Delay = genlib.IntrinsicDelay{}
+	}
+	if len(g.Outputs) == 0 {
+		return nil, fmt.Errorf("treemap: subject graph %q has no outputs", g.Name)
+	}
+
+	// Static partition: a node is a tree boundary ("visible") when it
+	// is a PI, an output root, or has multiple fanouts.
+	visible := make([]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		visible[n.ID] = n.Kind == subject.PI || len(n.Fanouts) >= 2
+	}
+	trees := 0
+	for _, o := range g.Outputs {
+		visible[o.Node.ID] = true
+	}
+	for _, n := range g.Nodes {
+		if visible[n.ID] && n.Kind != subject.PI {
+			trees++
+		}
+	}
+
+	// DP over all nodes in topological order. For delay the recurrence
+	// over exact matches is tree-local automatically; for area,
+	// visible leaves cost nothing (their tree pays once).
+	arr := make([]float64, len(g.Nodes))
+	areaCost := make([]float64, len(g.Nodes))
+	chosen := make([]*match.Match, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			arr[n.ID] = opt.Arrivals[n.Name]
+			continue
+		}
+		var best *match.Match
+		bestCost := math.Inf(1)
+		bestTie := math.Inf(1)
+		m.Enumerate(n, match.Exact, func(mt *match.Match) bool {
+			worst := math.Inf(-1)
+			area := mt.Pattern.Gate.Area
+			for pin, leaf := range mt.Leaves {
+				if v := arr[leaf.ID] + opt.Delay.PinDelay(mt.Pattern.Gate, pin); v > worst {
+					worst = v
+				}
+				if !visible[leaf.ID] {
+					area += areaCost[leaf.ID]
+				}
+			}
+			cost, tie := worst, area
+			if opt.Objective == MinArea {
+				cost, tie = area, worst
+			}
+			if cost < bestCost || (cost == bestCost && tie < bestTie) {
+				bestCost, bestTie = cost, tie
+				best = &match.Match{
+					Pattern: mt.Pattern,
+					Root:    mt.Root,
+					Leaves:  append([]*subject.Node(nil), mt.Leaves...),
+					Covered: append([]*subject.Node(nil), mt.Covered...),
+				}
+			}
+			return true
+		})
+		if best == nil {
+			return nil, fmt.Errorf(
+				"treemap: no exact match at node %v of %q; the library must at least contain a 2-input NAND and an inverter",
+				n, g.Name)
+		}
+		chosen[n.ID] = best
+		worst := math.Inf(-1)
+		area := best.Pattern.Gate.Area
+		for pin, leaf := range best.Leaves {
+			if v := arr[leaf.ID] + opt.Delay.PinDelay(best.Pattern.Gate, pin); v > worst {
+				worst = v
+			}
+			if !visible[leaf.ID] {
+				area += areaCost[leaf.ID]
+			}
+		}
+		arr[n.ID] = worst
+		areaCost[n.ID] = area
+	}
+
+	// Glue: demand-driven emission from the outputs. Each demanded
+	// node is emitted exactly once — no duplication in tree mapping.
+	b := mapping.NewBuilder(g.Name)
+	for _, pi := range g.PIs {
+		if err := b.AddInput(pi.Name); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range g.Outputs {
+		if o.Node.Kind != subject.PI {
+			b.Reserve(o.Name)
+		}
+	}
+	preferred := make([]string, len(g.Nodes))
+	for _, o := range g.Outputs {
+		if preferred[o.Node.ID] == "" {
+			preferred[o.Node.ID] = o.Name
+		}
+	}
+	nets := make([]string, len(g.Nodes))
+	var emit func(n *subject.Node) (string, error)
+	emit = func(n *subject.Node) (string, error) {
+		if nets[n.ID] != "" {
+			return nets[n.ID], nil
+		}
+		if n.Kind == subject.PI {
+			nets[n.ID] = n.Name
+			return n.Name, nil
+		}
+		mt := chosen[n.ID]
+		inputs := make([]string, len(mt.Leaves))
+		for pin, leaf := range mt.Leaves {
+			net, err := emit(leaf)
+			if err != nil {
+				return "", err
+			}
+			inputs[pin] = net
+		}
+		net := preferred[n.ID]
+		if net == "" {
+			net = b.FreshNet()
+		}
+		b.AddCell(mt.Pattern.Gate, inputs, net)
+		nets[n.ID] = net
+		return net, nil
+	}
+	for _, o := range g.Outputs {
+		net, err := emit(o.Node)
+		if err != nil {
+			return nil, err
+		}
+		b.MarkOutput(o.Name, net)
+	}
+	nl, err := b.Netlist()
+	if err != nil {
+		return nil, err
+	}
+	tm, err := nl.Delay(opt.Delay, opt.Arrivals)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Netlist: nl, Delay: tm.Delay, Trees: trees}
+	if opt.Objective == MinArea {
+		res.Cost = nl.Area()
+	} else {
+		res.Cost = tm.Delay
+	}
+	return res, nil
+}

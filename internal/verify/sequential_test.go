@@ -1,0 +1,86 @@
+package verify
+
+import (
+	"testing"
+
+	"dagcover/internal/bench"
+	"dagcover/internal/logic"
+	"dagcover/internal/network"
+	"dagcover/internal/retime"
+)
+
+func TestSequentialSelfEquivalence(t *testing.T) {
+	for _, nw := range []*network.Network{
+		bench.Correlator(6),
+		bench.PipelinedALU(4, 1),
+		bench.ShiftRegister(4),
+	} {
+		if err := Sequential(nw, nw.Clone(), SeqOptions{}); err != nil {
+			t.Errorf("%s: self-equivalence failed: %v", nw.Name, err)
+		}
+	}
+}
+
+func TestSequentialDetectsDifference(t *testing.T) {
+	// A 3-stage shift register vs a pipeline that inverts its input:
+	// functionally different at every aligned shift.
+	c := bench.ShiftRegister(3)
+	e := network.New("inv")
+	if _, err := e.AddInput("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddNode("n", []string{"x"}, logic.MustParse("!x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		name := "q" + string(rune('0'+i))
+		src := "n"
+		if i > 1 {
+			src = "q" + string(rune('0'+i-1))
+		}
+		if _, err := e.AddLatch(src, name, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.AddNode("y", []string{"q3"}, logic.MustParse("q3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.MarkOutput("y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sequential(c, e, SeqOptions{MaxShift: 2}); err == nil {
+		t.Error("inverted pipeline accepted as equivalent")
+	}
+}
+
+func TestSequentialRetimedEquivalence(t *testing.T) {
+	for _, nw := range []*network.Network{
+		bench.PipelinedALU(4, 2),
+		bench.Correlator(8),
+	} {
+		rt, _, err := retimeMin(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Sequential(nw, rt, SeqOptions{Cycles: 80, MaxShift: len(nw.Latches())}); err != nil {
+			t.Errorf("%s: retimed circuit not sequentially equivalent: %v", nw.Name, err)
+		}
+	}
+}
+
+func retimeMin(nw *network.Network) (*network.Network, float64, error) {
+	p, r, err := retime.MinPeriod(nw, retime.UnitDelays)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := retime.Apply(nw, retime.UnitDelays, r)
+	return out, p, err
+}
+
+func TestSequentialInterfaceChecks(t *testing.T) {
+	a := bench.ShiftRegister(2)
+	b := bench.Correlator(2) // different inputs/outputs
+	if err := Sequential(a, b, SeqOptions{}); err == nil {
+		t.Error("mismatched interfaces accepted")
+	}
+}

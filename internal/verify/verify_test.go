@@ -1,0 +1,221 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"dagcover/internal/libgen"
+	"dagcover/internal/logic"
+	"dagcover/internal/mapping"
+	"dagcover/internal/network"
+)
+
+func net(t *testing.T, build func(nw *network.Network) error) *network.Network {
+	t.Helper()
+	nw := network.New("t")
+	if err := build(nw); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNetworksEquivalent(t *testing.T) {
+	mk := func(fn string) *network.Network {
+		return net(t, func(nw *network.Network) error {
+			for _, v := range []string{"a", "b", "c"} {
+				if _, err := nw.AddInput(v); err != nil {
+					return err
+				}
+			}
+			if _, err := nw.AddNode("f", []string{"a", "b", "c"}, logic.MustParse(fn)); err != nil {
+				return err
+			}
+			return nw.MarkOutput("f")
+		})
+	}
+	if err := Networks(mk("a*b+c"), mk("c+b*a"), Options{}); err != nil {
+		t.Errorf("equivalent networks rejected: %v", err)
+	}
+	err := Networks(mk("a*b+c"), mk("a*b"), Options{})
+	if err == nil {
+		t.Error("inequivalent networks accepted")
+	} else if !strings.Contains(err.Error(), "f") {
+		t.Errorf("error does not name the failing output: %v", err)
+	}
+}
+
+func TestNetworksRandomFallback(t *testing.T) {
+	// More than ExhaustiveLimit inputs forces random vectors.
+	mk := func(twist bool) *network.Network {
+		return net(t, func(nw *network.Network) error {
+			var vars []string
+			var kids []*logic.Expr
+			for i := 0; i < ExhaustiveLimit+2; i++ {
+				v := "x" + string(rune('A'+i))
+				if _, err := nw.AddInput(v); err != nil {
+					return err
+				}
+				vars = append(vars, v)
+				kids = append(kids, logic.Variable(v))
+			}
+			fn := logic.Xor(kids...)
+			if twist {
+				fn = logic.Not(logic.Not(fn))
+			}
+			if _, err := nw.AddNode("f", vars, fn); err != nil {
+				return err
+			}
+			return nw.MarkOutput("f")
+		})
+	}
+	if err := Networks(mk(false), mk(true), Options{Rounds: 8}); err != nil {
+		t.Errorf("equivalent wide networks rejected: %v", err)
+	}
+	// Flip one: parity vs inverted parity differs everywhere.
+	bad := net(t, func(nw *network.Network) error {
+		var vars []string
+		var kids []*logic.Expr
+		for i := 0; i < ExhaustiveLimit+2; i++ {
+			v := "x" + string(rune('A'+i))
+			if _, err := nw.AddInput(v); err != nil {
+				return err
+			}
+			vars = append(vars, v)
+			kids = append(kids, logic.Variable(v))
+		}
+		if _, err := nw.AddNode("f", vars, logic.Not(logic.Xor(kids...))); err != nil {
+			return err
+		}
+		return nw.MarkOutput("f")
+	})
+	if err := Networks(mk(false), bad, Options{Rounds: 4}); err == nil {
+		t.Error("inequivalent wide networks accepted")
+	}
+}
+
+func TestCandidateErrors(t *testing.T) {
+	a := net(t, func(nw *network.Network) error {
+		if _, err := nw.AddInput("a"); err != nil {
+			return err
+		}
+		if _, err := nw.AddNode("f", []string{"a"}, logic.MustParse("!a")); err != nil {
+			return err
+		}
+		return nw.MarkOutput("f")
+	})
+	// Candidate with a foreign source name.
+	b := net(t, func(nw *network.Network) error {
+		if _, err := nw.AddInput("zz"); err != nil {
+			return err
+		}
+		if _, err := nw.AddNode("f", []string{"zz"}, logic.MustParse("!zz")); err != nil {
+			return err
+		}
+		return nw.MarkOutput("f")
+	})
+	if err := Networks(a, b, Options{}); err == nil {
+		t.Error("foreign source accepted")
+	}
+	// Candidate with a foreign output name.
+	c := net(t, func(nw *network.Network) error {
+		if _, err := nw.AddInput("a"); err != nil {
+			return err
+		}
+		if _, err := nw.AddNode("g", []string{"a"}, logic.MustParse("!a")); err != nil {
+			return err
+		}
+		return nw.MarkOutput("g")
+	})
+	if err := Networks(a, c, Options{}); err == nil {
+		t.Error("foreign output accepted")
+	}
+}
+
+func TestMappedChecksNetlist(t *testing.T) {
+	lib := libgen.Lib2()
+	orig := net(t, func(nw *network.Network) error {
+		for _, v := range []string{"a", "b"} {
+			if _, err := nw.AddInput(v); err != nil {
+				return err
+			}
+		}
+		if _, err := nw.AddNode("f", []string{"a", "b"}, logic.MustParse("a*b")); err != nil {
+			return err
+		}
+		return nw.MarkOutput("f")
+	})
+	b := mapping.NewBuilder("m")
+	for _, v := range []string{"a", "b"} {
+		if err := b.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n1 := b.FreshNet()
+	b.AddCell(lib.Gate("nand2"), []string{"a", "b"}, n1)
+	b.AddCell(lib.Gate("inv"), []string{n1}, "f")
+	b.MarkOutput("f", "f")
+	nl, err := b.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mapped(orig, nl, Options{}); err != nil {
+		t.Errorf("correct mapping rejected: %v", err)
+	}
+	// A wrong mapping (nor2 instead of nand2) must be caught.
+	b2 := mapping.NewBuilder("m2")
+	for _, v := range []string{"a", "b"} {
+		if err := b2.AddInput(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n2 := b2.FreshNet()
+	b2.AddCell(lib.Gate("nor2"), []string{"a", "b"}, n2)
+	b2.AddCell(lib.Gate("inv"), []string{n2}, "f")
+	b2.MarkOutput("f", "f")
+	nl2, err := b2.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mapped(orig, nl2, Options{}); err == nil {
+		t.Error("wrong mapping accepted")
+	}
+}
+
+func TestLatchBoundaries(t *testing.T) {
+	// The mapped netlist of a sequential circuit exposes latch inputs
+	// as ports; Mapped must compare them against the original nodes.
+	orig := net(t, func(nw *network.Network) error {
+		if _, err := nw.AddInput("d"); err != nil {
+			return err
+		}
+		if _, err := nw.AddNode("n", []string{"d"}, logic.MustParse("!d")); err != nil {
+			return err
+		}
+		if _, err := nw.AddLatch("n", "q", false); err != nil {
+			return err
+		}
+		if _, err := nw.AddNode("f", []string{"q"}, logic.MustParse("!q")); err != nil {
+			return err
+		}
+		return nw.MarkOutput("f")
+	})
+	lib := libgen.Lib2()
+	b := mapping.NewBuilder("m")
+	if err := b.AddInput("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddInput("q"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddCell(lib.Gate("inv"), []string{"d"}, "n")
+	b.AddCell(lib.Gate("inv"), []string{"q"}, "f")
+	b.MarkOutput("f", "f")
+	b.MarkOutput("n", "n")
+	nl, err := b.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mapped(orig, nl, Options{}); err != nil {
+		t.Errorf("sequential boundary mapping rejected: %v", err)
+	}
+}
