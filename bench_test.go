@@ -9,6 +9,7 @@ package dagcover
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dagcover/internal/bench"
@@ -330,6 +331,89 @@ func BenchmarkAblationAreaRecovery(b *testing.B) {
 				area = res.Netlist.Area()
 			}
 			b.ReportMetric(area, "area")
+		})
+	}
+}
+
+// BenchmarkParallelLabeling times the full DAG-covering labeling of
+// the suite's multiplier under 44-3 across worker counts. Per-count
+// results are bit-identical; only the wall clock moves (single-CPU
+// hosts will show no speedup — the wavefront only buys time when the
+// scheduler has cores to spread the waves over).
+func BenchmarkParallelLabeling(b *testing.B) {
+	shared, _, err := subject.CompileLibrary(libgen.Lib443(), subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := match.NewMatcher(shared)
+	g, err := subject.FromNetwork(bench.C6288())
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	var refDelay float64
+	var refCells int
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var delay float64
+			var cells int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(g, m, core.Options{
+					Class: match.Standard, Delay: genlib.UnitDelay{}, Parallelism: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay, cells = res.Delay, res.Netlist.NumCells()
+			}
+			if refCells == 0 {
+				refDelay, refCells = delay, cells
+			} else if delay != refDelay || cells != refCells {
+				b.Fatalf("workers=%d diverged: delay %v cells %d vs %v/%d",
+					workers, delay, cells, refDelay, refCells)
+			}
+			b.ReportMetric(delay, "delay")
+			b.ReportMetric(float64(cells), "cells")
+		})
+	}
+}
+
+// BenchmarkSignatureIndex isolates the root-signature index: the same
+// labeling run with and without it, reporting the pattern plans tried
+// per iteration (the index's whole effect is that column plus the
+// saved wall clock).
+func BenchmarkSignatureIndex(b *testing.B) {
+	shared, _, err := subject.CompileLibrary(libgen.Lib443(), subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := subject.FromNetwork(bench.C6288())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		m    *match.Matcher
+	}{
+		{"indexed", match.NewMatcher(shared)},
+		{"fullscan", match.NewMatcher(shared, match.WithoutSignatureIndex())},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var tried, matches int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(g, mode.m, core.Options{
+					Class: match.Standard, Delay: genlib.UnitDelay{},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tried, matches = res.Stats.PatternsTried, res.Stats.MatchesEnumerated
+			}
+			b.ReportMetric(float64(tried), "plansTried")
+			b.ReportMetric(float64(matches), "matches")
 		})
 	}
 }

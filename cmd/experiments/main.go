@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dagcover/internal/bench"
@@ -28,15 +29,19 @@ func main() {
 		doVerify  = flag.Bool("verify", false, "verify every mapping by simulation")
 		ablations = flag.Bool("ablations", false, "also run the ablation studies")
 		format    = flag.String("format", "text", "table output format: text or csv")
+		parallel  = flag.Int("parallel", 0, "also time DAG covering with this many labeling workers (0 = all CPUs, 1 = skip the parallel run)")
 	)
 	flag.Parse()
-	if err := run(*table, *full, *doVerify, *ablations, *format); err != nil {
+	if *parallel <= 0 {
+		*parallel = runtime.NumCPU()
+	}
+	if err := run(*table, *full, *doVerify, *ablations, *format, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, full, doVerify, ablations bool, format string) error {
+func run(table string, full, doVerify, ablations bool, format string, parallel int) error {
 	if format != "text" && format != "csv" {
 		return fmt.Errorf("unknown format %q", format)
 	}
@@ -44,7 +49,7 @@ func run(table string, full, doVerify, ablations bool, format string) error {
 	if full {
 		suite = bench.FullSuite()
 	}
-	opt := experiments.Options{Verify: doVerify, Circuits: suite}
+	opt := experiments.Options{Verify: doVerify, Circuits: suite, Parallelism: parallel}
 
 	specs := map[string]experiments.TableSpec{
 		"1": experiments.Table1(),

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dagcover"
 )
@@ -29,6 +30,7 @@ func main() {
 		recover  = flag.Bool("arearecovery", false, "relax off-critical nodes to smaller gates")
 		critPath = flag.Bool("critical", false, "print the critical path")
 		slack    = flag.Bool("slack", false, "print the worst timing paths and a slack histogram")
+		parallel = flag.Int("parallel", 0, "labeling workers for DAG covering: 0 = all CPUs, 1 = serial (results are identical either way)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -36,13 +38,16 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *libName, *mode, *class, *delay, *output, *doVerify, *recover, *critPath, *slack); err != nil {
+	if *parallel <= 0 {
+		*parallel = runtime.NumCPU()
+	}
+	if err := run(flag.Arg(0), *libName, *mode, *class, *delay, *output, *doVerify, *recover, *critPath, *slack, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "techmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, libName, mode, class, delayName, output string, doVerify, recover, critPath, slack bool) error {
+func run(path, libName, mode, class, delayName, output string, doVerify, recover, critPath, slack bool, parallel int) error {
 	lib, err := loadLibrary(libName)
 	if err != nil {
 		return err
@@ -69,7 +74,7 @@ func run(path, libName, mode, class, delayName, output string, doVerify, recover
 	if err != nil {
 		return err
 	}
-	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: recover}
+	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: recover, Parallelism: parallel}
 	switch class {
 	case "standard":
 		opt.Class = dagcover.MatchStandard

@@ -135,6 +135,12 @@ type MapOptions struct {
 	// optimum (0 or below-optimal values mean delay-optimal); the
 	// area/delay trade-off of the paper's conclusion.
 	RequiredTime float64
+	// Parallelism is the number of labeling workers for DAG covering.
+	// 0 or 1 runs the serial labeler; n > 1 labels fanin-ready waves
+	// of the subject graph concurrently on n goroutines. The mapped
+	// result is bit-identical for every value, so any setting is safe;
+	// runtime.NumCPU() is the natural choice on multicore hosts.
+	Parallelism int
 }
 
 // MapResult reports a completed technology mapping.
@@ -152,6 +158,10 @@ type MapResult struct {
 	// MatchesEnumerated counts the pattern-match attempts that
 	// succeeded during labeling.
 	MatchesEnumerated int
+	// PatternsTried counts the pattern plans attempted during
+	// labeling; with the root-signature index this is far below
+	// nodes x patterns.
+	PatternsTried int
 	// CPU is the wall-clock mapping time.
 	CPU time.Duration
 	// SubjectNodes is the size of the subject graph.
@@ -215,6 +225,7 @@ func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {
 		out.Arrivals = o.Arrivals
 		out.AreaRecovery = o.AreaRecovery
 		out.RequiredTime = o.RequiredTime
+		out.Parallelism = o.Parallelism
 	}
 	return out
 }
@@ -242,6 +253,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		Arrivals:     o.Arrivals,
 		AreaRecovery: o.AreaRecovery,
 		RequiredTime: o.RequiredTime,
+		Parallelism:  o.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +265,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		Cells:             res.Netlist.NumCells(),
 		DuplicatedNodes:   res.Stats.DuplicatedNodes,
 		MatchesEnumerated: res.Stats.MatchesEnumerated,
+		PatternsTried:     res.Stats.PatternsTried,
 		CPU:               time.Since(start),
 		SubjectNodes:      len(g.Nodes),
 	}, nil
@@ -279,6 +292,8 @@ func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, er
 		Arrivals:     o.Arrivals,
 		AreaRecovery: o.AreaRecovery,
 		RequiredTime: o.RequiredTime,
+		Choices:      choices,
+		Parallelism:  o.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -290,6 +305,7 @@ func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, er
 		Cells:             res.Netlist.NumCells(),
 		DuplicatedNodes:   res.Stats.DuplicatedNodes,
 		MatchesEnumerated: res.Stats.MatchesEnumerated,
+		PatternsTried:     res.Stats.PatternsTried,
 		CPU:               time.Since(start),
 		SubjectNodes:      len(g.Nodes),
 	}, nil

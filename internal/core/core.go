@@ -63,6 +63,12 @@ type Options struct {
 	// the same choices (match.Matcher.SetChoices) so structural
 	// descent can cross into alternative cones.
 	Choices *subject.Choices
+	// Parallelism is the number of labeling workers. Values <= 1 run
+	// the original serial loop; n > 1 labels each fanin-ready wave of
+	// the topological order concurrently on n goroutines, each with
+	// its own matcher clone. The result is byte-for-byte identical to
+	// the serial mapping for every worker count.
+	Parallelism int
 }
 
 // Label is the dynamic-programming state of one subject node.
@@ -73,15 +79,30 @@ type Label struct {
 	Best *match.Match
 }
 
-// Stats reports work done by the mapper.
+// Stats reports work done by the mapper. Under parallel labeling each
+// worker accumulates a private Stats that is merged at wave
+// boundaries, so the totals are identical to a serial run.
 type Stats struct {
 	NodesLabeled      int
 	MatchesEnumerated int
-	CellsEmitted      int
+	// PatternsTried counts pattern plans attempted (before structural
+	// descent); the matcher's root-signature index lowers it without
+	// changing MatchesEnumerated.
+	PatternsTried int
+	CellsEmitted  int
 	// DuplicatedNodes counts subject nodes that are covered
 	// internally by one emitted match and also emitted as a cell root
 	// themselves — the duplication of §3.5.
 	DuplicatedNodes int
+}
+
+// merge folds worker-local counters into s.
+func (s *Stats) merge(o Stats) {
+	s.NodesLabeled += o.NodesLabeled
+	s.MatchesEnumerated += o.MatchesEnumerated
+	s.PatternsTried += o.PatternsTried
+	s.CellsEmitted += o.CellsEmitted
+	s.DuplicatedNodes += o.DuplicatedNodes
 }
 
 // Result is a completed mapping.
@@ -129,36 +150,18 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 		}
 	}
 
-	// Phase 1: labeling in topological order.
-	for _, n := range g.Nodes {
-		if n.Kind == subject.PI {
-			res.Labels[n.ID] = Label{Arrival: opt.Arrivals[n.Name]}
-			continue
-		}
-		best, enumerated, err := bestMatch(g, m, n, opt, res.Labels, math.Inf(1), nil)
-		res.Stats.MatchesEnumerated += enumerated
-		if err != nil {
+	// Phase 1: labeling in topological order — serial, or wavefront-
+	// parallel when opt.Parallelism > 1 (see parallel.go). Both paths
+	// produce identical labels and stats. Wave scheduling needs the
+	// choice classes to merge levels: a matcher descending choices the
+	// options don't declare could read labels of a later wave, so that
+	// combination falls back to the serial loop.
+	if opt.Parallelism > 1 && (opt.Choices != nil || m.Choices() == nil) {
+		if err := labelParallel(g, m, opt, res, classMax); err != nil {
 			return nil, err
 		}
-		arr := matchArrival(best, opt.Delay, res.Labels)
-		res.Labels[n.ID] = Label{Arrival: arr, Best: best}
-		res.Stats.NodesLabeled++
-		// Merge the class once its last member is labeled: every
-		// member takes the best member's label (consumers only appear
-		// later, so they see the merged value).
-		if opt.Choices != nil && classMax[n.ID] == n.ID {
-			if members := opt.Choices.Members(n); members != nil {
-				best := members[0]
-				for _, mm := range members[1:] {
-					if res.Labels[mm.ID].Arrival < res.Labels[best.ID].Arrival {
-						best = mm
-					}
-				}
-				for _, mm := range members {
-					res.Labels[mm.ID] = res.Labels[best.ID]
-				}
-			}
-		}
+	} else if err := labelSerial(g, m, opt, res, classMax); err != nil {
+		return nil, err
 	}
 
 	// Phase 2: backward construction.
@@ -176,6 +179,49 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// labelSerial runs the labeling DP in plain topological order.
+func labelSerial(g *subject.Graph, m *match.Matcher, opt Options, res *Result, classMax []int) error {
+	var scratch matchScratch
+	for _, n := range g.Nodes {
+		if n.Kind == subject.PI {
+			res.Labels[n.ID] = Label{Arrival: opt.Arrivals[n.Name]}
+			continue
+		}
+		best, err := bestMatch(g, m, n, opt, res.Labels, math.Inf(1), nil, &scratch, &res.Stats)
+		if err != nil {
+			return err
+		}
+		arr := matchArrival(best, opt.Delay, res.Labels)
+		res.Labels[n.ID] = Label{Arrival: arr, Best: best}
+		res.Stats.NodesLabeled++
+		// Merge the class once its last member is labeled: every
+		// member takes the best member's label (consumers only appear
+		// later, so they see the merged value).
+		if opt.Choices != nil && classMax[n.ID] == n.ID {
+			mergeClassLabels(res.Labels, opt.Choices.Members(n))
+		}
+	}
+	return nil
+}
+
+// mergeClassLabels gives every choice-class member the best member's
+// label. Member order decides float ties, so serial and parallel runs
+// merge identically.
+func mergeClassLabels(labels []Label, members []*subject.Node) {
+	if members == nil {
+		return
+	}
+	best := members[0]
+	for _, mm := range members[1:] {
+		if labels[mm.ID].Arrival < labels[best.ID].Arrival {
+			best = mm
+		}
+	}
+	for _, mm := range members {
+		labels[mm.ID] = labels[best.ID]
+	}
+}
+
 // matchArrival computes the arrival time of a match from its leaves.
 func matchArrival(mt *match.Match, dm genlib.DelayModel, labels []Label) float64 {
 	worst := math.Inf(-1)
@@ -187,18 +233,27 @@ func matchArrival(mt *match.Match, dm genlib.DelayModel, labels []Label) float64
 	return worst
 }
 
+// matchScratch holds the reusable backing slices of one bestMatch
+// caller (one per labeling worker): the in-flight best match is
+// staged here and copied out exactly once, so an enumeration that
+// improves its best k times costs one allocation, not k.
+type matchScratch struct {
+	leaves  []*subject.Node
+	covered []*subject.Node
+}
+
 // bestMatch enumerates matches at n and selects the minimum-arrival
 // one (ties broken toward smaller gate area). Matches slower than
 // limit are discarded. When areaCost is non-nil the selection instead
 // minimizes the match's area cost among matches meeting the limit —
-// the area-recovery mode.
-func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options, labels []Label, limit float64, areaCost func(*match.Match) float64) (*match.Match, int, error) {
-	var best *match.Match
+// the area-recovery mode. Enumeration work is accumulated into st.
+func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options, labels []Label, limit float64, areaCost func(*match.Match) float64, scratch *matchScratch, st *Stats) (*match.Match, error) {
+	var bestPattern *subject.Pattern
 	var bestArr, bestArea float64
-	enumerated := 0
+	tried0 := m.PatternsTried()
 	const eps = 1e-9 // guards against float drift in required-time subtraction
 	m.Enumerate(n, opt.Class, func(mt *match.Match) bool {
-		enumerated++
+		st.MatchesEnumerated++
 		arr := matchArrival(mt, opt.Delay, labels)
 		if arr > limit+eps {
 			return true
@@ -209,7 +264,7 @@ func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options,
 		}
 		better := false
 		switch {
-		case best == nil:
+		case bestPattern == nil:
 			better = true
 		case areaCost != nil:
 			better = area < bestArea || (area == bestArea && arr < bestArr)
@@ -217,30 +272,33 @@ func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options,
 			better = arr < bestArr || (arr == bestArr && area < bestArea)
 		}
 		if better {
-			best = &match.Match{
-				Pattern: mt.Pattern,
-				Root:    mt.Root,
-				Leaves:  append([]*subject.Node(nil), mt.Leaves...),
-				Covered: append([]*subject.Node(nil), mt.Covered...),
-			}
+			bestPattern = mt.Pattern
+			scratch.leaves = append(scratch.leaves[:0], mt.Leaves...)
+			scratch.covered = append(scratch.covered[:0], mt.Covered...)
 			bestArr, bestArea = arr, area
 		}
 		return true
 	})
-	if best == nil {
-		return nil, enumerated, fmt.Errorf(
+	st.PatternsTried += m.PatternsTried() - tried0
+	if bestPattern == nil {
+		return nil, fmt.Errorf(
 			"core: no %v match at node %v of %q; the library must at least contain a 2-input NAND and an inverter",
 			opt.Class, n, g.Name)
 	}
-	return best, enumerated, nil
+	return &match.Match{
+		Pattern: bestPattern,
+		Root:    n,
+		Leaves:  append(make([]*subject.Node, 0, len(scratch.leaves)), scratch.leaves...),
+		Covered: append(make([]*subject.Node, 0, len(scratch.covered)), scratch.covered...),
+	}, nil
 }
 
 // areaEstimates computes a min-area cover DP (sharing ignored):
 // est(n) = min over matches of (gate area + sum of est(leaves)).
 // Used by area recovery to score the logic a match newly demands.
-func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options) ([]float64, int, error) {
+func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options, st *Stats) ([]float64, error) {
 	est := make([]float64, len(g.Nodes))
-	enumerated := 0
+	tried0 := m.PatternsTried()
 	for _, n := range g.Nodes {
 		if n.Kind == subject.PI {
 			continue
@@ -248,7 +306,7 @@ func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options) ([]float64, 
 		best := math.Inf(1)
 		found := false
 		m.Enumerate(n, opt.Class, func(mt *match.Match) bool {
-			enumerated++
+			st.MatchesEnumerated++
 			cost := mt.Pattern.Gate.Area
 			for _, leaf := range mt.Leaves {
 				cost += est[leaf.ID]
@@ -260,11 +318,13 @@ func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options) ([]float64, 
 			return true
 		})
 		if !found {
-			return nil, enumerated, fmt.Errorf("core: no %v match at node %v of %q", opt.Class, n, g.Name)
+			st.PatternsTried += m.PatternsTried() - tried0
+			return nil, fmt.Errorf("core: no %v match at node %v of %q", opt.Class, n, g.Name)
 		}
 		est[n.ID] = best
 	}
-	return est, enumerated, nil
+	st.PatternsTried += m.PatternsTried() - tried0
+	return est, nil
 }
 
 // construct performs the backward netlist-construction phase. When
@@ -317,13 +377,13 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 	})
 	var areaEst []float64
 	if opt.AreaRecovery {
-		est, enumerated, err := areaEstimates(g, m, opt)
-		res.Stats.MatchesEnumerated += enumerated
+		est, err := areaEstimates(g, m, opt, &res.Stats)
 		if err != nil {
 			return err
 		}
 		areaEst = est
 	}
+	var scratch matchScratch
 	chosen := make([]*match.Match, len(g.Nodes))
 	for oi := len(order) - 1; oi >= 0; oi-- {
 		id := order[oi]
@@ -344,8 +404,7 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 				}
 				return c
 			}
-			rel, enumerated, err := bestMatch(g, m, n, opt, res.Labels, required[id], cost)
-			res.Stats.MatchesEnumerated += enumerated
+			rel, err := bestMatch(g, m, n, opt, res.Labels, required[id], cost, &scratch, &res.Stats)
 			if err == nil {
 				mt = rel
 			} else {

@@ -70,12 +70,22 @@ type Matcher struct {
 	shapes [][]uint64
 	// prune enables symmetric-sibling pruning (default true).
 	prune bool
+	// index enables the root-signature index (default true).
+	index bool
 	// choices lets structural descent cross into functionally
 	// equivalent alternative cones (mapping-graph style, §4).
 	choices *subject.Choices
 
 	// plans holds each pattern's precompiled matching program.
 	plans []plan
+	// sigIndex buckets pattern indices by the subject root signatures
+	// they can embed into (subject.Signature); each bucket preserves
+	// library order, so enumeration through the index yields matches
+	// in exactly the full-scan order. Shared by clones (immutable).
+	sigIndex [][]int32
+	// tried counts pattern plans attempted by Enumerate since
+	// construction (or Clone). Read it through PatternsTried.
+	tried int
 
 	// scratch (reused across calls; a Matcher is single-goroutine)
 	binding []*subject.Node
@@ -102,6 +112,9 @@ type Matcher struct {
 // every member of the class is tried. Pass nil to disable.
 func (m *Matcher) SetChoices(c *subject.Choices) { m.choices = c }
 
+// Choices returns the classes set by SetChoices (nil when disabled).
+func (m *Matcher) Choices() *subject.Choices { return m.choices }
+
 // alts returns the candidate subject nodes for a structural descent
 // into sn: its choice-class members, or just sn itself.
 func (m *Matcher) alts(sn *subject.Node) []*subject.Node {
@@ -120,11 +133,17 @@ type Option func(*Matcher)
 // isomorphic pattern children; used to validate the pruning.
 func WithoutSymmetryPruning() Option { return func(m *Matcher) { m.prune = false } }
 
+// WithoutSignatureIndex disables the root-signature pre-filter and
+// scans every pattern with a matching root kind, as the original
+// implementation did; used to validate the index.
+func WithoutSignatureIndex() Option { return func(m *Matcher) { m.index = false } }
+
 // NewMatcher builds a matcher over the compiled pattern set.
 func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 	m := &Matcher{
 		Patterns: patterns,
 		prune:    true,
+		index:    true,
 	}
 	for _, o := range opts {
 		o(m)
@@ -145,17 +164,28 @@ func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 	m.binding = make([]*subject.Node, maxNodes)
 	m.stepSub = make([]*subject.Node, maxSteps)
 	m.stepOrd = make([]uint8, maxSteps)
+	if m.index {
+		m.sigIndex = make([][]int32, subject.NumSignatures)
+		for i, p := range patterns {
+			for _, sig := range subject.PatternSignatures(p.Root) {
+				m.sigIndex[sig] = append(m.sigIndex[sig], int32(i))
+			}
+		}
+	}
 	return m
 }
 
 // Clone returns an independent matcher sharing the immutable pattern
-// data; use for concurrent enumeration.
+// data (patterns, plans, signature index); use for concurrent
+// enumeration. The clone's PatternsTried counter starts at zero.
 func (m *Matcher) Clone() *Matcher {
 	c := &Matcher{
 		Patterns: m.Patterns,
 		shapes:   m.shapes,
 		plans:    m.plans,
 		prune:    m.prune,
+		index:    m.index,
+		sigIndex: m.sigIndex,
 		choices:  m.choices,
 		binding:  make([]*subject.Node, len(m.binding)),
 		stepSub:  make([]*subject.Node, len(m.stepSub)),
@@ -163,6 +193,12 @@ func (m *Matcher) Clone() *Matcher {
 	}
 	return c
 }
+
+// PatternsTried reports how many pattern plans this matcher has
+// attempted across all Enumerate calls since construction (or Clone).
+// The root-signature index lowers it by skipping plans whose local
+// structure cannot embed at the queried root.
+func (m *Matcher) PatternsTried() int { return m.tried }
 
 // used reports the pattern node currently bound to sn, if any.
 func (m *Matcher) used(sn *subject.Node) (*subject.Node, bool) {
@@ -236,10 +272,24 @@ func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) 
 		return
 	}
 	out := &Match{Root: root}
+	// The signature index is sound only for purely structural descent:
+	// with choices, a child position may bind a class member whose
+	// local shape differs from the child's, so fall back to the full
+	// root-kind scan.
+	if m.index && m.choices == nil {
+		for _, k := range m.sigIndex[subject.Signature(root)] {
+			m.tried++
+			if !m.tryPattern(int(k), root, class, out, yield) {
+				return
+			}
+		}
+		return
+	}
 	for k, p := range m.Patterns {
 		if p.Root.Kind != root.Kind {
 			continue
 		}
+		m.tried++
 		if !m.tryPattern(k, root, class, out, yield) {
 			return
 		}

@@ -1,0 +1,151 @@
+package subject
+
+// Local root signatures: a small integer summarizing the depth-<=2
+// neighborhood of a node (its kind, its fanin kinds, and their fanin
+// kinds), with NAND2 sibling order canonicalized so that commutative
+// child swaps produce the same value. Matchers bucket pattern plans by
+// the signatures their roots can embed into; enumeration then consults
+// only the bucket of the subject node's signature instead of scanning
+// the whole library. Pattern leaves are wildcards (a leaf binds any
+// subject node), so a pattern maps to the set of concrete signatures
+// obtained by expanding each leaf position over all kinds.
+//
+// The signature space is tiny: a depth-2 child descriptor takes one of
+// NumDescriptors values, and a signature is either an Inv root over
+// one descriptor or a Nand2 root over an ordered pair, NumSignatures
+// in total. Buckets are therefore plain slices indexed directly.
+
+// Descriptor values for one fanin subtree, depth <= 2:
+//
+//	0          the child is a source (PI)
+//	1+k        the child is an Inv whose fanin has kind code k
+//	4+pair     the child is a Nand2 whose fanin kind codes form the
+//	           canonical pair with index pair (see pairIndex)
+const (
+	// NumDescriptors is the number of distinct child descriptors.
+	NumDescriptors = 10
+	// NumSignatures bounds Signature: Inv roots occupy
+	// [0, NumDescriptors), Nand2 roots the rest.
+	NumSignatures = NumDescriptors + NumDescriptors*NumDescriptors
+)
+
+// kindCode maps a Kind to a dense code 0..2.
+func kindCode(k Kind) int {
+	switch k {
+	case Inv:
+		return 1
+	case Nand2:
+		return 2
+	}
+	return 0
+}
+
+// pairIndex canonicalizes an unordered pair of kind codes into 0..5.
+func pairIndex(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	// (0,0)=0 (0,1)=1 (0,2)=2 (1,1)=3 (1,2)=4 (2,2)=5
+	return a*3 + b - a*(a+1)/2
+}
+
+// descriptor summarizes node c and its fanin kinds.
+func descriptor(c *Node) int {
+	switch c.Kind {
+	case Inv:
+		return 1 + kindCode(c.Fanin[0].Kind)
+	case Nand2:
+		return 4 + pairIndex(kindCode(c.Fanin[0].Kind), kindCode(c.Fanin[1].Kind))
+	}
+	return 0
+}
+
+// Signature computes the local root signature of a non-PI subject
+// node. PIs have no signature (no match is ever rooted at a source);
+// callers must not pass one.
+func Signature(n *Node) int {
+	if n.Kind == Inv {
+		return descriptor(n.Fanin[0])
+	}
+	a, b := descriptor(n.Fanin[0]), descriptor(n.Fanin[1])
+	if a > b {
+		a, b = b, a
+	}
+	return NumDescriptors + a*NumDescriptors + b
+}
+
+// allKinds enumerates the kind codes a pattern position can take on
+// the subject side: a pattern leaf binds any subject node, a concrete
+// pattern node only its own kind.
+func patternKindCodes(n *Node) []int {
+	if n.Kind == PI {
+		return []int{0, 1, 2}
+	}
+	return []int{kindCode(n.Kind)}
+}
+
+// patternDescriptors returns every concrete descriptor a subject child
+// can have while remaining locally compatible with pattern child c.
+func patternDescriptors(c *Node) []int {
+	if c.Kind == PI {
+		ds := make([]int, NumDescriptors)
+		for i := range ds {
+			ds[i] = i
+		}
+		return ds
+	}
+	var out []int
+	seen := [NumDescriptors]bool{}
+	add := func(d int) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	if c.Kind == Inv {
+		for _, k := range patternKindCodes(c.Fanin[0]) {
+			add(1 + k)
+		}
+		return out
+	}
+	for _, k1 := range patternKindCodes(c.Fanin[0]) {
+		for _, k2 := range patternKindCodes(c.Fanin[1]) {
+			add(4 + pairIndex(k1, k2))
+		}
+	}
+	return out
+}
+
+// PatternSignatures returns, in ascending order, every concrete
+// subject signature the pattern rooted at root could possibly match,
+// obtained by expanding leaf positions as wildcards. The set is an
+// over-approximation: deeper structure, injectivity, or fanout
+// constraints may still reject a candidate, but a subject node whose
+// signature is absent can never host a match of this pattern.
+func PatternSignatures(root *Node) []int {
+	var seen [NumSignatures]bool
+	if root.Kind == Inv {
+		for _, d := range patternDescriptors(root.Fanin[0]) {
+			seen[d] = true
+		}
+	} else {
+		d1 := patternDescriptors(root.Fanin[0])
+		d2 := patternDescriptors(root.Fanin[1])
+		for _, a := range d1 {
+			for _, b := range d2 {
+				lo, hi := a, b
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				seen[NumDescriptors+lo*NumDescriptors+hi] = true
+			}
+		}
+	}
+	var out []int
+	for s, ok := range seen {
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
