@@ -8,12 +8,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"dagcover"
 )
+
+// exitTimeout is the exit status for a mapping stopped by -timeout,
+// distinct from usage (2) and other errors (1) so scripts can retry
+// with a longer budget.
+const exitTimeout = 3
 
 func main() {
 	var (
@@ -22,6 +29,7 @@ func main() {
 		slack    = flag.Int("slack", 0, "area mode: allowed depth above optimal")
 		output   = flag.String("o", "", "write the LUT netlist as BLIF to this file")
 		doVerify = flag.Bool("verify", false, "verify the mapping against the input by simulation")
+		timeout  = flag.Duration("timeout", 0, "abort mapping after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -29,13 +37,23 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *k, *mode, *slack, *output, *doVerify); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, flag.Arg(0), *k, *mode, *slack, *output, *doVerify); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "lutmap: mapping did not finish within the %v timeout (%v)\n", *timeout, err)
+			os.Exit(exitTimeout)
+		}
 		fmt.Fprintln(os.Stderr, "lutmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, k int, mode string, slack int, output string, doVerify bool) error {
+func run(ctx context.Context, path string, k int, mode string, slack int, output string, doVerify bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -49,14 +67,14 @@ func run(path string, k int, mode string, slack int, output string, doVerify boo
 	var depth, luts int
 	switch mode {
 	case "depth":
-		res, err := dagcover.MapLUT(nw, k)
+		res, err := dagcover.MapLUTContext(ctx, nw, k)
 		if err != nil {
 			return err
 		}
 		lutNet, depth, luts = res.Network, res.Depth, res.LUTs
 		fmt.Printf("%s: FlowMap with k=%d\n", nw.Name, k)
 	case "area":
-		res, err := dagcover.MapLUTArea(nw, k, slack)
+		res, err := dagcover.MapLUTAreaContext(ctx, nw, k, slack)
 		if err != nil {
 			return err
 		}

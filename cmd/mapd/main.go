@@ -1,0 +1,96 @@
+// Command mapd serves technology mapping over HTTP/JSON.
+//
+// Usage:
+//
+//	mapd -addr :8080 -concurrency 8 -queue 32 -timeout 60s
+//
+// Endpoints:
+//
+//	POST /map      map a BLIF netlist (JSON request, see internal/service)
+//	GET  /healthz  liveness probe
+//	GET  /stats    request, cache, queue and per-library latency counters
+//
+// A mapping request names a built-in library (lib2, 44-1, 44-3),
+// uploads genlib text inline, or asks for K-LUT mapping:
+//
+//	curl -s localhost:8080/map -d '{"blif":".model c\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n","library":"44-1"}'
+//
+// mapd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish (up to -drain) before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dagcover/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		concurrency = flag.Int("concurrency", 0, "max simultaneous mapping runs (0 = NumCPU)")
+		queue       = flag.Int("queue", 0, "max requests waiting for a run slot (0 = 4x concurrency, -1 = none); excess gets 429")
+		timeout     = flag.Duration("timeout", 60*time.Second, "default per-request mapping deadline")
+		maxTimeout  = flag.Duration("maxtimeout", 5*time.Minute, "cap on client-requested deadlines")
+		parallel    = flag.Int("parallel", 1, "labeling workers per request (1 = serial; concurrency across requests usually saturates the pool)")
+		maxBytes    = flag.Int64("maxbytes", 32<<20, "max request body size in bytes")
+		cacheSize   = flag.Int("cache", 128, "max compiled libraries kept in memory")
+		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: mapd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Concurrency:     *concurrency,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		Parallelism:     *parallel,
+		MaxRequestBytes: *maxBytes,
+		CacheEntries:    *cacheSize,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mapd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mapd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("mapd: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("mapd: forced shutdown: %v", err)
+		srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mapd: %v", err)
+	}
+}

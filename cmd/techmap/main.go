@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,11 @@ import (
 
 	"dagcover"
 )
+
+// exitTimeout is the exit status for a mapping stopped by -timeout,
+// distinct from usage (2) and other errors (1) so scripts can retry
+// with a longer budget.
+const exitTimeout = 3
 
 func main() {
 	var (
@@ -31,6 +38,7 @@ func main() {
 		critPath = flag.Bool("critical", false, "print the critical path")
 		slack    = flag.Bool("slack", false, "print the worst timing paths and a slack histogram")
 		parallel = flag.Int("parallel", 0, "labeling workers for DAG covering: 0 = all CPUs, 1 = serial (results are identical either way)")
+		timeout  = flag.Duration("timeout", 0, "abort mapping after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -41,13 +49,23 @@ func main() {
 	if *parallel <= 0 {
 		*parallel = runtime.NumCPU()
 	}
-	if err := run(flag.Arg(0), *libName, *mode, *class, *delay, *output, *doVerify, *recover, *critPath, *slack, *parallel); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, flag.Arg(0), *libName, *mode, *class, *delay, *output, *doVerify, *recover, *critPath, *slack, *parallel); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "techmap: mapping did not finish within the %v timeout (%v)\n", *timeout, err)
+			os.Exit(exitTimeout)
+		}
 		fmt.Fprintln(os.Stderr, "techmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, libName, mode, class, delayName, output string, doVerify, recover, critPath, slack bool, parallel int) error {
+func run(ctx context.Context, path, libName, mode, class, delayName, output string, doVerify, recover, critPath, slack bool, parallel int) error {
 	lib, err := loadLibrary(libName)
 	if err != nil {
 		return err
@@ -74,7 +92,7 @@ func run(path, libName, mode, class, delayName, output string, doVerify, recover
 	if err != nil {
 		return err
 	}
-	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: recover, Parallelism: parallel}
+	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: recover, Parallelism: parallel, Ctx: ctx}
 	switch class {
 	case "standard":
 		opt.Class = dagcover.MatchStandard

@@ -19,8 +19,10 @@
 package dagcover
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"dagcover/internal/core"
@@ -141,6 +143,13 @@ type MapOptions struct {
 	// result is bit-identical for every value, so any setting is safe;
 	// runtime.NumCPU() is the natural choice on multicore hosts.
 	Parallelism int
+	// Ctx, when non-nil, cancels an in-flight mapping run: labeling
+	// and construction poll the context at wave/node boundaries and
+	// the Map* call returns an error wrapping ctx.Err() (check with
+	// errors.Is against context.Canceled / context.DeadlineExceeded).
+	// A nil Ctx never cancels, and an uncancelled run's result is
+	// identical with or without a context.
+	Ctx context.Context
 }
 
 // MapResult reports a completed technology mapping.
@@ -213,6 +222,83 @@ func (m *Mapper) Clone() *Mapper {
 	}
 }
 
+// CompiledLibrary is a library compiled once and shared by any number
+// of concurrent mapping runs: the expensive products of NewMapper
+// (parsed genlib, pattern plans, root-signature index) are immutable
+// and shared, while the mutable matcher scratch lives in a sync.Pool
+// of per-request Mapper clones. It is the unit the mapping service
+// caches — one CompiledLibrary per distinct library content — and is
+// equally usable programmatically:
+//
+//	cl, _ := dagcover.CompileLibrary(lib)
+//	res, _ := cl.MapCompiled(ctx, nw, nil) // any number of goroutines
+//
+// A CompiledLibrary is safe for concurrent use.
+type CompiledLibrary struct {
+	base *Mapper
+	pool sync.Pool
+}
+
+// CompileLibrary compiles lib once for concurrent reuse.
+func CompileLibrary(lib *Library) (*CompiledLibrary, error) {
+	base, err := NewMapper(lib)
+	if err != nil {
+		return nil, err
+	}
+	cl := &CompiledLibrary{base: base}
+	cl.pool.New = func() any { return base.Clone() }
+	return cl, nil
+}
+
+// Library returns the compiled library.
+func (cl *CompiledLibrary) Library() *Library { return cl.base.lib }
+
+// SkippedGates lists library gates with no pattern (buffers,
+// constants).
+func (cl *CompiledLibrary) SkippedGates() []string { return cl.base.SkippedGates }
+
+// Acquire borrows a Mapper from the pool. The mapper shares the
+// compiled pattern plans but owns its scratch, so each borrowed mapper
+// may run on its own goroutine. Return it with Release; a mapper must
+// not be used after Release.
+func (cl *CompiledLibrary) Acquire() *Mapper { return cl.pool.Get().(*Mapper) }
+
+// Release resets the mapper's scratch and stats (match.Matcher.Reset)
+// and returns it to the pool, so the next Acquire gets a mapper
+// indistinguishable from a fresh clone without recompiling anything.
+func (cl *CompiledLibrary) Release(m *Mapper) {
+	m.dagMatcher.Reset()
+	m.treeMatcher.Reset()
+	cl.pool.Put(m)
+}
+
+// MapCompiled maps the network by DAG covering with a pooled mapper:
+// the concurrent-service counterpart of Mapper.MapDAG. ctx cancels the
+// run (it overrides opt.Ctx); opt may be nil for defaults.
+func (cl *CompiledLibrary) MapCompiled(ctx context.Context, nw *Network, opt *MapOptions) (*MapResult, error) {
+	m := cl.Acquire()
+	defer cl.Release(m)
+	var o MapOptions
+	if opt != nil {
+		o = *opt
+	}
+	o.Ctx = ctx
+	return m.MapDAG(nw, &o)
+}
+
+// MapTreeCompiled maps the network by tree covering with a pooled
+// mapper: the concurrent-service counterpart of Mapper.MapTree.
+func (cl *CompiledLibrary) MapTreeCompiled(ctx context.Context, nw *Network, opt *MapOptions) (*MapResult, error) {
+	m := cl.Acquire()
+	defer cl.Release(m)
+	var o MapOptions
+	if opt != nil {
+		o = *opt
+	}
+	o.Ctx = ctx
+	return m.MapTree(nw, &o)
+}
+
 func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {
 	out := MapOptions{Class: defaultClass, Delay: IntrinsicDelay}
 	if o != nil {
@@ -226,6 +312,7 @@ func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {
 		out.AreaRecovery = o.AreaRecovery
 		out.RequiredTime = o.RequiredTime
 		out.Parallelism = o.Parallelism
+		out.Ctx = o.Ctx
 	}
 	return out
 }
@@ -254,6 +341,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		AreaRecovery: o.AreaRecovery,
 		RequiredTime: o.RequiredTime,
 		Parallelism:  o.Parallelism,
+		Ctx:          o.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -294,6 +382,7 @@ func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, er
 		RequiredTime: o.RequiredTime,
 		Choices:      choices,
 		Parallelism:  o.Parallelism,
+		Ctx:          o.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -329,6 +418,7 @@ func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, e
 		Objective: treemap.MinDelay,
 		Delay:     o.Delay,
 		Arrivals:  o.Arrivals,
+		Ctx:       o.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -356,6 +446,7 @@ func (m *Mapper) MapTreeMinArea(nw *Network, opt *MapOptions) (*MapResult, error
 		Objective: treemap.MinArea,
 		Delay:     o.Delay,
 		Arrivals:  o.Arrivals,
+		Ctx:       o.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -413,11 +504,17 @@ func InsertBuffers(nl *Netlist, lib *Library, maxFanout int) (*Netlist, error) {
 
 // MapLUT maps the network onto k-input LUTs with FlowMap (§2).
 func MapLUT(nw *Network, k int) (*LUTResult, error) {
+	return MapLUTContext(context.Background(), nw, k)
+}
+
+// MapLUTContext is MapLUT with cancellation: the labeling loop polls
+// ctx and the call returns an error wrapping ctx.Err() when cancelled.
+func MapLUTContext(ctx context.Context, nw *Network, k int) (*LUTResult, error) {
 	g, err := subject.FromNetwork(nw)
 	if err != nil {
 		return nil, err
 	}
-	return flowmap.Map(g, k)
+	return flowmap.MapContext(ctx, g, k)
 }
 
 // LUTAreaResult is a cut-based LUT mapping (see MapLUTArea).
@@ -428,11 +525,16 @@ type LUTAreaResult = cutmap.Result
 // depth + slack) — the area/depth trade-off the paper's conclusion
 // points to (Cong & Ding [3]).
 func MapLUTArea(nw *Network, k, slack int) (*LUTAreaResult, error) {
+	return MapLUTAreaContext(context.Background(), nw, k, slack)
+}
+
+// MapLUTAreaContext is MapLUTArea with cancellation.
+func MapLUTAreaContext(ctx context.Context, nw *Network, k, slack int) (*LUTAreaResult, error) {
 	g, err := subject.FromNetwork(nw)
 	if err != nil {
 		return nil, err
 	}
-	return cutmap.Map(g, cutmap.Options{K: k, Mode: cutmap.ModeArea, Slack: slack})
+	return cutmap.Map(g, cutmap.Options{K: k, Mode: cutmap.ModeArea, Slack: slack, Ctx: ctx})
 }
 
 // Verify checks a mapped netlist against the original network by

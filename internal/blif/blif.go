@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"dagcover/internal/logic"
 	"dagcover/internal/network"
@@ -168,7 +169,7 @@ func (rd *Reader) Parse(r io.Reader) (*network.Network, error) {
 	nw := network.New(main.name)
 	for _, in := range main.inputs {
 		if _, err := nw.AddInput(in); err != nil {
-			return nil, fmt.Errorf("blif: %v", err)
+			return nil, fmt.Errorf("blif: %s", clipErr(err.Error()))
 		}
 	}
 	for _, ld := range latches {
@@ -228,7 +229,7 @@ func (rd *Reader) Parse(r io.Reader) (*network.Network, error) {
 	}
 	for _, o := range main.outputs {
 		if err := nw.MarkOutput(o); err != nil {
-			return nil, fmt.Errorf("blif: %v", err)
+			return nil, fmt.Errorf("blif: %s", clipErr(err.Error()))
 		}
 	}
 	if len(nw.Outputs()) == 0 && len(nw.Latches()) == 0 {
@@ -427,8 +428,26 @@ type line struct {
 	text string
 }
 
+// maxErrLen bounds the rendered message of any parse error. BLIF
+// errors echo user-controlled tokens (signal names, cover rows), and
+// a server returning them to clients must not relay an unbounded dump
+// of the input; clipErr keeps the line number and a readable prefix.
+const maxErrLen = 200
+
+// clipErr truncates msg to maxErrLen bytes on a rune boundary.
+func clipErr(msg string) string {
+	if len(msg) <= maxErrLen {
+		return msg
+	}
+	cut := maxErrLen
+	for cut > 0 && !utf8.RuneStart(msg[cut]) {
+		cut--
+	}
+	return msg[:cut] + "... (truncated)"
+}
+
 func (l line) errorf(format string, args ...any) error {
-	return fmt.Errorf("blif: line %d: %s", l.num, fmt.Sprintf(format, args...))
+	return fmt.Errorf("blif: line %d: %s", l.num, clipErr(fmt.Sprintf(format, args...)))
 }
 
 // logicalLines joins continuation lines and strips comments.

@@ -69,3 +69,31 @@ func TestParseGarbage(t *testing.T) {
 		}()
 	}
 }
+
+// Parse errors echo user-controlled tokens, so a server relaying them
+// as 400 responses needs them bounded: whatever garbage the input
+// holds, the message keeps its line number and stays short.
+func TestParseErrorsBounded(t *testing.T) {
+	huge := strings.Repeat("x", 10_000)
+	cases := map[string]string{
+		"huge undefined signal": ".model t\n.inputs a\n.outputs o\n.names a " + huge + " o\n11 1\n.end\n",
+		"huge unexpected token": ".model t\n" + huge + "\n.end\n",
+		"huge subckt model":     ".model t\n.inputs a\n.outputs o\n.names a o\n1 1\n.subckt " + huge + " x=a\n.end\n",
+		"huge cover row":        ".model t\n.inputs a\n.outputs o\n.names a o\n" + huge + " 1\n.end\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ParseString(src)
+			if err == nil {
+				t.Fatal("parse accepted malformed input")
+			}
+			msg := err.Error()
+			if len(msg) > maxErrLen+100 {
+				t.Fatalf("error message is %d bytes, want bounded: %.120s...", len(msg), msg)
+			}
+			if !strings.Contains(msg, "line ") {
+				t.Fatalf("error message lost its line number: %s", msg)
+			}
+		})
+	}
+}

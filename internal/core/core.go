@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -34,6 +35,12 @@ import (
 	"dagcover/internal/match"
 	"dagcover/internal/subject"
 )
+
+// cancelCheckStride is how many nodes a labeling or construction loop
+// processes between ctx.Err() polls. Per-node match enumeration costs
+// microseconds, so a stride of 64 bounds the cancellation latency to
+// well under a millisecond while keeping the poll off the hot path.
+const cancelCheckStride = 64
 
 // Options configures Map.
 type Options struct {
@@ -69,6 +76,13 @@ type Options struct {
 	// its own matcher clone. The result is byte-for-byte identical to
 	// the serial mapping for every worker count.
 	Parallelism int
+	// Ctx, when non-nil, lets callers cancel a mapping run: labeling
+	// and construction poll ctx.Err() at wave boundaries and every
+	// cancelCheckStride nodes, and Map returns an error wrapping
+	// ctx.Err() without completing. A nil Ctx never cancels. The
+	// mapped result of an uncancelled run is identical with or
+	// without a context.
+	Ctx context.Context
 }
 
 // Label is the dynamic-programming state of one subject node.
@@ -120,6 +134,9 @@ type Result struct {
 func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	if opt.Delay == nil {
 		opt.Delay = genlib.IntrinsicDelay{}
+	}
+	if opt.Ctx == nil {
+		opt.Ctx = context.Background()
 	}
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("core: subject graph %q has no outputs", g.Name)
@@ -182,7 +199,12 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 // labelSerial runs the labeling DP in plain topological order.
 func labelSerial(g *subject.Graph, m *match.Matcher, opt Options, res *Result, classMax []int) error {
 	var scratch matchScratch
-	for _, n := range g.Nodes {
+	for i, n := range g.Nodes {
+		if i%cancelCheckStride == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return fmt.Errorf("core: labeling interrupted: %w", err)
+			}
+		}
 		if n.Kind == subject.PI {
 			res.Labels[n.ID] = Label{Arrival: opt.Arrivals[n.Name]}
 			continue
@@ -299,7 +321,12 @@ func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options,
 func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options, st *Stats) ([]float64, error) {
 	est := make([]float64, len(g.Nodes))
 	tried0 := m.PatternsTried()
-	for _, n := range g.Nodes {
+	for i, n := range g.Nodes {
+		if i%cancelCheckStride == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: area estimation interrupted: %w", err)
+			}
+		}
 		if n.Kind == subject.PI {
 			continue
 		}
@@ -386,6 +413,11 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 	var scratch matchScratch
 	chosen := make([]*match.Match, len(g.Nodes))
 	for oi := len(order) - 1; oi >= 0; oi-- {
+		if oi%cancelCheckStride == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return fmt.Errorf("core: construction interrupted: %w", err)
+			}
+		}
 		id := order[oi]
 		n := g.Nodes[id]
 		if math.IsInf(required[id], 1) || n.Kind == subject.PI {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -75,7 +76,13 @@ type labelWorker struct {
 // workers never race. On error the worker keeps its first failure
 // (the chunk is ascending, so this is its smallest failing node).
 func (w *labelWorker) labelChunk(g *subject.Graph, opt Options, labels []Label, nodes []*subject.Node, lo, hi int) {
-	for _, n := range nodes[lo:hi] {
+	for i, n := range nodes[lo:hi] {
+		if i%cancelCheckStride == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				w.err = fmt.Errorf("core: labeling interrupted: %w", err)
+				return
+			}
+		}
 		best, err := bestMatch(g, w.m, n, opt, labels, math.Inf(1), nil, &w.scratch, &w.stats)
 		if err != nil {
 			w.err = err
@@ -129,6 +136,13 @@ func labelParallel(g *subject.Graph, m *match.Matcher, opt Options, res *Result,
 	}
 	var wg sync.WaitGroup
 	for w := int32(1); w <= maxLvl; w++ {
+		// Wave-boundary cancellation point: no worker is in flight
+		// here, so a cancelled run stops without leaving goroutines
+		// writing into res.Labels.
+		if err := opt.Ctx.Err(); err != nil {
+			drainWorkers(res, workers)
+			return fmt.Errorf("core: labeling interrupted: %w", err)
+		}
 		wave := waves[w]
 		if len(wave) < minParallelWave {
 			workers[0].labelChunk(g, opt, res.Labels, wave, 0, len(wave))

@@ -15,6 +15,7 @@
 package cutmap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -53,6 +54,10 @@ type Options struct {
 	// Slack relaxes the depth bound in ModeArea: the mapping may be
 	// up to Slack levels deeper than optimal.
 	Slack int
+	// Ctx, when non-nil, lets callers cancel the run: the cut
+	// enumeration polls ctx.Err() periodically and Map returns an
+	// error wrapping ctx.Err(). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // Result is a completed cut-based LUT mapping.
@@ -88,6 +93,9 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 	if opt.MaxCuts < 0 {
 		return nil, fmt.Errorf("cutmap: MaxCuts must be non-negative")
 	}
+	if opt.Ctx == nil {
+		opt.Ctx = context.Background()
+	}
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("cutmap: subject graph %q has no outputs", g.Name)
 	}
@@ -106,7 +114,12 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 	labels := make([]int, len(g.Nodes))
 	flows := make([]float64, len(g.Nodes))
 	cutsOf := make([][]cut, len(g.Nodes))
-	for _, n := range g.Nodes {
+	for i, n := range g.Nodes {
+		if i%64 == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("cutmap: cut enumeration interrupted: %w", err)
+			}
+		}
 		if n.Kind == subject.PI {
 			cutsOf[n.ID] = []cut{unitCut(n, labels, flows)}
 			continue

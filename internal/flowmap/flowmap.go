@@ -17,6 +17,7 @@
 package flowmap
 
 import (
+	"context"
 	"fmt"
 
 	"dagcover/internal/logic"
@@ -24,6 +25,10 @@ import (
 	"dagcover/internal/network"
 	"dagcover/internal/subject"
 )
+
+// cancelCheckStride is how many nodes are labeled between ctx.Err()
+// polls in MapContext; see internal/core for the rationale.
+const cancelCheckStride = 64
 
 // Result is a completed LUT mapping.
 type Result struct {
@@ -39,6 +44,14 @@ type Result struct {
 
 // Map covers the subject graph with k-input LUTs.
 func Map(g *subject.Graph, k int) (*Result, error) {
+	return MapContext(context.Background(), g, k)
+}
+
+// MapContext is Map with cancellation: the labeling loop polls
+// ctx.Err() every cancelCheckStride nodes (each label solves one
+// max-flow, the expensive unit) and returns an error wrapping
+// ctx.Err() when the context is done.
+func MapContext(ctx context.Context, g *subject.Graph, k int) (*Result, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("flowmap: k must be at least 2, got %d", k)
 	}
@@ -55,7 +68,12 @@ func Map(g *subject.Graph, k int) (*Result, error) {
 		outID:  make([]int32, len(g.Nodes)),
 		fg:     maxflow.New(2),
 	}
-	for _, n := range g.Nodes {
+	for i, n := range g.Nodes {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("flowmap: labeling interrupted: %w", err)
+			}
+		}
 		if n.Kind == subject.PI {
 			labels[n.ID] = 0
 			continue

@@ -200,6 +200,44 @@ func (m *Matcher) Clone() *Matcher {
 // structure cannot embed at the queried root.
 func (m *Matcher) PatternsTried() int { return m.tried }
 
+// Reset clears the matcher's mutable scratch and counters without
+// recompiling pattern plans, making it behave exactly like a fresh
+// NewMatcher/Clone: PatternsTried restarts at zero and no subject-graph
+// pointers from earlier enumerations are retained (so pooled matchers
+// don't pin finished requests' graphs in memory). The compiled plans,
+// shapes and signature index are untouched. Choices set with
+// SetChoices are cleared; re-set them after Reset if needed.
+func (m *Matcher) Reset() {
+	m.tried = 0
+	m.choices = nil
+	for i := range m.binding {
+		m.binding[i] = nil
+	}
+	for i := range m.stepSub {
+		m.stepSub[i] = nil
+	}
+	for i := range m.stepOrd {
+		m.stepOrd[i] = 0
+	}
+	// Drop the one-to-one table entirely: zero the pointers first so
+	// the retained capacity holds no references, then truncate so a
+	// zero epoch can never alias a stale stamp.
+	for i := range m.usedBy {
+		m.usedBy[i] = nil
+		m.usedStamp[i] = 0
+	}
+	m.usedBy = m.usedBy[:0]
+	m.usedStamp = m.usedStamp[:0]
+	m.epoch = 0
+	m.curPattern = nil
+	m.curPlan = nil
+	m.curClass = 0
+	m.curInjective = false
+	m.curRoot = nil
+	m.curOut = nil
+	m.curYield = nil
+}
+
 // used reports the pattern node currently bound to sn, if any.
 func (m *Matcher) used(sn *subject.Node) (*subject.Node, bool) {
 	if sn.ID >= len(m.usedBy) || m.usedStamp[sn.ID] != m.epoch {

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is returned by admitter.acquire when both the run
+// slots and the wait queue are full; the handler maps it to HTTP 429.
+var errOverloaded = errors.New("service: overloaded: run slots and queue are full")
+
+// admitter is the admission controller: at most `concurrency`
+// requests map at once, at most `queue` more wait for a slot, and
+// anything beyond that is rejected immediately. Waiting respects the
+// request context, so a client that disconnects while queued frees
+// its queue position without ever occupying a run slot — a burst of
+// heavy requests degrades into fast 429s instead of an unbounded pile
+// of in-flight mappings.
+type admitter struct {
+	slots   chan struct{}
+	pending atomic.Int64 // queued + running
+	limit   int64        // concurrency + queue
+}
+
+func newAdmitter(concurrency, queue int) *admitter {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admitter{
+		slots: make(chan struct{}, concurrency),
+		limit: int64(concurrency + queue),
+	}
+}
+
+// acquire blocks until a run slot is free, the context is done, or
+// the queue is full. Callers that get nil must call release.
+func (a *admitter) acquire(ctx context.Context) error {
+	if a.pending.Add(1) > a.limit {
+		a.pending.Add(-1)
+		return errOverloaded
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		a.pending.Add(-1)
+		return ctx.Err()
+	}
+}
+
+func (a *admitter) release() {
+	<-a.slots
+	a.pending.Add(-1)
+}
+
+// depth reports the current load: requests holding a run slot and
+// requests waiting for one.
+func (a *admitter) depth() (running, queued int) {
+	running = len(a.slots)
+	queued = int(a.pending.Load()) - running
+	if queued < 0 {
+		queued = 0
+	}
+	return running, queued
+}
+
+// capacities reports the configured limits.
+func (a *admitter) capacities() (concurrency, queue int) {
+	return cap(a.slots), int(a.limit) - cap(a.slots)
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmitterBoundsLoad(t *testing.T) {
+	a := newAdmitter(2, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Both slots held: a third caller queues.
+	queued := make(chan error, 1)
+	go func() {
+		err := a.acquire(ctx)
+		if err == nil {
+			a.release()
+		}
+		queued <- err
+	}()
+	// Wait until the third caller is counted as pending so the fourth
+	// deterministically overflows the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, q := a.depth(); q >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("third caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(ctx); !errors.Is(err, errOverloaded) {
+		t.Fatalf("fourth acquire = %v, want errOverloaded", err)
+	}
+	// Freeing a slot admits the queued caller.
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+	a.release()
+	if r, q := a.depth(); r != 0 || q != 0 {
+		t.Fatalf("depth after drain = (%d,%d), want (0,0)", r, q)
+	}
+}
+
+func TestAdmitterRespectsContextWhileQueued(t *testing.T) {
+	a := newAdmitter(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, q := a.depth(); q >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued acquire after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire did not observe cancellation")
+	}
+	a.release()
+	if r, q := a.depth(); r != 0 || q != 0 {
+		t.Fatalf("depth after drain = (%d,%d), want (0,0)", r, q)
+	}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dagcover"
+)
+
+// Cache is the compiled-library cache: one dagcover.CompiledLibrary
+// per distinct library content, compiled at most once no matter how
+// many requests race on the same key. Keys are content-addressed —
+// "builtin:<name>" for the built-in libraries, "sha256:<hex>" for
+// uploaded genlib text — so two uploads of byte-identical genlib share
+// one compilation and a changed upload can never alias a stale entry.
+//
+// Entries are never mutated after compilation (CompiledLibrary is
+// immutable apart from its internal matcher pool), so lookups after
+// the first take only a read lock. Failed compilations are not cached:
+// the error is returned to every racing waiter, then the entry is
+// dropped so a corrected upload isn't poisoned by a transient failure.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]*cacheEntry
+	max     int
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	compiles atomic.Uint64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	cl   *dagcover.CompiledLibrary
+	err  error
+}
+
+// NewCache builds a cache bounded to max entries (<= 0 means 128).
+// Past the bound, unknown keys are compiled without being retained, so
+// a flood of distinct uploads degrades to per-request compilation
+// instead of unbounded memory growth.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 128
+	}
+	return &Cache{entries: make(map[string]*cacheEntry), max: max}
+}
+
+// HashGenlib returns the cache key for uploaded genlib text.
+func HashGenlib(text string) string {
+	sum := sha256.Sum256([]byte(text))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// BuiltinKey returns the cache key for a built-in library name.
+func BuiltinKey(name string) string { return "builtin:" + name }
+
+// Get returns the compiled library for key, invoking compile at most
+// once per key across all concurrent callers. hit reports whether the
+// entry already existed when this caller looked it up (waiting on a
+// compile another request started still counts as a hit: no work was
+// duplicated).
+func (c *Cache) Get(key string, compile func() (*dagcover.CompiledLibrary, error)) (cl *dagcover.CompiledLibrary, hit bool, err error) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if !ok {
+		c.mu.Lock()
+		e, ok = c.entries[key]
+		if !ok {
+			if len(c.entries) >= c.max {
+				c.mu.Unlock()
+				// Cache full: compile uncached rather than grow.
+				c.misses.Add(1)
+				c.compiles.Add(1)
+				cl, err = compile()
+				return cl, false, err
+			}
+			e = &cacheEntry{}
+			c.entries[key] = e
+		}
+		c.mu.Unlock()
+	}
+	hit = ok
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		e.cl, e.err = compile()
+		if e.err != nil {
+			c.mu.Lock()
+			// Only drop our own failed entry; a later success under
+			// the same key must not be evicted by a stale loser.
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+	})
+	if e.err != nil {
+		return nil, hit, fmt.Errorf("library compile: %w", e.err)
+	}
+	return e.cl, hit, nil
+}
+
+// Len reports the number of cached libraries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Counters reports cumulative hit/miss/compile counts.
+func (c *Cache) Counters() (hits, misses, compiles uint64) {
+	return c.hits.Load(), c.misses.Load(), c.compiles.Load()
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dagcover"
+)
+
+func TestCacheCompilesOncePerKey(t *testing.T) {
+	c := NewCache(0)
+	var calls atomic.Int32
+	compile := func() (*dagcover.CompiledLibrary, error) {
+		calls.Add(1)
+		return dagcover.CompileLibrary(dagcover.Lib441())
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	cls := make([]*dagcover.CompiledLibrary, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, _, err := c.Get("builtin:44-1", compile)
+			if err != nil {
+				t.Error(err)
+			}
+			cls[i] = cl
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compile ran %d times, want 1", got)
+	}
+	for _, cl := range cls[1:] {
+		if cl != cls[0] {
+			t.Fatal("racing callers received different compiled libraries")
+		}
+	}
+	hits, misses, compiles := c.Counters()
+	if compiles != 1 || misses != 1 || hits != workers-1 {
+		t.Fatalf("counters = hits %d misses %d compiles %d, want %d/1/1", hits, misses, compiles, workers-1)
+	}
+}
+
+func TestCacheDropsFailedCompiles(t *testing.T) {
+	c := NewCache(0)
+	boom := errors.New("boom")
+	_, _, err := c.Get("k", func() (*dagcover.CompiledLibrary, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed compile was cached (len %d)", c.Len())
+	}
+	cl, hit, err := c.Get("k", func() (*dagcover.CompiledLibrary, error) {
+		return dagcover.CompileLibrary(dagcover.Lib441())
+	})
+	if err != nil || cl == nil || hit {
+		t.Fatalf("retry after failure: cl=%v hit=%v err=%v", cl, hit, err)
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	c := NewCache(1)
+	mk := func() (*dagcover.CompiledLibrary, error) {
+		return dagcover.CompileLibrary(dagcover.Lib441())
+	}
+	if _, _, err := c.Get("a", mk); err != nil {
+		t.Fatal(err)
+	}
+	// Over the bound: served, but not retained.
+	if _, _, err := c.Get("b", mk); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache grew past its bound: len %d", c.Len())
+	}
+	_, hit, err := c.Get("a", mk)
+	if err != nil || !hit {
+		t.Fatalf("bounded cache lost its retained entry: hit=%v err=%v", hit, err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package service turns the one-shot mapper into a long-running
+// mapping service: an HTTP/JSON front end over the dagcover facade
+// with the three properties a shared deployment needs.
+//
+//   - Compiled-library cache. Parsing a genlib and compiling its
+//     pattern plans and signature index dominates short requests;
+//     the cache (see Cache) does that work once per distinct library
+//     content and shares the immutable result, while per-request
+//     matcher scratch comes from dagcover.CompiledLibrary's pool.
+//   - Admission control. A bounded worker pool (see admitter) caps
+//     concurrent mappings and the wait queue; excess load is rejected
+//     with 429 instead of accumulating goroutines and memory.
+//   - Cancellation. Every request runs under a context carrying the
+//     client connection and a per-request deadline, which the core
+//     labeling/construction loops poll — a disconnect or timeout
+//     stops the mapping within a wave, not after it.
+//
+// Endpoints: POST /map, GET /healthz, GET /stats.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"dagcover"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Concurrency caps simultaneous mapping runs (default NumCPU).
+	Concurrency int
+	// QueueDepth caps requests waiting for a run slot (default
+	// 4x Concurrency; negative means no queue — shed immediately).
+	// Beyond it requests get 429.
+	QueueDepth int
+	// DefaultTimeout bounds a request that doesn't ask for a timeout
+	// (default 60s); MaxTimeout caps what a request may ask for
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRequestBytes bounds the request body (default 32 MiB).
+	MaxRequestBytes int64
+	// Parallelism is the per-request labeling worker count passed to
+	// DAG covering (default 1: concurrency across requests already
+	// saturates the pool; raise it for latency-sensitive, low-traffic
+	// deployments).
+	Parallelism int
+	// CacheEntries bounds the compiled-library cache (default 128).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Concurrency
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 32 << 20
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// Server is the mapping service. Create with New, mount Handler into
+// an http.Server.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	adm     *admitter
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		adm:     newAdmitter(cfg.Concurrency, cfg.QueueDepth),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/map", s.handleMap)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the compiled-library cache (tests, warm-up).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Stats returns the current observability snapshot.
+func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.cache, s.adm) }
+
+// MapRequest is the POST /map body.
+type MapRequest struct {
+	// BLIF is the circuit to map (required).
+	BLIF string `json:"blif"`
+	// Library names a built-in library: lib2 (default), 44-1, 44-3.
+	Library string `json:"library,omitempty"`
+	// Genlib, when set, is uploaded genlib text and overrides Library.
+	// Identical uploads share one cached compilation (content hash).
+	Genlib string `json:"genlib,omitempty"`
+	// Mode is dag (default), tree, or lut.
+	Mode string `json:"mode,omitempty"`
+	// Class is standard (default) or extended (dag mode only).
+	Class string `json:"class,omitempty"`
+	// Delay is intrinsic (default) or unit.
+	Delay string `json:"delay,omitempty"`
+	// K is the LUT input count for lut mode (default 4).
+	K int `json:"k,omitempty"`
+	// AreaRecovery/RequiredTime configure area recovery (dag mode).
+	AreaRecovery bool    `json:"area_recovery,omitempty"`
+	RequiredTime float64 `json:"required_time,omitempty"`
+	// TimeoutMillis overrides the server's default per-request
+	// timeout, clamped to the server's maximum.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// Verify re-simulates the mapped netlist against the input before
+	// responding.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// MapResponse is the POST /map success body.
+type MapResponse struct {
+	Circuit string `json:"circuit"`
+	Library string `json:"library"`
+	Mode    string `json:"mode"`
+	// Netlist is the mapped circuit as BLIF (.gate form for dag/tree,
+	// .names LUTs for lut).
+	Netlist           string  `json:"netlist"`
+	Delay             float64 `json:"delay,omitempty"`
+	Area              float64 `json:"area,omitempty"`
+	Cells             int     `json:"cells,omitempty"`
+	Depth             int     `json:"depth,omitempty"`
+	LUTs              int     `json:"luts,omitempty"`
+	DuplicatedNodes   int     `json:"duplicated_nodes,omitempty"`
+	SubjectNodes      int     `json:"subject_nodes,omitempty"`
+	PatternsTried     int     `json:"patterns_tried,omitempty"`
+	MatchesEnumerated int     `json:"matches_enumerated,omitempty"`
+	// CacheHit reports whether the library was already compiled.
+	CacheHit bool `json:"cache_hit"`
+	Verified bool `json:"verified,omitempty"`
+	// ElapsedMillis is the serving time excluding queueing.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// lutLibraryLabel keys LUT-mode requests in the per-library stats,
+// which otherwise track gate libraries.
+func lutLibraryLabel(k int) string { return fmt.Sprintf("lut-k%d", k) }
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func (s *Server) failure(w http.ResponseWriter, status int, format string, args ...any) {
+	switch status {
+	case http.StatusBadRequest:
+		s.metrics.badRequest.Add(1)
+	case http.StatusTooManyRequests:
+		s.metrics.overloaded.Add(1)
+	case http.StatusGatewayTimeout:
+		s.metrics.timeout.Add(1)
+	default:
+		s.metrics.internal.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.metrics.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	s.metrics.total.Add(1)
+	if r.Method != http.MethodPost {
+		s.failure(w, http.StatusMethodNotAllowed, "POST a JSON mapping request to /map")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req MapRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failure(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.BLIF) == "" {
+		s.failure(w, http.StatusBadRequest, `bad request: "blif" is required`)
+		return
+	}
+
+	// Admission: hold a run slot for everything downstream — library
+	// compilation and BLIF parsing are also work an overload must not
+	// multiply.
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.failure(w, http.StatusTooManyRequests,
+				"overloaded: %d mappings running and %d queued; retry later",
+				s.cfg.Concurrency, s.cfg.QueueDepth)
+			return
+		}
+		// Client went away while queued.
+		s.metrics.canceled.Add(1)
+		writeJSON(w, statusClientClosedRequest, errorResponse{Error: "request cancelled while queued"})
+		return
+	}
+	defer s.adm.release()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	resp, status, err := s.serve(ctx, &req)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.failure(w, http.StatusGatewayTimeout, "mapping timed out after %v", timeout)
+		case errors.Is(err, context.Canceled):
+			s.metrics.canceled.Add(1)
+			writeJSON(w, statusClientClosedRequest, errorResponse{Error: "request cancelled"})
+		default:
+			s.failure(w, status, "%v", err)
+		}
+		return
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMillis = float64(elapsed) / float64(time.Millisecond)
+	s.metrics.recordServed(resp.Library, elapsed, resp.PatternsTried)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusClientClosedRequest mirrors nginx's non-standard 499: the
+// client disconnected before the response; nobody reads the body, but
+// the access log keeps an honest status.
+const statusClientClosedRequest = 499
+
+// serve runs one admitted mapping request. The returned status is
+// used only for non-context errors.
+func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int, error) {
+	mode := req.Mode
+	if mode == "" {
+		mode = "dag"
+	}
+	nw, err := dagcover.ParseBLIF(strings.NewReader(req.BLIF))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if mode == "lut" {
+		return s.serveLUT(ctx, req, nw)
+	}
+
+	cl, hit, err := s.resolveLibrary(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	opt := &dagcover.MapOptions{
+		AreaRecovery: req.AreaRecovery,
+		RequiredTime: req.RequiredTime,
+		Parallelism:  s.cfg.Parallelism,
+	}
+	switch req.Delay {
+	case "", "intrinsic":
+		opt.Delay = dagcover.IntrinsicDelay
+	case "unit":
+		opt.Delay = dagcover.UnitDelay
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown delay model %q", req.Delay)
+	}
+	switch req.Class {
+	case "", "standard":
+		opt.Class = dagcover.MatchStandard
+	case "extended":
+		opt.Class = dagcover.MatchExtended
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown match class %q", req.Class)
+	}
+
+	var res *dagcover.MapResult
+	switch mode {
+	case "dag":
+		res, err = cl.MapCompiled(ctx, nw, opt)
+	case "tree":
+		res, err = cl.MapTreeCompiled(ctx, nw, opt)
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want dag, tree, or lut)", mode)
+	}
+	if err != nil {
+		// Context errors are classified by the caller; anything else
+		// is an input the mapper rejected (e.g. a library without a
+		// NAND2/INV basis).
+		return nil, http.StatusBadRequest, err
+	}
+	resp := &MapResponse{
+		Circuit:           nw.Name,
+		Library:           cl.Library().Name,
+		Mode:              mode,
+		Delay:             res.Delay,
+		Area:              res.Area,
+		Cells:             res.Cells,
+		DuplicatedNodes:   res.DuplicatedNodes,
+		SubjectNodes:      res.SubjectNodes,
+		PatternsTried:     res.PatternsTried,
+		MatchesEnumerated: res.MatchesEnumerated,
+		CacheHit:          hit,
+	}
+	if req.Verify {
+		if err := dagcover.Verify(nw, res.Netlist); err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("mapped netlist failed verification: %v", err)
+		}
+		resp.Verified = true
+	}
+	var buf bytes.Buffer
+	if err := res.Netlist.WriteBLIF(&buf); err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	resp.Netlist = buf.String()
+	return resp, http.StatusOK, nil
+}
+
+// serveLUT handles mode "lut" (FlowMap); no gate library is involved.
+func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Network) (*MapResponse, int, error) {
+	k := req.K
+	if k == 0 {
+		k = 4
+	}
+	res, err := dagcover.MapLUTContext(ctx, nw, k)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	resp := &MapResponse{
+		Circuit: nw.Name,
+		Library: lutLibraryLabel(k),
+		Mode:    "lut",
+		Depth:   res.Depth,
+		LUTs:    res.LUTs,
+		// LUT mapping needs no library compile; report a hit so cache
+		// dashboards don't count these as misses.
+		CacheHit: true,
+	}
+	if req.Verify {
+		if err := dagcover.VerifyNetworks(nw, res.Network); err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("LUT netlist failed verification: %v", err)
+		}
+		resp.Verified = true
+	}
+	var buf bytes.Buffer
+	if err := dagcover.WriteBLIF(&buf, res.Network); err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	resp.Netlist = buf.String()
+	return resp, http.StatusOK, nil
+}
+
+// resolveLibrary returns the compiled library for the request, either
+// a built-in by name or uploaded genlib text by content hash.
+func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, bool, error) {
+	if req.Genlib != "" {
+		key := HashGenlib(req.Genlib)
+		// Name uploads by content-hash prefix so per-library stats
+		// distinguish different uploads without trusting client names.
+		name := "upload-" + strings.TrimPrefix(key, "sha256:")[:8]
+		return s.cache.Get(key, func() (*dagcover.CompiledLibrary, error) {
+			lib, err := dagcover.LoadLibrary(name, strings.NewReader(req.Genlib))
+			if err != nil {
+				return nil, err
+			}
+			return dagcover.CompileLibrary(lib)
+		})
+	}
+	name := req.Library
+	if name == "" {
+		name = "lib2"
+	}
+	var builtin func() *dagcover.Library
+	switch name {
+	case "lib2":
+		builtin = dagcover.Lib2
+	case "44-1":
+		builtin = dagcover.Lib441
+	case "44-3":
+		builtin = dagcover.Lib443
+	default:
+		return nil, false, fmt.Errorf("unknown library %q (built-ins: lib2, 44-1, 44-3; or upload genlib text)", name)
+	}
+	return s.cache.Get(BuiltinKey(name), func() (*dagcover.CompiledLibrary, error) {
+		return dagcover.CompileLibrary(builtin())
+	})
+}

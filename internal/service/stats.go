@@ -1,0 +1,164 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindowSize is the per-library latency sample window: large enough
+// that a p99 over it is meaningful, small enough that /stats stays
+// O(1) in served traffic.
+const latWindowSize = 512
+
+// metrics aggregates the server's observable state. Counters are
+// atomics bumped on the request path; per-library latency windows take
+// a short mutex only when recording or snapshotting.
+type metrics struct {
+	start time.Time
+
+	total      atomic.Uint64 // every /map request received
+	ok         atomic.Uint64 // 200s
+	badRequest atomic.Uint64 // 400s (malformed BLIF/genlib/JSON)
+	overloaded atomic.Uint64 // 429s
+	timeout    atomic.Uint64 // 504s (per-request deadline hit)
+	canceled   atomic.Uint64 // client disconnected mid-flight
+	internal   atomic.Uint64 // 500s
+
+	patternsTried atomic.Uint64
+
+	mu     sync.Mutex
+	perLib map[string]*libMetrics
+}
+
+// libMetrics is the per-library slice of the stats: request count,
+// pattern-match work, and a ring of recent latencies for quantiles.
+type libMetrics struct {
+	mu            sync.Mutex
+	requests      uint64
+	patternsTried uint64
+	lat           [latWindowSize]float64
+	n             uint64 // total recorded; ring index = n % latWindowSize
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), perLib: make(map[string]*libMetrics)}
+}
+
+// lib returns (creating if needed) the per-library metrics bucket.
+func (m *metrics) lib(name string) *libMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lm := m.perLib[name]
+	if lm == nil {
+		lm = &libMetrics{}
+		m.perLib[name] = lm
+	}
+	return lm
+}
+
+// recordServed logs one successful mapping against its library.
+func (m *metrics) recordServed(lib string, latency time.Duration, patternsTried int) {
+	m.ok.Add(1)
+	m.patternsTried.Add(uint64(patternsTried))
+	lm := m.lib(lib)
+	lm.mu.Lock()
+	lm.requests++
+	lm.patternsTried += uint64(patternsTried)
+	lm.lat[lm.n%latWindowSize] = float64(latency) / float64(time.Millisecond)
+	lm.n++
+	lm.mu.Unlock()
+}
+
+// quantiles returns p50/p99 over the retained window (0, 0 when empty).
+func (lm *libMetrics) quantiles() (p50, p99 float64) {
+	lm.mu.Lock()
+	n := int(lm.n)
+	if n > latWindowSize {
+		n = latWindowSize
+	}
+	sample := make([]float64, n)
+	copy(sample, lm.lat[:n])
+	lm.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(sample)
+	// Nearest-rank quantile over the window.
+	rank := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return sample[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+// LibrarySnapshot is the /stats view of one library.
+type LibrarySnapshot struct {
+	Requests      uint64  `json:"requests"`
+	PatternsTried uint64  `json:"patterns_tried"`
+	P50Millis     float64 `json:"p50_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+}
+
+// StatsSnapshot is the /stats response body.
+type StatsSnapshot struct {
+	UptimeMillis int64 `json:"uptime_ms"`
+	Requests     struct {
+		Total      uint64 `json:"total"`
+		OK         uint64 `json:"ok"`
+		BadRequest uint64 `json:"bad_request"`
+		Overloaded uint64 `json:"overloaded"`
+		Timeout    uint64 `json:"timeout"`
+		Canceled   uint64 `json:"canceled"`
+		Internal   uint64 `json:"internal"`
+	} `json:"requests"`
+	Cache struct {
+		Libraries int    `json:"libraries"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Compiles  uint64 `json:"compiles"`
+	} `json:"cache"`
+	Queue struct {
+		Running       int `json:"running"`
+		Queued        int `json:"queued"`
+		Concurrency   int `json:"concurrency"`
+		QueueCapacity int `json:"queue_capacity"`
+	} `json:"queue"`
+	PatternsTried uint64                     `json:"patterns_tried"`
+	Libraries     map[string]LibrarySnapshot `json:"libraries"`
+}
+
+// snapshot assembles the full /stats view.
+func (m *metrics) snapshot(c *Cache, a *admitter) StatsSnapshot {
+	var s StatsSnapshot
+	s.UptimeMillis = time.Since(m.start).Milliseconds()
+	s.Requests.Total = m.total.Load()
+	s.Requests.OK = m.ok.Load()
+	s.Requests.BadRequest = m.badRequest.Load()
+	s.Requests.Overloaded = m.overloaded.Load()
+	s.Requests.Timeout = m.timeout.Load()
+	s.Requests.Canceled = m.canceled.Load()
+	s.Requests.Internal = m.internal.Load()
+	s.Cache.Libraries = c.Len()
+	s.Cache.Hits, s.Cache.Misses, s.Cache.Compiles = c.Counters()
+	s.Queue.Running, s.Queue.Queued = a.depth()
+	s.Queue.Concurrency, s.Queue.QueueCapacity = a.capacities()
+	s.PatternsTried = m.patternsTried.Load()
+	s.Libraries = make(map[string]LibrarySnapshot)
+	m.mu.Lock()
+	names := make([]string, 0, len(m.perLib))
+	for name := range m.perLib {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	for _, name := range names {
+		lm := m.lib(name)
+		lm.mu.Lock()
+		snap := LibrarySnapshot{Requests: lm.requests, PatternsTried: lm.patternsTried}
+		lm.mu.Unlock()
+		snap.P50Millis, snap.P99Millis = lm.quantiles()
+		s.Libraries[name] = snap
+	}
+	return s
+}

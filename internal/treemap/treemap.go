@@ -13,6 +13,7 @@
 package treemap
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,6 +22,10 @@ import (
 	"dagcover/internal/match"
 	"dagcover/internal/subject"
 )
+
+// cancelCheckStride is how many DP nodes are processed between
+// ctx.Err() polls; see internal/core for the rationale.
+const cancelCheckStride = 64
 
 // Objective selects the DP cost.
 type Objective int
@@ -47,6 +52,10 @@ type Options struct {
 	Delay genlib.DelayModel
 	// Arrivals optionally gives primary-input arrival times.
 	Arrivals map[string]float64
+	// Ctx, when non-nil, lets callers cancel the covering run: the DP
+	// polls ctx.Err() every cancelCheckStride nodes and Map returns an
+	// error wrapping ctx.Err(). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // Result is a completed tree mapping.
@@ -68,6 +77,9 @@ type Result struct {
 func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	if opt.Delay == nil {
 		opt.Delay = genlib.IntrinsicDelay{}
+	}
+	if opt.Ctx == nil {
+		opt.Ctx = context.Background()
 	}
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("treemap: subject graph %q has no outputs", g.Name)
@@ -95,7 +107,12 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	arr := make([]float64, len(g.Nodes))
 	areaCost := make([]float64, len(g.Nodes))
 	chosen := make([]*match.Match, len(g.Nodes))
-	for _, n := range g.Nodes {
+	for i, n := range g.Nodes {
+		if i%cancelCheckStride == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("treemap: covering interrupted: %w", err)
+			}
+		}
 		if n.Kind == subject.PI {
 			arr[n.ID] = opt.Arrivals[n.Name]
 			continue
