@@ -5,9 +5,12 @@
 //
 //	techmap -lib lib2 -mode dag circuit.blif
 //	techmap -lib my.genlib -mode tree -delay unit -o mapped.blif circuit.blif
+//	techmap -lib 44-1 -supergates -delay unit -v circuit.blif
 //
 // The built-in libraries lib2, 44-1 and 44-3 may be named directly;
-// any other -lib value is read as a genlib file.
+// any other -lib value is read as a genlib file. -supergates expands
+// the library with composed supergates before mapping (bounds via
+// -sg-inputs/-sg-depth/-sg-max).
 package main
 
 import (
@@ -26,28 +29,53 @@ import (
 // with a longer budget.
 const exitTimeout = 3
 
+type config struct {
+	path     string
+	libName  string
+	mode     string
+	class    string
+	delay    string
+	output   string
+	doVerify bool
+	recover  bool
+	critPath bool
+	slack    bool
+	verbose  bool
+	parallel int
+
+	supergates bool
+	sgInputs   int
+	sgDepth    int
+	sgMax      int
+}
+
 func main() {
-	var (
-		libName  = flag.String("lib", "lib2", "library: lib2, 44-1, 44-3, or a genlib file path")
-		mode     = flag.String("mode", "dag", "mapping mode: dag or tree")
-		class    = flag.String("class", "standard", "DAG match class: standard or extended")
-		delay    = flag.String("delay", "intrinsic", "delay model: intrinsic or unit")
-		output   = flag.String("o", "", "write the mapped netlist (.gate BLIF) to this file")
-		doVerify = flag.Bool("verify", false, "verify the mapping against the input by simulation")
-		recover  = flag.Bool("arearecovery", false, "relax off-critical nodes to smaller gates")
-		critPath = flag.Bool("critical", false, "print the critical path")
-		slack    = flag.Bool("slack", false, "print the worst timing paths and a slack histogram")
-		parallel = flag.Int("parallel", 0, "labeling workers for DAG covering: 0 = all CPUs, 1 = serial (results are identical either way)")
-		timeout  = flag.Duration("timeout", 0, "abort mapping after this duration (0 = no limit)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.libName, "lib", "lib2", "library: lib2, 44-1, 44-3, or a genlib file path")
+	flag.StringVar(&cfg.mode, "mode", "dag", "mapping mode: dag or tree")
+	flag.StringVar(&cfg.class, "class", "standard", "DAG match class: standard or extended")
+	flag.StringVar(&cfg.delay, "delay", "intrinsic", "delay model: intrinsic or unit")
+	flag.StringVar(&cfg.output, "o", "", "write the mapped netlist (.gate BLIF) to this file")
+	flag.BoolVar(&cfg.doVerify, "verify", false, "verify the mapping against the input by simulation")
+	flag.BoolVar(&cfg.recover, "arearecovery", false, "relax off-critical nodes to smaller gates")
+	flag.BoolVar(&cfg.critPath, "critical", false, "print the critical path")
+	flag.BoolVar(&cfg.slack, "slack", false, "print the worst timing paths and a slack histogram")
+	flag.BoolVar(&cfg.verbose, "v", false, "print matcher statistics (patterns tried, matches enumerated)")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "labeling workers for DAG covering: 0 = all CPUs, 1 = serial (results are identical either way)")
+	flag.BoolVar(&cfg.supergates, "supergates", false, "expand the library with composed supergates before mapping")
+	flag.IntVar(&cfg.sgInputs, "sg-inputs", 0, "supergate max inputs (0 = default)")
+	flag.IntVar(&cfg.sgDepth, "sg-depth", 0, "supergate max composition depth (0 = default)")
+	flag.IntVar(&cfg.sgMax, "sg-max", 0, "supergate max emitted gates (0 = default)")
+	timeout := flag.Duration("timeout", 0, "abort mapping after this duration (0 = no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: techmap [flags] circuit.blif")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if *parallel <= 0 {
-		*parallel = runtime.NumCPU()
+	cfg.path = flag.Arg(0)
+	if cfg.parallel <= 0 {
+		cfg.parallel = runtime.NumCPU()
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -55,7 +83,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, flag.Arg(0), *libName, *mode, *class, *delay, *output, *doVerify, *recover, *critPath, *slack, *parallel); err != nil {
+	if err := run(ctx, &cfg); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "techmap: mapping did not finish within the %v timeout (%v)\n", *timeout, err)
 			os.Exit(exitTimeout)
@@ -65,12 +93,31 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, path, libName, mode, class, delayName, output string, doVerify, recover, critPath, slack bool, parallel int) error {
-	lib, err := loadLibrary(libName)
+func run(ctx context.Context, cfg *config) error {
+	lib, err := loadLibrary(cfg.libName)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(path)
+	libDesc := lib.Name
+	if cfg.supergates {
+		opt := dagcover.SupergateOptions{
+			MaxInputs:   cfg.sgInputs,
+			MaxDepth:    cfg.sgDepth,
+			MaxGates:    cfg.sgMax,
+			Parallelism: cfg.parallel,
+		}
+		expanded, stats, err := dagcover.ExpandSupergates(lib, opt)
+		if err != nil {
+			return fmt.Errorf("supergate generation: %v", err)
+		}
+		if cfg.verbose {
+			fmt.Printf("supergates: %d emitted from %d base gates (%d classes, %d dominated)\n",
+				stats.Emitted, stats.BaseGates, stats.Classes, stats.Dominated)
+		}
+		lib = expanded
+		libDesc = lib.Name
+	}
+	f, err := os.Open(cfg.path)
 	if err != nil {
 		return err
 	}
@@ -80,55 +127,60 @@ func run(ctx context.Context, path, libName, mode, class, delayName, output stri
 		return err
 	}
 	var dm dagcover.DelayModel
-	switch delayName {
+	switch cfg.delay {
 	case "intrinsic":
 		dm = dagcover.IntrinsicDelay
 	case "unit":
 		dm = dagcover.UnitDelay
 	default:
-		return fmt.Errorf("unknown delay model %q", delayName)
+		return fmt.Errorf("unknown delay model %q", cfg.delay)
 	}
 	mapper, err := dagcover.NewMapper(lib)
 	if err != nil {
 		return err
 	}
-	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: recover, Parallelism: parallel, Ctx: ctx}
-	switch class {
+	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: cfg.recover, Parallelism: cfg.parallel, Ctx: ctx}
+	switch cfg.class {
 	case "standard":
 		opt.Class = dagcover.MatchStandard
 	case "extended":
 		opt.Class = dagcover.MatchExtended
 	default:
-		return fmt.Errorf("unknown match class %q", class)
+		return fmt.Errorf("unknown match class %q", cfg.class)
 	}
 	var res *dagcover.MapResult
-	switch mode {
+	switch cfg.mode {
 	case "dag":
 		res, err = mapper.MapDAG(nw, opt)
 	case "tree":
 		res, err = mapper.MapTree(nw, opt)
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %s mapping with %s (%s delay)\n", nw.Name, mode, lib.Name, delayName)
+	fmt.Printf("%s: %s mapping with %s (%s delay)\n", nw.Name, cfg.mode, libDesc, cfg.delay)
 	fmt.Printf("  subject nodes: %d\n", res.SubjectNodes)
 	fmt.Printf("  delay:         %.3f\n", res.Delay)
 	fmt.Printf("  area:          %.1f\n", res.Area)
 	fmt.Printf("  cells:         %d\n", res.Cells)
-	if mode == "dag" {
+	if cfg.mode == "dag" {
 		fmt.Printf("  duplicated:    %d subject nodes\n", res.DuplicatedNodes)
 	}
+	if cfg.verbose {
+		fmt.Printf("  library gates: %d\n", len(lib.Gates))
+		fmt.Printf("  patterns tried:     %d\n", res.PatternsTried)
+		fmt.Printf("  matches enumerated: %d\n", res.MatchesEnumerated)
+	}
 	fmt.Printf("  cpu:           %v\n", res.CPU)
-	if doVerify {
+	if cfg.doVerify {
 		if err := dagcover.Verify(nw, res.Netlist); err != nil {
 			return fmt.Errorf("verification FAILED: %v", err)
 		}
 		fmt.Println("  verification:  equivalent")
 	}
-	if slack {
+	if cfg.slack {
 		paths, err := dagcover.WorstTimingPaths(res.Netlist, dm, 3)
 		if err != nil {
 			return err
@@ -138,7 +190,7 @@ func run(ctx context.Context, path, libName, mode, class, delayName, output stri
 			fmt.Printf("    %s (slack %.3f): %d cells\n", p.Port, p.Slack, len(p.Cells))
 		}
 	}
-	if critPath {
+	if cfg.critPath {
 		cells, err := res.Netlist.CriticalPath(dm, nil)
 		if err != nil {
 			return err
@@ -148,8 +200,8 @@ func run(ctx context.Context, path, libName, mode, class, delayName, output stri
 			fmt.Printf("    %-10s -> %s\n", c.Gate.Name, c.Output)
 		}
 	}
-	if output != "" {
-		out, err := os.Create(output)
+	if cfg.output != "" {
+		out, err := os.Create(cfg.output)
 		if err != nil {
 			return err
 		}
@@ -157,7 +209,7 @@ func run(ctx context.Context, path, libName, mode, class, delayName, output stri
 		if err := res.Netlist.WriteBLIF(out); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote:         %s\n", output)
+		fmt.Printf("  wrote:         %s\n", cfg.output)
 	}
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 	"dagcover/internal/seqmap"
 	"dagcover/internal/sta"
 	"dagcover/internal/subject"
+	"dagcover/internal/supergate"
 	"dagcover/internal/treemap"
 	"dagcover/internal/verify"
 
@@ -253,6 +254,14 @@ func CompileLibrary(lib *Library) (*CompiledLibrary, error) {
 // Library returns the compiled library.
 func (cl *CompiledLibrary) Library() *Library { return cl.base.lib }
 
+// NumGates returns the number of gates in the compiled library.
+func (cl *CompiledLibrary) NumGates() int { return len(cl.base.lib.Gates) }
+
+// NumPatterns returns the number of compiled DAG pattern graphs —
+// the library-richness figure the match index works against. A
+// supergate-expanded library shows up here as a multiplied count.
+func (cl *CompiledLibrary) NumPatterns() int { return len(cl.base.dagMatcher.Patterns) }
+
 // SkippedGates lists library gates with no pattern (buffers,
 // constants).
 func (cl *CompiledLibrary) SkippedGates() []string { return cl.base.SkippedGates }
@@ -297,6 +306,42 @@ func (cl *CompiledLibrary) MapTreeCompiled(ctx context.Context, nw *Network, opt
 	}
 	o.Ctx = ctx
 	return m.MapTree(nw, &o)
+}
+
+// SupergateOptions bounds supergate generation: composition depth,
+// input count, emitted-gate budget, and enumeration parallelism. The
+// zero value selects sensible defaults (4 inputs, depth 2, 512 gates,
+// NumCPU workers). See internal/supergate for the full semantics.
+type SupergateOptions = supergate.Options
+
+// SupergateStats reports what one generation run enumerated, pruned,
+// and emitted.
+type SupergateStats = supergate.Stats
+
+// ExpandSupergates composes gates of lib into depth-bounded
+// supergates (Cai et al.'s technique for manufacturing library
+// richness) and returns a new library holding the base gates plus one
+// synthetic gate per surviving equivalence class, with composed
+// pin-to-output delays and summed areas. The result flows through
+// NewMapper / CompileLibrary unchanged. Generation is deterministic
+// at any Parallelism.
+func ExpandSupergates(lib *Library, opt SupergateOptions) (*Library, SupergateStats, error) {
+	res, err := supergate.Generate(lib, opt)
+	if err != nil {
+		return nil, SupergateStats{}, err
+	}
+	return res.Library, res.Stats, nil
+}
+
+// CompileLibraryWithSupergates expands lib with supergates and
+// compiles the enriched library for concurrent reuse:
+// ExpandSupergates followed by CompileLibrary.
+func CompileLibraryWithSupergates(lib *Library, opt SupergateOptions) (*CompiledLibrary, error) {
+	expanded, _, err := ExpandSupergates(lib, opt)
+	if err != nil {
+		return nil, err
+	}
+	return CompileLibrary(expanded)
 }
 
 func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {

@@ -22,6 +22,7 @@ import (
 	"dagcover/internal/retime"
 	"dagcover/internal/seqmap"
 	"dagcover/internal/subject"
+	"dagcover/internal/supergate"
 	"dagcover/internal/treemap"
 	"dagcover/internal/verify"
 )
@@ -740,6 +741,74 @@ func SupergateStudy(circuits []bench.Circuit) ([]SupergatePoint, error) {
 		})
 	}
 	return out, nil
+}
+
+// SupergateRichnessPoint is one row of the richness-trend study
+// (E12): 44-1, 44-1 expanded by the supergate generator, and 44-3
+// side by side under unit delay. GapClosed is the fraction of the
+// 44-1 vs 44-3 delay gap that the supergates recover, in percent.
+type SupergateRichnessPoint struct {
+	Circuit    string
+	Delay441   float64
+	DelaySuper float64
+	Delay443   float64
+	Area441    float64
+	AreaSuper  float64
+	Area443    float64
+	GapClosed  float64
+}
+
+// SupergateRichness reproduces the paper's richness trend with
+// manufactured richness: each circuit is DAG-mapped under unit delay
+// with 44-1, with 44-1 enriched by internal/supergate, and with the
+// hand-built 44-3. Every supergate mapping is verified against its
+// source network before its numbers are reported. The returned
+// supergate stats describe the one generation run shared by all
+// circuits.
+func SupergateRichness(circuits []bench.Circuit, opt supergate.Options) ([]SupergateRichnessPoint, supergate.Stats, error) {
+	res, err := supergate.Generate(libgen.Lib441(), opt)
+	if err != nil {
+		return nil, supergate.Stats{}, err
+	}
+	matchers := make([]*match.Matcher, 3)
+	for i, lib := range []*genlib.Library{libgen.Lib441(), res.Library, libgen.Lib443()} {
+		pats, _, err := subject.CompileLibrary(lib, subject.CompileOptions{Share: true})
+		if err != nil {
+			return nil, res.Stats, err
+		}
+		matchers[i] = match.NewMatcher(pats)
+	}
+	var out []SupergateRichnessPoint
+	for _, c := range circuits {
+		g, err := subject.FromNetwork(c.Network)
+		if err != nil {
+			return nil, res.Stats, err
+		}
+		var r [3]*core.Result
+		for i, m := range matchers {
+			r[i], err = core.Map(g, m, core.Options{Class: match.Standard, Delay: genlib.UnitDelay{}})
+			if err != nil {
+				return nil, res.Stats, err
+			}
+		}
+		if err := verify.Mapped(c.Network, r[1].Netlist, verify.Options{}); err != nil {
+			return nil, res.Stats, fmt.Errorf("%s: supergate mapping failed equivalence check: %v", c.Name, err)
+		}
+		p := SupergateRichnessPoint{
+			Circuit:    c.Name,
+			Delay441:   r[0].Delay,
+			DelaySuper: r[1].Delay,
+			Delay443:   r[2].Delay,
+			Area441:    r[0].Netlist.Area(),
+			AreaSuper:  r[1].Netlist.Area(),
+			Area443:    r[2].Netlist.Area(),
+		}
+		if gap := p.Delay441 - p.Delay443; gap > 0 {
+			p.GapClosed = 100 * (p.Delay441 - p.DelaySuper) / gap
+		}
+		out = append(out, p)
+	}
+	return out, res.Stats, nil
 }
 
 // FormatCSV renders rows as comma-separated values with a header,

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -36,6 +37,10 @@ type cacheEntry struct {
 	once sync.Once
 	cl   *dagcover.CompiledLibrary
 	err  error
+	// done publishes cl to readers that did not run once.Do (the
+	// atomic store/load pair orders the cl write before any Entries
+	// read).
+	done atomic.Bool
 }
 
 // NewCache builds a cache bounded to max entries (<= 0 means 128).
@@ -93,6 +98,9 @@ func (c *Cache) Get(key string, compile func() (*dagcover.CompiledLibrary, error
 	e.once.Do(func() {
 		c.compiles.Add(1)
 		e.cl, e.err = compile()
+		if e.err == nil {
+			e.done.Store(true)
+		}
 		if e.err != nil {
 			c.mu.Lock()
 			// Only drop our own failed entry; a later success under
@@ -107,6 +115,46 @@ func (c *Cache) Get(key string, compile func() (*dagcover.CompiledLibrary, error
 		return nil, hit, fmt.Errorf("library compile: %w", e.err)
 	}
 	return e.cl, hit, nil
+}
+
+// EntryInfo is the /stats view of one cached compiled library: how
+// many gates the library holds and how many DAG pattern graphs its
+// compilation produced — the figure that makes a supergate-inflated
+// entry visible to operators.
+type EntryInfo struct {
+	Key      string `json:"key"`
+	Library  string `json:"library"`
+	Gates    int    `json:"gates"`
+	Patterns int    `json:"patterns"`
+}
+
+// Entries snapshots the cache's compiled entries, sorted by key.
+// Entries still compiling are omitted (their counts don't exist yet).
+func (c *Cache) Entries() []EntryInfo {
+	c.mu.RLock()
+	type kv struct {
+		key string
+		e   *cacheEntry
+	}
+	all := make([]kv, 0, len(c.entries))
+	for k, e := range c.entries {
+		all = append(all, kv{k, e})
+	}
+	c.mu.RUnlock()
+	out := make([]EntryInfo, 0, len(all))
+	for _, p := range all {
+		if !p.e.done.Load() {
+			continue
+		}
+		out = append(out, EntryInfo{
+			Key:      p.key,
+			Library:  p.e.cl.Library().Name,
+			Gates:    p.e.cl.NumGates(),
+			Patterns: p.e.cl.NumPatterns(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Len reports the number of cached libraries.

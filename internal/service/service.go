@@ -141,6 +141,56 @@ type MapRequest struct {
 	// Verify re-simulates the mapped netlist against the input before
 	// responding.
 	Verify bool `json:"verify,omitempty"`
+	// Supergates, when set, expands the library with composed
+	// supergates before compiling (dag/tree modes only). The expanded
+	// compilation is cached under the library key plus the normalized
+	// bounds, so repeated requests share it.
+	Supergates *SupergateConfig `json:"supergates,omitempty"`
+}
+
+// SupergateConfig bounds server-side supergate generation. Zero
+// fields take defaults; all fields are clamped to server-safe caps
+// (generation cost grows steeply with the bounds, and an uploaded
+// library must not be able to request an unbounded expansion).
+type SupergateConfig struct {
+	// MaxInputs caps supergate input count (default 4, max 6).
+	MaxInputs int `json:"max_inputs,omitempty"`
+	// MaxDepth caps composition depth (default 2, max 3).
+	MaxDepth int `json:"max_depth,omitempty"`
+	// MaxGates caps emitted supergates (default 512, max 1024).
+	MaxGates int `json:"max_gates,omitempty"`
+}
+
+// Server-side caps on SupergateConfig.
+const (
+	maxSupergateInputs = 6
+	maxSupergateDepth  = 3
+	maxSupergateGates  = 1024
+)
+
+// normalize applies defaults and clamps; the result is what both the
+// generator and the cache key see, so two requests that clamp to the
+// same bounds share one compilation.
+func (c *SupergateConfig) normalize() SupergateConfig {
+	out := SupergateConfig{MaxInputs: 4, MaxDepth: 2, MaxGates: 512}
+	if c == nil {
+		return out
+	}
+	if c.MaxInputs > 0 {
+		out.MaxInputs = min(max(c.MaxInputs, 2), maxSupergateInputs)
+	}
+	if c.MaxDepth > 0 {
+		out.MaxDepth = min(c.MaxDepth, maxSupergateDepth)
+	}
+	if c.MaxGates > 0 {
+		out.MaxGates = min(c.MaxGates, maxSupergateGates)
+	}
+	return out
+}
+
+// cacheSuffix renders the normalized bounds into the cache key.
+func (c SupergateConfig) cacheSuffix() string {
+	return fmt.Sprintf("|sg:i%d,d%d,g%d", c.MaxInputs, c.MaxDepth, c.MaxGates)
 }
 
 // MapResponse is the POST /map success body.
@@ -291,6 +341,9 @@ func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int,
 		return nil, http.StatusBadRequest, err
 	}
 	if mode == "lut" {
+		if req.Supergates != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("supergates apply to gate-library modes (dag, tree), not lut")
+		}
 		return s.serveLUT(ctx, req, nw)
 	}
 
@@ -397,37 +450,58 @@ func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Net
 }
 
 // resolveLibrary returns the compiled library for the request, either
-// a built-in by name or uploaded genlib text by content hash.
+// a built-in by name or uploaded genlib text by content hash. A
+// supergate request compiles (and caches) the expanded library under
+// the base key plus the normalized bounds.
 func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, bool, error) {
+	var load func() (*dagcover.Library, error)
+	var key string
 	if req.Genlib != "" {
-		key := HashGenlib(req.Genlib)
+		key = HashGenlib(req.Genlib)
 		// Name uploads by content-hash prefix so per-library stats
 		// distinguish different uploads without trusting client names.
 		name := "upload-" + strings.TrimPrefix(key, "sha256:")[:8]
+		load = func() (*dagcover.Library, error) {
+			return dagcover.LoadLibrary(name, strings.NewReader(req.Genlib))
+		}
+	} else {
+		name := req.Library
+		if name == "" {
+			name = "lib2"
+		}
+		var builtin func() *dagcover.Library
+		switch name {
+		case "lib2":
+			builtin = dagcover.Lib2
+		case "44-1":
+			builtin = dagcover.Lib441
+		case "44-3":
+			builtin = dagcover.Lib443
+		default:
+			return nil, false, fmt.Errorf("unknown library %q (built-ins: lib2, 44-1, 44-3; or upload genlib text)", name)
+		}
+		key = BuiltinKey(name)
+		load = func() (*dagcover.Library, error) { return builtin(), nil }
+	}
+	if req.Supergates == nil {
 		return s.cache.Get(key, func() (*dagcover.CompiledLibrary, error) {
-			lib, err := dagcover.LoadLibrary(name, strings.NewReader(req.Genlib))
+			lib, err := load()
 			if err != nil {
 				return nil, err
 			}
 			return dagcover.CompileLibrary(lib)
 		})
 	}
-	name := req.Library
-	if name == "" {
-		name = "lib2"
-	}
-	var builtin func() *dagcover.Library
-	switch name {
-	case "lib2":
-		builtin = dagcover.Lib2
-	case "44-1":
-		builtin = dagcover.Lib441
-	case "44-3":
-		builtin = dagcover.Lib443
-	default:
-		return nil, false, fmt.Errorf("unknown library %q (built-ins: lib2, 44-1, 44-3; or upload genlib text)", name)
-	}
-	return s.cache.Get(BuiltinKey(name), func() (*dagcover.CompiledLibrary, error) {
-		return dagcover.CompileLibrary(builtin())
+	sg := req.Supergates.normalize()
+	return s.cache.Get(key+sg.cacheSuffix(), func() (*dagcover.CompiledLibrary, error) {
+		lib, err := load()
+		if err != nil {
+			return nil, err
+		}
+		return dagcover.CompileLibraryWithSupergates(lib, dagcover.SupergateOptions{
+			MaxInputs: sg.MaxInputs,
+			MaxDepth:  sg.MaxDepth,
+			MaxGates:  sg.MaxGates,
+		})
 	})
 }

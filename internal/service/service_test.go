@@ -374,3 +374,92 @@ func TestContextErrorClassification(t *testing.T) {
 		t.Fatalf("MapCompiled on cancelled ctx = %v, want context.Canceled", err)
 	}
 }
+
+func TestMapEndpointSupergates(t *testing.T) {
+	s := New(Config{Concurrency: 2})
+	nw := bench.Comparator(6)
+	plain := MapRequest{BLIF: blifOf(t, nw), Library: "44-1", Delay: "unit"}
+	super := plain
+	super.Verify = true
+	super.Supergates = &SupergateConfig{MaxInputs: 4, MaxDepth: 2, MaxGates: 128}
+
+	code, rp, body := post(t, s.Handler(), nil, plain)
+	if code != http.StatusOK {
+		t.Fatalf("plain request = %d: %s", code, body)
+	}
+	code, rs, body := post(t, s.Handler(), nil, super)
+	if code != http.StatusOK {
+		t.Fatalf("supergate request = %d: %s", code, body)
+	}
+	if !rs.Verified {
+		t.Error("verify was requested but not reported")
+	}
+	if rs.Delay >= rp.Delay {
+		t.Errorf("supergate delay %v did not improve on plain %v", rs.Delay, rp.Delay)
+	}
+	if rs.Library != "44-1+sg" {
+		t.Errorf("supergate response library = %q, want 44-1+sg", rs.Library)
+	}
+	if rs.CacheHit {
+		t.Error("first supergate request reported a cache hit")
+	}
+
+	// The expanded compilation is cached separately from the plain one.
+	code, rs2, body := post(t, s.Handler(), nil, super)
+	if code != http.StatusOK {
+		t.Fatalf("second supergate request = %d: %s", code, body)
+	}
+	if !rs2.CacheHit {
+		t.Error("second supergate request missed the cache")
+	}
+	if got := s.Cache().Len(); got != 2 {
+		t.Errorf("cache entries = %d, want 2 (plain + supergate)", got)
+	}
+
+	// /stats reports per-entry pattern counts, with the supergate
+	// entry visibly inflated over the plain one.
+	snap := s.Stats()
+	if len(snap.Cache.Entries) != 2 {
+		t.Fatalf("stats cache entries = %d, want 2", len(snap.Cache.Entries))
+	}
+	byKey := map[string]EntryInfo{}
+	for _, e := range snap.Cache.Entries {
+		byKey[e.Key] = e
+	}
+	base, ok := byKey["builtin:44-1"]
+	if !ok {
+		t.Fatalf("no builtin:44-1 entry in %v", snap.Cache.Entries)
+	}
+	sg, ok := byKey["builtin:44-1|sg:i4,d2,g128"]
+	if !ok {
+		t.Fatalf("no supergate entry in %v", snap.Cache.Entries)
+	}
+	if sg.Gates <= base.Gates || sg.Patterns <= base.Patterns {
+		t.Errorf("supergate entry (%d gates, %d patterns) not inflated over base (%d gates, %d patterns)",
+			sg.Gates, sg.Patterns, base.Gates, base.Patterns)
+	}
+}
+
+func TestSupergateConfigClamped(t *testing.T) {
+	got := (&SupergateConfig{MaxInputs: 99, MaxDepth: 99, MaxGates: 1 << 20}).normalize()
+	want := SupergateConfig{MaxInputs: maxSupergateInputs, MaxDepth: maxSupergateDepth, MaxGates: maxSupergateGates}
+	if got != want {
+		t.Errorf("normalize = %+v, want %+v", got, want)
+	}
+	if got := (*SupergateConfig)(nil).normalize(); got != (SupergateConfig{MaxInputs: 4, MaxDepth: 2, MaxGates: 512}) {
+		t.Errorf("nil normalize = %+v", got)
+	}
+}
+
+func TestSupergatesRejectedForLUTMode(t *testing.T) {
+	s := New(Config{Concurrency: 1})
+	req := MapRequest{
+		BLIF:       blifOf(t, bench.Comparator(4)),
+		Mode:       "lut",
+		Supergates: &SupergateConfig{},
+	}
+	code, _, body := post(t, s.Handler(), nil, req)
+	if code != http.StatusBadRequest {
+		t.Fatalf("lut+supergates = %d (%s), want 400", code, body)
+	}
+}

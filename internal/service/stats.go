@@ -118,6 +118,9 @@ type StatsSnapshot struct {
 		Hits      uint64 `json:"hits"`
 		Misses    uint64 `json:"misses"`
 		Compiles  uint64 `json:"compiles"`
+		// Entries lists each cached compiled library with its gate and
+		// pattern counts, so supergate-inflated entries are visible.
+		Entries []EntryInfo `json:"entries"`
 	} `json:"cache"`
 	Queue struct {
 		Running       int `json:"running"`
@@ -142,6 +145,7 @@ func (m *metrics) snapshot(c *Cache, a *admitter) StatsSnapshot {
 	s.Requests.Internal = m.internal.Load()
 	s.Cache.Libraries = c.Len()
 	s.Cache.Hits, s.Cache.Misses, s.Cache.Compiles = c.Counters()
+	s.Cache.Entries = c.Entries()
 	s.Queue.Running, s.Queue.Queued = a.depth()
 	s.Queue.Concurrency, s.Queue.QueueCapacity = a.capacities()
 	s.PatternsTried = m.patternsTried.Load()

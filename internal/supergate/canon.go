@@ -1,0 +1,339 @@
+package supergate
+
+import (
+	"dagcover/internal/genlib"
+)
+
+// table is a truth table over m variables packed 2^m bits into
+// uint64 words, row r at word r/64 bit r%64: the same row convention
+// as logic.TT (row bit i is the value of variable i). For m < 6 the
+// unused high bits of the single word are kept zero so tables compare
+// byte-for-byte.
+type table []uint64
+
+func ttWords(m int) int {
+	if m <= 6 {
+		return 1
+	}
+	return 1 << (m - 6)
+}
+
+func newTable(m int) table { return make(table, ttWords(m)) }
+
+func (t table) bit(r int) uint64 { return t[r>>6] >> (uint(r) & 63) & 1 }
+
+func (t table) setBit(r int) { t[r>>6] |= 1 << (uint(r) & 63) }
+
+func (t table) equal(o table) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// less orders tables lexicographically by word; any fixed total order
+// works for canonicalization, this one is cheap.
+func (t table) less(o table) bool {
+	for i := range t {
+		if t[i] != o[i] {
+			return t[i] < o[i]
+		}
+	}
+	return false
+}
+
+// key renders the table plus its arity as a map key. Two candidates
+// share a key exactly when their canonical tables and input counts
+// agree.
+func (t table) key(m int) string {
+	b := make([]byte, 1+8*len(t))
+	b[0] = byte(m)
+	for i, w := range t {
+		for j := 0; j < 8; j++ {
+			b[1+8*i+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return string(b)
+}
+
+// depends reports whether the function depends on variable j: some
+// row pair differing only in bit j maps to different outputs.
+func depends(t table, m, j int) bool {
+	half := 1 << uint(j)
+	for r := 0; r < 1<<uint(m); r++ {
+		if r&half != 0 {
+			continue
+		}
+		if t.bit(r) != t.bit(r|half) {
+			return true
+		}
+	}
+	return false
+}
+
+// swapInvariant reports whether exchanging variables i and j leaves
+// the function unchanged (the two inputs are symmetric).
+func swapInvariant(t table, m, i, j int) bool {
+	bi, bj := 1<<uint(i), 1<<uint(j)
+	for r := 0; r < 1<<uint(m); r++ {
+		ri, rj := r&bi != 0, r&bj != 0
+		if ri == rj {
+			continue
+		}
+		if t.bit(r) != t.bit(r^bi^bj) {
+			return false
+		}
+	}
+	return true
+}
+
+// permuteTable returns p with p(y_0..y_{m-1}) = t at the assignment
+// x_{order[k]} = y_k: position k of the permuted table reads the
+// original variable order[k].
+func permuteTable(t table, m int, order []int) table {
+	out := newTable(m)
+	for r := 0; r < 1<<uint(m); r++ {
+		if t.bit(r) == 0 {
+			continue
+		}
+		nr := 0
+		for p := 0; p < m; p++ {
+			nr |= int(uint(r)>>uint(order[p])&1) << uint(p)
+		}
+		out.setBit(nr)
+	}
+	return out
+}
+
+// phaseOf computes the genlib polarity of variable j: NONINV if the
+// function is monotone increasing in it, INV if decreasing, UNKNOWN
+// otherwise.
+func phaseOf(t table, m, j int) genlib.Phase {
+	noninv, inv := true, true
+	half := 1 << uint(j)
+	for r := 0; r < 1<<uint(m); r++ {
+		if r&half != 0 {
+			continue
+		}
+		b0, b1 := t.bit(r), t.bit(r|half)
+		if b0 > b1 {
+			noninv = false
+		}
+		if b1 > b0 {
+			inv = false
+		}
+	}
+	switch {
+	case noninv && !inv:
+		return genlib.PhaseNonInv
+	case inv && !noninv:
+		return genlib.PhaseInv
+	}
+	return genlib.PhaseUnknown
+}
+
+// permCap bounds the permutations tried while canonicalizing one
+// truth table. Signature sorting and the symmetric-group shortcut
+// keep realistic tables far below it; tables that exceed it fall back
+// to a deterministic but possibly non-canonical order (counted in
+// Stats.CanonFallbacks).
+const permCap = 1024
+
+// canonicalize finds a permutation of the m inputs that renders the
+// truth table canonically: any two functions equal under input
+// permutation map to the same table (up to the permCap fallback).
+//
+// Inputs are first sorted by a permutation-invariant signature (the
+// positive-cofactor size), which fixes the order between signature
+// classes. Within a tie group, fully symmetric inputs need no search
+// (every order gives the same table) and are sorted by delay so the
+// representative's delay vector is minimal; asymmetric groups are
+// resolved by brute force over their permutations, minimizing the
+// table and then the permuted delay vector.
+//
+// Returns the canonical table, the chosen order (position k of the
+// result is input order[k]), the permuted delay vector, and whether
+// the result is exactly canonical (false on permCap fallback).
+func canonicalize(t table, m int, delays []float64) (table, []int, []float64, bool) {
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	if m <= 1 {
+		return t, order, append([]float64(nil), delays...), true
+	}
+
+	// Permutation-invariant signature: |{rows : x_j=1 and f=1}|.
+	sig := make([]int, m)
+	for j := 0; j < m; j++ {
+		c := 0
+		for r := 0; r < 1<<uint(m); r++ {
+			if uint(r)>>uint(j)&1 == 1 && t.bit(r) == 1 {
+				c++
+			}
+		}
+		sig[j] = c
+	}
+	// Initial order: signature, then delay, then index — deterministic
+	// and optimal for tie groups that turn out fully symmetric.
+	sortOrder(order, func(a, b int) bool {
+		if sig[a] != sig[b] {
+			return sig[a] < sig[b]
+		}
+		if delays[a] != delays[b] {
+			return delays[a] < delays[b]
+		}
+		return a < b
+	})
+
+	// Tie groups are consecutive runs of equal signature.
+	type group struct{ lo, hi int } // order[lo:hi]
+	var open []group                // groups needing brute force
+	perms := 1
+	for lo := 0; lo < m; {
+		hi := lo + 1
+		for hi < m && sig[order[hi]] == sig[order[lo]] {
+			hi++
+		}
+		if hi-lo > 1 {
+			// Adjacent transpositions generate the symmetric group: if
+			// every adjacent swap leaves t invariant, any order of the
+			// group gives the same table and the delay-sorted order is
+			// already minimal.
+			symmetric := true
+			for k := lo; k+1 < hi; k++ {
+				if !swapInvariant(t, m, order[k], order[k+1]) {
+					symmetric = false
+					break
+				}
+			}
+			if !symmetric {
+				open = append(open, group{lo, hi})
+				perms = permCount(perms, hi-lo)
+			}
+		}
+		lo = hi
+	}
+
+	if len(open) == 0 {
+		return permuteTable(t, m, order), order, permDelays(delays, order), true
+	}
+	if perms > permCap {
+		// Deterministic fallback: keep the signature/delay/index order.
+		return permuteTable(t, m, order), order, permDelays(delays, order), false
+	}
+
+	best := append([]int(nil), order...)
+	bestT := permuteTable(t, m, best)
+	bestD := permDelays(delays, best)
+	cur := append([]int(nil), order...)
+	var walk func(g int)
+	walk = func(g int) {
+		if g == len(open) {
+			ct := permuteTable(t, m, cur)
+			better := false
+			switch {
+			case ct.less(bestT):
+				better = true
+			case bestT.less(ct):
+			default:
+				cd := permDelays(delays, cur)
+				c := cmpFloats(cd, bestD)
+				if c < 0 || (c == 0 && cmpInts(cur, best) < 0) {
+					better = true
+				}
+			}
+			if better {
+				copy(best, cur)
+				bestT = ct
+				bestD = permDelays(delays, cur)
+			}
+			return
+		}
+		gr := open[g]
+		permuteRange(cur, gr.lo, gr.hi, func() { walk(g + 1) })
+	}
+	walk(0)
+	return bestT, best, bestD, true
+}
+
+// permCount multiplies acc by n! saturating above permCap.
+func permCount(acc, n int) int {
+	for i := 2; i <= n; i++ {
+		acc *= i
+		if acc > permCap {
+			return permCap + 1
+		}
+	}
+	return acc
+}
+
+// permuteRange runs visit for every permutation of s[lo:hi],
+// restoring the slice before returning (Heap's algorithm, recursive
+// form kept simple — group sizes are tiny under permCap).
+func permuteRange(s []int, lo, hi int, visit func()) {
+	n := hi - lo
+	if n <= 1 {
+		visit()
+		return
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			visit()
+			return
+		}
+		for i := k; i < n; i++ {
+			s[lo+k], s[lo+i] = s[lo+i], s[lo+k]
+			rec(k + 1)
+			s[lo+k], s[lo+i] = s[lo+i], s[lo+k]
+		}
+	}
+	rec(0)
+}
+
+func permDelays(d []float64, order []int) []float64 {
+	out := make([]float64, len(order))
+	for p, j := range order {
+		out[p] = d[j]
+	}
+	return out
+}
+
+func cmpFloats(a, b []float64) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func cmpInts(a, b []int) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func sortOrder(s []int, less func(a, b int) bool) {
+	// Insertion sort: m ≤ 16.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,931 @@
+// Package supergate composes library gates into depth-bounded
+// virtual cells ("supergates"): every gate may feed another gate's
+// input pins, with constant-fed and duplicated-input variants
+// included, so a thin library like 44-1 acquires the wide complex
+// cells that make a rich library like 44-3 map so much faster (Cai et
+// al., "Enhancing ASIC Technology Mapping via Parallel Supergate
+// Computing").
+//
+// Candidates are deduplicated by canonical truth table under input
+// permutation; each class keeps one representative chosen by minimum
+// worst pin delay, then minimum area (dominated candidates are
+// pruned). Survivors are emitted as synthetic genlib.Gates whose
+// pin-to-output intrinsic delays are the worst path through the
+// component gates and whose area is the component sum, so they flow
+// unchanged through the pattern compiler, the match index and both
+// mappers.
+//
+// Enumeration is parallelized across root gates with a worker pool;
+// the reduction into classes is serial and order-fixed, so the output
+// library is byte-identical at any parallelism.
+package supergate
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"dagcover/internal/genlib"
+	"dagcover/internal/logic"
+)
+
+// Options bounds the generation. The zero value gets defaults
+// suitable for a quick enrichment pass; all limits are hard caps.
+type Options struct {
+	// MaxInputs caps a supergate's input count (its true support
+	// after constant folding and input merging). Default 4, max
+	// logic.MaxTTVars.
+	MaxInputs int
+	// MaxDepth caps the composition depth in library gate levels.
+	// Depth 1 reproduces (specializations of) the base gates; depth d
+	// allows gate trees d levels deep. Default 2.
+	MaxDepth int
+	// MaxGates caps both the emitted supergate count and the class
+	// pool carried between rounds. Default 512.
+	MaxGates int
+	// MaxLeaves caps the fresh leaves of a composition before
+	// duplicated-input merging; functions like XOR need more leaves
+	// than final inputs (nand(nand(a,nand(a,b)),nand(b,nand(a,b)))
+	// has 6 leaves and 2 inputs). Default MaxInputs+2, max
+	// logic.MaxTTVars.
+	MaxLeaves int
+	// Parallelism is the worker-pool width across root gates; the
+	// result is byte-identical at any value. Default NumCPU.
+	Parallelism int
+	// NoConstants disables constant-fed pin variants.
+	NoConstants bool
+	// NoMerge disables duplicated-input (merged-leaf) variants.
+	NoMerge bool
+	// Prefix names emitted gates Prefix0001, ... Default "sg".
+	Prefix string
+}
+
+// mergeCap bounds the leaf count for which set partitions are
+// enumerated (Bell(8) = 4140); wider compositions get only the
+// identity partition, which is how 16-input supergates stay cheap.
+const mergeCap = 8
+
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxInputs == 0 {
+		o.MaxInputs = 4
+	}
+	if o.MaxInputs < 2 || o.MaxInputs > logic.MaxTTVars {
+		return o, fmt.Errorf("supergate: MaxInputs %d out of range [2,%d]", o.MaxInputs, logic.MaxTTVars)
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 2
+	}
+	if o.MaxDepth < 1 {
+		return o, fmt.Errorf("supergate: MaxDepth %d must be at least 1", o.MaxDepth)
+	}
+	if o.MaxGates == 0 {
+		o.MaxGates = 512
+	}
+	if o.MaxGates < 1 {
+		return o, fmt.Errorf("supergate: MaxGates %d must be positive", o.MaxGates)
+	}
+	if o.MaxLeaves == 0 {
+		o.MaxLeaves = o.MaxInputs + 2
+		if o.MaxLeaves > logic.MaxTTVars {
+			o.MaxLeaves = logic.MaxTTVars
+		}
+	}
+	if o.MaxLeaves < o.MaxInputs || o.MaxLeaves > logic.MaxTTVars {
+		return o, fmt.Errorf("supergate: MaxLeaves %d out of range [MaxInputs=%d,%d]", o.MaxLeaves, o.MaxInputs, logic.MaxTTVars)
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	if o.Prefix == "" {
+		o.Prefix = "sg"
+	}
+	return o, nil
+}
+
+// Stats reports what the generator did.
+type Stats struct {
+	BaseGates      int // gates in the input library
+	Roots          int // gates usable as composition roots
+	Candidates     int // composition trees enumerated
+	Variants       int // including constant and merged-input variants
+	Classes        int // distinct canonical function classes seen
+	Dominated      int // variants dropped for a better class representative
+	CanonFallbacks int // tables canonicalized by the capped fallback order
+	PoolTruncated  int // classes dropped by the MaxGates pool bound
+	Emitted        int // supergates added to the output library
+	Rounds         int // composition rounds run
+}
+
+// Recipe is the gate tree realizing a supergate. Interior nodes name
+// a component gate with one Arg per pin; leaves carry the emitted
+// supergate pin index they read (several leaves may read the same
+// pin — that is a duplicated-input variant) or a constant.
+type Recipe struct {
+	Gate  *genlib.Gate // component gate; nil at a leaf or constant
+	Pin   int          // leaf: emitted pin index; -1 otherwise
+	Const *bool        // non-nil: constant input
+	Args  []*Recipe    // one per Gate pin
+}
+
+// Depth returns the gate count on the recipe's longest path.
+func (r *Recipe) Depth() int {
+	if r.Gate == nil {
+		return 0
+	}
+	max := 0
+	for _, a := range r.Args {
+		if d := a.Depth(); d > max {
+			max = d
+		}
+	}
+	return 1 + max
+}
+
+// Gates returns the component gate count of the recipe.
+func (r *Recipe) Gates() int {
+	if r.Gate == nil {
+		return 0
+	}
+	n := 1
+	for _, a := range r.Args {
+		n += a.Gates()
+	}
+	return n
+}
+
+// Supergate is one emitted synthetic cell with its provenance.
+type Supergate struct {
+	Gate   *genlib.Gate
+	Recipe *Recipe
+}
+
+// Result is a completed generation.
+type Result struct {
+	// Library holds the base gates followed by the supergates, in a
+	// deterministic order.
+	Library *genlib.Library
+	// Supergates lists the emitted cells in library order.
+	Supergates []Supergate
+	Stats      Stats
+}
+
+// pinName names emitted supergate pins a, b, ... (logic.MaxTTVars =
+// 16 fits a..p).
+func pinName(i int) string { return string(rune('a' + i)) }
+
+// arg is one choice for a root gate pin during enumeration.
+type arg struct {
+	kind int  // aLeaf, aConst0, aConst1 or aRep
+	rep  *rep // class representative when kind == aRep
+}
+
+const (
+	aLeaf = iota
+	aConst0
+	aConst1
+	aRep
+)
+
+func (a arg) width() int {
+	switch a.kind {
+	case aLeaf:
+		return 1
+	case aRep:
+		return a.rep.arity
+	}
+	return 0
+}
+
+func (a arg) depth() int {
+	if a.kind == aRep {
+		return a.rep.depth
+	}
+	return 0
+}
+
+// rep is the per-class representative carried in the pool.
+type rep struct {
+	key      string
+	arity    int
+	tt       table
+	delays   []float64 // canonical pin order, worst-of rise/fall
+	loads    []float64
+	maxloads []float64
+	area     float64
+	worst    float64
+	dsum     float64
+	depth    int // round of first discovery (frozen; enumeration key)
+	seq      int // insertion sequence (deterministic pool order)
+	expr     *logic.Expr
+	recipe   *Recipe
+}
+
+// variant is one canonicalized candidate produced by a worker; the
+// construction fields let the serial reducer materialize the
+// expression and recipe only for winners.
+type variant struct {
+	key      string
+	arity    int
+	tt       table
+	delays   []float64
+	loads    []float64
+	maxloads []float64
+	area     float64
+	worst    float64
+	dsum     float64
+
+	gate  *genlib.Gate
+	args  []arg
+	part  []int // leaf -> block (restricted growth string)
+	order []int // canonical position p reads block order[p]
+}
+
+// better reports whether a should replace b as class representative:
+// minimum worst delay, then area, then delay sum, then delay vector;
+// full ties keep the incumbent.
+func better(a, b *variant) bool {
+	if a.worst != b.worst {
+		return a.worst < b.worst
+	}
+	if a.area != b.area {
+		return a.area < b.area
+	}
+	if a.dsum != b.dsum {
+		return a.dsum < b.dsum
+	}
+	return cmpFloats(a.delays, b.delays) < 0
+}
+
+// rootInfo is the per-root-gate precomputation shared by workers.
+type rootInfo struct {
+	gate     *genlib.Gate
+	tt       table // over the pins, pin order
+	pinDelay []float64
+	symGroup []int // pins with equal group id are interchangeable
+}
+
+// Generate composes the base library's gates into supergates and
+// returns the enriched library. The base library is not modified;
+// its gates are copied into the result.
+func Generate(base *genlib.Library, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: Stats{BaseGates: len(base.Gates), Rounds: opt.MaxDepth}}
+
+	roots, err := prepareRoots(base, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Roots = len(roots)
+
+	// Canonical classes of the base gates: supergates that merely
+	// re-derive a base function are never emitted.
+	baseKeys := map[string]bool{}
+	for _, ri := range roots {
+		delays := append([]float64(nil), ri.pinDelay...)
+		ct, _, _, _ := canonicalize(ri.tt, len(ri.gate.Pins), delays)
+		baseKeys[ct.key(len(ri.gate.Pins))] = true
+	}
+
+	g := &generator{opt: opt, roots: roots, stats: &res.Stats,
+		classes: map[string]*rep{}, dropped: map[string]bool{}}
+	for round := 1; round <= opt.MaxDepth; round++ {
+		if err := g.runRound(round); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Stats.Classes = len(g.classes) + len(g.dropped)
+	lib, sgs, err := emit(base, g.pool, baseKeys, opt, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Library, res.Supergates = lib, sgs
+	return res, nil
+}
+
+// prepareRoots selects and precomputes the gates usable as
+// composition roots: at least one pin, every pin used by the
+// function (a pin the function ignores would make every composition
+// vacuous), and not a buffer.
+func prepareRoots(base *genlib.Library, opt Options) ([]*rootInfo, error) {
+	var roots []*rootInfo
+	for _, gt := range base.Gates {
+		k := len(gt.Pins)
+		if k == 0 || k > logic.MaxTTVars {
+			continue
+		}
+		if len(gt.Expr.Vars()) != k {
+			continue
+		}
+		if k == 1 && gt.Expr.Op == logic.OpVar {
+			continue // buffer
+		}
+		ltt, err := logic.NewTT(gt.Expr, gt.Formals())
+		if err != nil {
+			return nil, fmt.Errorf("supergate: gate %q: %v", gt.Name, err)
+		}
+		t := newTable(k)
+		copy(t, ltt.Bits)
+		if k < 6 {
+			t[0] &= 1<<(1<<uint(k)) - 1
+		}
+		ri := &rootInfo{gate: gt, tt: t, pinDelay: make([]float64, k), symGroup: make([]int, k)}
+		for i, p := range gt.Pins {
+			ri.pinDelay[i] = p.Intrinsic()
+		}
+		// Pin symmetry groups: identical delay/load attributes and a
+		// swap-invariant function let the enumerator visit unordered
+		// argument multisets once.
+		for i := range ri.symGroup {
+			ri.symGroup[i] = i
+		}
+		for i := 0; i < k; i++ {
+			if ri.symGroup[i] != i {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				if ri.symGroup[j] != j {
+					continue
+				}
+				pi, pj := gt.Pins[i], gt.Pins[j]
+				if pi.Intrinsic() == pj.Intrinsic() && pi.InputLoad == pj.InputLoad &&
+					pi.MaxLoad == pj.MaxLoad && swapInvariant(ri.tt, k, i, j) {
+					ri.symGroup[j] = i
+				}
+			}
+		}
+		roots = append(roots, ri)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("supergate: library %q has no usable root gates", base.Name)
+	}
+	return roots, nil
+}
+
+// generator carries the cross-round state.
+type generator struct {
+	opt     Options
+	roots   []*rootInfo
+	stats   *Stats
+	classes map[string]*rep
+	dropped map[string]bool // keys truncated from the pool: never resurrected
+	pool    []*rep          // classes in insertion order
+}
+
+// runRound enumerates every composition whose deepest argument has
+// depth round-1, in parallel across root gates, then reduces the
+// per-root results serially in root order so the outcome is
+// independent of Parallelism.
+func (g *generator) runRound(round int) error {
+	// Argument pool: deterministic order — leaf, constants, then
+	// class representatives by insertion sequence.
+	args := []arg{{kind: aLeaf}}
+	if !g.opt.NoConstants {
+		args = append(args, arg{kind: aConst0}, arg{kind: aConst1})
+	}
+	for _, r := range g.pool {
+		args = append(args, arg{kind: aRep, rep: r})
+	}
+
+	results := make([]rootResult, len(g.roots))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < g.opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ri := range jobs {
+				results[ri] = enumerateRoot(g.roots[ri], args, round, g.opt)
+			}
+		}()
+	}
+	for ri := range g.roots {
+		jobs <- ri
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Serial reduction in root order: deterministic winners.
+	for ri := range g.roots {
+		g.stats.Candidates += results[ri].candidates
+		g.stats.Variants += results[ri].raw
+		g.stats.Dominated += results[ri].dominated
+		for _, v := range results[ri].variants {
+			if err := g.insert(v, round); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pool bound: keep the MaxGates best classes; drop the rest for
+	// good so later rounds cannot resurrect a worse representative.
+	if len(g.pool) > g.opt.MaxGates {
+		sorted := append([]*rep(nil), g.pool...)
+		sort.Slice(sorted, func(i, j int) bool { return poolLess(sorted[i], sorted[j]) })
+		for _, r := range sorted[g.opt.MaxGates:] {
+			delete(g.classes, r.key)
+			g.dropped[r.key] = true
+			g.stats.PoolTruncated++
+		}
+		kept := g.pool[:0]
+		for _, r := range g.pool {
+			if _, ok := g.classes[r.key]; ok {
+				kept = append(kept, r)
+			}
+		}
+		g.pool = kept
+	}
+	return nil
+}
+
+// poolLess ranks classes for pool truncation: shallow, narrow, fast,
+// small first.
+func poolLess(a, b *rep) bool {
+	if a.depth != b.depth {
+		return a.depth < b.depth
+	}
+	if a.arity != b.arity {
+		return a.arity < b.arity
+	}
+	if a.worst != b.worst {
+		return a.worst < b.worst
+	}
+	if a.area != b.area {
+		return a.area < b.area
+	}
+	return a.key < b.key
+}
+
+// insert applies the per-class representative rule to one variant.
+func (g *generator) insert(v *variant, round int) error {
+	if g.dropped[v.key] {
+		g.stats.Dominated++
+		return nil
+	}
+	cur, ok := g.classes[v.key]
+	if ok {
+		if !better(v, &variant{worst: cur.worst, area: cur.area, dsum: cur.dsum, delays: cur.delays}) {
+			g.stats.Dominated++
+			return nil
+		}
+		g.stats.Dominated++ // the displaced incumbent
+	}
+	expr, recipe, err := materialize(v)
+	if err != nil {
+		return err
+	}
+	if ok {
+		cur.tt, cur.delays, cur.loads, cur.maxloads = v.tt, v.delays, v.loads, v.maxloads
+		cur.area, cur.worst, cur.dsum = v.area, v.worst, v.dsum
+		cur.expr, cur.recipe = expr, recipe
+		return nil
+	}
+	if strings.HasPrefix(v.key, "~") {
+		g.stats.CanonFallbacks++
+	}
+	r := &rep{
+		key: v.key, arity: v.arity, tt: v.tt,
+		delays: v.delays, loads: v.loads, maxloads: v.maxloads,
+		area: v.area, worst: v.worst, dsum: v.dsum,
+		depth: round, seq: len(g.pool), expr: expr, recipe: recipe,
+	}
+	g.classes[v.key] = r
+	g.pool = append(g.pool, r)
+	return nil
+}
+
+// enumerateRoot produces the locally reduced, deterministically
+// ordered variants for one root gate: every assignment of pool
+// arguments to its pins whose deepest argument has depth round-1 and
+// whose fresh-leaf total fits the leaf budget, expanded into
+// partition (duplicated-input) variants and canonicalized.
+func enumerateRoot(ri *rootInfo, args []arg, round int, opt Options) rootResult {
+	k := len(ri.gate.Pins)
+	maxL := opt.MaxLeaves
+	if opt.NoMerge {
+		maxL = opt.MaxInputs
+	}
+	local := map[string]*variant{}
+	var res rootResult
+
+	chosen := make([]int, k)
+	var rec func(pin, width, depth int)
+	rec = func(pin, width, depth int) {
+		if width > maxL {
+			return
+		}
+		if pin == k {
+			if depth != round-1 || width == 0 {
+				return
+			}
+			res.candidates++
+			emitCandidate(ri, args, chosen, width, opt, local, &res)
+			return
+		}
+		lo := 0
+		if g := ri.symGroup[pin]; g != pin {
+			// Symmetric with an earlier pin: argument indices must be
+			// non-decreasing across the group.
+			lo = chosen[g]
+			for p := g + 1; p < pin; p++ {
+				if ri.symGroup[p] == g {
+					lo = chosen[p]
+				}
+			}
+		}
+		for ai := lo; ai < len(args); ai++ {
+			chosen[pin] = ai
+			a := args[ai]
+			d := depth
+			if ad := a.depth(); ad > d {
+				d = ad
+			}
+			if d > round-1 {
+				continue
+			}
+			rec(pin+1, width+a.width(), d)
+		}
+	}
+	rec(0, 0, 0)
+
+	out := make([]*variant, 0, len(res.order))
+	for _, key := range res.order {
+		out = append(out, local[key])
+	}
+	res.variants = out
+	return res
+}
+
+// rootResult is one worker's deterministic output for a root gate.
+type rootResult struct {
+	variants   []*variant
+	order      []string // local first-encounter order of class keys
+	candidates int      // composition trees enumerated
+	raw        int      // variants before local reduction
+	dominated  int      // variants dropped by the local representative rule
+}
+
+// emitCandidate composes one gate tree, then enumerates its merged
+// and canonicalized variants into the local class map.
+func emitCandidate(ri *rootInfo, args []arg, chosen []int, width int, opt Options,
+	local map[string]*variant, res *rootResult) {
+	k := len(ri.gate.Pins)
+	cand := make([]arg, k)
+	offs := make([]int, k)
+	off := 0
+	area := ri.gate.Area
+	for i := 0; i < k; i++ {
+		a := args[chosen[i]]
+		cand[i] = a
+		offs[i] = off
+		off += a.width()
+		if a.kind == aRep {
+			area += a.rep.area
+		}
+	}
+	L := width
+	if L < 2 {
+		return // constant or single-input function: never useful
+	}
+
+	// Compose the truth table over the L fresh leaves.
+	ctt := newTable(L)
+	rows := 1 << uint(L)
+	for r := 0; r < rows; r++ {
+		gi := 0
+		for i := 0; i < k; i++ {
+			var v uint64
+			switch cand[i].kind {
+			case aLeaf:
+				v = uint64(r) >> uint(offs[i]) & 1
+			case aConst1:
+				v = 1
+			case aRep:
+				sub := int(uint(r)>>uint(offs[i])) & (1<<uint(cand[i].rep.arity) - 1)
+				v = cand[i].rep.tt.bit(sub)
+			}
+			gi |= int(v) << uint(i)
+		}
+		if ri.tt.bit(gi) == 1 {
+			ctt.setBit(r)
+		}
+	}
+
+	// Per-leaf delay/load attributes.
+	delays := make([]float64, L)
+	loads := make([]float64, L)
+	maxloads := make([]float64, L)
+	for i := 0; i < k; i++ {
+		switch cand[i].kind {
+		case aLeaf:
+			delays[offs[i]] = ri.pinDelay[i]
+			loads[offs[i]] = ri.gate.Pins[i].InputLoad
+			maxloads[offs[i]] = ri.gate.Pins[i].MaxLoad
+		case aRep:
+			rp := cand[i].rep
+			for j := 0; j < rp.arity; j++ {
+				delays[offs[i]+j] = rp.delays[j] + ri.pinDelay[i]
+				loads[offs[i]+j] = rp.loads[j]
+				maxloads[offs[i]+j] = rp.maxloads[j]
+			}
+		}
+	}
+
+	// Partition variants. Beyond mergeCap leaves only the identity
+	// partition is tried, so wide compositions stay linear.
+	if opt.NoMerge || L > mergeCap {
+		if L <= opt.MaxInputs {
+			ident := make([]int, L)
+			for i := range ident {
+				ident[i] = i
+			}
+			addVariant(ri, cand, ctt, ident, L, delays, loads, maxloads, area, opt, local, res)
+		}
+		return
+	}
+	part := make([]int, L)
+	var recPart func(i, maxBlock int)
+	recPart = func(i, maxBlock int) {
+		if i == L {
+			addVariant(ri, cand, ctt, part, maxBlock+1, delays, loads, maxloads, area, opt, local, res)
+			return
+		}
+		hi := maxBlock + 1
+		if hi > opt.MaxInputs-1 {
+			hi = opt.MaxInputs - 1
+		}
+		for b := 0; b <= hi; b++ {
+			part[i] = b
+			nb := maxBlock
+			if b > nb {
+				nb = b
+			}
+			recPart(i+1, nb)
+		}
+	}
+	part[0] = 0
+	recPart(1, 0)
+}
+
+// addVariant merges the leaves by the partition, checks true
+// support, canonicalizes and applies the local representative rule.
+func addVariant(ri *rootInfo, cand []arg, ctt table, part []int, m int,
+	delays, loads, maxloads []float64, area float64, opt Options,
+	local map[string]*variant, res *rootResult) {
+	L := len(part)
+	mtt := newTable(m)
+	for rr := 0; rr < 1<<uint(m); rr++ {
+		er := 0
+		for l := 0; l < L; l++ {
+			er |= int(uint(rr)>>uint(part[l])&1) << uint(l)
+		}
+		if ctt.bit(er) == 1 {
+			mtt.setBit(rr)
+		}
+	}
+	for j := 0; j < m; j++ {
+		if !depends(mtt, m, j) {
+			return // vacuous input: a cleaner recipe exists elsewhere
+		}
+	}
+	bd := make([]float64, m)
+	bl := make([]float64, m)
+	bm := make([]float64, m)
+	seen := make([]bool, m)
+	for l := 0; l < L; l++ {
+		b := part[l]
+		if !seen[b] {
+			bd[b], bl[b], bm[b] = delays[l], loads[l], maxloads[l]
+			seen[b] = true
+			continue
+		}
+		if delays[l] > bd[b] {
+			bd[b] = delays[l]
+		}
+		bl[b] += loads[l]
+		if maxloads[l] < bm[b] {
+			bm[b] = maxloads[l]
+		}
+	}
+	ct, ord, cd, exact := canonicalize(mtt, m, bd)
+	v := &variant{
+		key: ct.key(m), arity: m, tt: ct,
+		delays: cd, loads: permDelays(bl, ord), maxloads: permDelays(bm, ord),
+		area: area, gate: ri.gate,
+		args:  append([]arg(nil), cand...),
+		part:  append([]int(nil), part...),
+		order: ord,
+	}
+	if !exact {
+		v.key = "~" + v.key // fallback keys never collide with exact ones
+	}
+	for _, d := range cd {
+		if d > v.worst {
+			v.worst = d
+		}
+		v.dsum += d
+	}
+	res.raw++
+	cur, ok := local[v.key]
+	if !ok {
+		local[v.key] = v
+		res.order = append(res.order, v.key)
+		return
+	}
+	res.dominated++
+	if better(v, cur) {
+		local[v.key] = v
+	}
+}
+
+// materialize builds the winner's expression over its canonical pin
+// names and the matching recipe tree, verifying the expression
+// against the canonical truth table.
+func materialize(v *variant) (*logic.Expr, *Recipe, error) {
+	// Canonical pin of each block: position p reads block order[p].
+	blockPin := make([]int, v.arity)
+	for p, b := range v.order {
+		blockPin[b] = p
+	}
+	pinOf := func(leaf int) int { return blockPin[v.part[leaf]] }
+
+	sub := map[string]*logic.Expr{}
+	recArgs := make([]*Recipe, len(v.args))
+	off := 0
+	for i, a := range v.args {
+		pin := v.gate.Pins[i].Name
+		switch a.kind {
+		case aLeaf:
+			sub[pin] = logic.Variable(pinName(pinOf(off)))
+			recArgs[i] = &Recipe{Pin: pinOf(off)}
+		case aConst0, aConst1:
+			val := a.kind == aConst1
+			sub[pin] = logic.Constant(val)
+			recArgs[i] = &Recipe{Pin: -1, Const: &val}
+		case aRep:
+			ren := map[string]string{}
+			for j := 0; j < a.rep.arity; j++ {
+				ren[pinName(j)] = pinName(pinOf(off + j))
+			}
+			sub[pin] = a.rep.expr.Rename(ren)
+			base := off
+			recArgs[i] = remapRecipe(a.rep.recipe, func(j int) int { return pinOf(base + j) })
+		}
+		off += a.width()
+	}
+	expr := substitute(v.gate.Expr, sub)
+	recipe := &Recipe{Gate: v.gate, Pin: -1, Args: recArgs}
+
+	// Guard: the materialized expression must realize the canonical
+	// table exactly.
+	vars := make([]string, v.arity)
+	for i := range vars {
+		vars[i] = pinName(i)
+	}
+	ltt, err := logic.NewTT(expr, vars)
+	if err != nil {
+		return nil, nil, fmt.Errorf("supergate: materialize %s: %v", v.gate.Name, err)
+	}
+	rows := 1 << uint(v.arity)
+	for r := 0; r < rows; r++ {
+		got := ltt.Bits[r>>6] >> (uint(r) & 63) & 1
+		if got != v.tt.bit(r) {
+			return nil, nil, fmt.Errorf("supergate: internal error: expression %s disagrees with canonical table of %s composition", expr, v.gate.Name)
+		}
+	}
+	return expr, recipe, nil
+}
+
+// remapRecipe clones r with every leaf pin index passed through f.
+func remapRecipe(r *Recipe, f func(int) int) *Recipe {
+	out := &Recipe{Gate: r.Gate, Pin: r.Pin, Const: r.Const}
+	if r.Gate == nil && r.Const == nil {
+		out.Pin = f(r.Pin)
+	}
+	out.Args = make([]*Recipe, len(r.Args))
+	for i, a := range r.Args {
+		out.Args[i] = remapRecipe(a, f)
+	}
+	if len(out.Args) == 0 {
+		out.Args = nil
+	}
+	return out
+}
+
+// substitute replaces variables of e by the mapped expressions,
+// folding through the logic constructors and deduplicating repeated
+// AND/OR operands that merging can create.
+func substitute(e *logic.Expr, sub map[string]*logic.Expr) *logic.Expr {
+	switch e.Op {
+	case logic.OpConst:
+		return logic.Constant(e.Const)
+	case logic.OpVar:
+		if r, ok := sub[e.Var]; ok {
+			return r.Clone()
+		}
+		return logic.Variable(e.Var)
+	case logic.OpNot:
+		return logic.Not(substitute(e.Kids[0], sub))
+	}
+	kids := make([]*logic.Expr, 0, len(e.Kids))
+	for _, kid := range e.Kids {
+		kids = append(kids, substitute(kid, sub))
+	}
+	if e.Op == logic.OpAnd || e.Op == logic.OpOr {
+		kids = dedupeExprs(kids)
+	}
+	switch e.Op {
+	case logic.OpAnd:
+		return logic.And(kids...)
+	case logic.OpOr:
+		return logic.Or(kids...)
+	default:
+		return logic.Xor(kids...)
+	}
+}
+
+func dedupeExprs(kids []*logic.Expr) []*logic.Expr {
+	if len(kids) < 2 {
+		return kids
+	}
+	seen := map[string]bool{}
+	out := kids[:0]
+	for _, k := range kids {
+		s := k.String()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, k)
+	}
+	return out
+}
+
+// emit builds the output library: copies of the base gates followed
+// by the surviving supergates in a deterministic order.
+func emit(base *genlib.Library, pool []*rep, baseKeys map[string]bool,
+	opt Options, stats *Stats) (*genlib.Library, []Supergate, error) {
+	out := genlib.NewLibrary(base.Name + "+sg")
+	for _, g := range base.Gates {
+		ng := &genlib.Gate{Name: g.Name, Area: g.Area, Output: g.Output,
+			Expr: g.Expr.Clone(), Pins: append([]genlib.Pin(nil), g.Pins...)}
+		if err := out.Add(ng); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var survivors []*rep
+	for _, r := range pool {
+		if r.arity < 2 || baseKeys[r.key] {
+			continue
+		}
+		survivors = append(survivors, r)
+	}
+	sort.Slice(survivors, func(i, j int) bool {
+		a, b := survivors[i], survivors[j]
+		if a.arity != b.arity {
+			return a.arity < b.arity
+		}
+		if a.worst != b.worst {
+			return a.worst < b.worst
+		}
+		if a.area != b.area {
+			return a.area < b.area
+		}
+		return a.key < b.key
+	})
+	if len(survivors) > opt.MaxGates {
+		survivors = survivors[:opt.MaxGates]
+	}
+
+	var sgs []Supergate
+	for i, r := range survivors {
+		name := fmt.Sprintf("%s%04d", opt.Prefix, i+1)
+		if out.Gate(name) != nil {
+			return nil, nil, fmt.Errorf("supergate: name %q collides with a base gate; set Options.Prefix", name)
+		}
+		pins := make([]genlib.Pin, r.arity)
+		for p := 0; p < r.arity; p++ {
+			pins[p] = genlib.Pin{
+				Name:      pinName(p),
+				Phase:     phaseOf(r.tt, r.arity, p),
+				InputLoad: r.loads[p],
+				MaxLoad:   r.maxloads[p],
+				RiseBlock: r.delays[p],
+				FallBlock: r.delays[p],
+			}
+		}
+		gt := &genlib.Gate{Name: name, Area: r.area, Output: "O", Expr: r.expr, Pins: pins}
+		if err := out.Add(gt); err != nil {
+			return nil, nil, fmt.Errorf("supergate: emit %s: %v", name, err)
+		}
+		sgs = append(sgs, Supergate{Gate: gt, Recipe: r.recipe})
+	}
+	stats.Emitted = len(sgs)
+	return out, sgs, nil
+}

@@ -1,0 +1,428 @@
+package supergate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dagcover/internal/genlib"
+	"dagcover/internal/libgen"
+	"dagcover/internal/logic"
+	"dagcover/internal/mapping"
+	"dagcover/internal/sta"
+	"dagcover/internal/subject"
+)
+
+// generate441 is the shared small-bounds generation most tests use.
+func generate441(t *testing.T, opt Options) *Result {
+	t.Helper()
+	res, err := Generate(libgen.Lib441(), opt)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if res.Stats.Emitted == 0 {
+		t.Fatalf("no supergates emitted: %+v", res.Stats)
+	}
+	return res
+}
+
+// bruteCanonical computes the minimal truth table over all m!
+// permutations — an independent check on the production
+// canonicalizer for small arities.
+func bruteCanonical(t table, m int) table {
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	best := permuteTable(t, m, order)
+	permuteRange(order, 0, m, func() {
+		if p := permuteTable(t, m, order); p.less(best) {
+			best = p
+		}
+	})
+	return best
+}
+
+func TestDedupCanonicalTablesUnique(t *testing.T) {
+	res := generate441(t, Options{MaxInputs: 4, MaxLeaves: 5, MaxDepth: 2, MaxGates: 256})
+
+	// Base classes, brute-force canonicalized.
+	baseKeys := map[string]bool{}
+	for _, g := range libgen.Lib441().Gates {
+		baseKeys[bruteKey(t, g)] = true
+	}
+
+	seen := map[string]string{}
+	for _, sg := range res.Supergates {
+		key := bruteKey(t, sg.Gate)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("supergates %s and %s are permutation-equivalent", prev, sg.Gate.Name)
+		}
+		seen[key] = sg.Gate.Name
+		if baseKeys[key] {
+			t.Errorf("supergate %s re-derives a base gate function", sg.Gate.Name)
+		}
+	}
+}
+
+// bruteKey canonicalizes a gate's function under input permutation
+// with the brute-force reference.
+func bruteKey(t *testing.T, g *genlib.Gate) string {
+	t.Helper()
+	m := len(g.Pins)
+	ltt, err := logic.NewTT(g.Expr, g.Formals())
+	if err != nil {
+		t.Fatalf("%s: %v", g.Name, err)
+	}
+	tab := newTable(m)
+	copy(tab, ltt.Bits)
+	if m < 6 {
+		tab[0] &= 1<<(1<<uint(m)) - 1
+	}
+	return bruteCanonical(tab, m).key(m)
+}
+
+// TestDelayCompositionMatchesSTA expands each supergate's recipe into
+// a netlist of its component cells and checks, per pin, that static
+// timing analysis of the expansion reproduces the emitted intrinsic
+// pin delays exactly. lib2 exercises unequal per-gate delays.
+func TestDelayCompositionMatchesSTA(t *testing.T) {
+	res, err := Generate(libgen.Lib2(), Options{MaxInputs: 4, MaxLeaves: 5, MaxDepth: 2, MaxGates: 128})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if res.Stats.Emitted == 0 {
+		t.Fatal("no supergates emitted")
+	}
+	staChecked := 0
+	for _, sg := range res.Supergates {
+		// Netlists cannot express constant nets, so recipes with
+		// constant-fed pins are covered by the recursive walker below
+		// instead of the netlist STA.
+		if !hasConst(sg.Recipe) {
+			staChecked++
+			nl := expandNetlist(t, sg)
+			for p := range sg.Gate.Pins {
+				// Arrival 0 on pin p, far-negative on the others isolates
+				// the worst path from that pin.
+				arr := map[string]float64{}
+				for q := range sg.Gate.Pins {
+					arr[pinName(q)] = -1e9
+				}
+				arr[pinName(p)] = 0
+				rep, err := sta.Analyze(nl, genlib.IntrinsicDelay{}, sta.Options{Arrivals: arr})
+				if err != nil {
+					t.Fatalf("%s pin %s: %v", sg.Gate.Name, pinName(p), err)
+				}
+				want := sg.Gate.Pins[p].Intrinsic()
+				if rep.Delay != want {
+					t.Errorf("%s pin %s: expanded-tree STA delay %.4f, emitted pin delay %.4f",
+						sg.Gate.Name, pinName(p), rep.Delay, want)
+				}
+			}
+		}
+		// Independent recursive walk over the recipe (handles
+		// constants), again per pin.
+		for p, pin := range sg.Gate.Pins {
+			got, ok := recipePinDelay(sg.Recipe, p)
+			if !ok {
+				t.Errorf("%s: pin %s unreachable in recipe", sg.Gate.Name, pinName(p))
+				continue
+			}
+			if got != pin.Intrinsic() {
+				t.Errorf("%s pin %s: recipe path delay %.4f, emitted %.4f",
+					sg.Gate.Name, pinName(p), got, pin.Intrinsic())
+			}
+		}
+		// The expansion must also realize the emitted function.
+		expanded := expandExpr(sg.Recipe, sg.Gate)
+		eq, err := logic.Equivalent(expanded, sg.Gate.Expr)
+		if err != nil {
+			t.Fatalf("%s: %v", sg.Gate.Name, err)
+		}
+		if !eq {
+			t.Errorf("%s: expanded recipe is not equivalent to emitted function", sg.Gate.Name)
+		}
+	}
+	if staChecked == 0 {
+		t.Fatal("no constant-free supergate exercised the netlist STA path")
+	}
+}
+
+func hasConst(r *Recipe) bool {
+	if r.Const != nil {
+		return true
+	}
+	for _, a := range r.Args {
+		if hasConst(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// recipePinDelay returns the worst gate-tree path delay from any
+// leaf reading the given emitted pin to the root, via per-stage
+// intrinsic pin delays — the quantity the generator must have
+// written into the emitted Pin.
+func recipePinDelay(r *Recipe, pin int) (float64, bool) {
+	if r.Gate == nil {
+		if r.Const == nil && r.Pin == pin {
+			return 0, true
+		}
+		return 0, false
+	}
+	worst, found := 0.0, false
+	for i, a := range r.Args {
+		d, ok := recipePinDelay(a, pin)
+		if !ok {
+			continue
+		}
+		d += r.Gate.Pins[i].Intrinsic()
+		if !found || d > worst {
+			worst = d
+		}
+		found = true
+	}
+	return worst, found
+}
+
+// expandNetlist realizes a supergate's recipe as a netlist of its
+// component library cells.
+func expandNetlist(t *testing.T, sg Supergate) *mapping.Netlist {
+	t.Helper()
+	b := mapping.NewBuilder("expand_" + sg.Gate.Name)
+	for p := range sg.Gate.Pins {
+		if err := b.AddInput(pinName(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var build func(r *Recipe) string
+	build = func(r *Recipe) string {
+		if r.Gate == nil {
+			if r.Const != nil {
+				t.Fatalf("%s: constant recipe leaves need a const-capable netlist; not expected from these options", sg.Gate.Name)
+			}
+			return pinName(r.Pin)
+		}
+		ins := make([]string, len(r.Args))
+		for i, a := range r.Args {
+			ins[i] = build(a)
+		}
+		out := b.FreshNet()
+		b.AddCell(r.Gate, ins, out)
+		return out
+	}
+	root := build(sg.Recipe)
+	b.MarkOutput("O", root)
+	nl, err := b.Netlist()
+	if err != nil {
+		t.Fatalf("%s: %v", sg.Gate.Name, err)
+	}
+	return nl
+}
+
+// expandExpr rebuilds the function from the recipe, independently of
+// the generator's materialization path.
+func expandExpr(r *Recipe, sg *genlib.Gate) *logic.Expr {
+	if r.Gate == nil {
+		if r.Const != nil {
+			return logic.Constant(*r.Const)
+		}
+		return logic.Variable(pinName(r.Pin))
+	}
+	sub := map[string]*logic.Expr{}
+	for i, a := range r.Args {
+		sub[r.Gate.Pins[i].Name] = expandExpr(a, sg)
+	}
+	return substitute(r.Gate.Expr, sub)
+}
+
+// TestDeterministicAtAnyParallelism: same library in, byte-identical
+// genlib text out, whatever the worker count.
+func TestDeterministicAtAnyParallelism(t *testing.T) {
+	var want []byte
+	for _, par := range []int{1, 2, 3, 8} {
+		res, err := Generate(libgen.Lib441(), Options{
+			MaxInputs: 5, MaxLeaves: 6, MaxDepth: 3, MaxGates: 200, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		var buf bytes.Buffer
+		if err := genlib.Write(&buf, res.Library); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("parallelism %d produced a different library (%d vs %d bytes)",
+				par, buf.Len(), len(want))
+		}
+	}
+}
+
+// TestWideSupergates16Inputs drives a 16-input supergate through the
+// pattern compiler — the consumer-side guarantee that neither
+// subject nor match assumes small patterns.
+func TestWideSupergates16Inputs(t *testing.T) {
+	base := genlib.NewLibrary("nand4only")
+	pins := make([]genlib.Pin, 4)
+	for i := range pins {
+		pins[i] = genlib.Pin{Name: pinName(i), Phase: genlib.PhaseInv,
+			InputLoad: 1, MaxLoad: 999, RiseBlock: 1, FallBlock: 1}
+	}
+	nand4 := &genlib.Gate{Name: "nand4", Area: 4, Output: "O",
+		Expr: logic.MustParse("!(a*b*c*d)"), Pins: pins}
+	if err := base.Add(nand4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(base, Options{MaxInputs: 16, MaxLeaves: 16, MaxDepth: 2, MaxGates: 512})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var wide *genlib.Gate
+	for _, sg := range res.Supergates {
+		if len(sg.Gate.Pins) == 16 {
+			wide = sg.Gate
+		}
+	}
+	if wide == nil {
+		t.Fatalf("no 16-input supergate among %d emitted", res.Stats.Emitted)
+	}
+	pats, skipped, err := subject.CompileLibrary(res.Library, subject.CompileOptions{Share: true})
+	if err != nil {
+		t.Fatalf("CompileLibrary: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("pattern compiler skipped %v", skipped)
+	}
+	found := false
+	for _, p := range pats {
+		if p.Gate == wide {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no pattern compiled for the 16-input supergate %s", wide.Name)
+	}
+
+	// Round-trip the 16-pin emission through genlib print/parse.
+	var buf bytes.Buffer
+	if err := genlib.Write(&buf, res.Library); err != nil {
+		t.Fatal(err)
+	}
+	back, err := genlib.ParseString(res.Library.Name, buf.String())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	got := back.Gate(wide.Name)
+	if got == nil {
+		t.Fatalf("round-trip lost %s", wide.Name)
+	}
+	if len(got.Pins) != 16 {
+		t.Fatalf("round-trip pin count %d", len(got.Pins))
+	}
+	for i := range got.Pins {
+		if got.Pins[i] != wide.Pins[i] {
+			t.Errorf("pin %d changed in round-trip: %+v vs %+v", i, got.Pins[i], wide.Pins[i])
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	lib := libgen.Lib441()
+	for _, bad := range []Options{
+		{MaxInputs: 1},
+		{MaxInputs: logic.MaxTTVars + 1},
+		{MaxDepth: -1},
+		{MaxGates: -5},
+		{MaxInputs: 6, MaxLeaves: 3},
+		{MaxLeaves: logic.MaxTTVars + 4},
+	} {
+		if _, err := Generate(lib, bad); err == nil {
+			t.Errorf("Options %+v accepted", bad)
+		}
+	}
+}
+
+// TestSupergateDelaysAreUnitPlausible sanity-checks the composed
+// delay semantics on the unit-delay 44-1 library: every pin delay
+// must equal the recipe's gate depth along that pin's worst path,
+// which for unit gates is just the recipe depth bound.
+func TestSupergateDelaysAreUnitPlausible(t *testing.T) {
+	res := generate441(t, Options{MaxInputs: 4, MaxLeaves: 5, MaxDepth: 2, MaxGates: 128})
+	for _, sg := range res.Supergates {
+		d := sg.Recipe.Depth()
+		if d < 1 || d > 2 {
+			t.Errorf("%s: recipe depth %d outside MaxDepth bound", sg.Gate.Name, d)
+		}
+		for p, pin := range sg.Gate.Pins {
+			got := pin.Intrinsic()
+			if got < 1 || got > float64(d) {
+				t.Errorf("%s pin %s: delay %.2f outside [1,%d]", sg.Gate.Name, pinName(p), got, d)
+			}
+		}
+		if sg.Gate.Area != recipeArea(sg.Recipe) {
+			t.Errorf("%s: area %.1f != summed component area %.1f",
+				sg.Gate.Name, sg.Gate.Area, recipeArea(sg.Recipe))
+		}
+	}
+}
+
+// recipeArea sums the component gate areas of a recipe.
+func recipeArea(r *Recipe) float64 {
+	if r.Gate == nil {
+		return 0
+	}
+	s := r.Gate.Area
+	for _, a := range r.Args {
+		s += recipeArea(a)
+	}
+	return s
+}
+
+// TestXorEmerges: the duplicated-input merge pass must discover XOR2
+// from NAND gates at depth 3 — the class that collapses C6288's
+// adder chains.
+func TestXorEmerges(t *testing.T) {
+	res := generate441(t, Options{MaxInputs: 5, MaxLeaves: 6, MaxDepth: 3, MaxGates: 512})
+	xor := logic.MustParse("a^b")
+	for _, sg := range res.Supergates {
+		if len(sg.Gate.Pins) != 2 {
+			continue
+		}
+		if eq, _ := logic.Equivalent(sg.Gate.Expr, xor); eq {
+			return
+		}
+	}
+	t.Fatal("no XOR2 supergate emerged from depth-3 NAND composition")
+}
+
+func TestGenlibOutputParses(t *testing.T) {
+	res := generate441(t, Options{MaxInputs: 4, MaxLeaves: 5, MaxDepth: 2, MaxGates: 64})
+	var buf bytes.Buffer
+	if err := genlib.Write(&buf, res.Library); err != nil {
+		t.Fatal(err)
+	}
+	back, err := genlib.ParseString("rt", buf.String())
+	if err != nil {
+		t.Fatalf("emitted genlib does not re-parse: %v\n%s", err, buf.String())
+	}
+	if len(back.Gates) != len(res.Library.Gates) {
+		t.Fatalf("round-trip gate count %d != %d", len(back.Gates), len(res.Library.Gates))
+	}
+	for i, g := range res.Library.Gates {
+		b := back.Gates[i]
+		if b.Name != g.Name || b.Area != g.Area || len(b.Pins) != len(g.Pins) {
+			t.Errorf("gate %d differs after round-trip: %s vs %s", i, b.Name, g.Name)
+		}
+		if !strings.EqualFold(b.Expr.String(), g.Expr.String()) {
+			eq, _ := logic.Equivalent(b.Expr, g.Expr)
+			if !eq {
+				t.Errorf("gate %s function changed after round-trip", g.Name)
+			}
+		}
+	}
+}
