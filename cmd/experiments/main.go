@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"dagcover"
 	"dagcover/internal/bench"
 	"dagcover/internal/experiments"
 	"dagcover/internal/supergate"
@@ -29,9 +30,10 @@ func main() {
 		full      = flag.Bool("full", false, "use the extended 10-circuit suite")
 		doVerify  = flag.Bool("verify", false, "verify every mapping by simulation")
 		ablations = flag.Bool("ablations", false, "also run the ablation studies")
-		format    = flag.String("format", "text", "table output format: text or csv")
+		format    = flag.String("format", "text", "table output format: text, csv or json")
 		parallel  = flag.Int("parallel", 0, "also time DAG covering with this many labeling workers (0 = all CPUs, 1 = skip the parallel run)")
 		supers    = flag.Bool("supergates", false, "run only the supergate richness study (E12): 44-1 vs 44-1+supergates vs 44-3")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of every mapping run to this file")
 	)
 	flag.Parse()
 	if *parallel <= 0 {
@@ -48,7 +50,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*table, *full, *doVerify, *ablations, *format, *parallel); err != nil {
+	if err := run(*table, *full, *doVerify, *ablations, *format, *parallel, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -78,15 +80,24 @@ func printSupergateRichness(suite []bench.Circuit) error {
 	return nil
 }
 
-func run(table string, full, doVerify, ablations bool, format string, parallel int) error {
-	if format != "text" && format != "csv" {
+func run(table string, full, doVerify, ablations bool, format string, parallel int, tracePath string) error {
+	if format != "text" && format != "csv" && format != "json" {
 		return fmt.Errorf("unknown format %q", format)
 	}
 	suite := bench.Suite()
 	if full {
 		suite = bench.FullSuite()
 	}
-	opt := experiments.Options{Verify: doVerify, Circuits: suite, Parallelism: parallel}
+	var tr *dagcover.Trace
+	if tracePath != "" {
+		tr = dagcover.NewTrace()
+		defer func() {
+			if err := tr.WriteFile(tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing trace:", err)
+			}
+		}()
+	}
+	opt := experiments.Options{Verify: doVerify, Circuits: suite, Parallelism: parallel, Trace: tr}
 
 	specs := map[string]experiments.TableSpec{
 		"1": experiments.Table1(),
@@ -109,6 +120,14 @@ func run(table string, full, doVerify, ablations bool, format string, parallel i
 		}
 		if format == "csv" {
 			fmt.Print(experiments.FormatCSV(spec, rows))
+			continue
+		}
+		if format == "json" {
+			doc, err := experiments.FormatJSON(spec, rows)
+			if err != nil {
+				return err
+			}
+			fmt.Print(doc)
 			continue
 		}
 		fmt.Print(experiments.Format(spec, rows))

@@ -28,8 +28,9 @@ func main() {
 		mode     = flag.String("mode", "depth", "objective: depth (FlowMap) or area (priority cuts)")
 		slack    = flag.Int("slack", 0, "area mode: allowed depth above optimal")
 		output   = flag.String("o", "", "write the LUT netlist as BLIF to this file")
-		doVerify = flag.Bool("verify", false, "verify the mapping against the input by simulation")
-		timeout  = flag.Duration("timeout", 0, "abort mapping after this duration (0 = no limit)")
+		doVerify  = flag.Bool("verify", false, "verify the mapping against the input by simulation")
+		timeout   = flag.Duration("timeout", 0, "abort mapping after this duration (0 = no limit)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the mapping pipeline to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -43,7 +44,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, flag.Arg(0), *k, *mode, *slack, *output, *doVerify); err != nil {
+	if err := run(ctx, flag.Arg(0), *k, *mode, *slack, *output, *doVerify, *tracePath); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "lutmap: mapping did not finish within the %v timeout (%v)\n", *timeout, err)
 			os.Exit(exitTimeout)
@@ -53,7 +54,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, path string, k int, mode string, slack int, output string, doVerify bool) error {
+func run(ctx context.Context, path string, k int, mode string, slack int, output string, doVerify bool, tracePath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -63,18 +64,22 @@ func run(ctx context.Context, path string, k int, mode string, slack int, output
 	if err != nil {
 		return err
 	}
+	var tr *dagcover.Trace
+	if tracePath != "" {
+		tr = dagcover.NewTrace()
+	}
 	var lutNet *dagcover.Network
 	var depth, luts int
 	switch mode {
 	case "depth":
-		res, err := dagcover.MapLUTContext(ctx, nw, k)
+		res, err := dagcover.MapLUTTraced(ctx, nw, k, tr)
 		if err != nil {
 			return err
 		}
 		lutNet, depth, luts = res.Network, res.Depth, res.LUTs
 		fmt.Printf("%s: FlowMap with k=%d\n", nw.Name, k)
 	case "area":
-		res, err := dagcover.MapLUTAreaContext(ctx, nw, k, slack)
+		res, err := dagcover.MapLUTAreaTraced(ctx, nw, k, slack, tr)
 		if err != nil {
 			return err
 		}
@@ -102,6 +107,12 @@ func run(ctx context.Context, path string, k int, mode string, slack int, output
 			return err
 		}
 		fmt.Printf("  wrote: %s\n", output)
+	}
+	if tr != nil {
+		if err := tr.WriteFile(tracePath); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		fmt.Printf("  trace: %s\n", tracePath)
 	}
 	return nil
 }

@@ -9,6 +9,14 @@
 //	POST /map      map a BLIF netlist (JSON request, see internal/service)
 //	GET  /healthz  liveness probe
 //	GET  /stats    request, cache, queue and per-library latency counters
+//	GET  /metrics  Prometheus text exposition of the same counters
+//
+// With -debug-addr, a second listener serves net/http/pprof under
+// /debug/pprof/ — kept off the public address so profiling endpoints
+// are never exposed to mapping clients. Requests are logged as
+// structured records (log/slog) carrying a per-request trace id that
+// is also returned in the X-Trace-ID header; requests slower than
+// -slow-ms are promoted to warnings with their per-phase breakdown.
 //
 // A mapping request names a built-in library (lib2, 44-1, 44-3),
 // uploads genlib text inline, or asks for K-LUT mapping:
@@ -25,7 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +55,8 @@ func main() {
 		maxBytes    = flag.Int64("maxbytes", 32<<20, "max request body size in bytes")
 		cacheSize   = flag.Int("cache", 128, "max compiled libraries kept in memory")
 		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		slowMillis  = flag.Int("slow-ms", 0, "log requests slower than this many milliseconds at WARN (0 = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -53,6 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	svc := service.New(service.Config{
 		Concurrency:     *concurrency,
 		QueueDepth:      *queue,
@@ -61,6 +74,8 @@ func main() {
 		Parallelism:     *parallel,
 		MaxRequestBytes: *maxBytes,
 		CacheEntries:    *cacheSize,
+		Logger:          logger,
+		SlowRequest:     time.Duration(*slowMillis) * time.Millisecond,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -70,6 +85,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// pprof rides a second listener: the DefaultServeMux (which the
+	// net/http/pprof import populates) is never attached to the public
+	// address, so /debug/pprof/ stays private to operators.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("mapd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("mapd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -89,6 +122,9 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("mapd: forced shutdown: %v", err)
 		srv.Close()
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("mapd: %v", err)

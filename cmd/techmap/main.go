@@ -36,12 +36,14 @@ type config struct {
 	class    string
 	delay    string
 	output   string
-	doVerify bool
-	recover  bool
-	critPath bool
-	slack    bool
-	verbose  bool
-	parallel int
+	doVerify  bool
+	recover   bool
+	critPath  bool
+	slack     bool
+	verbose   bool
+	parallel  int
+	tracePath string
+	statsJSON string
 
 	supergates bool
 	sgInputs   int
@@ -62,6 +64,8 @@ func main() {
 	flag.BoolVar(&cfg.slack, "slack", false, "print the worst timing paths and a slack histogram")
 	flag.BoolVar(&cfg.verbose, "v", false, "print matcher statistics (patterns tried, matches enumerated)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "labeling workers for DAG covering: 0 = all CPUs, 1 = serial (results are identical either way)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace_event JSON of the mapping pipeline to this file (chrome://tracing, Perfetto)")
+	flag.StringVar(&cfg.statsJSON, "stats-json", "", "write the mapping report as JSON to this file (- for stdout)")
 	flag.BoolVar(&cfg.supergates, "supergates", false, "expand the library with composed supergates before mapping")
 	flag.IntVar(&cfg.sgInputs, "sg-inputs", 0, "supergate max inputs (0 = default)")
 	flag.IntVar(&cfg.sgDepth, "sg-depth", 0, "supergate max composition depth (0 = default)")
@@ -94,6 +98,10 @@ func main() {
 }
 
 func run(ctx context.Context, cfg *config) error {
+	var tr *dagcover.Trace
+	if cfg.tracePath != "" {
+		tr = dagcover.NewTrace()
+	}
 	lib, err := loadLibrary(cfg.libName)
 	if err != nil {
 		return err
@@ -105,6 +113,7 @@ func run(ctx context.Context, cfg *config) error {
 			MaxDepth:    cfg.sgDepth,
 			MaxGates:    cfg.sgMax,
 			Parallelism: cfg.parallel,
+			Trace:       tr,
 		}
 		expanded, stats, err := dagcover.ExpandSupergates(lib, opt)
 		if err != nil {
@@ -139,7 +148,7 @@ func run(ctx context.Context, cfg *config) error {
 	if err != nil {
 		return err
 	}
-	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: cfg.recover, Parallelism: cfg.parallel, Ctx: ctx}
+	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: cfg.recover, Parallelism: cfg.parallel, Ctx: ctx, Trace: tr}
 	switch cfg.class {
 	case "standard":
 		opt.Class = dagcover.MatchStandard
@@ -160,25 +169,25 @@ func run(ctx context.Context, cfg *config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %s mapping with %s (%s delay)\n", nw.Name, cfg.mode, libDesc, cfg.delay)
-	fmt.Printf("  subject nodes: %d\n", res.SubjectNodes)
-	fmt.Printf("  delay:         %.3f\n", res.Delay)
-	fmt.Printf("  area:          %.1f\n", res.Area)
-	fmt.Printf("  cells:         %d\n", res.Cells)
-	if cfg.mode == "dag" {
-		fmt.Printf("  duplicated:    %d subject nodes\n", res.DuplicatedNodes)
-	}
-	if cfg.verbose {
-		fmt.Printf("  library gates: %d\n", len(lib.Gates))
-		fmt.Printf("  patterns tried:     %d\n", res.PatternsTried)
-		fmt.Printf("  matches enumerated: %d\n", res.MatchesEnumerated)
-	}
-	fmt.Printf("  cpu:           %v\n", res.CPU)
+	report := dagcover.NewMapReport(nw.Name, cfg.mode, cfg.delay, lib, res)
+	report.Library = libDesc
 	if cfg.doVerify {
 		if err := dagcover.Verify(nw, res.Netlist); err != nil {
 			return fmt.Errorf("verification FAILED: %v", err)
 		}
-		fmt.Println("  verification:  equivalent")
+		report.SetVerified(true)
+	}
+	report.WriteText(os.Stdout, cfg.verbose)
+	if cfg.statsJSON != "" {
+		if err := writeStatsJSON(cfg.statsJSON, report); err != nil {
+			return err
+		}
+	}
+	if tr != nil {
+		if err := tr.WriteFile(cfg.tracePath); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		fmt.Printf("  trace:         %s\n", cfg.tracePath)
 	}
 	if cfg.slack {
 		paths, err := dagcover.WorstTimingPaths(res.Netlist, dm, 3)
@@ -211,6 +220,23 @@ func run(ctx context.Context, cfg *config) error {
 		}
 		fmt.Printf("  wrote:         %s\n", cfg.output)
 	}
+	return nil
+}
+
+// writeStatsJSON emits the report ("-" means stdout).
+func writeStatsJSON(path string, report *dagcover.MapReport) error {
+	if path == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("  stats:         %s\n", path)
 	return nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"dagcover/internal/mapping"
 	"dagcover/internal/match"
 	"dagcover/internal/network"
+	"dagcover/internal/obs"
 	"dagcover/internal/resynth"
 	"dagcover/internal/retime"
 	"dagcover/internal/seqmap"
@@ -63,7 +64,16 @@ type (
 	MatchClass = match.Class
 	// LUTResult is a FlowMap mapping.
 	LUTResult = flowmap.Result
+	// Trace records named spans across a mapping pipeline and exports
+	// them as Chrome trace_event JSON (chrome://tracing, Perfetto).
+	// A nil *Trace is valid everywhere and records nothing.
+	Trace = obs.Trace
 )
+
+// NewTrace returns an enabled trace collector. Pass it via
+// MapOptions.Trace (or the traced Map* variants), then export with
+// Trace.WriteFile or Trace.WriteChromeTrace.
+func NewTrace() *Trace { return obs.New() }
 
 // Match classes (paper Definitions 1-3).
 const (
@@ -151,6 +161,10 @@ type MapOptions struct {
 	// A nil Ctx never cancels, and an uncancelled run's result is
 	// identical with or without a context.
 	Ctx context.Context
+	// Trace, when non-nil, records the mapping phases (labeling, area
+	// estimation, covering, emission, per-wave chunks) as spans.
+	// Tracing never changes the mapped result.
+	Trace *Trace
 }
 
 // MapResult reports a completed technology mapping.
@@ -176,6 +190,9 @@ type MapResult struct {
 	CPU time.Duration
 	// SubjectNodes is the size of the subject graph.
 	SubjectNodes int
+	// Phases breaks the run down by pipeline phase. Tree covering
+	// reports only Cover and Emit; DAG covering fills every field.
+	Phases PhaseBreakdown
 }
 
 // Mapper holds a library compiled into pattern graphs. Construction
@@ -358,6 +375,7 @@ func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {
 		out.RequiredTime = o.RequiredTime
 		out.Parallelism = o.Parallelism
 		out.Ctx = o.Ctx
+		out.Trace = o.Trace
 	}
 	return out
 }
@@ -387,6 +405,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		RequiredTime: o.RequiredTime,
 		Parallelism:  o.Parallelism,
 		Ctx:          o.Ctx,
+		Trace:        o.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -401,6 +420,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		PatternsTried:     res.Stats.PatternsTried,
 		CPU:               time.Since(start),
 		SubjectNodes:      len(g.Nodes),
+		Phases:            phaseBreakdown(res.Stats.Phases),
 	}, nil
 }
 
@@ -428,6 +448,7 @@ func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, er
 		Choices:      choices,
 		Parallelism:  o.Parallelism,
 		Ctx:          o.Ctx,
+		Trace:        o.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -442,6 +463,7 @@ func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, er
 		PatternsTried:     res.Stats.PatternsTried,
 		CPU:               time.Since(start),
 		SubjectNodes:      len(g.Nodes),
+		Phases:            phaseBreakdown(res.Stats.Phases),
 	}, nil
 }
 
@@ -464,6 +486,7 @@ func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, e
 		Delay:     o.Delay,
 		Arrivals:  o.Arrivals,
 		Ctx:       o.Ctx,
+		Trace:     o.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -475,6 +498,7 @@ func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, e
 		Cells:        res.Netlist.NumCells(),
 		CPU:          time.Since(start),
 		SubjectNodes: len(g.Nodes),
+		Phases:       treePhaseBreakdown(res.Cover, res.Emit),
 	}, nil
 }
 
@@ -492,6 +516,7 @@ func (m *Mapper) MapTreeMinArea(nw *Network, opt *MapOptions) (*MapResult, error
 		Delay:     o.Delay,
 		Arrivals:  o.Arrivals,
 		Ctx:       o.Ctx,
+		Trace:     o.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -503,6 +528,7 @@ func (m *Mapper) MapTreeMinArea(nw *Network, opt *MapOptions) (*MapResult, error
 		Cells:        res.Netlist.NumCells(),
 		CPU:          time.Since(start),
 		SubjectNodes: len(g.Nodes),
+		Phases:       treePhaseBreakdown(res.Cover, res.Emit),
 	}, nil
 }
 
@@ -555,11 +581,17 @@ func MapLUT(nw *Network, k int) (*LUTResult, error) {
 // MapLUTContext is MapLUT with cancellation: the labeling loop polls
 // ctx and the call returns an error wrapping ctx.Err() when cancelled.
 func MapLUTContext(ctx context.Context, nw *Network, k int) (*LUTResult, error) {
+	return MapLUTTraced(ctx, nw, k, nil)
+}
+
+// MapLUTTraced is MapLUTContext with span recording: the FlowMap
+// labeling and construction phases land on tr (nil records nothing).
+func MapLUTTraced(ctx context.Context, nw *Network, k int, tr *Trace) (*LUTResult, error) {
 	g, err := subject.FromNetwork(nw)
 	if err != nil {
 		return nil, err
 	}
-	return flowmap.MapContext(ctx, g, k)
+	return flowmap.MapTraced(ctx, g, k, tr)
 }
 
 // LUTAreaResult is a cut-based LUT mapping (see MapLUTArea).
@@ -575,11 +607,17 @@ func MapLUTArea(nw *Network, k, slack int) (*LUTAreaResult, error) {
 
 // MapLUTAreaContext is MapLUTArea with cancellation.
 func MapLUTAreaContext(ctx context.Context, nw *Network, k, slack int) (*LUTAreaResult, error) {
+	return MapLUTAreaTraced(ctx, nw, k, slack, nil)
+}
+
+// MapLUTAreaTraced is MapLUTAreaContext with span recording: the cut
+// enumeration, covering and emission phases land on tr.
+func MapLUTAreaTraced(ctx context.Context, nw *Network, k, slack int, tr *Trace) (*LUTAreaResult, error) {
 	g, err := subject.FromNetwork(nw)
 	if err != nil {
 		return nil, err
 	}
-	return cutmap.Map(g, cutmap.Options{K: k, Mode: cutmap.ModeArea, Slack: slack, Ctx: ctx})
+	return cutmap.Map(g, cutmap.Options{K: k, Mode: cutmap.ModeArea, Slack: slack, Ctx: ctx, Trace: tr})
 }
 
 // Verify checks a mapped netlist against the original network by

@@ -29,10 +29,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"dagcover/internal/genlib"
 	"dagcover/internal/mapping"
 	"dagcover/internal/match"
+	"dagcover/internal/obs"
 	"dagcover/internal/subject"
 )
 
@@ -83,6 +85,12 @@ type Options struct {
 	// mapped result of an uncancelled run is identical with or
 	// without a context.
 	Ctx context.Context
+	// Trace, when non-nil, records phase spans (labeling waves, the
+	// area-estimate pass, cover and emit) and the matcher's
+	// per-signature-bucket probe counts into the given tracer. A nil
+	// Trace costs one pointer check per phase; the mapped result is
+	// identical either way.
+	Trace *obs.Trace
 }
 
 // Label is the dynamic-programming state of one subject node.
@@ -93,10 +101,10 @@ type Label struct {
 	Best *match.Match
 }
 
-// Stats reports work done by the mapper. Under parallel labeling each
-// worker accumulates a private Stats that is merged at wave
-// boundaries, so the totals are identical to a serial run.
-type Stats struct {
+// Counters is the deterministic work-count portion of Stats: the same
+// subject, library and options yield byte-identical Counters for every
+// Parallelism value, so tests compare them with ==.
+type Counters struct {
 	NodesLabeled      int
 	MatchesEnumerated int
 	// PatternsTried counts pattern plans attempted (before structural
@@ -110,13 +118,62 @@ type Stats struct {
 	DuplicatedNodes int
 }
 
-// merge folds worker-local counters into s.
+// merge folds worker-local counters into c.
+func (c *Counters) merge(o Counters) {
+	c.NodesLabeled += o.NodesLabeled
+	c.MatchesEnumerated += o.MatchesEnumerated
+	c.PatternsTried += o.PatternsTried
+	c.CellsEmitted += o.CellsEmitted
+	c.DuplicatedNodes += o.DuplicatedNodes
+}
+
+// Phases is the per-phase time breakdown of a mapping run. Durations
+// are CPU-attributed: under parallel labeling, Label sums the chunk
+// times of every worker and so can exceed LabelWall, the wall-clock
+// span of the labeling phase. Unlike Counters, durations vary run to
+// run; only their structure (non-negative, Label >= 0 monotone under
+// merge) is deterministic.
+type Phases struct {
+	// Label is labeling CPU time summed across workers.
+	Label time.Duration
+	// LabelWall is the wall-clock duration of the labeling phase.
+	LabelWall time.Duration
+	// Area is the area-estimate DP pass (area recovery only).
+	Area time.Duration
+	// Cover is match re-selection and required-time propagation.
+	Cover time.Duration
+	// Emit is netlist emission through the builder.
+	Emit time.Duration
+}
+
+// merge folds worker-local phase times into p.
+func (p *Phases) merge(o Phases) {
+	p.Label += o.Label
+	p.LabelWall += o.LabelWall
+	p.Area += o.Area
+	p.Cover += o.Cover
+	p.Emit += o.Emit
+}
+
+// Total returns the summed CPU time across phases (LabelWall excluded
+// — it overlaps Label).
+func (p Phases) Total() time.Duration {
+	return p.Label + p.Area + p.Cover + p.Emit
+}
+
+// Stats reports work done by the mapper. Under parallel labeling each
+// worker accumulates a private Stats that is merged at wave
+// boundaries; the Counters totals are identical to a serial run, the
+// Phases durations are measured and differ run to run.
+type Stats struct {
+	Counters
+	Phases Phases
+}
+
+// merge folds worker-local stats into s.
 func (s *Stats) merge(o Stats) {
-	s.NodesLabeled += o.NodesLabeled
-	s.MatchesEnumerated += o.MatchesEnumerated
-	s.PatternsTried += o.PatternsTried
-	s.CellsEmitted += o.CellsEmitted
-	s.DuplicatedNodes += o.DuplicatedNodes
+	s.Counters.merge(o.Counters)
+	s.Phases.merge(o.Phases)
 }
 
 // Result is a completed mapping.
@@ -167,12 +224,22 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 		}
 	}
 
+	// Snapshot the base matcher's per-signature probe counts so the
+	// run's own probes can be reported as a diff (matchers are reused
+	// across runs).
+	var sigBase []uint32
+	if opt.Trace.Enabled() {
+		sigBase = m.SigBucketsTried()
+	}
+
 	// Phase 1: labeling in topological order — serial, or wavefront-
 	// parallel when opt.Parallelism > 1 (see parallel.go). Both paths
 	// produce identical labels and stats. Wave scheduling needs the
 	// choice classes to merge levels: a matcher descending choices the
 	// options don't declare could read labels of a later wave, so that
 	// combination falls back to the serial loop.
+	labelStart := time.Now()
+	labelSpan := opt.Trace.Start("core.label")
 	if opt.Parallelism > 1 && (opt.Choices != nil || m.Choices() == nil) {
 		if err := labelParallel(g, m, opt, res, classMax); err != nil {
 			return nil, err
@@ -180,10 +247,20 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	} else if err := labelSerial(g, m, opt, res, classMax); err != nil {
 		return nil, err
 	}
+	res.Stats.Phases.LabelWall = time.Since(labelStart)
+	labelSpan.
+		Arg("nodes_labeled", res.Stats.NodesLabeled).
+		Arg("matches_enumerated", res.Stats.MatchesEnumerated).
+		Arg("patterns_tried", res.Stats.PatternsTried).
+		Arg("parallelism", opt.Parallelism).
+		End()
 
 	// Phase 2: backward construction.
 	if err := construct(g, m, opt, res, classMax); err != nil {
 		return nil, err
+	}
+	if opt.Trace.Enabled() {
+		emitSigBuckets(opt.Trace, m.SigBucketsTried(), sigBase)
 	}
 	// Report the constructed netlist's delay. It equals the optimal
 	// label delay except under a relaxed RequiredTime, where it may
@@ -196,8 +273,36 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// emitSigBuckets records the matcher's per-root-signature probe
+// counts accumulated during this run (cur minus the base snapshot,
+// plus any extra already-diffed worker counts) as one instant event.
+func emitSigBuckets(tr *obs.Trace, cur, base []uint32) {
+	var args []obs.Arg
+	var total uint64
+	for i := range cur {
+		d := uint64(cur[i])
+		if i < len(base) {
+			d -= uint64(base[i])
+		}
+		if d == 0 {
+			continue
+		}
+		total += d
+		args = append(args, obs.Arg{Key: fmt.Sprintf("sig_%03d", i), Val: d})
+	}
+	if total == 0 {
+		return
+	}
+	hit := len(args)
+	args = append(args, obs.Arg{Key: "total", Val: total},
+		obs.Arg{Key: "buckets_hit", Val: hit})
+	tr.Instant("match.signature_buckets", args...)
+}
+
 // labelSerial runs the labeling DP in plain topological order.
 func labelSerial(g *subject.Graph, m *match.Matcher, opt Options, res *Result, classMax []int) error {
+	start := time.Now()
+	defer func() { res.Stats.Phases.Label += time.Since(start) }()
 	var scratch matchScratch
 	for i, n := range g.Nodes {
 		if i%cancelCheckStride == 0 {
@@ -319,6 +424,12 @@ func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options,
 // est(n) = min over matches of (gate area + sum of est(leaves)).
 // Used by area recovery to score the logic a match newly demands.
 func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options, st *Stats) ([]float64, error) {
+	start := time.Now()
+	span := opt.Trace.Start("core.area_estimates")
+	defer func() {
+		st.Phases.Area += time.Since(start)
+		span.Arg("nodes", len(g.Nodes)).End()
+	}()
 	est := make([]float64, len(g.Nodes))
 	tried0 := m.PatternsTried()
 	for i, n := range g.Nodes {
@@ -410,6 +521,8 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 		}
 		areaEst = est
 	}
+	coverStart := time.Now()
+	coverSpan := opt.Trace.Start("core.cover")
 	var scratch matchScratch
 	chosen := make([]*match.Match, len(g.Nodes))
 	for oi := len(order) - 1; oi >= 0; oi-- {
@@ -451,10 +564,14 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 			}
 		}
 	}
+	res.Stats.Phases.Cover += time.Since(coverStart)
+	coverSpan.Arg("area_recovery", opt.AreaRecovery).End()
 
 	// Emit cells bottom-up (ascending ID keeps the builder happy) and
 	// count duplicated nodes: cell roots that some other emitted match
 	// covers internally.
+	emitStart := time.Now()
+	emitSpan := opt.Trace.Start("core.emit")
 	b := mapping.NewBuilder(g.Name)
 	for _, pi := range g.PIs {
 		if err := b.AddInput(pi.Name); err != nil {
@@ -529,5 +646,10 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 		return err
 	}
 	res.Netlist = nl
+	res.Stats.Phases.Emit += time.Since(emitStart)
+	emitSpan.
+		Arg("cells", res.Stats.CellsEmitted).
+		Arg("duplicated", res.Stats.DuplicatedNodes).
+		End()
 	return nil
 }

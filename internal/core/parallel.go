@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"dagcover/internal/match"
 	"dagcover/internal/subject"
@@ -75,7 +76,13 @@ type labelWorker struct {
 // are read-only here and each node writes only its own slot, so
 // workers never race. On error the worker keeps its first failure
 // (the chunk is ascending, so this is its smallest failing node).
-func (w *labelWorker) labelChunk(g *subject.Graph, opt Options, labels []Label, nodes []*subject.Node, lo, hi int) {
+func (w *labelWorker) labelChunk(g *subject.Graph, opt Options, labels []Label, waveIdx int32, nodes []*subject.Node, lo, hi int) {
+	start := time.Now()
+	span := opt.Trace.Start("core.label.chunk")
+	defer func() {
+		w.stats.Phases.Label += time.Since(start)
+		span.Arg("wave", waveIdx).Arg("nodes", hi-lo).End()
+	}()
 	for i, n := range nodes[lo:hi] {
 		if i%cancelCheckStride == 0 {
 			if err := opt.Ctx.Err(); err != nil {
@@ -145,7 +152,7 @@ func labelParallel(g *subject.Graph, m *match.Matcher, opt Options, res *Result,
 		}
 		wave := waves[w]
 		if len(wave) < minParallelWave {
-			workers[0].labelChunk(g, opt, res.Labels, wave, 0, len(wave))
+			workers[0].labelChunk(g, opt, res.Labels, w, wave, 0, len(wave))
 			if workers[0].err != nil {
 				return drainWorkers(res, workers)
 			}
@@ -161,9 +168,9 @@ func labelParallel(g *subject.Graph, m *match.Matcher, opt Options, res *Result,
 					hi = len(wave)
 				}
 				wg.Add(1)
-				go func(w *labelWorker, lo, hi int) {
+				go func(wk *labelWorker, lo, hi int) {
 					defer wg.Done()
-					w.labelChunk(g, opt, res.Labels, wave, lo, hi)
+					wk.labelChunk(g, opt, res.Labels, w, wave, lo, hi)
 				}(workers[i], lo, hi)
 			}
 			wg.Wait()
@@ -179,7 +186,21 @@ func labelParallel(g *subject.Graph, m *match.Matcher, opt Options, res *Result,
 			}
 		}
 	}
-	return drainWorkers(res, workers)
+	if err := drainWorkers(res, workers); err != nil {
+		return err
+	}
+	// Worker matchers are fresh clones, so their cumulative bucket
+	// counts are exactly this run's labeling probes.
+	if opt.Trace.Enabled() {
+		sum := make([]uint32, subject.NumSignatures)
+		for _, wk := range workers {
+			for i, v := range wk.m.SigBucketsTried() {
+				sum[i] += v
+			}
+		}
+		emitSigBuckets(opt.Trace, sum, nil)
+	}
+	return nil
 }
 
 // drainWorkers merges per-worker stats into the result and returns

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -94,7 +95,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 					if ps, ss := netlistSig(par.Netlist), netlistSig(serial.Netlist); ps != ss {
 						t.Errorf("cell lists differ:\nparallel: %.200s\nserial:   %.200s", ps, ss)
 					}
-					if par.Stats != serial.Stats {
+					if par.Stats.Counters != serial.Stats.Counters {
 						t.Errorf("stats: parallel %+v, serial %+v", par.Stats, serial.Stats)
 					}
 					if err := verify.Mapped(c.Network, par.Netlist, verify.Options{}); err != nil {
@@ -131,7 +132,7 @@ func TestParallelWorkerCountInvariance(t *testing.T) {
 		if res.Delay != ref.Delay || netlistSig(res.Netlist) != refSig {
 			t.Errorf("workers=%d: mapping diverged from serial", workers)
 		}
-		if res.Stats != ref.Stats {
+		if res.Stats.Counters != ref.Stats.Counters {
 			t.Errorf("workers=%d: stats %+v, serial %+v", workers, res.Stats, ref.Stats)
 		}
 	}
@@ -175,7 +176,7 @@ func TestParallelWithChoices(t *testing.T) {
 			if netlistSig(par.Netlist) != netlistSig(serial.Netlist) {
 				t.Errorf("choice cell lists differ")
 			}
-			if par.Stats != serial.Stats {
+			if par.Stats.Counters != serial.Stats.Counters {
 				t.Errorf("stats: parallel %+v, serial %+v", par.Stats, serial.Stats)
 			}
 			if err := verify.Mapped(c.Network, par.Netlist, verify.Options{}); err != nil {
@@ -263,7 +264,7 @@ func BenchmarkLabelAllocs(b *testing.B) {
 		for j := range classMax {
 			classMax[j] = j
 		}
-		if err := labelSerial(g, m, Options{Class: match.Standard, Delay: genlib.UnitDelay{}}, res, classMax); err != nil {
+		if err := labelSerial(g, m, Options{Class: match.Standard, Delay: genlib.UnitDelay{}, Ctx: context.Background()}, res, classMax); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 
 	"dagcover/internal/logic"
 	"dagcover/internal/network"
+	"dagcover/internal/obs"
 	"dagcover/internal/subject"
 )
 
@@ -58,6 +59,9 @@ type Options struct {
 	// enumeration polls ctx.Err() periodically and Map returns an
 	// error wrapping ctx.Err(). A nil Ctx never cancels.
 	Ctx context.Context
+	// Trace, when non-nil, records the cut enumeration, cover, and LUT
+	// construction phases as spans.
+	Trace *obs.Trace
 }
 
 // Result is a completed cut-based LUT mapping.
@@ -111,6 +115,7 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 		fanouts[n.ID] = float64(f)
 	}
 
+	enumSpan := opt.Trace.Start("cutmap.enumerate")
 	labels := make([]int, len(g.Nodes))
 	flows := make([]float64, len(g.Nodes))
 	cutsOf := make([][]cut, len(g.Nodes))
@@ -152,9 +157,16 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 			res.OptimalDepth = labels[o.Node.ID]
 		}
 	}
+	totalCuts := 0
+	for _, cs := range cutsOf {
+		totalCuts += len(cs)
+	}
+	enumSpan.Arg("nodes", len(g.Nodes)).Arg("cuts_kept", totalCuts).
+		Arg("optimal_depth", res.OptimalDepth).End()
 
 	// Cover: choose one cut per demanded node in reverse topological
 	// order, respecting required depths.
+	coverSpan := opt.Trace.Start("cutmap.cover")
 	required := make([]int, len(g.Nodes))
 	for i := range required {
 		required[i] = math.MaxInt32
@@ -223,6 +235,9 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 		}
 	}
 
+	coverSpan.Arg("mode", opt.Mode.String()).End()
+
+	emitSpan := opt.Trace.Start("cutmap.emit")
 	nw, luts, depth, err := buildLUTs(g, chosen, labels)
 	if err != nil {
 		return nil, err
@@ -230,6 +245,7 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 	res.Network = nw
 	res.LUTs = luts
 	res.Depth = depth
+	emitSpan.Arg("luts", luts).Arg("depth", depth).End()
 	return res, nil
 }
 

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"dagcover/internal/mapping"
 	"dagcover/internal/match"
 	"dagcover/internal/network"
+	"dagcover/internal/obs"
 	"dagcover/internal/resynth"
 	"dagcover/internal/retime"
 	"dagcover/internal/seqmap"
@@ -40,6 +42,19 @@ type Row struct {
 	// exactly before its time is reported.
 	DAGCPUPar  time.Duration
 	Duplicated int
+	// Phases breaks the row's work down by pipeline phase.
+	Phases RowPhases
+}
+
+// RowPhases is the per-phase wall-time breakdown of one row: where
+// the tree run, the DAG run, and verification each spent their time.
+type RowPhases struct {
+	// TreeCover is the tree-covering DP (plus emission) time.
+	TreeCover time.Duration
+	// Label, Cover and Emit split the serial DAG run.
+	Label, Cover, Emit time.Duration
+	// Verify is the simulation-verification time (0 without -verify).
+	Verify time.Duration
 }
 
 // TableSpec describes one of the paper's tables.
@@ -80,6 +95,8 @@ type Options struct {
 	// that many wavefront-labeling workers (Row.DAGCPUPar) and checks
 	// the parallel run reproduces the serial mapping bit-for-bit.
 	Parallelism int
+	// Trace, when non-nil, records every mapping run's phase spans.
+	Trace *obs.Trace
 }
 
 // Run executes a table.
@@ -111,16 +128,17 @@ func Run(spec TableSpec, opt Options) ([]Row, error) {
 		row := Row{Circuit: c.Name, SubjectNodes: len(g.Nodes)}
 
 		start := time.Now()
-		tres, err := treemap.Map(g, treeM, treemap.Options{Delay: spec.Delay})
+		tres, err := treemap.Map(g, treeM, treemap.Options{Delay: spec.Delay, Trace: opt.Trace})
 		if err != nil {
 			return nil, fmt.Errorf("%s: tree: %v", c.Name, err)
 		}
 		row.TreeCPU = time.Since(start)
 		row.TreeDelay = tres.Delay
 		row.TreeArea = tres.Netlist.Area()
+		row.Phases.TreeCover = tres.Cover + tres.Emit
 
 		start = time.Now()
-		dres, err := core.Map(g, dagM, core.Options{Class: opt.Class, Delay: spec.Delay})
+		dres, err := core.Map(g, dagM, core.Options{Class: opt.Class, Delay: spec.Delay, Trace: opt.Trace})
 		if err != nil {
 			return nil, fmt.Errorf("%s: DAG: %v", c.Name, err)
 		}
@@ -128,6 +146,9 @@ func Run(spec TableSpec, opt Options) ([]Row, error) {
 		row.DAGDelay = dres.Delay
 		row.DAGArea = dres.Netlist.Area()
 		row.Duplicated = dres.Stats.DuplicatedNodes
+		row.Phases.Label = dres.Stats.Phases.Label
+		row.Phases.Cover = dres.Stats.Phases.Cover
+		row.Phases.Emit = dres.Stats.Phases.Emit
 
 		if opt.Parallelism > 1 {
 			start = time.Now()
@@ -148,46 +169,122 @@ func Run(spec TableSpec, opt Options) ([]Row, error) {
 		}
 
 		if opt.Verify {
+			vSpan := opt.Trace.Start("experiments.verify")
+			vStart := time.Now()
 			if err := verify.Mapped(c.Network, tres.Netlist, verify.Options{}); err != nil {
 				return nil, fmt.Errorf("%s: tree mapping wrong: %v", c.Name, err)
 			}
 			if err := verify.Mapped(c.Network, dres.Netlist, verify.Options{}); err != nil {
 				return nil, fmt.Errorf("%s: DAG mapping wrong: %v", c.Name, err)
 			}
+			row.Phases.Verify = time.Since(vStart)
+			vSpan.Arg("circuit", c.Name).End()
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// Format renders rows like the paper's tables. When any row carries a
-// parallel labeling time, a "par cpu" column is appended.
+// Format renders rows like the paper's tables, with the DAG run's
+// label/cover phase split appended. When any row carries a parallel
+// labeling time, a "par cpu" column is appended; when any row was
+// verified, a "verify" column is.
 func Format(spec TableSpec, rows []Row) string {
-	par := false
+	par, verified := false, false
 	for _, r := range rows {
 		if r.DAGCPUPar > 0 {
 			par = true
 		}
+		if r.Phases.Verify > 0 {
+			verified = true
+		}
 	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table %s: tree mapping vs DAG mapping for %s (%s delay)\n",
 		spec.ID, spec.Library.Name, spec.Delay.Name())
-	fmt.Fprintf(&b, "%-8s %8s | %9s %9s | %10s %10s | %9s %9s | %5s",
-		"circuit", "subj", "tree dly", "DAG dly", "tree area", "DAG area", "tree cpu", "DAG cpu", "dup")
+	fmt.Fprintf(&b, "%-8s %8s | %9s %9s | %10s %10s | %9s %9s | %5s | %8s %8s",
+		"circuit", "subj", "tree dly", "DAG dly", "tree area", "DAG area", "tree cpu", "DAG cpu", "dup",
+		"label", "cover")
+	if verified {
+		fmt.Fprintf(&b, " %8s", "verify")
+	}
 	if par {
 		fmt.Fprintf(&b, " | %9s", "par cpu")
 	}
 	b.WriteByte('\n')
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %8d | %9.2f %9.2f | %10.0f %10.0f | %9s %9s | %5d",
+		fmt.Fprintf(&b, "%-8s %8d | %9.2f %9.2f | %10.0f %10.0f | %9s %9s | %5d | %6.1fms %6.1fms",
 			r.Circuit, r.SubjectNodes, r.TreeDelay, r.DAGDelay, r.TreeArea, r.DAGArea,
-			r.TreeCPU.Round(time.Millisecond), r.DAGCPU.Round(time.Millisecond), r.Duplicated)
+			r.TreeCPU.Round(time.Millisecond), r.DAGCPU.Round(time.Millisecond), r.Duplicated,
+			ms(r.Phases.Label), ms(r.Phases.Cover))
+		if verified {
+			fmt.Fprintf(&b, " %6.1fms", ms(r.Phases.Verify))
+		}
 		if par {
 			fmt.Fprintf(&b, " | %9s", r.DAGCPUPar.Round(time.Millisecond))
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// FormatJSON renders rows as one JSON document per table, carrying
+// the same per-phase breakdown as the text table (milliseconds).
+func FormatJSON(spec TableSpec, rows []Row) (string, error) {
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	type phasesJSON struct {
+		TreeCoverMillis float64 `json:"tree_cover_ms"`
+		LabelMillis     float64 `json:"label_ms"`
+		CoverMillis     float64 `json:"cover_ms"`
+		EmitMillis      float64 `json:"emit_ms"`
+		VerifyMillis    float64 `json:"verify_ms"`
+	}
+	type rowJSON struct {
+		Circuit        string     `json:"circuit"`
+		SubjectNodes   int        `json:"subject_nodes"`
+		TreeDelay      float64    `json:"tree_delay"`
+		DAGDelay       float64    `json:"dag_delay"`
+		TreeArea       float64    `json:"tree_area"`
+		DAGArea        float64    `json:"dag_area"`
+		TreeCPUMillis  float64    `json:"tree_cpu_ms"`
+		DAGCPUMillis   float64    `json:"dag_cpu_ms"`
+		DAGCPUParMs    float64    `json:"dag_cpu_par_ms,omitempty"`
+		Duplicated     int        `json:"duplicated"`
+		Phases         phasesJSON `json:"phases"`
+	}
+	doc := struct {
+		Table      string    `json:"table"`
+		Library    string    `json:"library"`
+		DelayModel string    `json:"delay_model"`
+		Rows       []rowJSON `json:"rows"`
+	}{Table: spec.ID, Library: spec.Library.Name, DelayModel: spec.Delay.Name()}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, rowJSON{
+			Circuit:       r.Circuit,
+			SubjectNodes:  r.SubjectNodes,
+			TreeDelay:     r.TreeDelay,
+			DAGDelay:      r.DAGDelay,
+			TreeArea:      r.TreeArea,
+			DAGArea:       r.DAGArea,
+			TreeCPUMillis: ms(r.TreeCPU),
+			DAGCPUMillis:  ms(r.DAGCPU),
+			DAGCPUParMs:   ms(r.DAGCPUPar),
+			Duplicated:    r.Duplicated,
+			Phases: phasesJSON{
+				TreeCoverMillis: ms(r.Phases.TreeCover),
+				LabelMillis:     ms(r.Phases.Label),
+				CoverMillis:     ms(r.Phases.Cover),
+				EmitMillis:      ms(r.Phases.Emit),
+				VerifyMillis:    ms(r.Phases.Verify),
+			},
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
 }
 
 // RichnessPoint is one step of the library-richness ablation (A2).
@@ -815,15 +912,19 @@ func SupergateRichness(circuits []bench.Circuit, opt supergate.Options) ([]Super
 // for spreadsheet import.
 func FormatCSV(spec TableSpec, rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "table,circuit,subject_nodes,tree_delay,dag_delay,tree_area,dag_area,tree_cpu_ms,dag_cpu_ms,dag_cpu_par_ms,duplicated\n")
+	fmt.Fprintf(&b, "table,circuit,subject_nodes,tree_delay,dag_delay,tree_area,dag_area,tree_cpu_ms,dag_cpu_ms,dag_cpu_par_ms,duplicated,label_ms,cover_ms,emit_ms,verify_ms\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%.3f,%.3f,%.3f,%d\n",
+		fmt.Fprintf(&b, "%s,%s,%d,%g,%g,%g,%g,%.3f,%.3f,%.3f,%d,%.3f,%.3f,%.3f,%.3f\n",
 			spec.ID, r.Circuit, r.SubjectNodes, r.TreeDelay, r.DAGDelay,
 			r.TreeArea, r.DAGArea,
 			float64(r.TreeCPU.Microseconds())/1000,
 			float64(r.DAGCPU.Microseconds())/1000,
 			float64(r.DAGCPUPar.Microseconds())/1000,
-			r.Duplicated)
+			r.Duplicated,
+			float64(r.Phases.Label.Microseconds())/1000,
+			float64(r.Phases.Cover.Microseconds())/1000,
+			float64(r.Phases.Emit.Microseconds())/1000,
+			float64(r.Phases.Verify.Microseconds())/1000)
 	}
 	return b.String()
 }

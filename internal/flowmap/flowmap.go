@@ -23,6 +23,7 @@ import (
 	"dagcover/internal/logic"
 	"dagcover/internal/maxflow"
 	"dagcover/internal/network"
+	"dagcover/internal/obs"
 	"dagcover/internal/subject"
 )
 
@@ -52,12 +53,19 @@ func Map(g *subject.Graph, k int) (*Result, error) {
 // max-flow, the expensive unit) and returns an error wrapping
 // ctx.Err() when the context is done.
 func MapContext(ctx context.Context, g *subject.Graph, k int) (*Result, error) {
+	return MapTraced(ctx, g, k, nil)
+}
+
+// MapTraced is MapContext with phase tracing: the labeling loop and
+// LUT construction are recorded as spans on tr (nil disables).
+func MapTraced(ctx context.Context, g *subject.Graph, k int, tr *obs.Trace) (*Result, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("flowmap: k must be at least 2, got %d", k)
 	}
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("flowmap: subject graph %q has no outputs", g.Name)
 	}
+	labelSpan := tr.Start("flowmap.label")
 	labels := make([]int, len(g.Nodes))
 	cuts := make([][]*subject.Node, len(g.Nodes))
 	lb := &labeler{
@@ -81,7 +89,10 @@ func MapContext(ctx context.Context, g *subject.Graph, k int) (*Result, error) {
 		labels[n.ID], cuts[n.ID] = lb.labelNode(n)
 	}
 
+	labelSpan.Arg("nodes", len(g.Nodes)).Arg("k", k).End()
+
 	res := &Result{Labels: labels}
+	conSpan := tr.Start("flowmap.construct")
 	nw, luts, err := construct(g, cuts)
 	if err != nil {
 		return nil, err
@@ -93,6 +104,7 @@ func MapContext(ctx context.Context, g *subject.Graph, k int) (*Result, error) {
 			res.Depth = labels[o.Node.ID]
 		}
 	}
+	conSpan.Arg("luts", luts).Arg("depth", res.Depth).End()
 	return res, nil
 }
 

@@ -86,6 +86,10 @@ type Matcher struct {
 	// tried counts pattern plans attempted by Enumerate since
 	// construction (or Clone). Read it through PatternsTried.
 	tried int
+	// bucketTried counts plans attempted per subject root signature
+	// (index path only; allocated when the index is on). Read it
+	// through SigBucketsTried.
+	bucketTried []uint32
 
 	// scratch (reused across calls; a Matcher is single-goroutine)
 	binding []*subject.Node
@@ -171,6 +175,7 @@ func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 				m.sigIndex[sig] = append(m.sigIndex[sig], int32(i))
 			}
 		}
+		m.bucketTried = make([]uint32, subject.NumSignatures)
 	}
 	return m
 }
@@ -191,6 +196,9 @@ func (m *Matcher) Clone() *Matcher {
 		stepSub:  make([]*subject.Node, len(m.stepSub)),
 		stepOrd:  make([]uint8, len(m.stepOrd)),
 	}
+	if m.index {
+		c.bucketTried = make([]uint32, subject.NumSignatures)
+	}
 	return c
 }
 
@@ -199,6 +207,19 @@ func (m *Matcher) Clone() *Matcher {
 // The root-signature index lowers it by skipping plans whose local
 // structure cannot embed at the queried root.
 func (m *Matcher) PatternsTried() int { return m.tried }
+
+// SigBucketsTried returns a copy of the per-root-signature counts of
+// pattern plans attempted through the signature index since
+// construction, Clone, or Reset — the probe attribution the tracer
+// reports. Enumerations that bypass the index (choices set, or the
+// index disabled) are not attributed. Returns nil when the index is
+// off.
+func (m *Matcher) SigBucketsTried() []uint32 {
+	if m.bucketTried == nil {
+		return nil
+	}
+	return append([]uint32(nil), m.bucketTried...)
+}
 
 // Reset clears the matcher's mutable scratch and counters without
 // recompiling pattern plans, making it behave exactly like a fresh
@@ -209,6 +230,9 @@ func (m *Matcher) PatternsTried() int { return m.tried }
 // SetChoices are cleared; re-set them after Reset if needed.
 func (m *Matcher) Reset() {
 	m.tried = 0
+	for i := range m.bucketTried {
+		m.bucketTried[i] = 0
+	}
 	m.choices = nil
 	for i := range m.binding {
 		m.binding[i] = nil
@@ -315,8 +339,10 @@ func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) 
 	// local shape differs from the child's, so fall back to the full
 	// root-kind scan.
 	if m.index && m.choices == nil {
-		for _, k := range m.sigIndex[subject.Signature(root)] {
+		sig := subject.Signature(root)
+		for _, k := range m.sigIndex[sig] {
 			m.tried++
+			m.bucketTried[sig]++
 			if !m.tryPattern(int(k), root, class, out, yield) {
 				return
 			}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export. The JSON Object Format is used (an
+// object with a traceEvents array), which both chrome://tracing and
+// Perfetto accept: timestamps and durations are microseconds, 'X'
+// events are complete spans, 'i' events are instants, and 'M' events
+// carry process/thread metadata.
+//
+// Reference: "Trace Event Format", the catapult project
+// documentation.
+
+// tracePID is the synthetic process id used for every event; the
+// trace describes one process, with goroutines as its threads.
+const tracePID = 1
+
+// chromeEvent is the wire form of one trace_event entry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorded events as trace_event JSON.
+// Writing a nil trace emits an empty (but still valid) trace.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+1),
+		DisplayTimeUnit: "ms",
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  tracePID,
+		Args: map[string]any{"name": "dagcover"},
+	})
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(e.Phase),
+			TS:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+			PID:  tracePID,
+			TID:  e.TID,
+		}
+		if e.Phase == 'i' {
+			// Instant scope: thread.
+			ce.S = "t"
+		}
+		if len(e.Args) > 0 {
+			ce.Args = make(map[string]any, len(e.Args))
+			for _, a := range e.Args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the trace to path (the CLIs' -trace flag).
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace %s: %w", path, err)
+	}
+	return f.Close()
+}

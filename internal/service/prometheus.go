@@ -1,0 +1,182 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled: the
+// service is dependency-free by design, and the subset needed —
+// counters, gauges, and fixed-bucket histograms — is small. Metric
+// families are emitted in a stable order with sorted library labels,
+// so scrapes are deterministic and the exposition test can golden the
+// structure.
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	s.writeMetrics(&b)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeMetrics renders the full exposition.
+func (s *Server) writeMetrics(b *strings.Builder) {
+	m := s.metrics
+
+	family(b, "mapd_uptime_seconds", "gauge", "Seconds since the server started.")
+	sample(b, "mapd_uptime_seconds", nil, time.Since(m.start).Seconds())
+
+	family(b, "mapd_requests_received_total", "counter", "Mapping requests received, before admission or parsing.")
+	sample(b, "mapd_requests_received_total", nil, float64(m.total.Load()))
+
+	family(b, "mapd_requests_total", "counter", "Mapping requests finished, by result.")
+	for _, rc := range []struct {
+		result string
+		v      uint64
+	}{
+		{"ok", m.ok.Load()},
+		{"bad_request", m.badRequest.Load()},
+		{"overloaded", m.overloaded.Load()},
+		{"timeout", m.timeout.Load()},
+		{"canceled", m.canceled.Load()},
+		{"internal", m.internal.Load()},
+	} {
+		sample(b, "mapd_requests_total", labels{{"result", rc.result}}, float64(rc.v))
+	}
+
+	family(b, "mapd_patterns_tried_total", "counter", "Pattern plans attempted by the matcher across all served mappings.")
+	sample(b, "mapd_patterns_tried_total", nil, float64(m.patternsTried.Load()))
+
+	hits, misses, compiles := s.cache.Counters()
+	family(b, "mapd_cache_hits_total", "counter", "Compiled-library cache hits.")
+	sample(b, "mapd_cache_hits_total", nil, float64(hits))
+	family(b, "mapd_cache_misses_total", "counter", "Compiled-library cache misses.")
+	sample(b, "mapd_cache_misses_total", nil, float64(misses))
+	family(b, "mapd_cache_compiles_total", "counter", "Library compilations performed (misses that completed).")
+	sample(b, "mapd_cache_compiles_total", nil, float64(compiles))
+	family(b, "mapd_cache_libraries", "gauge", "Compiled libraries currently cached.")
+	sample(b, "mapd_cache_libraries", nil, float64(s.cache.Len()))
+
+	running, queued := s.adm.depth()
+	concurrency, capacity := s.adm.capacities()
+	family(b, "mapd_queue_running", "gauge", "Mapping runs currently executing.")
+	sample(b, "mapd_queue_running", nil, float64(running))
+	family(b, "mapd_queue_queued", "gauge", "Requests waiting for a run slot.")
+	sample(b, "mapd_queue_queued", nil, float64(queued))
+	family(b, "mapd_queue_concurrency", "gauge", "Admission concurrency limit.")
+	sample(b, "mapd_queue_concurrency", nil, float64(concurrency))
+	family(b, "mapd_queue_capacity", "gauge", "Admission queue capacity.")
+	sample(b, "mapd_queue_capacity", nil, float64(capacity))
+
+	family(b, "mapd_phase_seconds_total", "counter", "Request wall time by phase, summed across requests.")
+	phases := m.phases.phaseSeconds()
+	for _, phase := range []string{"queue", "parse", "compile", "map", "respond"} {
+		sample(b, "mapd_phase_seconds_total", labels{{"phase", phase}}, phases[phase])
+	}
+
+	names := m.libNames()
+	sort.Strings(names)
+	family(b, "mapd_requests_by_library_total", "counter", "Served mappings per library.")
+	type libSnap struct {
+		name     string
+		requests uint64
+		patterns uint64
+		latency  histogram
+		perReq   histogram
+	}
+	snaps := make([]libSnap, 0, len(names))
+	for _, name := range names {
+		lm := m.lib(name)
+		lm.mu.Lock()
+		snaps = append(snaps, libSnap{
+			name:     name,
+			requests: lm.requests,
+			patterns: lm.patternsTried,
+			latency:  lm.latency.clone(),
+			perReq:   lm.patterns.clone(),
+		})
+		lm.mu.Unlock()
+	}
+	for _, ls := range snaps {
+		sample(b, "mapd_requests_by_library_total", labels{{"library", ls.name}}, float64(ls.requests))
+	}
+	family(b, "mapd_patterns_tried_by_library_total", "counter", "Pattern plans attempted per library.")
+	for _, ls := range snaps {
+		sample(b, "mapd_patterns_tried_by_library_total", labels{{"library", ls.name}}, float64(ls.patterns))
+	}
+	family(b, "mapd_request_duration_seconds", "histogram", "Served mapping latency per library.")
+	for _, ls := range snaps {
+		writeHistogram(b, "mapd_request_duration_seconds", ls.name, &ls.latency)
+	}
+	family(b, "mapd_patterns_tried_per_request", "histogram", "Pattern plans attempted per served mapping, per library.")
+	for _, ls := range snaps {
+		writeHistogram(b, "mapd_patterns_tried_per_request", ls.name, &ls.perReq)
+	}
+}
+
+// labels is an ordered label set (exposition order is authoring order).
+type labels [][2]string
+
+func family(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+func sample(b *strings.Builder, name string, ls labels, v float64) {
+	b.WriteString(name)
+	writeLabels(b, ls)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+func writeLabels(b *strings.Builder, ls labels) {
+	if len(ls) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram emits the cumulative bucket series, sum and count of
+// one library's histogram.
+func writeHistogram(b *strings.Builder, name, lib string, h *histogram) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		sample(b, name+"_bucket",
+			labels{{"library", lib}, {"le", formatValue(bound)}}, float64(cum))
+	}
+	cum += h.counts[len(h.bounds)]
+	sample(b, name+"_bucket", labels{{"library", lib}, {"le", "+Inf"}}, float64(cum))
+	sample(b, name+"_sum", labels{{"library", lib}}, h.sum)
+	sample(b, name+"_count", labels{{"library", lib}}, float64(h.n))
+}

@@ -21,9 +21,12 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -54,6 +57,13 @@ type Config struct {
 	Parallelism int
 	// CacheEntries bounds the compiled-library cache (default 128).
 	CacheEntries int
+	// Logger, when non-nil, receives one structured access-log record
+	// per /map request (trace id, result, per-phase millis). nil keeps
+	// the server quiet.
+	Logger *slog.Logger
+	// SlowRequest, when positive, logs requests slower than this at
+	// Warn level with their full phase breakdown (requires Logger).
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +113,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/map", s.handleMap)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -215,6 +226,9 @@ type MapResponse struct {
 	Verified bool `json:"verified,omitempty"`
 	// ElapsedMillis is the serving time excluding queueing.
 	ElapsedMillis float64 `json:"elapsed_ms"`
+	// TraceID echoes the per-request trace id (also the X-Trace-ID
+	// response header) for correlation with the server's access log.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -258,10 +272,83 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// reqPhases is one request's wall-time breakdown plus the attribution
+// fields the access log wants. Phases are accumulated into the global
+// counters (mapd_phase_seconds_total) when the request finishes.
+type reqPhases struct {
+	queue, parse, compile, mapRun, respond time.Duration
+
+	library  string
+	mode     string
+	cacheHit bool
+}
+
+// newTraceID returns a 16-hex-char per-request trace id. It appears
+// in the X-Trace-ID response header and every access-log record, so a
+// slow-request log line can be joined to the client's response.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// add folds one request's phase breakdown into the running totals.
+func (p *phaseTimes) add(ph *reqPhases) {
+	p.queue.Add(int64(ph.queue))
+	p.parse.Add(int64(ph.parse))
+	p.compile.Add(int64(ph.compile))
+	p.mapRun.Add(int64(ph.mapRun))
+	p.respond.Add(int64(ph.respond))
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// logRequest writes the structured access-log record; requests slower
+// than Config.SlowRequest are promoted to Warn.
+func (s *Server) logRequest(traceID string, status int, total time.Duration, ph *reqPhases) {
+	lg := s.cfg.Logger
+	if lg == nil {
+		return
+	}
+	attrs := []any{
+		"trace_id", traceID,
+		"status", status,
+		"library", ph.library,
+		"mode", ph.mode,
+		"cache_hit", ph.cacheHit,
+		"total_ms", millis(total),
+		"queue_ms", millis(ph.queue),
+		"parse_ms", millis(ph.parse),
+		"compile_ms", millis(ph.compile),
+		"map_ms", millis(ph.mapRun),
+		"respond_ms", millis(ph.respond),
+	}
+	if s.cfg.SlowRequest > 0 && total >= s.cfg.SlowRequest {
+		lg.Warn("slow mapping request", attrs...)
+		return
+	}
+	lg.Info("mapping request", attrs...)
+}
+
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	s.metrics.total.Add(1)
+	traceID := newTraceID()
+	w.Header().Set("X-Trace-ID", traceID)
+	reqStart := time.Now()
+	var ph reqPhases
+	status := http.StatusOK
+	defer func() {
+		s.metrics.phases.add(&ph)
+		s.logRequest(traceID, status, time.Since(reqStart), &ph)
+	}()
+	fail := func(st int, format string, args ...any) {
+		status = st
+		s.failure(w, st, format, args...)
+	}
 	if r.Method != http.MethodPost {
-		s.failure(w, http.StatusMethodNotAllowed, "POST a JSON mapping request to /map")
+		fail(http.StatusMethodNotAllowed, "POST a JSON mapping request to /map")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
@@ -269,29 +356,33 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.failure(w, http.StatusBadRequest, "bad request body: %v", err)
+		fail(http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if strings.TrimSpace(req.BLIF) == "" {
-		s.failure(w, http.StatusBadRequest, `bad request: "blif" is required`)
+		fail(http.StatusBadRequest, `bad request: "blif" is required`)
 		return
 	}
 
 	// Admission: hold a run slot for everything downstream — library
 	// compilation and BLIF parsing are also work an overload must not
 	// multiply.
+	queueStart := time.Now()
 	if err := s.adm.acquire(r.Context()); err != nil {
+		ph.queue = time.Since(queueStart)
 		if errors.Is(err, errOverloaded) {
-			s.failure(w, http.StatusTooManyRequests,
+			fail(http.StatusTooManyRequests,
 				"overloaded: %d mappings running and %d queued; retry later",
 				s.cfg.Concurrency, s.cfg.QueueDepth)
 			return
 		}
 		// Client went away while queued.
 		s.metrics.canceled.Add(1)
+		status = statusClientClosedRequest
 		writeJSON(w, statusClientClosedRequest, errorResponse{Error: "request cancelled while queued"})
 		return
 	}
+	ph.queue = time.Since(queueStart)
 	defer s.adm.release()
 
 	timeout := s.cfg.DefaultTimeout
@@ -305,21 +396,23 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	resp, status, err := s.serve(ctx, &req)
+	resp, st, err := s.serve(ctx, &req, &ph)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.failure(w, http.StatusGatewayTimeout, "mapping timed out after %v", timeout)
+			fail(http.StatusGatewayTimeout, "mapping timed out after %v", timeout)
 		case errors.Is(err, context.Canceled):
 			s.metrics.canceled.Add(1)
+			status = statusClientClosedRequest
 			writeJSON(w, statusClientClosedRequest, errorResponse{Error: "request cancelled"})
 		default:
-			s.failure(w, status, "%v", err)
+			fail(st, "%v", err)
 		}
 		return
 	}
 	elapsed := time.Since(start)
 	resp.ElapsedMillis = float64(elapsed) / float64(time.Millisecond)
+	resp.TraceID = traceID
 	s.metrics.recordServed(resp.Library, elapsed, resp.PatternsTried)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -329,14 +422,18 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 // the access log keeps an honest status.
 const statusClientClosedRequest = 499
 
-// serve runs one admitted mapping request. The returned status is
-// used only for non-context errors.
-func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int, error) {
+// serve runs one admitted mapping request, attributing wall time to
+// ph's phases as it goes. The returned status is used only for
+// non-context errors.
+func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*MapResponse, int, error) {
 	mode := req.Mode
 	if mode == "" {
 		mode = "dag"
 	}
+	ph.mode = mode
+	t0 := time.Now()
 	nw, err := dagcover.ParseBLIF(strings.NewReader(req.BLIF))
+	ph.parse = time.Since(t0)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -344,13 +441,16 @@ func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int,
 		if req.Supergates != nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("supergates apply to gate-library modes (dag, tree), not lut")
 		}
-		return s.serveLUT(ctx, req, nw)
+		return s.serveLUT(ctx, req, nw, ph)
 	}
 
+	t0 = time.Now()
 	cl, hit, err := s.resolveLibrary(req)
+	ph.compile = time.Since(t0)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	ph.library, ph.cacheHit = cl.Library().Name, hit
 	opt := &dagcover.MapOptions{
 		AreaRecovery: req.AreaRecovery,
 		RequiredTime: req.RequiredTime,
@@ -374,6 +474,7 @@ func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int,
 	}
 
 	var res *dagcover.MapResult
+	t0 = time.Now()
 	switch mode {
 	case "dag":
 		res, err = cl.MapCompiled(ctx, nw, opt)
@@ -382,6 +483,7 @@ func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int,
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want dag, tree, or lut)", mode)
 	}
+	ph.mapRun = time.Since(t0)
 	if err != nil {
 		// Context errors are classified by the caller; anything else
 		// is an input the mapper rejected (e.g. a library without a
@@ -401,6 +503,8 @@ func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int,
 		MatchesEnumerated: res.MatchesEnumerated,
 		CacheHit:          hit,
 	}
+	t0 = time.Now()
+	defer func() { ph.respond = time.Since(t0) }()
 	if req.Verify {
 		if err := dagcover.Verify(nw, res.Netlist); err != nil {
 			return nil, http.StatusInternalServerError, fmt.Errorf("mapped netlist failed verification: %v", err)
@@ -416,12 +520,15 @@ func (s *Server) serve(ctx context.Context, req *MapRequest) (*MapResponse, int,
 }
 
 // serveLUT handles mode "lut" (FlowMap); no gate library is involved.
-func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Network) (*MapResponse, int, error) {
+func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Network, ph *reqPhases) (*MapResponse, int, error) {
 	k := req.K
 	if k == 0 {
 		k = 4
 	}
+	ph.library, ph.cacheHit = lutLibraryLabel(k), true
+	t0 := time.Now()
 	res, err := dagcover.MapLUTContext(ctx, nw, k)
+	ph.mapRun = time.Since(t0)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -435,6 +542,8 @@ func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Net
 		// dashboards don't count these as misses.
 		CacheHit: true,
 	}
+	t0 = time.Now()
+	defer func() { ph.respond = time.Since(t0) }()
 	if req.Verify {
 		if err := dagcover.VerifyNetworks(nw, res.Network); err != nil {
 			return nil, http.StatusInternalServerError, fmt.Errorf("LUT netlist failed verification: %v", err)

@@ -1,20 +1,103 @@
 package service
 
 import (
-	"sort"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// latWindowSize is the per-library latency sample window: large enough
-// that a p99 over it is meaningful, small enough that /stats stays
-// O(1) in served traffic.
-const latWindowSize = 512
+// latencyBounds are the fixed upper bounds (seconds) of the request
+// latency histogram. The spread covers sub-millisecond cache-hit
+// mappings through multi-second supergate compilations.
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// patternsBounds are the fixed upper bounds of the per-request
+// patterns-tried histogram (pattern plans attempted per mapping).
+var patternsBounds = []float64{
+	1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7,
+}
+
+// histogram is a fixed-bucket histogram: counts[i] holds observations
+// v <= bounds[i] and > bounds[i-1]; counts[len(bounds)] is the
+// overflow bucket. Not self-locking — the owner synchronizes.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// clone copies the histogram for lock-free post-processing.
+func (h *histogram) clone() histogram {
+	return histogram{
+		bounds: h.bounds,
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum,
+		n:      h.n,
+	}
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear
+// interpolation within the bucket holding the target rank — the
+// standard fixed-bucket estimate (what a PromQL histogram_quantile
+// computes), replacing the earlier sort-based nearest-rank over a
+// sample ring. Observations beyond the last bound clamp to it.
+func (h *histogram) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	cum := 0.0
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < target || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*(target-prev)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// phaseTimes accumulates request-phase wall time (nanoseconds) across
+// all requests; exported as mapd_phase_seconds_total{phase=...} and
+// used by the slow-request log.
+type phaseTimes struct {
+	queue   atomic.Int64
+	parse   atomic.Int64
+	compile atomic.Int64
+	mapRun  atomic.Int64
+	respond atomic.Int64
+}
 
 // metrics aggregates the server's observable state. Counters are
-// atomics bumped on the request path; per-library latency windows take
-// a short mutex only when recording or snapshotting.
+// atomics bumped on the request path; per-library histograms take a
+// short mutex only when recording or snapshotting.
 type metrics struct {
 	start time.Time
 
@@ -28,18 +111,21 @@ type metrics struct {
 
 	patternsTried atomic.Uint64
 
+	phases phaseTimes
+
 	mu     sync.Mutex
 	perLib map[string]*libMetrics
 }
 
 // libMetrics is the per-library slice of the stats: request count,
-// pattern-match work, and a ring of recent latencies for quantiles.
+// pattern-match work, and fixed-bucket latency / patterns-tried
+// histograms.
 type libMetrics struct {
 	mu            sync.Mutex
 	requests      uint64
 	patternsTried uint64
-	lat           [latWindowSize]float64
-	n             uint64 // total recorded; ring index = n % latWindowSize
+	latency       histogram // seconds
+	patterns      histogram // patterns tried per request
 }
 
 func newMetrics() *metrics {
@@ -52,10 +138,24 @@ func (m *metrics) lib(name string) *libMetrics {
 	defer m.mu.Unlock()
 	lm := m.perLib[name]
 	if lm == nil {
-		lm = &libMetrics{}
+		lm = &libMetrics{
+			latency:  newHistogram(latencyBounds),
+			patterns: newHistogram(patternsBounds),
+		}
 		m.perLib[name] = lm
 	}
 	return lm
+}
+
+// libNames returns the known library labels (unsorted).
+func (m *metrics) libNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.perLib))
+	for name := range m.perLib {
+		names = append(names, name)
+	}
+	return names
 }
 
 // recordServed logs one successful mapping against its library.
@@ -66,34 +166,13 @@ func (m *metrics) recordServed(lib string, latency time.Duration, patternsTried 
 	lm.mu.Lock()
 	lm.requests++
 	lm.patternsTried += uint64(patternsTried)
-	lm.lat[lm.n%latWindowSize] = float64(latency) / float64(time.Millisecond)
-	lm.n++
+	lm.latency.observe(latency.Seconds())
+	lm.patterns.observe(float64(patternsTried))
 	lm.mu.Unlock()
 }
 
-// quantiles returns p50/p99 over the retained window (0, 0 when empty).
-func (lm *libMetrics) quantiles() (p50, p99 float64) {
-	lm.mu.Lock()
-	n := int(lm.n)
-	if n > latWindowSize {
-		n = latWindowSize
-	}
-	sample := make([]float64, n)
-	copy(sample, lm.lat[:n])
-	lm.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Float64s(sample)
-	// Nearest-rank quantile over the window.
-	rank := func(q float64) float64 {
-		i := int(q * float64(n-1))
-		return sample[i]
-	}
-	return rank(0.50), rank(0.99)
-}
-
-// LibrarySnapshot is the /stats view of one library.
+// LibrarySnapshot is the /stats view of one library. The quantiles are
+// histogram estimates (linear interpolation within a fixed bucket).
 type LibrarySnapshot struct {
 	Requests      uint64  `json:"requests"`
 	PatternsTried uint64  `json:"patterns_tried"`
@@ -128,11 +207,42 @@ type StatsSnapshot struct {
 		Concurrency   int `json:"concurrency"`
 		QueueCapacity int `json:"queue_capacity"`
 	} `json:"queue"`
-	PatternsTried uint64                     `json:"patterns_tried"`
+	PatternsTried uint64 `json:"patterns_tried"`
+	// PhaseMillis breaks served wall time down by request phase,
+	// accumulated across all requests.
+	PhaseMillis   map[string]float64         `json:"phase_ms"`
 	Libraries     map[string]LibrarySnapshot `json:"libraries"`
 }
 
-// snapshot assembles the full /stats view.
+// phaseMillis renders the accumulated phase nanos as milliseconds.
+func (p *phaseTimes) phaseMillis() map[string]float64 {
+	ms := func(n int64) float64 { return float64(n) / float64(time.Millisecond) }
+	return map[string]float64{
+		"queue":   ms(p.queue.Load()),
+		"parse":   ms(p.parse.Load()),
+		"compile": ms(p.compile.Load()),
+		"map":     ms(p.mapRun.Load()),
+		"respond": ms(p.respond.Load()),
+	}
+}
+
+// phaseSeconds renders the accumulated phase nanos as seconds, keyed
+// by the /metrics phase label.
+func (p *phaseTimes) phaseSeconds() map[string]float64 {
+	sec := func(n int64) float64 { return float64(n) / float64(time.Second) }
+	return map[string]float64{
+		"queue":   sec(p.queue.Load()),
+		"parse":   sec(p.parse.Load()),
+		"compile": sec(p.compile.Load()),
+		"map":     sec(p.mapRun.Load()),
+		"respond": sec(p.respond.Load()),
+	}
+}
+
+// snapshot assembles the full /stats view. Each per-library bucket is
+// locked exactly once: counters and histograms are snapshotted in the
+// same critical section (the earlier version re-locked for quantiles,
+// so counters and percentiles could straddle a concurrent record).
 func (m *metrics) snapshot(c *Cache, a *admitter) StatsSnapshot {
 	var s StatsSnapshot
 	s.UptimeMillis = time.Since(m.start).Milliseconds()
@@ -149,20 +259,20 @@ func (m *metrics) snapshot(c *Cache, a *admitter) StatsSnapshot {
 	s.Queue.Running, s.Queue.Queued = a.depth()
 	s.Queue.Concurrency, s.Queue.QueueCapacity = a.capacities()
 	s.PatternsTried = m.patternsTried.Load()
+	s.PhaseMillis = m.phases.phaseMillis()
 	s.Libraries = make(map[string]LibrarySnapshot)
-	m.mu.Lock()
-	names := make([]string, 0, len(m.perLib))
-	for name := range m.perLib {
-		names = append(names, name)
-	}
-	m.mu.Unlock()
-	for _, name := range names {
+	for _, name := range m.libNames() {
 		lm := m.lib(name)
 		lm.mu.Lock()
 		snap := LibrarySnapshot{Requests: lm.requests, PatternsTried: lm.patternsTried}
+		lat := lm.latency.clone()
 		lm.mu.Unlock()
-		snap.P50Millis, snap.P99Millis = lm.quantiles()
+		snap.P50Millis = roundMillis(lat.quantile(0.50) * 1e3)
+		snap.P99Millis = roundMillis(lat.quantile(0.99) * 1e3)
 		s.Libraries[name] = snap
 	}
 	return s
 }
+
+// roundMillis trims interpolation noise to microsecond precision.
+func roundMillis(ms float64) float64 { return math.Round(ms*1e3) / 1e3 }

@@ -29,6 +29,7 @@ import (
 
 	"dagcover/internal/genlib"
 	"dagcover/internal/logic"
+	"dagcover/internal/obs"
 )
 
 // Options bounds the generation. The zero value gets defaults
@@ -60,6 +61,9 @@ type Options struct {
 	NoMerge bool
 	// Prefix names emitted gates Prefix0001, ... Default "sg".
 	Prefix string
+	// Trace, when non-nil, records each enumeration round and the
+	// emission pass as spans with candidate/variant/dominated counters.
+	Trace *obs.Trace
 }
 
 // mergeCap bounds the leaf count for which set partitions are
@@ -294,16 +298,26 @@ func Generate(base *genlib.Library, opt Options) (*Result, error) {
 	g := &generator{opt: opt, roots: roots, stats: &res.Stats,
 		classes: map[string]*rep{}, dropped: map[string]bool{}}
 	for round := 1; round <= opt.MaxDepth; round++ {
+		span := opt.Trace.Start("supergate.round")
+		c0, v0, d0 := res.Stats.Candidates, res.Stats.Variants, res.Stats.Dominated
 		if err := g.runRound(round); err != nil {
 			return nil, err
 		}
+		span.Arg("round", round).
+			Arg("candidates", res.Stats.Candidates-c0).
+			Arg("variants", res.Stats.Variants-v0).
+			Arg("dominated", res.Stats.Dominated-d0).
+			Arg("pool", len(g.pool)).
+			End()
 	}
 
 	res.Stats.Classes = len(g.classes) + len(g.dropped)
+	emitSpan := opt.Trace.Start("supergate.emit")
 	lib, sgs, err := emit(base, g.pool, baseKeys, opt, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
+	emitSpan.Arg("emitted", res.Stats.Emitted).Arg("classes", res.Stats.Classes).End()
 	res.Library, res.Supergates = lib, sgs
 	return res, nil
 }

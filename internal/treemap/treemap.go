@@ -16,10 +16,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"dagcover/internal/genlib"
 	"dagcover/internal/mapping"
 	"dagcover/internal/match"
+	"dagcover/internal/obs"
 	"dagcover/internal/subject"
 )
 
@@ -56,6 +58,8 @@ type Options struct {
 	// polls ctx.Err() every cancelCheckStride nodes and Map returns an
 	// error wrapping ctx.Err(). A nil Ctx never cancels.
 	Ctx context.Context
+	// Trace, when non-nil, records the DP and emission phases as spans.
+	Trace *obs.Trace
 }
 
 // Result is a completed tree mapping.
@@ -68,6 +72,8 @@ type Result struct {
 	Cost float64
 	// Trees is the number of trees in the static partition.
 	Trees int
+	// Cover and Emit are the wall times of the DP and emission phases.
+	Cover, Emit time.Duration
 }
 
 // Map covers the subject graph tree by tree. The matcher should hold
@@ -104,6 +110,8 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	// DP over all nodes in topological order. For delay the recurrence
 	// over exact matches is tree-local automatically; for area,
 	// visible leaves cost nothing (their tree pays once).
+	dpStart := time.Now()
+	dpSpan := opt.Trace.Start("treemap.dp")
 	arr := make([]float64, len(g.Nodes))
 	areaCost := make([]float64, len(g.Nodes))
 	chosen := make([]*match.Match, len(g.Nodes))
@@ -166,8 +174,14 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 		areaCost[n.ID] = area
 	}
 
+	dpSpan.Arg("nodes", len(g.Nodes)).Arg("trees", trees).
+		Arg("objective", opt.Objective.String()).End()
+	coverTime := time.Since(dpStart)
+
 	// Glue: demand-driven emission from the outputs. Each demanded
 	// node is emitted exactly once — no duplication in tree mapping.
+	emitStart := time.Now()
+	emitSpan := opt.Trace.Start("treemap.emit")
 	b := mapping.NewBuilder(g.Name)
 	for _, pi := range g.PIs {
 		if err := b.AddInput(pi.Name); err != nil {
@@ -223,11 +237,15 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	emitSpan.Arg("cells", nl.NumCells()).End()
 	tm, err := nl.Delay(opt.Delay, opt.Arrivals)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Netlist: nl, Delay: tm.Delay, Trees: trees}
+	res := &Result{
+		Netlist: nl, Delay: tm.Delay, Trees: trees,
+		Cover: coverTime, Emit: time.Since(emitStart),
+	}
 	if opt.Objective == MinArea {
 		res.Cost = nl.Area()
 	} else {
