@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"dagcover/internal/bench"
 	"dagcover/internal/core"
@@ -377,6 +378,57 @@ func BenchmarkParallelLabeling(b *testing.B) {
 			}
 			b.ReportMetric(delay, "delay")
 			b.ReportMetric(float64(cells), "cells")
+		})
+	}
+}
+
+// BenchmarkMemoLabeling isolates the structural match memo on the
+// multiplier under 44-3 (the acceptance case): the same labeling run
+// with the memo off and on. The memo-on matcher keeps its table across
+// iterations, so after the first iteration every node hits and the
+// labeling phase replays recipes instead of backtracking — the
+// labelWallNs metric is the phase the memo targets. Results must be
+// bit-identical in both modes.
+func BenchmarkMemoLabeling(b *testing.B) {
+	shared, _, err := subject.CompileLibrary(libgen.Lib443(), subject.CompileOptions{Share: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := subject.FromNetwork(bench.C6288())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var refDelay float64
+	var refCells int
+	for _, mode := range []struct {
+		name string
+		m    *match.Matcher
+	}{
+		{"off", match.NewMatcher(shared)},
+		{"on", match.NewMatcher(shared, match.WithMemo(match.NewMemo(0)))},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var delay float64
+			var cells int
+			var labelWall time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := core.Map(g, mode.m, core.Options{
+					Class: match.Standard, Delay: genlib.UnitDelay{},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delay, cells = res.Delay, res.Netlist.NumCells()
+				labelWall = res.Stats.Phases.LabelWall
+			}
+			if refCells == 0 {
+				refDelay, refCells = delay, cells
+			} else if delay != refDelay || cells != refCells {
+				b.Fatalf("memo=%s diverged: delay %v cells %d vs %v/%d",
+					mode.name, delay, cells, refDelay, refCells)
+			}
+			b.ReportMetric(float64(labelWall.Nanoseconds()), "labelWallNs")
+			b.ReportMetric(delay, "delay")
 		})
 	}
 }

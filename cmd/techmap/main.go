@@ -42,6 +42,7 @@ type config struct {
 	slack     bool
 	verbose   bool
 	parallel  int
+	memo      bool
 	tracePath string
 	statsJSON string
 
@@ -64,6 +65,7 @@ func main() {
 	flag.BoolVar(&cfg.slack, "slack", false, "print the worst timing paths and a slack histogram")
 	flag.BoolVar(&cfg.verbose, "v", false, "print matcher statistics (patterns tried, matches enumerated)")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "labeling workers for DAG covering: 0 = all CPUs, 1 = serial (results are identical either way)")
+	flag.BoolVar(&cfg.memo, "memo", true, "memoize match enumeration by canonical cone key (results are identical either way; -memo=false is the escape hatch)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace_event JSON of the mapping pipeline to this file (chrome://tracing, Perfetto)")
 	flag.StringVar(&cfg.statsJSON, "stats-json", "", "write the mapping report as JSON to this file (- for stdout)")
 	flag.BoolVar(&cfg.supergates, "supergates", false, "expand the library with composed supergates before mapping")
@@ -149,6 +151,9 @@ func run(ctx context.Context, cfg *config) error {
 		return err
 	}
 	opt := &dagcover.MapOptions{Delay: dm, AreaRecovery: cfg.recover, Parallelism: cfg.parallel, Ctx: ctx, Trace: tr}
+	if !cfg.memo {
+		opt.Memo = dagcover.MemoOff
+	}
 	switch cfg.class {
 	case "standard":
 		opt.Class = dagcover.MatchStandard

@@ -165,7 +165,30 @@ type MapOptions struct {
 	// estimation, covering, emission, per-wave chunks) as spans.
 	// Tracing never changes the mapped result.
 	Trace *Trace
+	// Memo selects whether the run consults the library's structural
+	// match memo (canonical cone keys → replayable match recipes; see
+	// DESIGN.md). The zero value MemoDefault means ON: memoization
+	// replays exactly the enumeration it recorded, so the mapped
+	// netlist is byte-identical either way and the memo is purely a
+	// speed knob. Set MemoOff to bypass the table (escape hatch,
+	// baseline measurement).
+	Memo MemoSetting
 }
+
+// MemoSetting is the three-valued match-memoization switch; the zero
+// value picks the default (on) so a zero MapOptions stays the fast
+// configuration.
+type MemoSetting int
+
+const (
+	// MemoDefault applies the default policy: memoization on.
+	MemoDefault MemoSetting = iota
+	// MemoOn forces memoization on (same as the default).
+	MemoOn
+	// MemoOff disables memo lookups and recording for this run. The
+	// shared table keeps its entries for later runs.
+	MemoOff
+)
 
 // MapResult reports a completed technology mapping.
 type MapResult struct {
@@ -186,6 +209,14 @@ type MapResult struct {
 	// labeling; with the root-signature index this is far below
 	// nodes x patterns.
 	PatternsTried int
+	// MemoHits/MemoMisses count structural-memo consultations during
+	// the run (both zero when the memo is off). A hit skips the
+	// backtracking walk for the whole node.
+	MemoHits   int
+	MemoMisses int
+	// MemoEntries is the library's shared memo-table size when the run
+	// finished (a gauge: the table persists across runs and requests).
+	MemoEntries int
 	// CPU is the wall-clock mapping time.
 	CPU time.Duration
 	// SubjectNodes is the size of the subject graph.
@@ -219,10 +250,14 @@ func NewMapper(lib *Library) (*Mapper, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each matcher gets its own structural-match memo (the pattern sets
+	// differ, so recipes don't transfer). Clones share the tables, so a
+	// CompiledLibrary's pooled mappers — and therefore every request for
+	// the same library — warm each other.
 	return &Mapper{
 		lib:          lib,
-		dagMatcher:   match.NewMatcher(shared),
-		treeMatcher:  match.NewMatcher(trees),
+		dagMatcher:   match.NewMatcher(shared, match.WithMemo(match.NewMemo(0))),
+		treeMatcher:  match.NewMatcher(trees, match.WithMemo(match.NewMemo(0))),
 		SkippedGates: skipped,
 	}, nil
 }
@@ -282,6 +317,35 @@ func (cl *CompiledLibrary) NumPatterns() int { return len(cl.base.dagMatcher.Pat
 // SkippedGates lists library gates with no pattern (buffers,
 // constants).
 func (cl *CompiledLibrary) SkippedGates() []string { return cl.base.SkippedGates }
+
+// MemoStats reports the cumulative structural-match memo state of the
+// compiled library: the DAG- and tree-matcher tables summed. All
+// pooled mappers (and their clones) share these two tables, so the
+// counters aggregate every run and request made through this
+// CompiledLibrary. Hits, Misses and Evictions are monotone; Entries is
+// a bounded gauge.
+type MemoStats struct {
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MemoStats snapshots the shared memo tables.
+func (cl *CompiledLibrary) MemoStats() MemoStats {
+	var out MemoStats
+	for _, mm := range []*match.Memo{cl.base.dagMatcher.Memo(), cl.base.treeMatcher.Memo()} {
+		if mm == nil {
+			continue
+		}
+		s := mm.Stats()
+		out.Entries += s.Entries
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Evictions += s.Evictions
+	}
+	return out
+}
 
 // Acquire borrows a Mapper from the pool. The mapper shares the
 // compiled pattern plans but owns its scratch, so each borrowed mapper
@@ -376,6 +440,7 @@ func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {
 		out.Parallelism = o.Parallelism
 		out.Ctx = o.Ctx
 		out.Trace = o.Trace
+		out.Memo = o.Memo
 	}
 	return out
 }
@@ -396,6 +461,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 	if o.Class == MatchExact {
 		return nil, fmt.Errorf("dagcover: MapDAG with exact matches is tree mapping; use MapTree")
 	}
+	m.dagMatcher.SetMemoEnabled(o.Memo != MemoOff)
 	start := time.Now()
 	res, err := core.Map(g, m.dagMatcher, core.Options{
 		Class:        o.Class,
@@ -418,6 +484,9 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		DuplicatedNodes:   res.Stats.DuplicatedNodes,
 		MatchesEnumerated: res.Stats.MatchesEnumerated,
 		PatternsTried:     res.Stats.PatternsTried,
+		MemoHits:          res.Stats.MemoHits,
+		MemoMisses:        res.Stats.MemoMisses,
+		MemoEntries:       res.Stats.MemoEntries,
 		CPU:               time.Since(start),
 		SubjectNodes:      len(g.Nodes),
 		Phases:            phaseBreakdown(res.Stats.Phases),
@@ -480,7 +549,9 @@ func (m *Mapper) MapTree(nw *Network, opt *MapOptions) (*MapResult, error) {
 // MapSubjectTree maps an already-built subject graph by tree covering.
 func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, error) {
 	o := opt.normalize(MatchExact)
+	m.treeMatcher.SetMemoEnabled(o.Memo != MemoOff)
 	start := time.Now()
+	hits0, misses0 := m.treeMatcher.MemoHits(), m.treeMatcher.MemoMisses()
 	res, err := treemap.Map(g, m.treeMatcher, treemap.Options{
 		Objective: treemap.MinDelay,
 		Delay:     o.Delay,
@@ -496,10 +567,21 @@ func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, e
 		Delay:        res.Delay,
 		Area:         res.Netlist.Area(),
 		Cells:        res.Netlist.NumCells(),
+		MemoHits:     m.treeMatcher.MemoHits() - hits0,
+		MemoMisses:   m.treeMatcher.MemoMisses() - misses0,
+		MemoEntries:  memoEntries(m.treeMatcher),
 		CPU:          time.Since(start),
 		SubjectNodes: len(g.Nodes),
 		Phases:       treePhaseBreakdown(res.Cover, res.Emit),
 	}, nil
+}
+
+// memoEntries snapshots a matcher's memo-table size (0 without one).
+func memoEntries(m *match.Matcher) int {
+	if mm := m.Memo(); mm != nil {
+		return mm.Stats().Entries
+	}
+	return 0
 }
 
 // MapTreeMinArea maps by tree covering with Keutzer's minimum-area
@@ -510,7 +592,9 @@ func (m *Mapper) MapTreeMinArea(nw *Network, opt *MapOptions) (*MapResult, error
 		return nil, err
 	}
 	o := opt.normalize(MatchExact)
+	m.treeMatcher.SetMemoEnabled(o.Memo != MemoOff)
 	start := time.Now()
+	hits0, misses0 := m.treeMatcher.MemoHits(), m.treeMatcher.MemoMisses()
 	res, err := treemap.Map(g, m.treeMatcher, treemap.Options{
 		Objective: treemap.MinArea,
 		Delay:     o.Delay,
@@ -526,6 +610,9 @@ func (m *Mapper) MapTreeMinArea(nw *Network, opt *MapOptions) (*MapResult, error
 		Delay:        res.Delay,
 		Area:         res.Netlist.Area(),
 		Cells:        res.Netlist.NumCells(),
+		MemoHits:     m.treeMatcher.MemoHits() - hits0,
+		MemoMisses:   m.treeMatcher.MemoMisses() - misses0,
+		MemoEntries:  memoEntries(m.treeMatcher),
 		CPU:          time.Since(start),
 		SubjectNodes: len(g.Nodes),
 		Phases:       treePhaseBreakdown(res.Cover, res.Emit),

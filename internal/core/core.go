@@ -116,6 +116,16 @@ type Counters struct {
 	// internally by one emitted match and also emitted as a cell root
 	// themselves — the duplication of §3.5.
 	DuplicatedNodes int
+	// MemoHits/MemoMisses count match-memo consultations (zero when
+	// the matcher has no memo table or it is disabled). Their SUM is
+	// deterministic — one consultation per memoizable enumeration —
+	// but the hit/miss split depends on the shared table's prior
+	// warmth and on which parallel worker reaches a cone first, so
+	// cross-run Counters equality checks must zero these two fields
+	// (the other counters keep the byte-identical guarantee above;
+	// memoization replays the exact enumeration it recorded).
+	MemoHits   int
+	MemoMisses int
 }
 
 // merge folds worker-local counters into c.
@@ -125,6 +135,8 @@ func (c *Counters) merge(o Counters) {
 	c.PatternsTried += o.PatternsTried
 	c.CellsEmitted += o.CellsEmitted
 	c.DuplicatedNodes += o.DuplicatedNodes
+	c.MemoHits += o.MemoHits
+	c.MemoMisses += o.MemoMisses
 }
 
 // Phases is the per-phase time breakdown of a mapping run. Durations
@@ -168,6 +180,10 @@ func (p Phases) Total() time.Duration {
 type Stats struct {
 	Counters
 	Phases Phases
+	// MemoEntries is the shared memo table's entry count when the run
+	// finished — a gauge snapshot, not an additive counter, so merge
+	// leaves it alone and Map sets it once at the end.
+	MemoEntries int
 }
 
 // merge folds worker-local stats into s.
@@ -270,6 +286,9 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 		return nil, err
 	}
 	res.Delay = tm.Delay
+	if mm := m.Memo(); mm != nil {
+		res.Stats.MemoEntries = mm.Stats().Entries
+	}
 	return res, nil
 }
 
@@ -378,6 +397,7 @@ func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options,
 	var bestPattern *subject.Pattern
 	var bestArr, bestArea float64
 	tried0 := m.PatternsTried()
+	hits0, misses0 := m.MemoHits(), m.MemoMisses()
 	const eps = 1e-9 // guards against float drift in required-time subtraction
 	m.Enumerate(n, opt.Class, func(mt *match.Match) bool {
 		st.MatchesEnumerated++
@@ -407,6 +427,8 @@ func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options,
 		return true
 	})
 	st.PatternsTried += m.PatternsTried() - tried0
+	st.MemoHits += m.MemoHits() - hits0
+	st.MemoMisses += m.MemoMisses() - misses0
 	if bestPattern == nil {
 		return nil, fmt.Errorf(
 			"core: no %v match at node %v of %q; the library must at least contain a 2-input NAND and an inverter",
@@ -432,6 +454,11 @@ func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options, st *Stats) (
 	}()
 	est := make([]float64, len(g.Nodes))
 	tried0 := m.PatternsTried()
+	hits0, misses0 := m.MemoHits(), m.MemoMisses()
+	defer func() {
+		st.MemoHits += m.MemoHits() - hits0
+		st.MemoMisses += m.MemoMisses() - misses0
+	}()
 	for i, n := range g.Nodes {
 		if i%cancelCheckStride == 0 {
 			if err := opt.Ctx.Err(); err != nil {

@@ -95,6 +95,10 @@ type Options struct {
 	// that many wavefront-labeling workers (Row.DAGCPUPar) and checks
 	// the parallel run reproduces the serial mapping bit-for-bit.
 	Parallelism int
+	// Memo attaches a structural match memo to the table's matchers
+	// (canonical cone keys → replayable recipes). Mapped results are
+	// identical either way; the memo only changes run time.
+	Memo bool
 	// Trace, when non-nil, records every mapping run's phase spans.
 	Trace *obs.Trace
 }
@@ -116,8 +120,13 @@ func Run(spec TableSpec, opt Options) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	dagM := match.NewMatcher(shared)
-	treeM := match.NewMatcher(trees)
+	var dagOpts, treeOpts []match.Option
+	if opt.Memo {
+		dagOpts = append(dagOpts, match.WithMemo(match.NewMemo(0)))
+		treeOpts = append(treeOpts, match.WithMemo(match.NewMemo(0)))
+	}
+	dagM := match.NewMatcher(shared, dagOpts...)
+	treeM := match.NewMatcher(trees, treeOpts...)
 
 	var rows []Row
 	for _, c := range circuits {

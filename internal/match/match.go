@@ -91,6 +91,28 @@ type Matcher struct {
 	// through SigBucketsTried.
 	bucketTried []uint32
 
+	// memo, when non-nil and memoOn, caches complete enumerations by
+	// canonical cone key (see memo.go); shared across clones and — via
+	// a compiled library — across requests. memoDepth is the cone depth
+	// keys are computed at: the maximum compiled pattern depth, floored
+	// at the signature depth (2) so a key also determines the plans the
+	// signature index would try.
+	memo      *Memo
+	memoOn    bool
+	memoDepth int
+	cone      *subject.ConeEncoder
+	// memoHits/memoMisses count this matcher's table consultations
+	// since construction, Clone, or Reset (the table keeps its own
+	// cumulative totals). Read through MemoHits/MemoMisses.
+	memoHits   int
+	memoMisses int
+	// recording state of an in-flight miss: the recipe stream under
+	// construction and whether every binding resolved to a cone index.
+	recStream []int32
+	recOK     bool
+	recording bool
+	curPatIdx int
+
 	// scratch (reused across calls; a Matcher is single-goroutine)
 	binding []*subject.Node
 	stepSub []*subject.Node
@@ -142,6 +164,10 @@ func WithoutSymmetryPruning() Option { return func(m *Matcher) { m.prune = false
 // implementation did; used to validate the index.
 func WithoutSignatureIndex() Option { return func(m *Matcher) { m.index = false } }
 
+// WithMemo attaches a structural match memo table (see NewMemo).
+// Matchers constructed or cloned with the same table warm each other.
+func WithMemo(memo *Memo) Option { return func(m *Matcher) { m.memo = memo } }
+
 // NewMatcher builds a matcher over the compiled pattern set.
 func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 	m := &Matcher{
@@ -155,6 +181,7 @@ func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 	m.shapes = make([][]uint64, len(patterns))
 	m.plans = make([]plan, len(patterns))
 	maxNodes, maxSteps := 0, 0
+	m.memoDepth = 2 // floor: a key must determine the depth-2 signature
 	for i, p := range patterns {
 		m.shapes[i] = patternShapes(p)
 		m.plans[i] = compilePlan(p, m.shapes[i], m.prune)
@@ -164,6 +191,13 @@ func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 		if len(m.plans[i].steps) > maxSteps {
 			maxSteps = len(m.plans[i].steps)
 		}
+		if p.Depth > m.memoDepth {
+			m.memoDepth = p.Depth
+		}
+	}
+	if m.memo != nil {
+		m.memoOn = true
+		m.cone = subject.NewConeEncoder()
 	}
 	m.binding = make([]*subject.Node, maxNodes)
 	m.stepSub = make([]*subject.Node, maxSteps)
@@ -185,19 +219,25 @@ func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 // enumeration. The clone's PatternsTried counter starts at zero.
 func (m *Matcher) Clone() *Matcher {
 	c := &Matcher{
-		Patterns: m.Patterns,
-		shapes:   m.shapes,
-		plans:    m.plans,
-		prune:    m.prune,
-		index:    m.index,
-		sigIndex: m.sigIndex,
-		choices:  m.choices,
-		binding:  make([]*subject.Node, len(m.binding)),
-		stepSub:  make([]*subject.Node, len(m.stepSub)),
-		stepOrd:  make([]uint8, len(m.stepOrd)),
+		Patterns:  m.Patterns,
+		shapes:    m.shapes,
+		plans:     m.plans,
+		prune:     m.prune,
+		index:     m.index,
+		sigIndex:  m.sigIndex,
+		choices:   m.choices,
+		memo:      m.memo, // shared: clones warm one table
+		memoOn:    m.memoOn,
+		memoDepth: m.memoDepth,
+		binding:   make([]*subject.Node, len(m.binding)),
+		stepSub:   make([]*subject.Node, len(m.stepSub)),
+		stepOrd:   make([]uint8, len(m.stepOrd)),
 	}
 	if m.index {
 		c.bucketTried = make([]uint32, subject.NumSignatures)
+	}
+	if c.memo != nil {
+		c.cone = subject.NewConeEncoder()
 	}
 	return c
 }
@@ -219,6 +259,43 @@ func (m *Matcher) SigBucketsTried() []uint32 {
 		return nil
 	}
 	return append([]uint32(nil), m.bucketTried...)
+}
+
+// Memo returns the attached memo table (nil when none).
+func (m *Matcher) Memo() *Memo { return m.memo }
+
+// SetMemo attaches (or, with nil, detaches) a memo table and enables
+// memoization when one is attached.
+func (m *Matcher) SetMemo(memo *Memo) {
+	m.memo = memo
+	m.memoOn = memo != nil
+	if memo != nil && m.cone == nil {
+		m.cone = subject.NewConeEncoder()
+	}
+}
+
+// SetMemoEnabled toggles memoization without detaching the table, so
+// a single run can opt out while the shared table keeps its entries.
+// No effect when no table is attached.
+func (m *Matcher) SetMemoEnabled(on bool) { m.memoOn = on && m.memo != nil }
+
+// MemoEnabled reports whether enumerations will consult a memo table.
+func (m *Matcher) MemoEnabled() bool { return m.memoActive() }
+
+// MemoHits reports this matcher's memo-table hits since construction,
+// Clone, or Reset.
+func (m *Matcher) MemoHits() int { return m.memoHits }
+
+// MemoMisses reports this matcher's memo-table misses since
+// construction, Clone, or Reset.
+func (m *Matcher) MemoMisses() int { return m.memoMisses }
+
+// memoActive reports whether the next Enumerate takes the memo path.
+// Choice-aware matching bypasses the memo for the same reason it
+// bypasses the signature index: descent may leave the structural cone,
+// so the cone key no longer determines the match set.
+func (m *Matcher) memoActive() bool {
+	return m.memo != nil && m.memoOn && m.choices == nil && m.memoDepth <= maxMemoDepth
 }
 
 // Reset clears the matcher's mutable scratch and counters without
@@ -260,6 +337,22 @@ func (m *Matcher) Reset() {
 	m.curRoot = nil
 	m.curOut = nil
 	m.curYield = nil
+	// The memo table itself survives Reset by design — it holds cone
+	// indices, never node pointers, so it pins no graphs and stays warm
+	// for the next request. The per-run counters and the encoder's
+	// pointer-bearing scratch do not.
+	m.memoHits = 0
+	m.memoMisses = 0
+	m.recStream = m.recStream[:0]
+	m.recOK = false
+	m.recording = false
+	m.curPatIdx = 0
+	if m.cone != nil {
+		m.cone.Reset()
+	}
+	if m.memo != nil {
+		m.memoOn = true
+	}
 }
 
 // used reports the pattern node currently bound to sn, if any.
@@ -334,6 +427,17 @@ func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) 
 		return
 	}
 	out := &Match{Root: root}
+	if m.memoActive() {
+		m.enumerateMemo(root, class, out, yield)
+		return
+	}
+	m.enumerateWalk(root, class, out, yield)
+}
+
+// enumerateWalk is the uncached enumeration. It reports whether the
+// enumeration ran to completion (false when yield stopped it early) —
+// the recording path must not insert a truncated recipe list.
+func (m *Matcher) enumerateWalk(root *subject.Node, class Class, out *Match, yield func(*Match) bool) bool {
 	// The signature index is sound only for purely structural descent:
 	// with choices, a child position may bind a class member whose
 	// local shape differs from the child's, so fall back to the full
@@ -344,10 +448,10 @@ func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) 
 			m.tried++
 			m.bucketTried[sig]++
 			if !m.tryPattern(int(k), root, class, out, yield) {
-				return
+				return false
 			}
 		}
-		return
+		return true
 	}
 	for k, p := range m.Patterns {
 		if p.Root.Kind != root.Kind {
@@ -355,8 +459,101 @@ func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) 
 		}
 		m.tried++
 		if !m.tryPattern(k, root, class, out, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// memoKeyTag separates key spaces that enumerate differently over the
+// same cone: the match class (Extended drops injectivity, Exact adds
+// fanout checks) and whether the signature index chose the plan list
+// (the recorded tried count depends on it).
+func memoKeyTag(class Class, index bool) byte {
+	tag := byte(class) << 1
+	if index {
+		tag |= 1
+	}
+	return tag
+}
+
+// enumerateMemo is the memoized enumeration: compute the root's cone
+// key, replay the recorded recipes on a hit, or run and record the
+// ordinary walk on a miss.
+func (m *Matcher) enumerateMemo(root *subject.Node, class Class, out *Match, yield func(*Match) bool) {
+	key, nodes := m.cone.Encode(root, m.memoDepth, class == Exact, memoKeyTag(class, m.index))
+	if stream, tried, ok := m.memo.lookup(key); ok {
+		m.memoHits++
+		m.tried += tried
+		if m.index && m.bucketTried != nil {
+			// Attribute the skipped plans to the root's signature bucket
+			// exactly as the walk would have.
+			m.bucketTried[subject.Signature(root)] += uint32(tried)
+		}
+		m.replay(stream, nodes, out, yield)
+		return
+	}
+	m.memoMisses++
+	m.recStream = m.recStream[:0]
+	m.recOK = true
+	m.recording = true
+	tried0 := m.tried
+	completed := m.enumerateWalk(root, class, out, yield)
+	m.recording = false
+	if completed && m.recOK {
+		m.memo.insert(key, m.recStream, m.tried-tried0)
+	}
+}
+
+// replay resolves a recorded recipe stream against the current cone's
+// nodes and yields the matches in recorded (= fresh enumeration)
+// order.
+func (m *Matcher) replay(stream []int32, nodes []*subject.Node, out *Match, yield func(*Match) bool) {
+	for i := 0; i < len(stream); {
+		p := m.Patterns[stream[i]]
+		nCov := int(stream[i+1])
+		i += 2
+		out.Pattern = p
+		out.Leaves = out.Leaves[:0]
+		for k := 0; k < p.Gate.NumInputs(); k++ {
+			out.Leaves = append(out.Leaves, nodes[stream[i+k]])
+		}
+		i += p.Gate.NumInputs()
+		out.Covered = out.Covered[:0]
+		for k := 0; k < nCov; k++ {
+			out.Covered = append(out.Covered, nodes[stream[i+k]])
+		}
+		i += nCov
+		if !yield(out) {
 			return
 		}
+	}
+}
+
+// record appends the just-completed match to the in-flight recipe
+// stream as cone indices. A binding outside the encoded cone (which
+// the soundness argument in subject/cone.go rules out, but a defensive
+// check is cheap) poisons the recording instead of a wrong entry.
+func (m *Matcher) record(out *Match) {
+	if !m.recOK {
+		return
+	}
+	m.recStream = append(m.recStream, int32(m.curPatIdx), int32(len(out.Covered)))
+	for _, n := range out.Leaves {
+		idx := m.cone.ConeIndex(n)
+		if idx < 0 {
+			m.recOK = false
+			return
+		}
+		m.recStream = append(m.recStream, idx)
+	}
+	for _, n := range out.Covered {
+		idx := m.cone.ConeIndex(n)
+		if idx < 0 {
+			m.recOK = false
+			return
+		}
+		m.recStream = append(m.recStream, idx)
 	}
 }
 
@@ -382,6 +579,7 @@ func (m *Matcher) AllMatches(root *subject.Node, class Class) []*Match {
 func (m *Matcher) tryPattern(k int, s *subject.Node, class Class, out *Match, yield func(*Match) bool) bool {
 	p := m.Patterns[k]
 	m.curPattern = p
+	m.curPatIdx = k
 	m.curPlan = &m.plans[k]
 	m.curClass = class
 	m.curInjective = class != Extended
@@ -502,6 +700,9 @@ func (m *Matcher) complete() bool {
 		if !dup {
 			out.Covered = append(out.Covered, b)
 		}
+	}
+	if m.recording {
+		m.record(out)
 	}
 	return m.curYield(out)
 }

@@ -1,0 +1,280 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dagcover/internal/libgen"
+	"dagcover/internal/subject"
+)
+
+// memoMatcher builds a matcher with a fresh memo table over lib's
+// shared patterns.
+func memoMatcher(t *testing.T, pats []*subject.Pattern, maxEntries int) *Matcher {
+	t.Helper()
+	m := NewMatcher(pats, WithMemo(NewMemo(maxEntries)))
+	if m.Memo() == nil || !m.MemoEnabled() {
+		t.Fatal("memo not active on construction")
+	}
+	return m
+}
+
+// Property: memoization is invisible. For every node and class, the
+// memoized matcher yields exactly the memo-less matcher's sequence —
+// same matches, same order — and counts exactly the same pattern
+// plans, on the cold pass (recording) and the warm pass (replaying).
+func TestMemoReplayEquivalence(t *testing.T) {
+	for _, lib := range []struct {
+		name string
+		pats []*subject.Pattern
+	}{
+		{"44-1", compile(t, libgen.Lib441(), true)},
+		{"44-3", compile(t, libgen.Lib443(), true)},
+	} {
+		t.Run(lib.name, func(t *testing.T) {
+			plain := NewMatcher(lib.pats)
+			memo := memoMatcher(t, lib.pats, 0)
+			rng := rand.New(rand.NewSource(23))
+			for trial := 0; trial < 6; trial++ {
+				g, _ := randomSubject(rng, 4+rng.Intn(4), 30+rng.Intn(50))
+				for _, class := range []Class{Exact, Standard, Extended} {
+					p0, m0 := plain.PatternsTried(), memo.PatternsTried()
+					want := matchSet(plain, g.Nodes, class)
+					cold := matchSet(memo, g.Nodes, class)
+					if !equalSets(want, cold) {
+						t.Fatalf("trial %d class %v: cold memoized enumeration differs", trial, class)
+					}
+					coldTried := memo.PatternsTried() - m0
+					warm := matchSet(memo, g.Nodes, class)
+					if !equalSets(want, warm) {
+						t.Fatalf("trial %d class %v: warm memoized enumeration differs", trial, class)
+					}
+					plainTried := plain.PatternsTried() - p0
+					warmTried := memo.PatternsTried() - m0 - coldTried
+					if coldTried != plainTried || warmTried != plainTried {
+						t.Fatalf("trial %d class %v: plans tried diverged: plain %d cold %d warm %d",
+							trial, class, plainTried, coldTried, warmTried)
+					}
+				}
+			}
+			if memo.MemoHits() == 0 {
+				t.Fatal("warm passes produced no memo hits")
+			}
+		})
+	}
+}
+
+// coneRelative serializes a node's matches with every binding rewritten
+// to its cone index, making match lists comparable across roots.
+func coneRelative(t *testing.T, m *Matcher, e *subject.ConeEncoder, root *subject.Node, class Class) []string {
+	t.Helper()
+	e.Encode(root, m.memoDepth, class == Exact, memoKeyTag(class, m.index))
+	var out []string
+	for _, mt := range m.AllMatches(root, class) {
+		var sb strings.Builder
+		sb.WriteString(mt.Pattern.Gate.Name)
+		for _, leaf := range mt.Leaves {
+			fmt.Fprintf(&sb, " l%d", e.ConeIndex(leaf))
+		}
+		for _, cov := range mt.Covered {
+			fmt.Fprintf(&sb, " c%d", e.ConeIndex(cov))
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+// Property: equal cone keys imply identical match lists up to node
+// identity — the invariant the memo's correctness rests on. Verified
+// against a memo-less matcher so the check is about the key, not the
+// replay machinery.
+func TestMemoEqualKeysEqualMatches(t *testing.T) {
+	pats := compile(t, libgen.Lib443(), true)
+	m := NewMatcher(pats)
+	depth := m.memoDepth // max pattern depth, floored at the signature depth
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 4; trial++ {
+		g, _ := randomSubject(rng, 5, 120)
+		for _, class := range []Class{Exact, Standard} {
+			e1, e2 := subject.NewConeEncoder(), subject.NewConeEncoder()
+			byKey := make(map[string]*subject.Node)
+			byKeyMatches := make(map[string][]string)
+			for _, n := range g.Nodes {
+				if n.Kind == subject.PI {
+					continue
+				}
+				key, _ := e1.Encode(n, depth, class == Exact, memoKeyTag(class, m.index))
+				ms := coneRelative(t, m, e2, n, class)
+				if prev, ok := byKeyMatches[string(key)]; ok {
+					if len(prev) != len(ms) {
+						t.Fatalf("trial %d class %v: nodes %v and %v share a key but have %d vs %d matches",
+							trial, class, byKey[string(key)], n, len(prev), len(ms))
+					}
+					for i := range prev {
+						if prev[i] != ms[i] {
+							t.Fatalf("trial %d class %v: equal-key nodes %v and %v diverge at match %d:\n%s\n%s",
+								trial, class, byKey[string(key)], n, i, prev[i], ms[i])
+						}
+					}
+				} else {
+					byKey[string(key)] = n
+					byKeyMatches[string(key)] = ms
+				}
+			}
+		}
+	}
+}
+
+// Clones share the parent's table: a clone enumerating the nodes the
+// parent already recorded hits on every one and reproduces the lists.
+func TestMemoCloneSharesTable(t *testing.T) {
+	pats := compile(t, libgen.Lib441(), true)
+	parent := memoMatcher(t, pats, 0)
+	rng := rand.New(rand.NewSource(9))
+	g, _ := randomSubject(rng, 5, 60)
+	want := matchSet(parent, g.Nodes, Standard)
+
+	clone := parent.Clone()
+	if clone.Memo() != parent.Memo() {
+		t.Fatal("clone did not share the memo table")
+	}
+	if clone.MemoHits() != 0 || clone.MemoMisses() != 0 {
+		t.Fatal("clone inherited per-matcher memo counters")
+	}
+	got := matchSet(clone, g.Nodes, Standard)
+	if !equalSets(want, got) {
+		t.Fatal("clone's memoized enumeration differs from parent's")
+	}
+	if clone.MemoMisses() != 0 {
+		t.Errorf("clone missed %d times on a table the parent warmed", clone.MemoMisses())
+	}
+	if clone.MemoHits() == 0 {
+		t.Error("clone reported no hits")
+	}
+}
+
+// The table respects its bound: a tiny table under a big graph evicts
+// instead of growing, and enumeration stays correct throughout.
+func TestMemoEvictionBound(t *testing.T) {
+	pats := compile(t, libgen.Lib443(), true)
+	const bound = memoShards // one entry per shard
+	m := memoMatcher(t, pats, bound)
+	plain := NewMatcher(pats)
+	rng := rand.New(rand.NewSource(77))
+	g, _ := randomSubject(rng, 8, 400)
+	want := matchSet(plain, g.Nodes, Standard)
+	got := matchSet(m, g.Nodes, Standard)
+	if !equalSets(want, got) {
+		t.Fatal("enumeration under eviction pressure differs")
+	}
+	st := m.Memo().Stats()
+	if st.Entries > bound {
+		t.Errorf("table holds %d entries, bound %d", st.Entries, bound)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected evictions under a one-entry-per-shard bound")
+	}
+}
+
+// Reset clears the matcher's run state but keeps the shared table —
+// the pooled-mapper contract: a request's matcher goes back to the
+// pool holding no graph pointers, while the library's table stays
+// warm for the next request.
+func TestMemoResetKeepsTable(t *testing.T) {
+	pats := compile(t, libgen.Lib441(), true)
+	m := memoMatcher(t, pats, 0)
+	rng := rand.New(rand.NewSource(13))
+	g, _ := randomSubject(rng, 4, 40)
+	matchSet(m, g.Nodes, Standard)
+	entries := m.Memo().Stats().Entries
+	if entries == 0 {
+		t.Fatal("nothing recorded before Reset")
+	}
+	m.Reset()
+	if !m.MemoEnabled() {
+		t.Fatal("Reset disabled the memo")
+	}
+	if m.MemoHits() != 0 || m.MemoMisses() != 0 {
+		t.Fatal("Reset kept per-run memo counters")
+	}
+	if got := m.Memo().Stats().Entries; got != entries {
+		t.Fatalf("Reset changed the table: %d entries, want %d", got, entries)
+	}
+	// A fresh identical graph must now hit without recording anything new.
+	rng2 := rand.New(rand.NewSource(13))
+	g2, _ := randomSubject(rng2, 4, 40)
+	matchSet(m, g2.Nodes, Standard)
+	if m.MemoMisses() != 0 {
+		t.Errorf("identical rebuilt graph missed %d times", m.MemoMisses())
+	}
+	if got := m.Memo().Stats().Entries; got != entries {
+		t.Errorf("rebuilt graph grew the table: %d entries, want %d", got, entries)
+	}
+}
+
+// SetMemoEnabled(false) bypasses the table without clearing it.
+func TestMemoDisable(t *testing.T) {
+	pats := compile(t, libgen.Lib441(), true)
+	m := memoMatcher(t, pats, 0)
+	rng := rand.New(rand.NewSource(5))
+	g, _ := randomSubject(rng, 4, 30)
+	want := matchSet(m, g.Nodes, Standard)
+	entries := m.Memo().Stats().Entries
+	hits, misses := m.MemoHits(), m.MemoMisses()
+
+	m.SetMemoEnabled(false)
+	if m.MemoEnabled() {
+		t.Fatal("memo still enabled")
+	}
+	got := matchSet(m, g.Nodes, Standard)
+	if !equalSets(want, got) {
+		t.Fatal("memo-off enumeration differs")
+	}
+	if m.MemoHits() != hits || m.MemoMisses() != misses {
+		t.Error("disabled memo still counted consultations")
+	}
+	if m.Memo().Stats().Entries != entries {
+		t.Error("disabled memo changed the table")
+	}
+	m.SetMemoEnabled(true)
+	if !m.MemoEnabled() {
+		t.Fatal("re-enable failed")
+	}
+}
+
+// An early-stopped enumeration (yield returning false) must not be
+// recorded: the table may only hold complete sequences.
+func TestMemoPartialEnumerationNotRecorded(t *testing.T) {
+	pats := compile(t, libgen.Lib441(), true)
+	m := memoMatcher(t, pats, 0)
+	g := subject.NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	c, _ := g.AddPI("c")
+	root := g.Nand(g.Nand(a, b), g.Not(c))
+	plain := NewMatcher(pats)
+	full := len(plain.AllMatches(root, Standard))
+	if full < 2 {
+		t.Skipf("need a root with >= 2 matches, got %d", full)
+	}
+	stopped := 0
+	m.Enumerate(root, Standard, func(*Match) bool {
+		stopped++
+		return false // stop after the first match
+	})
+	if stopped != 1 {
+		t.Fatalf("early stop yielded %d matches", stopped)
+	}
+	if got := m.Memo().Stats().Entries; got != 0 {
+		t.Fatalf("partial enumeration was recorded (%d entries)", got)
+	}
+	// The next full enumeration must record and still be complete.
+	if got := len(m.AllMatches(root, Standard)); got != full {
+		t.Fatalf("post-stop enumeration found %d matches, want %d", got, full)
+	}
+	if got := m.Memo().Stats().Entries; got == 0 {
+		t.Fatal("complete enumeration was not recorded")
+	}
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dagcover/internal/bench"
+)
+
+// scrapeOnly fetches /metrics without serving a mapping first.
+func scrapeOnly(t *testing.T, s *Server) map[string]float64 {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	return parseExposition(t, w.Body.String())
+}
+
+// Concurrent same-library requests share one memo table: later
+// requests hit recipes recorded by earlier ones, every response's
+// netlist is identical (memoized or not), and the /metrics memo
+// counters are nonzero and monotone across scrapes. Run under -race
+// in CI, this is also the table's data-race gate at the service layer.
+func TestConcurrentRequestsShareMemoTable(t *testing.T) {
+	s := New(Config{Concurrency: 4})
+	nw := bench.Comparator(10)
+	req := MapRequest{BLIF: blifOf(t, nw), Library: "44-1"}
+
+	// Cold request: compiles the library and records the recipes.
+	code, cold, body := post(t, s.Handler(), nil, req)
+	if code != http.StatusOK {
+		t.Fatalf("cold map = %d: %s", code, body)
+	}
+	if cold.MemoMisses == 0 {
+		t.Fatal("cold request reported no memo misses")
+	}
+
+	// A memo-off request must produce the identical netlist.
+	code, off, body := post(t, s.Handler(), nil, MapRequest{
+		BLIF: req.BLIF, Library: req.Library, Memo: memoOff,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("memo-off map = %d: %s", code, body)
+	}
+	if off.Netlist != cold.Netlist {
+		t.Fatal("memo-off netlist differs from the memoized one")
+	}
+	if off.MemoHits != 0 || off.MemoMisses != 0 {
+		t.Errorf("memo-off request consulted the table: %d hits, %d misses", off.MemoHits, off.MemoMisses)
+	}
+
+	first := scrapeOnly(t, s)
+	if first["mapd_memo_misses_total"] == 0 {
+		t.Error("mapd_memo_misses_total is zero after a cold request")
+	}
+	if first["mapd_memo_table_entries"] == 0 {
+		t.Error("mapd_memo_table_entries is zero after a cold request")
+	}
+
+	// Warm fan-out: every worker's responses must match the cold one
+	// and collectively they must hit the shared table.
+	const workers, perWorker = 6, 3
+	hits := make([]int, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				code, resp, body := post(t, s.Handler(), nil, req)
+				if code != http.StatusOK {
+					t.Errorf("worker %d map = %d: %s", i, code, body)
+					return
+				}
+				if resp.Netlist != cold.Netlist {
+					t.Errorf("worker %d: netlist differs from cold run", i)
+					return
+				}
+				hits[i] += resp.MemoHits
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total == 0 {
+		t.Error("no warm request hit the shared memo table")
+	}
+
+	second := scrapeOnly(t, s)
+	if second["mapd_memo_hits_total"] == 0 {
+		t.Error("mapd_memo_hits_total is zero after warm requests")
+	}
+	for _, series := range []string{
+		"mapd_memo_hits_total", "mapd_memo_misses_total",
+		"mapd_memo_table_entries", "mapd_memo_evictions_total",
+	} {
+		if second[series] < first[series] {
+			t.Errorf("%s went backwards: %v -> %v", series, first[series], second[series])
+		}
+	}
+
+	// The request-attributed counters also surface in /stats.
+	r := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", w.Code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad /stats JSON: %v", err)
+	}
+	if snap.Memo.Hits == 0 || snap.Memo.TableEntries == 0 {
+		t.Errorf("/stats memo block empty: %+v", snap.Memo)
+	}
+}

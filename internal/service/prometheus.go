@@ -52,6 +52,16 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	family(b, "mapd_patterns_tried_total", "counter", "Pattern plans attempted by the matcher across all served mappings.")
 	sample(b, "mapd_patterns_tried_total", nil, float64(m.patternsTried.Load()))
 
+	family(b, "mapd_memo_hits_total", "counter", "Structural match-memo hits attributed to served mappings.")
+	sample(b, "mapd_memo_hits_total", nil, float64(m.memoHits.Load()))
+	family(b, "mapd_memo_misses_total", "counter", "Structural match-memo misses attributed to served mappings.")
+	sample(b, "mapd_memo_misses_total", nil, float64(m.memoMisses.Load()))
+	memo := s.cache.MemoStats()
+	family(b, "mapd_memo_table_entries", "gauge", "Recipes held across all cached libraries' memo tables.")
+	sample(b, "mapd_memo_table_entries", nil, float64(memo.Entries))
+	family(b, "mapd_memo_evictions_total", "counter", "Memo recipes evicted across all cached libraries' tables.")
+	sample(b, "mapd_memo_evictions_total", nil, float64(memo.Evictions))
+
 	hits, misses, compiles := s.cache.Counters()
 	family(b, "mapd_cache_hits_total", "counter", "Compiled-library cache hits.")
 	sample(b, "mapd_cache_hits_total", nil, float64(hits))

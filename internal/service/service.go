@@ -152,6 +152,11 @@ type MapRequest struct {
 	// Verify re-simulates the mapped netlist against the input before
 	// responding.
 	Verify bool `json:"verify,omitempty"`
+	// Memo, when set to false, bypasses the library's structural match
+	// memo for this request (the mapped netlist is byte-identical
+	// either way; this is the per-request escape hatch and baseline
+	// knob). Omitted or true uses the shared table.
+	Memo *bool `json:"memo,omitempty"`
 	// Supergates, when set, expands the library with composed
 	// supergates before compiling (dag/tree modes only). The expanded
 	// compilation is cached under the library key plus the normalized
@@ -221,6 +226,11 @@ type MapResponse struct {
 	SubjectNodes      int     `json:"subject_nodes,omitempty"`
 	PatternsTried     int     `json:"patterns_tried,omitempty"`
 	MatchesEnumerated int     `json:"matches_enumerated,omitempty"`
+	// MemoHits/MemoMisses count structural match-memo consultations
+	// during this request; repeated requests for the same library warm
+	// its shared table, so hits grow with traffic.
+	MemoHits   int `json:"memo_hits,omitempty"`
+	MemoMisses int `json:"memo_misses,omitempty"`
 	// CacheHit reports whether the library was already compiled.
 	CacheHit bool `json:"cache_hit"`
 	Verified bool `json:"verified,omitempty"`
@@ -413,7 +423,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	resp.ElapsedMillis = float64(elapsed) / float64(time.Millisecond)
 	resp.TraceID = traceID
-	s.metrics.recordServed(resp.Library, elapsed, resp.PatternsTried)
+	s.metrics.recordServed(resp.Library, elapsed, resp.PatternsTried, resp.MemoHits, resp.MemoMisses)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -455,6 +465,9 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 		AreaRecovery: req.AreaRecovery,
 		RequiredTime: req.RequiredTime,
 		Parallelism:  s.cfg.Parallelism,
+	}
+	if req.Memo != nil && !*req.Memo {
+		opt.Memo = dagcover.MemoOff
 	}
 	switch req.Delay {
 	case "", "intrinsic":
@@ -501,6 +514,8 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 		SubjectNodes:      res.SubjectNodes,
 		PatternsTried:     res.PatternsTried,
 		MatchesEnumerated: res.MatchesEnumerated,
+		MemoHits:          res.MemoHits,
+		MemoMisses:        res.MemoMisses,
 		CacheHit:          hit,
 	}
 	t0 = time.Now()

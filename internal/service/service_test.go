@@ -19,6 +19,12 @@ import (
 	"dagcover/internal/verify"
 )
 
+// memoOff is the request-level memo opt-out, used by the timing
+// assertions below: with the structural match memo on, a repetitive
+// circuit like the array multiplier maps faster than the cancellation
+// windows these tests rely on.
+var memoOff = func() *bool { f := false; return &f }()
+
 // blifOf renders a generated circuit as BLIF text for a request body.
 func blifOf(t *testing.T, nw *network.Network) string {
 	t.Helper()
@@ -165,7 +171,7 @@ func TestCancelledRequestReturnsPromptly(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	code, _, body := post(t, s.Handler(), ctx, MapRequest{BLIF: big})
+	code, _, body := post(t, s.Handler(), ctx, MapRequest{BLIF: big, Memo: memoOff})
 	elapsed := time.Since(start)
 	if code != statusClientClosedRequest {
 		t.Fatalf("cancelled request = %d (%s), want %d", code, body, statusClientClosedRequest)
@@ -182,7 +188,7 @@ func TestCancelledRequestReturnsPromptly(t *testing.T) {
 func TestRequestTimeoutReturns504(t *testing.T) {
 	s := New(Config{Concurrency: 2})
 	big := blifOf(t, bench.ArrayMultiplier(24))
-	code, _, body := post(t, s.Handler(), nil, MapRequest{BLIF: big, TimeoutMillis: 20})
+	code, _, body := post(t, s.Handler(), nil, MapRequest{BLIF: big, TimeoutMillis: 20, Memo: memoOff})
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("timed-out request = %d (%s), want 504", code, body)
 	}
@@ -240,6 +246,7 @@ func TestConcurrentMixedRequests(t *testing.T) {
 			req:     MapRequest{BLIF: ".model bad\n.inputs a\n.outputs o\n.names a ghost o\n11 1\n.end\n"},
 			wantErr: http.StatusBadRequest},
 		{name: "cancelled", orig: bench.ArrayMultiplier(24),
+			req:    MapRequest{Memo: memoOff},
 			cancel: true, wantErr: statusClientClosedRequest},
 	}
 	for i := range jobs {

@@ -110,6 +110,12 @@ type metrics struct {
 	internal   atomic.Uint64 // 500s
 
 	patternsTried atomic.Uint64
+	// memoHits/memoMisses sum the structural match-memo consultations
+	// attributed to served requests (request-scoped, so they line up
+	// with MapResponse fields; the tables' own cumulative counters are
+	// summed separately from the cache in snapshot/writeMetrics).
+	memoHits   atomic.Uint64
+	memoMisses atomic.Uint64
 
 	phases phaseTimes
 
@@ -159,9 +165,11 @@ func (m *metrics) libNames() []string {
 }
 
 // recordServed logs one successful mapping against its library.
-func (m *metrics) recordServed(lib string, latency time.Duration, patternsTried int) {
+func (m *metrics) recordServed(lib string, latency time.Duration, patternsTried, memoHits, memoMisses int) {
 	m.ok.Add(1)
 	m.patternsTried.Add(uint64(patternsTried))
+	m.memoHits.Add(uint64(memoHits))
+	m.memoMisses.Add(uint64(memoMisses))
 	lm := m.lib(lib)
 	lm.mu.Lock()
 	lm.requests++
@@ -208,6 +216,16 @@ type StatsSnapshot struct {
 		QueueCapacity int `json:"queue_capacity"`
 	} `json:"queue"`
 	PatternsTried uint64 `json:"patterns_tried"`
+	// Memo aggregates the structural match-memo state: Hits/Misses are
+	// the consultations attributed to served requests, TableEntries and
+	// Evictions sum the cached compiled libraries' shared tables (the
+	// cache never drops entries, so the sums are monotone).
+	Memo struct {
+		Hits         uint64 `json:"hits"`
+		Misses       uint64 `json:"misses"`
+		TableEntries int    `json:"table_entries"`
+		Evictions    uint64 `json:"evictions"`
+	} `json:"memo"`
 	// PhaseMillis breaks served wall time down by request phase,
 	// accumulated across all requests.
 	PhaseMillis   map[string]float64         `json:"phase_ms"`
@@ -259,6 +277,11 @@ func (m *metrics) snapshot(c *Cache, a *admitter) StatsSnapshot {
 	s.Queue.Running, s.Queue.Queued = a.depth()
 	s.Queue.Concurrency, s.Queue.QueueCapacity = a.capacities()
 	s.PatternsTried = m.patternsTried.Load()
+	s.Memo.Hits = m.memoHits.Load()
+	s.Memo.Misses = m.memoMisses.Load()
+	ms := c.MemoStats()
+	s.Memo.TableEntries = ms.Entries
+	s.Memo.Evictions = ms.Evictions
 	s.PhaseMillis = m.phases.phaseMillis()
 	s.Libraries = make(map[string]LibrarySnapshot)
 	for _, name := range m.libNames() {

@@ -1,0 +1,198 @@
+package subject
+
+import "encoding/binary"
+
+// Cone canonicalization: an exact, compact byte key for the depth-d
+// input cone of a node. Two nodes receive equal keys if and only if
+// their cones are isomorphic as *slot-ordered* DAGs — same node kinds,
+// same fanin-slot structure, same internal sharing (a shared node is
+// re-encoded as a back-reference to its first visit), and, when
+// requested, same fanout counts on the interior nodes. The structural
+// matcher reads exactly these properties of the subject graph (kinds,
+// Fanin slots, node identity for the one-to-one check, fanout counts
+// for the Exact class), and it reads nothing below depth d when d is
+// the maximum compiled pattern depth, so equal keys guarantee the
+// matcher enumerates structurally identical match sequences at the two
+// roots — the invariant the match-memoization layer is built on.
+//
+// Fanin order is deliberately NOT re-canonicalized commutatively here:
+// match enumeration descends subject Fanin slots in stored order (the
+// graph constructors already canonicalize NAND operand order by node
+// ID), and downstream best-match selection breaks ties by enumeration
+// order. A key that identified slot-swapped cones would replay one
+// root's enumeration order at the other and could flip a tie the
+// fresh walk would have broken the other way. Slot-exact keys trade a
+// few cross-node hits for byte-identical replay.
+
+// Key layout (appended to the encoder's reused buffer):
+//
+//	prefix: [tag] [depth] [fanouts?1:0]
+//	stream: one record per DFS visit, children in slot order —
+//	  new node:   coneOpNew | kind | (coneOpExpand if interior)
+//	              { uvarint(len(Fanouts)) if fanouts && !PI && !root }
+//	              { child records if expanded }
+//	  revisit:    coneOpRef, uvarint(first-visit index)
+//
+// A node is expanded iff its minimum depth from the root (over all
+// paths) is < depth and it is not a PI. Minimum depth — not first-DFS-
+// visit depth — is what makes the key sound for shared nodes reached
+// at several depths: any path of length < depth lets a pattern probe
+// the node's fanins, so the fanins must be part of the key.
+const (
+	coneOpRef    byte = 0x03 // back-reference to an already-visited node
+	coneOpNew    byte = 0x10 // first visit; low 2 bits carry the Kind
+	coneOpExpand byte = 0x04 // set on coneOpNew when fanins follow
+)
+
+// ConeEncoder computes cone keys. It keeps generation-stamped scratch
+// indexed by node ID so repeated Encode calls allocate nothing once
+// the slices have grown to the graph size. Not safe for concurrent
+// use; give each matcher its own encoder.
+type ConeEncoder struct {
+	// minDep[id] is the minimum path length from the current root,
+	// valid when depStamp[id] == epoch.
+	minDep   []int32
+	depStamp []uint64
+	// coneIdx[id] is the node's first-visit index in the DFS stream,
+	// valid when idxStamp[id] == epoch.
+	coneIdx  []int32
+	idxStamp []uint64
+	epoch    uint64
+
+	queue []*Node // BFS worklist (reused)
+	nodes []*Node // first-visit order; parallel to stream indices
+	key   []byte  // reused key buffer
+
+	// per-Encode registers
+	root        *Node
+	depth       int32
+	withFanouts bool
+}
+
+// NewConeEncoder returns an empty encoder.
+func NewConeEncoder() *ConeEncoder { return &ConeEncoder{} }
+
+// Encode computes the cone key of root for the given depth. The tag
+// byte is prepended verbatim (callers use it to separate key spaces —
+// e.g. match classes — within one table). withFanouts additionally
+// encodes interior fanout counts (needed only when the consumer checks
+// them, i.e. exact-class matching). It returns the key and the cone's
+// nodes in first-visit order; both are valid only until the next
+// Encode or Reset call (the key aliases an internal buffer — copy it
+// to retain it).
+func (e *ConeEncoder) Encode(root *Node, depth int, withFanouts bool, tag byte) (key []byte, nodes []*Node) {
+	e.epoch++
+	// Fanins always precede their consumers in ID order, so growing to
+	// root.ID covers every node the cone can contain.
+	e.grow(root.ID)
+	e.root = root
+	e.depth = int32(depth)
+	e.withFanouts = withFanouts
+	e.nodes = e.nodes[:0]
+	e.key = append(e.key[:0], tag, byte(depth))
+	if withFanouts {
+		e.key = append(e.key, 1)
+	} else {
+		e.key = append(e.key, 0)
+	}
+
+	// Pass 1: BFS computes each reachable node's minimum depth. The
+	// FIFO order is nondecreasing in depth (all edges cost 1), so the
+	// first visit records the minimum.
+	e.depStamp[root.ID] = e.epoch
+	e.minDep[root.ID] = 0
+	e.queue = append(e.queue[:0], root)
+	for qi := 0; qi < len(e.queue); qi++ {
+		n := e.queue[qi]
+		d := e.minDep[n.ID]
+		if d >= e.depth || n.Kind == PI {
+			continue
+		}
+		for _, fi := range n.Fanins() {
+			if e.depStamp[fi.ID] != e.epoch {
+				e.depStamp[fi.ID] = e.epoch
+				e.minDep[fi.ID] = d + 1
+				e.queue = append(e.queue, fi)
+			}
+		}
+	}
+
+	// Pass 2: DFS in fanin-slot order serializes the cone.
+	e.emit(root)
+	return e.key, e.nodes
+}
+
+// emit serializes n (and, if expanded, its cone below) into the key.
+func (e *ConeEncoder) emit(n *Node) {
+	if e.idxStamp[n.ID] == e.epoch {
+		e.key = append(e.key, coneOpRef)
+		e.key = binary.AppendUvarint(e.key, uint64(e.coneIdx[n.ID]))
+		return
+	}
+	e.idxStamp[n.ID] = e.epoch
+	e.coneIdx[n.ID] = int32(len(e.nodes))
+	e.nodes = append(e.nodes, n)
+	expand := n.Kind != PI && e.minDep[n.ID] < e.depth
+	tag := coneOpNew | byte(n.Kind)
+	if expand {
+		tag |= coneOpExpand
+	}
+	e.key = append(e.key, tag)
+	if e.withFanouts && n.Kind != PI && n != e.root {
+		// Interior fanout counts gate Exact-class matches; the root is
+		// exempt from that check and so excluded from the key.
+		e.key = binary.AppendUvarint(e.key, uint64(len(n.Fanouts)))
+	}
+	if expand {
+		for _, fi := range n.Fanins() {
+			e.emit(fi)
+		}
+	}
+}
+
+// ConeIndex returns the first-visit index the last Encode assigned to
+// n, or -1 if n is outside that cone.
+func (e *ConeEncoder) ConeIndex(n *Node) int32 {
+	if n.ID >= len(e.idxStamp) || e.idxStamp[n.ID] != e.epoch {
+		return -1
+	}
+	return e.coneIdx[n.ID]
+}
+
+// grow sizes the stamped scratch to cover node IDs up to id.
+func (e *ConeEncoder) grow(id int) {
+	if id < len(e.minDep) {
+		return
+	}
+	n := id + 1 - len(e.minDep)
+	e.minDep = append(e.minDep, make([]int32, n)...)
+	e.depStamp = append(e.depStamp, make([]uint64, n)...)
+	e.coneIdx = append(e.coneIdx, make([]int32, n)...)
+	e.idxStamp = append(e.idxStamp, make([]uint64, n)...)
+}
+
+// Reset drops every subject-graph pointer and truncates the stamped
+// scratch so a zero epoch can never alias a stale stamp — the same
+// contract as match.Matcher.Reset, and for the same reason: pooled
+// encoders must not pin finished requests' graphs in memory.
+func (e *ConeEncoder) Reset() {
+	for i := range e.queue {
+		e.queue[i] = nil
+	}
+	for i := range e.nodes {
+		e.nodes[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.nodes = e.nodes[:0]
+	for i := range e.depStamp {
+		e.depStamp[i] = 0
+		e.idxStamp[i] = 0
+	}
+	e.minDep = e.minDep[:0]
+	e.depStamp = e.depStamp[:0]
+	e.coneIdx = e.coneIdx[:0]
+	e.idxStamp = e.idxStamp[:0]
+	e.epoch = 0
+	e.root = nil
+	e.key = e.key[:0]
+}

@@ -1,0 +1,118 @@
+package dagcover
+
+import (
+	"bytes"
+	"testing"
+
+	"dagcover/internal/bench"
+)
+
+// renderBLIF maps nw with the given options and renders the netlist.
+func renderBLIF(t *testing.T, m *Mapper, nw *Network, opt *MapOptions) []byte {
+	t.Helper()
+	res, err := m.MapDAG(nw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Netlist.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The memo acceptance bar: for every ISCAS circuit, the mapped netlist
+// with the memo on is byte-identical to the memo-off netlist at every
+// labeling parallelism. One mapper per library is reused across the
+// whole suite, so later circuits run against a table warmed by earlier
+// ones — the cross-request sharing mode — and must still be identical.
+func TestMemoOutputByteIdentical(t *testing.T) {
+	suites := []struct {
+		lib      *Library
+		delay    DelayModel
+		circuits []bench.Circuit
+	}{
+		{Lib441(), UnitDelay, bench.FullSuite()},
+		{Lib443(), UnitDelay, []bench.Circuit{
+			{Name: "C432", Network: bench.C432()},
+			{Name: "C6288", Network: bench.C6288()},
+		}},
+	}
+	if testing.Short() {
+		suites[0].circuits = []bench.Circuit{
+			{Name: "C432", Network: bench.C432()},
+			{Name: "C6288", Network: bench.C6288()},
+		}
+	}
+	for _, s := range suites {
+		mapper, err := NewMapper(s.lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range s.circuits {
+			ref := renderBLIF(t, mapper, c.Network, &MapOptions{
+				Delay: s.delay, Memo: MemoOff,
+			})
+			for _, par := range []int{1, 4, 8} {
+				got := renderBLIF(t, mapper, c.Network, &MapOptions{
+					Delay: s.delay, Memo: MemoOn, Parallelism: par,
+				})
+				if !bytes.Equal(ref, got) {
+					t.Errorf("%s x %s: memo-on netlist at parallelism %d differs from memo-off",
+						c.Name, s.lib.Name, par)
+				}
+			}
+		}
+		if st := mapper.dagMatcher.Memo().Stats(); st.Hits == 0 {
+			t.Errorf("%s: suite produced no memo hits — the equality check never exercised replay", s.lib.Name)
+		}
+	}
+}
+
+// Memo counters surface in MapResult: misses on a cold table, hits on
+// a warm rerun, a populated table gauge, and an untouched table when
+// the run opts out.
+func TestMemoCountersInMapResult(t *testing.T) {
+	mapper, err := NewMapper(Lib441())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := bench.C432()
+	cold, err := mapper.MapDAG(nw, nil) // Memo defaults on
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.MemoMisses == 0 {
+		t.Error("cold run reported no memo misses")
+	}
+	if cold.MemoEntries == 0 {
+		t.Error("cold run left an empty table")
+	}
+	warm, err := mapper.MapDAG(nw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.MemoHits == 0 {
+		t.Error("warm rerun reported no memo hits")
+	}
+	if warm.MemoMisses != 0 {
+		t.Errorf("warm rerun of the identical circuit missed %d times", warm.MemoMisses)
+	}
+	off, err := mapper.MapDAG(nw, &MapOptions{Memo: MemoOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.MemoHits != 0 || off.MemoMisses != 0 {
+		t.Errorf("memo-off run consulted the table: %d hits, %d misses", off.MemoHits, off.MemoMisses)
+	}
+	cl, err := CompileLibrary(Lib441())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.MapCompiled(nil, nw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := cl.MemoStats(); st.Entries == 0 || st.Misses == 0 {
+		t.Errorf("library MemoStats empty after a mapped request: %+v", st)
+	}
+}

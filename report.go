@@ -65,8 +65,13 @@ type MapReport struct {
 	LibraryGates      int            `json:"library_gates"`
 	PatternsTried     int            `json:"patterns_tried"`
 	MatchesEnumerated int            `json:"matches_enumerated"`
-	CPUMillis         float64        `json:"cpu_ms"`
-	Phases            PhaseBreakdown `json:"phases"`
+	MemoHits          int            `json:"memo_hits"`
+	MemoMisses        int            `json:"memo_misses"`
+	// MemoHitRate is hits/(hits+misses), 0 when the memo was off.
+	MemoHitRate float64        `json:"memo_hit_rate"`
+	MemoEntries int            `json:"memo_entries"`
+	CPUMillis   float64        `json:"cpu_ms"`
+	Phases      PhaseBreakdown `json:"phases"`
 	// Verified is present only when verification ran.
 	Verified *bool `json:"verified,omitempty"`
 }
@@ -86,9 +91,21 @@ func NewMapReport(circuit, mode, delayModel string, lib *Library, res *MapResult
 		LibraryGates:      len(lib.Gates),
 		PatternsTried:     res.PatternsTried,
 		MatchesEnumerated: res.MatchesEnumerated,
+		MemoHits:          res.MemoHits,
+		MemoMisses:        res.MemoMisses,
+		MemoHitRate:       memoHitRate(res.MemoHits, res.MemoMisses),
+		MemoEntries:       res.MemoEntries,
 		CPUMillis:         phaseMillis(res.CPU),
 		Phases:            res.Phases,
 	}
+}
+
+// memoHitRate is hits/(hits+misses) guarded against a zero total.
+func memoHitRate(hits, misses int) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // SetVerified records a verification outcome on the report.
@@ -109,6 +126,12 @@ func (r *MapReport) WriteText(w io.Writer, verbose bool) {
 		fmt.Fprintf(w, "  library gates: %d\n", r.LibraryGates)
 		fmt.Fprintf(w, "  patterns tried:     %d\n", r.PatternsTried)
 		fmt.Fprintf(w, "  matches enumerated: %d\n", r.MatchesEnumerated)
+		if r.MemoHits+r.MemoMisses > 0 {
+			fmt.Fprintf(w, "  memo:               %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
+				r.MemoHits, r.MemoMisses, 100*r.MemoHitRate, r.MemoEntries)
+		} else {
+			fmt.Fprintf(w, "  memo:               off\n")
+		}
 		fmt.Fprintf(w, "  phases:        label %.2fms (wall %.2fms), area %.2fms, cover %.2fms, emit %.2fms\n",
 			r.Phases.LabelMillis, r.Phases.LabelWallMillis,
 			r.Phases.AreaMillis, r.Phases.CoverMillis, r.Phases.EmitMillis)
