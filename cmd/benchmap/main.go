@@ -14,6 +14,20 @@
 //	benchmap -full              # extended 10-circuit suite
 //	benchmap -parallel 8        # label with 8 workers
 //	benchmap -out bench.json    # report path ("" = stdout only)
+//	benchmap -golden cmd/benchmap/testdata/golden_iscas.json
+//	                            # verify mapped-netlist hashes over the
+//	                            # full ISCAS suite x 3 libraries x
+//	                            # parallelism {1,4,8} x memo {off,on};
+//	                            # any diff exits nonzero
+//	benchmap -family mult256,alumesh80x80 -parallel 8
+//	                            # stream, ingest and map the big
+//	                            # synthetic families; records ingest
+//	                            # MB/s, allocations and peak heap, and
+//	                            # compares against the committed
+//	                            # pointer-implementation baselines
+//	benchmap -family alumesh16x16 -maxheap 268435456
+//	                            # fail if peak heap exceeds the bound
+//	                            # (the CI layout-regression guard)
 package main
 
 import (
@@ -23,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dagcover"
@@ -61,25 +76,70 @@ type Report struct {
 	// a committed report always says true.
 	Identical bool  `json:"identical"`
 	Runs      []Run `json:"runs"`
+	// Families holds the streamed million-gate family measurements,
+	// when -family was given.
+	Families []FamilyRun `json:"families,omitempty"`
 }
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_dagcover.json", "report path (empty = stdout summary only)")
-		quick    = flag.Bool("quick", false, "run only C432 and C6288 (CI smoke)")
-		full     = flag.Bool("full", false, "use the extended 10-circuit suite")
-		parallel = flag.Int("parallel", 1, "labeling workers per mapping run")
-		iters    = flag.Int("iters", 3, "mapping runs per configuration; the fastest is reported (memo-on runs after the first measure the warm table)")
+		out       = flag.String("out", "BENCH_dagcover.json", "report path (empty = stdout summary only)")
+		quick     = flag.Bool("quick", false, "run only C432 and C6288 (CI smoke)")
+		full      = flag.Bool("full", false, "use the extended 10-circuit suite")
+		parallel  = flag.Int("parallel", 1, "labeling workers per mapping run")
+		iters     = flag.Int("iters", 3, "mapping runs per configuration; the fastest is reported (memo-on runs after the first measure the warm table)")
+		golden    = flag.String("golden", "", "golden hash file; verify the full ISCAS suite against it and exit")
+		family    = flag.String("family", "", "comma-separated streaming families to measure (mult<N>, alumesh<WxH>)")
+		baselines = flag.String("baselines", "cmd/benchmap/testdata", "directory with baseline_pointer_<family>.json files for comparison")
+		maxheap   = flag.Uint64("maxheap", 0, "fail if a family run's peak heap exceeds this many bytes (0 = no bound)")
+		famOnly   = flag.Bool("familyonly", false, "skip the suite measurement and run only the -family families (the CI race smoke)")
 	)
 	flag.Parse()
 	if *iters < 1 {
 		*iters = 1
 	}
-	suiteName, circuits := pickSuite(*quick, *full)
-	rep, err := measure(suiteName, circuits, *parallel, *iters)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchmap:", err)
-		os.Exit(1)
+	if *golden != "" {
+		mismatches, err := runGolden(*golden)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchmap:", err)
+			os.Exit(1)
+		}
+		if mismatches > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	var rep *Report
+	if *famOnly {
+		rep = &Report{Suite: "none", Parallelism: *parallel, GoMaxProcs: runtime.GOMAXPROCS(0), Identical: true}
+	} else {
+		suiteName, circuits := pickSuite(*quick, *full)
+		var err error
+		rep, err = measure(suiteName, circuits, *parallel, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchmap:", err)
+			os.Exit(1)
+		}
+	}
+	heapExceeded := false
+	if *family != "" {
+		for _, name := range strings.Split(*family, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			fr, err := measureFamily(name, *parallel, *baselines)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchmap:", err)
+				os.Exit(1)
+			}
+			printFamily(fr)
+			if *maxheap > 0 && fr.PeakHeapBytes > *maxheap {
+				fmt.Fprintf(os.Stderr, "benchmap: %s peak heap %d exceeds bound %d\n", name, fr.PeakHeapBytes, *maxheap)
+				heapExceeded = true
+			}
+			rep.Families = append(rep.Families, *fr)
+		}
 	}
 	if *out != "" {
 		doc, err := json.MarshalIndent(rep, "", "  ")
@@ -96,6 +156,9 @@ func main() {
 	}
 	if !rep.Identical {
 		fmt.Fprintln(os.Stderr, "benchmap: memo-on output differs from memo-off")
+		os.Exit(1)
+	}
+	if heapExceeded {
 		os.Exit(1)
 	}
 }

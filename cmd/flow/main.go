@@ -115,13 +115,13 @@ func run(path, libName, delayName string, useChoices, useBalance, useSizing bool
 		if err != nil {
 			return err
 		}
-		fmt.Printf("[2] subject graph: %d nodes\n", len(g.Nodes))
+		fmt.Printf("[2] subject graph: %d nodes\n", g.NumNodes())
 		if useBalance {
 			g, err = dagcover.BalanceSubject(g)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("[3] balanced: %d nodes\n", len(g.Nodes))
+			fmt.Printf("[3] balanced: %d nodes\n", g.NumNodes())
 		}
 		res, err = mapper.MapSubjectDAG(g, opt)
 		if err != nil {

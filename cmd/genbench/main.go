@@ -5,12 +5,22 @@
 //
 //	genbench -list
 //	genbench -circuit c6288 -o c6288.blif
+//	genbench -circuit mult512 -o mult512.blif
 //	genbench -all -dir bench_out
+//
+// Beyond the fixed suite, parameterized streaming families are
+// available by name: mult<N> (N x N array multiplier; mult256 exceeds
+// a million subject gates) and alumesh<WxH> (mesh of 4-bit ALU tiles).
+// These are written line by line without building the circuit in
+// memory, so multi-million-gate benchmarks generate in seconds within
+// a modest heap; they replace externally sourced large benchmarks.
+// -all emits only the fixed suite.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,6 +76,8 @@ func main() {
 		}
 		sortStrings(names)
 		fmt.Println(strings.Join(names, "\n"))
+		fmt.Println("mult<N>       (streamed; N up to 4096, e.g. mult512)")
+		fmt.Println("alumesh<WxH>  (streamed; W,H up to 1024, e.g. alumesh64x64)")
 	case *all:
 		for name, gen := range generators {
 			path := filepath.Join(*dir, name+".blif")
@@ -76,7 +88,18 @@ func main() {
 			fmt.Println("wrote", path)
 		}
 	case *circuit != "":
-		gen, ok := generators[strings.ToLower(*circuit)]
+		name := strings.ToLower(*circuit)
+		if stream, ok := bench.StreamFamily(name); ok {
+			if err := writeStreamed(stream, *output); err != nil {
+				fmt.Fprintln(os.Stderr, "genbench:", err)
+				os.Exit(1)
+			}
+			if *output != "" {
+				fmt.Println("wrote", *output)
+			}
+			return
+		}
+		gen, ok := generators[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "genbench: unknown circuit %q (try -list)\n", *circuit)
 			os.Exit(1)
@@ -98,6 +121,23 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+}
+
+// writeStreamed runs a streaming family generator straight into the
+// output file (or stdout), never materializing the circuit.
+func writeStreamed(stream func(w io.Writer) error, path string) error {
+	if path == "" {
+		return stream(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := stream(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCircuit(nw *network.Network, path string) error {

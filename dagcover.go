@@ -120,6 +120,22 @@ func ParseMappedBLIF(r io.Reader, lib *Library) (*Network, error) {
 // WriteBLIF emits a network in BLIF format.
 func WriteBLIF(w io.Writer, nw *Network) error { return blifpkg.Write(w, nw) }
 
+// StreamSubjectBLIF reads one flat BLIF model and technology-
+// decomposes it into a subject graph on the fly, without building the
+// intermediate Network. Models outside the streaming subset
+// (hierarchy, latches, forward references) fail with
+// blif.ErrNeedsAST; use ReadSubjectBLIFFile for transparent fallback.
+func StreamSubjectBLIF(r io.Reader) (*SubjectGraph, error) {
+	return (&blifpkg.Reader{}).StreamSubject(r)
+}
+
+// ReadSubjectBLIFFile reads the BLIF file at path into a subject
+// graph, streaming flat models and falling back to the AST parser for
+// hierarchical or out-of-order ones.
+func ReadSubjectBLIFFile(path string) (*SubjectGraph, error) {
+	return (&blifpkg.Reader{}).ReadSubjectFile(path)
+}
+
 // BuildSubject technology-decomposes a network into its NAND2/INV
 // subject graph (deterministic, structurally hashed).
 func BuildSubject(nw *Network) (*SubjectGraph, error) { return subject.FromNetwork(nw) }
@@ -488,7 +504,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		MemoMisses:        res.Stats.MemoMisses,
 		MemoEntries:       res.Stats.MemoEntries,
 		CPU:               time.Since(start),
-		SubjectNodes:      len(g.Nodes),
+		SubjectNodes:      g.NumNodes(),
 		Phases:            phaseBreakdown(res.Stats.Phases),
 	}, nil
 }
@@ -531,7 +547,7 @@ func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, er
 		MatchesEnumerated: res.Stats.MatchesEnumerated,
 		PatternsTried:     res.Stats.PatternsTried,
 		CPU:               time.Since(start),
-		SubjectNodes:      len(g.Nodes),
+		SubjectNodes:      g.NumNodes(),
 		Phases:            phaseBreakdown(res.Stats.Phases),
 	}, nil
 }
@@ -571,7 +587,7 @@ func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, e
 		MemoMisses:   m.treeMatcher.MemoMisses() - misses0,
 		MemoEntries:  memoEntries(m.treeMatcher),
 		CPU:          time.Since(start),
-		SubjectNodes: len(g.Nodes),
+		SubjectNodes: g.NumNodes(),
 		Phases:       treePhaseBreakdown(res.Cover, res.Emit),
 	}, nil
 }
@@ -614,7 +630,7 @@ func (m *Mapper) MapTreeMinArea(nw *Network, opt *MapOptions) (*MapResult, error
 		MemoMisses:   m.treeMatcher.MemoMisses() - misses0,
 		MemoEntries:  memoEntries(m.treeMatcher),
 		CPU:          time.Since(start),
-		SubjectNodes: len(g.Nodes),
+		SubjectNodes: g.NumNodes(),
 		Phases:       treePhaseBreakdown(res.Cover, res.Emit),
 	}, nil
 }

@@ -53,7 +53,7 @@ func figure1() {
 	top := g.Nand(n, g.Not(n))
 
 	for _, class := range []match.Class{match.Standard, match.Extended} {
-		found := m.AllMatches(top, class)
+		found := m.AllMatches(g, top, class)
 		fmt.Printf("  %-8v matches at the top node: %d\n", class, len(found))
 		for _, mt := range found {
 			fmt.Printf("    gate %s, pin a -> node %v, pin b -> node %v\n",

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dagcover/internal/blif"
+	"dagcover/internal/network"
+	"dagcover/internal/verify"
+)
+
+func parseStream(t *testing.T, gen func(w *bytes.Buffer)) *network.Network {
+	t.Helper()
+	var buf bytes.Buffer
+	gen(&buf)
+	nw, err := blif.ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("parse streamed BLIF: %v", err)
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatalf("streamed network invalid: %v", err)
+	}
+	return nw
+}
+
+func TestStreamMultMatchesArrayMultiplier(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		nw := parseStream(t, func(buf *bytes.Buffer) {
+			if err := StreamMult(buf, n); err != nil {
+				t.Fatalf("StreamMult(%d): %v", n, err)
+			}
+		})
+		if err := verify.Networks(ArrayMultiplier(n), nw, verify.Options{}); err != nil {
+			t.Fatalf("mult%d: streamed multiplier differs from ArrayMultiplier: %v", n, err)
+		}
+	}
+}
+
+func TestStreamALUMeshSemantics(t *testing.T) {
+	nw := parseStream(t, func(buf *bytes.Buffer) {
+		if err := StreamALUMesh(buf, 1, 1); err != nil {
+			t.Fatalf("StreamALUMesh: %v", err)
+		}
+	})
+	sim, err := network.NewSimulator(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tile: east = mux(op, w+n, w&n, w|n, w^n) bitwise over 4-bit
+	// vectors; south = (w^n) ^ carry-after-bit.
+	for _, tc := range []struct{ w, n, op uint64 }{
+		{0b1010, 0b0110, 0}, {0b1111, 0b0001, 0}, {0b1010, 0b0110, 1},
+		{0b1010, 0b0110, 2}, {0b1010, 0b0110, 3}, {0b1111, 0b1111, 0},
+	} {
+		in := map[string]uint64{"op0": tc.op & 1, "op1": tc.op >> 1}
+		for b := 0; b < 4; b++ {
+			in[bit("w0_", b)] = (tc.w >> b) & 1
+			in[bit("n0_", b)] = (tc.n >> b) & 1
+		}
+		// Lanes are packed 64-wide; single-bit values broadcast fine
+		// because we only read bit 0 of each output below.
+		out, err := sim.RunOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := (tc.w + tc.n) & 0xf
+		var want uint64
+		switch tc.op {
+		case 0:
+			want = sum
+		case 1:
+			want = tc.w & tc.n
+		case 2:
+			want = tc.w | tc.n
+		case 3:
+			want = tc.w ^ tc.n
+		}
+		var got uint64
+		for b := 0; b < 4; b++ {
+			got |= (out[bit("e0_", b)] & 1) << b
+		}
+		if got != want {
+			t.Errorf("op=%d w=%04b n=%04b: east=%04b want %04b", tc.op, tc.w, tc.n, got, want)
+		}
+		// south[b] = (w^n)[b] ^ carry_after_bit_b of the w+n ripple.
+		carry := uint64(0)
+		var wantSouth uint64
+		for b := 0; b < 4; b++ {
+			wb, nb := (tc.w>>b)&1, (tc.n>>b)&1
+			carry = (wb & nb) | (wb & carry) | (nb & carry)
+			wantSouth |= ((wb ^ nb) ^ carry) << b
+		}
+		var gotSouth uint64
+		for b := 0; b < 4; b++ {
+			gotSouth |= (out[bit("s0_", b)] & 1) << b
+		}
+		if gotSouth != wantSouth {
+			t.Errorf("op=%d w=%04b n=%04b: south=%04b want %04b", tc.op, tc.w, tc.n, gotSouth, wantSouth)
+		}
+	}
+}
+
+func TestStreamALUMeshShape(t *testing.T) {
+	nw := parseStream(t, func(buf *bytes.Buffer) {
+		if err := StreamALUMesh(buf, 3, 2); err != nil {
+			t.Fatalf("StreamALUMesh: %v", err)
+		}
+	})
+	if got, want := len(nw.Inputs()), 2+2*4+3*4; got != want {
+		t.Errorf("alumesh3x2 inputs = %d, want %d", got, want)
+	}
+	if got, want := len(nw.Outputs()), 2*4+3*4; got != want {
+		t.Errorf("alumesh3x2 outputs = %d, want %d", got, want)
+	}
+}
+
+func TestStreamFamily(t *testing.T) {
+	for _, name := range []string{"mult2", "mult256", "alumesh1x1", "alumesh64x64"} {
+		if _, ok := StreamFamily(name); !ok {
+			t.Errorf("StreamFamily(%q) not recognized", name)
+		}
+	}
+	for _, name := range []string{"mult", "mult0", "c432", "alumesh4", "alumesh0x4", "multx", "alumesh4x"} {
+		if _, ok := StreamFamily(name); ok {
+			t.Errorf("StreamFamily(%q) unexpectedly recognized", name)
+		}
+	}
+	gen, _ := StreamFamily("mult2")
+	var a, b bytes.Buffer
+	if err := gen(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("StreamFamily generator is not deterministic")
+	}
+	if !strings.HasPrefix(a.String(), ".model mult2\n") {
+		t.Errorf("unexpected BLIF header: %q", a.String()[:20])
+	}
+}

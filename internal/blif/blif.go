@@ -450,43 +450,21 @@ func (l line) errorf(format string, args ...any) error {
 	return fmt.Errorf("blif: line %d: %s", l.num, clipErr(fmt.Sprintf(format, args...)))
 }
 
-// logicalLines joins continuation lines and strips comments.
+// logicalLines collects the streaming line scanner's output; the AST
+// parser needs random access for cover-row lookahead, the streaming
+// subject reader (stream.go) consumes the scanner directly.
 func logicalLines(r io.Reader) ([]line, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	ls := newLineScanner(r)
 	var out []line
-	var buf strings.Builder
-	startNum := 0
-	num := 0
-	flush := func() {
-		if buf.Len() > 0 {
-			out = append(out, line{num: startNum, text: buf.String()})
-			buf.Reset()
+	for {
+		ln, ok := ls.next()
+		if !ok {
+			break
 		}
+		out = append(out, ln)
 	}
-	for sc.Scan() {
-		num++
-		txt := sc.Text()
-		if idx := strings.IndexByte(txt, '#'); idx >= 0 {
-			txt = txt[:idx]
-		}
-		cont := strings.HasSuffix(txt, "\\")
-		if cont {
-			txt = txt[:len(txt)-1]
-		}
-		if buf.Len() == 0 {
-			startNum = num
-		}
-		buf.WriteString(txt)
-		if cont {
-			buf.WriteByte(' ')
-			continue
-		}
-		flush()
-	}
-	flush()
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("blif: %v", err)
+	if err := ls.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -656,12 +634,49 @@ func cubeStrings(cs []cube, idx map[string]int, width int) []string {
 
 // toDNF expands fn into a set of cubes, giving up (ok=false) past the
 // limit. The expansion works on a negation-normal form computed on the
-// fly.
+// fly. Results are memoized by (node pointer, phase): XOR expansion
+// builds a DAG whose operands are shared between both phases, and a
+// plain tree walk over it is exponential even when the cube limit
+// fails it early.
 func toDNF(fn *logic.Expr, limit int) ([]cube, bool) {
-	return dnf(fn, false, limit)
+	m := &dnfMemo{memo: map[dnfKey]dnfVal{}, budget: dnfWorkBudget}
+	return m.dnf(fn, false, limit)
 }
 
-func dnf(e *logic.Expr, neg bool, limit int) ([]cube, bool) {
+// dnfWorkBudget caps the total number of cube pairs one toDNF call may
+// examine. The cube limit alone bounds only the surviving cubes: a
+// product of two near-limit sets whose pairs are mostly contradictory
+// (parity-like functions) examines limit² pairs while its output stays
+// small, which is seconds of map churn per node. The budget turns that
+// into a fast, deterministic failure.
+const dnfWorkBudget = 1 << 21
+
+type dnfKey struct {
+	e   *logic.Expr
+	neg bool
+}
+
+type dnfVal struct {
+	cubes []cube
+	ok    bool
+}
+
+type dnfMemo struct {
+	memo   map[dnfKey]dnfVal
+	budget int
+}
+
+func (m *dnfMemo) dnf(e *logic.Expr, neg bool, limit int) ([]cube, bool) {
+	key := dnfKey{e, neg}
+	if v, hit := m.memo[key]; hit {
+		return v.cubes, v.ok
+	}
+	cubes, ok := m.expand(e, neg, limit)
+	m.memo[key] = dnfVal{cubes, ok}
+	return cubes, ok
+}
+
+func (m *dnfMemo) expand(e *logic.Expr, neg bool, limit int) ([]cube, bool) {
 	switch e.Op {
 	case logic.OpConst:
 		v := e.Const != neg
@@ -672,26 +687,26 @@ func dnf(e *logic.Expr, neg bool, limit int) ([]cube, bool) {
 	case logic.OpVar:
 		return []cube{{e.Var: !neg}}, true
 	case logic.OpNot:
-		return dnf(e.Kids[0], !neg, limit)
+		return m.dnf(e.Kids[0], !neg, limit)
 	case logic.OpAnd, logic.OpOr:
 		isAnd := (e.Op == logic.OpAnd) != neg // De Morgan under negation
 		var acc []cube
 		if isAnd {
 			acc = []cube{{}}
 			for _, k := range e.Kids {
-				kd, ok := dnf(k, neg, limit)
+				kd, ok := m.dnf(k, neg, limit)
 				if !ok {
 					return nil, false
 				}
-				acc = cubeProduct(acc, kd)
-				if len(acc) > limit {
+				acc, ok = m.cubeProduct(acc, kd, limit)
+				if !ok {
 					return nil, false
 				}
 			}
 			return acc, true
 		}
 		for _, k := range e.Kids {
-			kd, ok := dnf(k, neg, limit)
+			kd, ok := m.dnf(k, neg, limit)
 			if !ok {
 				return nil, false
 			}
@@ -705,7 +720,7 @@ func dnf(e *logic.Expr, neg bool, limit int) ([]cube, bool) {
 		// XOR(a, rest...) = a*!XOR(rest) + !a*XOR(rest); under
 		// negation flip once at the top.
 		expanded := expandXor(e.Kids, neg)
-		return dnf(expanded, false, limit)
+		return m.dnf(expanded, false, limit)
 	}
 	return nil, false
 }
@@ -722,28 +737,45 @@ func expandXor(kids []*logic.Expr, neg bool) *logic.Expr {
 	return cur
 }
 
-func cubeProduct(a, b []cube) []cube {
-	var out []cube
+// cubeProduct multiplies two cube sets, dropping contradictory
+// products. It gives up (ok=false) as soon as the result exceeds
+// limit — the product of two in-limit sets can be limit² cubes, far
+// too many to materialize before checking — or when the pair count
+// would blow the call-wide work budget.
+func (m *dnfMemo) cubeProduct(a, b []cube, limit int) (out []cube, ok bool) {
+	m.budget -= len(a) * len(b)
+	if m.budget < 0 {
+		return nil, false
+	}
 	for _, ca := range a {
 		for _, cb := range b {
-			m := cube{}
-			ok := true
+			// Lookup-only compatibility check first: most pairs of a
+			// large product are contradictory, and allocating a merged
+			// map per pair before checking is the dominant cost.
+			compatible := true
 			for v, ph := range ca {
-				m[v] = ph
-			}
-			for v, ph := range cb {
-				if old, exists := m[v]; exists && old != ph {
-					ok = false
+				if oph, exists := cb[v]; exists && oph != ph {
+					compatible = false
 					break
 				}
-				m[v] = ph
 			}
-			if ok {
-				out = append(out, m)
+			if !compatible {
+				continue
 			}
+			if len(out) >= limit {
+				return nil, false
+			}
+			prod := make(cube, len(ca)+len(cb))
+			for v, ph := range ca {
+				prod[v] = ph
+			}
+			for v, ph := range cb {
+				prod[v] = ph
+			}
+			out = append(out, prod)
 		}
 	}
-	return out
+	return out, true
 }
 
 // ParseString parses BLIF text without a gate resolver.

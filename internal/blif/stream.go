@@ -1,0 +1,352 @@
+// Streaming BLIF ingest: a line-at-a-time reader that folds flat
+// models straight into a subject graph without materializing the
+// logical-line list or the proto-model AST. This is the path the
+// million-gate benchmark families take — a network.Network of several
+// million nodes costs an order of magnitude more memory than the
+// subject graph it decomposes into, so the big families never build
+// one.
+//
+// The streaming path handles the single-model combinational subset of
+// BLIF (.model/.inputs/.outputs/.names/.gate/.end, comments,
+// continuations) with declarations in topological order. Anything
+// outside that subset — .subckt hierarchies, .latch, multiple models,
+// forward references — makes StreamSubject return ErrNeedsAST, and
+// ReadSubjectFile transparently re-reads the file through the full
+// parser.
+package blif
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dagcover/internal/logic"
+	"dagcover/internal/subject"
+)
+
+// ErrNeedsAST reports that the model uses BLIF constructs outside the
+// streaming subset (hierarchy, latches, several models, or forward
+// references) and must go through the full AST parser.
+var ErrNeedsAST = errors.New("blif: model needs the AST reader")
+
+// maxLogicalLine bounds one logical line (after continuation
+// joining). Continuations concatenate physical lines into one buffer;
+// without a bound, adversarial input ending every line in '\' makes
+// the reader buffer the entire file.
+const maxLogicalLine = 1 << 24
+
+// lineScanner produces logical lines one at a time: comments are
+// stripped, '\' continuations are joined into a bounded buffer, and a
+// continuation that runs into end of file is a position-accurate
+// error instead of a silently accepted line.
+type lineScanner struct {
+	sc      *bufio.Scanner
+	num     int // physical line number of the last line read
+	buf     strings.Builder
+	err     error
+	started bool
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &lineScanner{sc: sc}
+}
+
+// next returns the next logical line. ok is false at end of input or
+// on error; check Err afterwards.
+func (ls *lineScanner) next() (ln line, ok bool) {
+	if ls.err != nil {
+		return line{}, false
+	}
+	ls.buf.Reset()
+	startNum := 0
+	pending := false // inside a continuation run
+	for ls.sc.Scan() {
+		ls.num++
+		txt := ls.sc.Text()
+		if idx := strings.IndexByte(txt, '#'); idx >= 0 {
+			txt = txt[:idx]
+		}
+		cont := strings.HasSuffix(txt, "\\")
+		if cont {
+			txt = txt[:len(txt)-1]
+		}
+		if !pending {
+			startNum = ls.num
+		}
+		if ls.buf.Len()+len(txt) > maxLogicalLine {
+			ls.err = fmt.Errorf("blif: line %d: logical line exceeds %d bytes", startNum, maxLogicalLine)
+			return line{}, false
+		}
+		ls.buf.WriteString(txt)
+		if cont {
+			ls.buf.WriteByte(' ')
+			pending = true
+			continue
+		}
+		return line{num: startNum, text: ls.buf.String()}, true
+	}
+	if err := ls.sc.Err(); err != nil {
+		ls.err = fmt.Errorf("blif: %v", err)
+		return line{}, false
+	}
+	if pending {
+		ls.err = fmt.Errorf("blif: line %d: line continuation ('\\') at end of file", ls.num)
+		return line{}, false
+	}
+	if ls.buf.Len() > 0 {
+		// Final line without a newline.
+		return line{num: startNum, text: ls.buf.String()}, true
+	}
+	return line{}, false
+}
+
+// Err returns the first scan error, if any.
+func (ls *lineScanner) Err() error { return ls.err }
+
+// StreamSubject reads one flat BLIF model from r and technology-
+// decomposes it into a subject graph on the fly, one declaration at a
+// time. The result is structurally identical to
+// Parse + subject.FromNetwork (same node/strash counts, same PI order,
+// same output bindings); only the internal node numbering may differ,
+// because the AST path renumbers through a topological sort.
+//
+// Models outside the streaming subset return ErrNeedsAST (wrapped);
+// use ReadSubjectFile for transparent fallback.
+func (rd *Reader) StreamSubject(r io.Reader) (*subject.Graph, error) {
+	ls := newLineScanner(r)
+	g := subject.NewGraph("top", true)
+	sigOf := map[string]subject.Node{}
+	constOf := map[string]*logic.Expr{}
+	env := map[string]subject.Node{}
+	var outputs []string
+	sawModel, sawContent, ended := false, false, false
+
+	// One .names declaration is pending while its cover rows stream in.
+	var pend *nodeDecl
+	var pendCover []string
+
+	buildDecl := func(nd *nodeDecl) error {
+		if _, dup := sigOf[nd.output]; dup {
+			return nd.ln.errorf("signal %q driven twice or collides with an input", nd.output)
+		}
+		if _, dup := constOf[nd.output]; dup {
+			return nd.ln.errorf("signal %q driven twice or collides with an input", nd.output)
+		}
+		// Mirror subject.FromNetwork: substitute constant fanins in
+		// fanin order, then simplify through the folding constructors.
+		fn := nd.fn
+		for _, in := range nd.inputs {
+			if c, isConst := constOf[in]; isConst {
+				fn = substituteVar(fn, in, c)
+			}
+		}
+		fn = foldExpr(fn)
+		if fn.Op == logic.OpConst {
+			constOf[nd.output] = fn
+			return nil
+		}
+		clear(env)
+		for _, in := range nd.inputs {
+			if sn, ok := sigOf[in]; ok {
+				env[in] = sn
+			} else if _, isConst := constOf[in]; !isConst {
+				// Used before defined: the streaming pass cannot
+				// decompose out of order.
+				return fmt.Errorf("%w: line %d: signal %q used before its definition", ErrNeedsAST, nd.ln.num, in)
+			}
+		}
+		sn, err := g.Build(fn, env)
+		if err != nil {
+			return nd.ln.errorf("%v", err)
+		}
+		sigOf[nd.output] = sn
+		return nil
+	}
+	flushPending := func() error {
+		if pend == nil {
+			return nil
+		}
+		nd, cover := pend, pendCover
+		pend, pendCover = nil, nil
+		fn, err := coverToExpr(nd.inputs, cover)
+		if err != nil {
+			return nd.ln.errorf("%v", err)
+		}
+		nd.fn = fn
+		return buildDecl(nd)
+	}
+
+	for {
+		ln, ok := ls.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(ln.text)
+		if len(fields) == 0 {
+			continue
+		}
+		if !strings.HasPrefix(fields[0], ".") {
+			// A cover row of the pending .names.
+			if pend == nil {
+				return nil, ln.errorf("unexpected token %q", fields[0])
+			}
+			pendCover = append(pendCover, strings.TrimSpace(ln.text))
+			continue
+		}
+		if err := flushPending(); err != nil {
+			return nil, err
+		}
+		if ended && fields[0] != ".end" {
+			return nil, fmt.Errorf("%w: line %d: content after .end", ErrNeedsAST, ln.num)
+		}
+		switch fields[0] {
+		case ".model":
+			if sawModel || sawContent {
+				return nil, fmt.Errorf("%w: line %d: multiple models", ErrNeedsAST, ln.num)
+			}
+			sawModel = true
+			if len(fields) > 1 {
+				g.Name = fields[1]
+			}
+			continue
+		case ".inputs":
+			for _, name := range fields[1:] {
+				pi, err := g.AddPI(name)
+				if err != nil {
+					return nil, ln.errorf("%v", err)
+				}
+				sigOf[name] = pi
+			}
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			if len(fields) < 2 {
+				return nil, ln.errorf(".names needs at least an output")
+			}
+			pend = &nodeDecl{
+				inputs: fields[1 : len(fields)-1],
+				output: fields[len(fields)-1],
+				ln:     ln,
+			}
+			pendCover = pendCover[:0]
+		case ".gate":
+			if rd.Gates == nil {
+				return nil, ln.errorf(".gate requires a gate resolver (library)")
+			}
+			nd, err := rd.gateDecl(fields[1:], ln)
+			if err != nil {
+				return nil, err
+			}
+			if err := buildDecl(&nd); err != nil {
+				return nil, err
+			}
+		case ".end":
+			ended = true
+		case ".latch", ".subckt", ".exdc":
+			return nil, fmt.Errorf("%w: line %d: %s", ErrNeedsAST, ln.num, fields[0])
+		default:
+			// Unsupported directives (timing etc.) are skipped, as in
+			// the AST parser.
+		}
+		sawContent = true
+	}
+	if err := ls.Err(); err != nil {
+		return nil, err
+	}
+	if err := flushPending(); err != nil {
+		return nil, err
+	}
+	if !sawModel && !sawContent {
+		return nil, fmt.Errorf("blif: no model found")
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("blif: model %q declares no outputs and no latches", g.Name)
+	}
+	for _, name := range outputs {
+		sn, ok := sigOf[name]
+		if !ok {
+			if _, isConst := constOf[name]; isConst {
+				return nil, fmt.Errorf("blif: primary output %q is constant; constant outputs cannot be mapped", name)
+			}
+			return nil, fmt.Errorf("blif: output %q is never defined", name)
+		}
+		g.MarkOutput(name, sn)
+	}
+	return g, nil
+}
+
+// ReadSubjectFile reads the BLIF file at path into a subject graph.
+// Flat models take the streaming path; hierarchical or out-of-order
+// models are transparently re-read through the AST parser and
+// subject.FromNetwork.
+func (rd *Reader) ReadSubjectFile(path string) (*subject.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, serr := rd.StreamSubject(bufio.NewReaderSize(f, 1<<20))
+	if serr == nil {
+		return g, nil
+	}
+	if !errors.Is(serr, ErrNeedsAST) {
+		return nil, serr
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("blif: rewind for AST fallback: %v", err)
+	}
+	nw, err := rd.Parse(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return subject.FromNetwork(nw)
+}
+
+// substituteVar replaces variable v with expression rep in e,
+// mirroring the constant propagation of subject.FromNetwork.
+func substituteVar(e *logic.Expr, v string, rep *logic.Expr) *logic.Expr {
+	if e.Op == logic.OpVar {
+		if e.Var == v {
+			return rep.Clone()
+		}
+		return e
+	}
+	c := &logic.Expr{Op: e.Op, Var: e.Var, Const: e.Const}
+	c.Kids = make([]*logic.Expr, len(e.Kids))
+	for i, k := range e.Kids {
+		c.Kids[i] = substituteVar(k, v, rep)
+	}
+	return c
+}
+
+// foldExpr rebuilds e through the folding constructors, propagating
+// constants — the same normalization subject.FromNetwork applies
+// before decomposition, so streamed and AST-built graphs decompose
+// identical expressions.
+func foldExpr(e *logic.Expr) *logic.Expr {
+	switch e.Op {
+	case logic.OpConst, logic.OpVar:
+		return e
+	case logic.OpNot:
+		return logic.Not(foldExpr(e.Kids[0]))
+	case logic.OpAnd, logic.OpOr, logic.OpXor:
+		kids := make([]*logic.Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[i] = foldExpr(k)
+		}
+		switch e.Op {
+		case logic.OpAnd:
+			return logic.And(kids...)
+		case logic.OpOr:
+			return logic.Or(kids...)
+		default:
+			return logic.Xor(kids...)
+		}
+	}
+	return e
+}

@@ -1,0 +1,282 @@
+package blif_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dagcover/internal/bench"
+	"dagcover/internal/blif"
+	"dagcover/internal/subject"
+)
+
+// astSubject runs the reference path: full parse, then FromNetwork.
+func astSubject(t testing.TB, text []byte) (*subject.Graph, error) {
+	t.Helper()
+	nw, err := (&blif.Reader{}).Parse(bytes.NewReader(text))
+	if err != nil {
+		return nil, err
+	}
+	return subject.FromNetwork(nw)
+}
+
+// compareSubjects checks the streaming-vs-AST equivalence contract:
+// same node/NAND/INV/strash counts, same PI names in the same order,
+// same output names in the same order, and functional equality of
+// every output under 64-way random simulation.
+func compareSubjects(t *testing.T, name string, sg, ag *subject.Graph) {
+	t.Helper()
+	ss, as := sg.Stats(), ag.Stats()
+	if ss != as {
+		t.Errorf("%s: stream stats %v != ast stats %v", name, ss, as)
+	}
+	if sg.StrashHits() != ag.StrashHits() {
+		t.Errorf("%s: stream strash hits %d != ast %d", name, sg.StrashHits(), ag.StrashHits())
+	}
+	if len(sg.PIs) != len(ag.PIs) {
+		t.Fatalf("%s: PI count %d != %d", name, len(sg.PIs), len(ag.PIs))
+	}
+	for i := range sg.PIs {
+		if sg.NameOf(sg.PIs[i]) != ag.NameOf(ag.PIs[i]) {
+			t.Errorf("%s: PI %d named %q (stream) vs %q (ast)", name, i, sg.NameOf(sg.PIs[i]), ag.NameOf(ag.PIs[i]))
+		}
+	}
+	if len(sg.Outputs) != len(ag.Outputs) {
+		t.Fatalf("%s: output count %d != %d", name, len(sg.Outputs), len(ag.Outputs))
+	}
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 4; round++ {
+		in := map[string]uint64{}
+		for _, pi := range sg.PIs {
+			in[sg.NameOf(pi)] = rng.Uint64()
+		}
+		sv, err := sg.Eval(in)
+		if err != nil {
+			t.Fatalf("%s: stream eval: %v", name, err)
+		}
+		av, err := ag.Eval(in)
+		if err != nil {
+			t.Fatalf("%s: ast eval: %v", name, err)
+		}
+		for i, so := range sg.Outputs {
+			ao := ag.Outputs[i]
+			if so.Name != ao.Name {
+				t.Fatalf("%s: output %d named %q (stream) vs %q (ast)", name, i, so.Name, ao.Name)
+			}
+			if sv[so.Node] != av[ao.Node] {
+				t.Errorf("%s: output %q differs under simulation", name, so.Name)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesASTOnSuite is the equivalence property over every
+// suite circuit: rendering a circuit to BLIF and ingesting it through
+// the streaming reader must produce the same subject graph (counts,
+// strash hits, PO bindings, functions) as the AST reader.
+func TestStreamMatchesASTOnSuite(t *testing.T) {
+	for _, c := range bench.FullSuite() {
+		var buf bytes.Buffer
+		if err := blif.Write(&buf, c.Network); err != nil {
+			// Some circuits hold functions blif.Write cannot expand
+			// into a cover (wide XOR trees); the property needs a BLIF
+			// rendering, so those are out of scope here.
+			if strings.Contains(err.Error(), "too complex") {
+				continue
+			}
+			t.Fatalf("%s: render: %v", c.Name, err)
+		}
+		sg, err := (&blif.Reader{}).StreamSubject(bytes.NewReader(buf.Bytes()))
+		if errors.Is(err, blif.ErrNeedsAST) {
+			// Sequential circuits (latches) legitimately fall back;
+			// exercise the file-level fallback instead.
+			path := filepath.Join(t.TempDir(), c.Name+".blif")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fg, ferr := (&blif.Reader{}).ReadSubjectFile(path)
+			if ferr != nil {
+				t.Fatalf("%s: fallback: %v", c.Name, ferr)
+			}
+			ag, aerr := astSubject(t, buf.Bytes())
+			if aerr != nil {
+				t.Fatalf("%s: ast: %v", c.Name, aerr)
+			}
+			compareSubjects(t, c.Name+"(fallback)", fg, ag)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: stream: %v", c.Name, err)
+		}
+		ag, err := astSubject(t, buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: ast: %v", c.Name, err)
+		}
+		compareSubjects(t, c.Name, sg, ag)
+	}
+}
+
+// TestStreamMatchesASTOnFamilies runs the same property on the
+// streamed benchmark families, whose BLIF never exists as a network
+// in production.
+func TestStreamMatchesASTOnFamilies(t *testing.T) {
+	for _, fam := range []string{"mult12", "alumesh4x3"} {
+		gen, ok := bench.StreamFamily(fam)
+		if !ok {
+			t.Fatalf("family %s not resolved", fam)
+		}
+		var buf bytes.Buffer
+		if err := gen(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sg, err := (&blif.Reader{}).StreamSubject(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: stream: %v", fam, err)
+		}
+		ag, err := astSubject(t, buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: ast: %v", fam, err)
+		}
+		compareSubjects(t, fam, sg, ag)
+	}
+}
+
+func TestStreamFallsBackOutsideSubset(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"subckt", ".model top\n.inputs a\n.outputs o\n.subckt sub x=a y=o\n.end\n.model sub\n.inputs x\n.outputs y\n.names x y\n1 1\n.end\n"},
+		{"latch", ".model seq\n.inputs a\n.outputs o\n.latch a q 0\n.names q o\n1 1\n.end\n"},
+		{"forward ref", ".model fwd\n.inputs a\n.outputs o\n.names mid o\n1 1\n.names a mid\n1 1\n.end\n"},
+		{"two models", ".model m1\n.inputs a\n.outputs o\n.names a o\n1 1\n.end\n.model m2\n.inputs b\n.outputs p\n.names b p\n1 1\n.end\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := (&blif.Reader{}).StreamSubject(strings.NewReader(tc.text))
+			if !errors.Is(err, blif.ErrNeedsAST) {
+				t.Fatalf("err = %v, want ErrNeedsAST", err)
+			}
+			// The file-level entry point must transparently recover.
+			path := filepath.Join(t.TempDir(), "m.blif")
+			if err := os.WriteFile(path, []byte(tc.text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			g, err := (&blif.Reader{}).ReadSubjectFile(path)
+			if err != nil {
+				t.Fatalf("fallback: %v", err)
+			}
+			if len(g.Outputs) == 0 {
+				t.Fatal("fallback produced no outputs")
+			}
+		})
+	}
+}
+
+func TestStreamFlatFileSkipsFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flat.blif")
+	text := ".model flat\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := (&blif.Reader{}).ReadSubjectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "flat" || len(g.PIs) != 2 || len(g.Outputs) != 1 {
+		t.Fatalf("unexpected graph: name=%q pis=%d outs=%d", g.Name, len(g.PIs), len(g.Outputs))
+	}
+}
+
+// TestContinuationAtEOF pins the position-accurate error for a '\'
+// continuation that runs into end of file, for both reader paths.
+func TestContinuationAtEOF(t *testing.T) {
+	text := ".model m\n.inputs a\n.outputs o\n.names a \\"
+	_, err := blif.ParseString(text)
+	if err == nil || !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "end of file") {
+		t.Errorf("AST parser error = %v, want line-4 continuation-at-EOF", err)
+	}
+	_, err = (&blif.Reader{}).StreamSubject(strings.NewReader(text))
+	if err == nil || !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "end of file") {
+		t.Errorf("stream reader error = %v, want line-4 continuation-at-EOF", err)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	cases := []struct{ name, text, want string }{
+		{"empty", "", "no model"},
+		{"no outputs", ".model m\n.inputs a\n.end\n", "no outputs"},
+		{"undefined output", ".model m\n.inputs a\n.outputs o\n.end\n", "never defined"},
+		{"double drive", ".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n.names a o\n0 1\n.end\n", "twice"},
+		{"drives input", ".model m\n.inputs a\n.outputs a\n.names a\n1\n.end\n", "twice"},
+		{"constant output", ".model m\n.inputs a\n.outputs o\n.names o\n1\n.end\n", "constant"},
+		{"stray token", ".model m\n.inputs a\n.outputs o\ngarbage row\n.end\n", "unexpected token"},
+		{"bad cover", ".model m\n.inputs a b\n.outputs o\n.names a b o\n1 1\n.end\n", "columns"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := (&blif.Reader{}).StreamSubject(strings.NewReader(tc.text))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+			if errors.Is(err, blif.ErrNeedsAST) {
+				t.Fatalf("hard error %v must not trigger AST fallback", err)
+			}
+		})
+	}
+}
+
+// FuzzStreamVsAST cross-checks the two readers on arbitrary input:
+// whenever the streaming reader accepts a model, the AST reader must
+// accept it too and produce an equivalent subject graph. The seed
+// corpus covers the malformed shapes that historically broke BLIF
+// readers (dangling continuations, truncated covers, stray tokens).
+func FuzzStreamVsAST(f *testing.F) {
+	seeds := []string{
+		".model m\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n",
+		".model m\n.inputs a\n.outputs o\n.names a \\\no\n1 1\n.end\n",
+		".model m\n.inputs a \\",
+		".model m\n.inputs a\n.outputs o\n.names a o\n1\n.end\n",
+		".model m\n.inputs a\n.outputs o\n.names a o\n2 1\n.end\n",
+		".names x\n",
+		".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n.names a o\n1 1\n.end\n",
+		".model m\n# comment only\n.end\n",
+		".model m\n.inputs a\n.outputs o\n.latch a o 0\n.end\n",
+		".model m\n.inputs a\n.outputs o\n.unsupported x y\n.names a o\n1 1\n.end\n",
+		"\x00\x01\x02",
+		".model m\n.inputs a\n.outputs o\n.names a o\n- 1\n.end\n",
+	}
+	dir := "testdata/fuzz-seeds"
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			seeds = append(seeds, string(b))
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<16 {
+			return
+		}
+		sg, serr := (&blif.Reader{}).StreamSubject(strings.NewReader(text))
+		if serr != nil {
+			return // rejections (including ErrNeedsAST) need no cross-check
+		}
+		ag, aerr := astSubject(t, []byte(text))
+		if aerr != nil {
+			t.Fatalf("stream accepted what AST rejects: %v\ninput: %q", aerr, text)
+		}
+		if sg.Stats() != ag.Stats() {
+			t.Fatalf("stats diverge: stream %v, ast %v\ninput: %q", sg.Stats(), ag.Stats(), text)
+		}
+		if sg.StrashHits() != ag.StrashHits() {
+			t.Fatalf("strash hits diverge: %d vs %d\ninput: %q", sg.StrashHits(), ag.StrashHits(), text)
+		}
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -43,6 +44,10 @@ import (
 // microseconds, so a stride of 64 bounds the cancellation latency to
 // well under a millisecond while keeping the poll off the hot path.
 const cancelCheckStride = 64
+
+// gcAfterLabelNodes is the subject-graph size above which Map forces a
+// collection between the labeling and construction phases.
+const gcAfterLabelNodes = 1 << 20
 
 // Options configures Map.
 type Options struct {
@@ -93,12 +98,21 @@ type Options struct {
 	Trace *obs.Trace
 }
 
-// Label is the dynamic-programming state of one subject node.
+// Label is the dynamic-programming state of one subject node: the best
+// arrival time and the match realizing it, stored flat. Leaves and
+// Covered point into a per-worker arena chunk, so labeling a graph
+// costs a handful of large allocations instead of three small ones per
+// node.
 type Label struct {
 	// Arrival is the best arrival time achievable at the node.
 	Arrival float64
-	// Best is the match realizing Arrival (nil for PIs).
-	Best *match.Match
+	// Pat is the pattern of the match realizing Arrival (nil for PIs).
+	Pat *subject.Pattern
+	// Leaves are the match's leaf bindings in gate-pin order.
+	Leaves []subject.Node
+	// Covered are the subject nodes the match covers internally
+	// (including the root, excluding the leaves).
+	Covered []subject.Node
 }
 
 // Counters is the deterministic work-count portion of Stats: the same
@@ -203,6 +217,39 @@ type Result struct {
 	Stats  Stats
 }
 
+// nodeArena bump-allocates the Leaves/Covered slices stored in Labels.
+// Saved slices are full-capacity subslices of large shared chunks, so
+// per-node match storage costs one allocation per arenaChunk nodes of
+// leaf data instead of two per node. Each labeling worker owns one
+// arena; the chunks outlive the workers through the Labels that point
+// into them.
+type nodeArena struct {
+	buf []subject.Node // len = used, cap = chunk size
+}
+
+// arenaChunk is the arena's allocation granularity in nodes.
+const arenaChunk = 1 << 16
+
+// save copies src into the arena and returns the stable copy.
+func (a *nodeArena) save(src []subject.Node) []subject.Node {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	if cap(a.buf)-len(a.buf) < n {
+		sz := arenaChunk
+		if n > sz {
+			sz = n
+		}
+		a.buf = make([]subject.Node, 0, sz)
+	}
+	lo := len(a.buf)
+	a.buf = a.buf[:lo+n]
+	dst := a.buf[lo : lo+n : lo+n]
+	copy(dst, src)
+	return dst
+}
+
 // Map covers the subject graph with the matcher's pattern set.
 func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	if opt.Delay == nil {
@@ -214,29 +261,30 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("core: subject graph %q has no outputs", g.Name)
 	}
-	res := &Result{Labels: make([]Label, len(g.Nodes))}
+	nn := g.NumNodes()
+	res := &Result{Labels: make([]Label, nn)}
 
 	// classMax[i] is the largest node ID in i's choice class (i when
 	// the node has no alternatives). Labels merge across a class once
 	// its last member is labeled; construction orders demands by this
 	// key so a match rooted at any member resolves before its leaves.
-	classMax := make([]int, len(g.Nodes))
+	classMax := make([]int, nn)
 	for i := range classMax {
 		classMax[i] = i
 	}
 	if opt.Choices != nil {
-		for _, n := range g.Nodes {
-			members := opt.Choices.Members(n)
+		for i := 0; i < nn; i++ {
+			members := opt.Choices.Members(subject.Node(i))
 			if members == nil {
 				continue
 			}
-			max := n.ID
+			max := subject.Node(i)
 			for _, mm := range members {
-				if mm.ID > max {
-					max = mm.ID
+				if mm > max {
+					max = mm
 				}
 			}
-			classMax[n.ID] = max
+			classMax[i] = int(max)
 		}
 	}
 
@@ -270,6 +318,15 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 		Arg("patterns_tried", res.Stats.PatternsTried).
 		Arg("parallelism", opt.Parallelism).
 		End()
+	if g.NumNodes() >= gcAfterLabelNodes {
+		// On million-node graphs the labeling workers leave behind tens
+		// of MB of dense per-node scratch each. Construction is about to
+		// allocate the output netlist on top of that garbage; collecting
+		// here keeps the two allocation humps from stacking into the
+		// peak-heap high-water mark. Below the threshold the pause would
+		// cost more than the heap it returns.
+		runtime.GC()
+	}
 
 	// Phase 2: backward construction.
 	if err := construct(g, m, opt, res, classMax); err != nil {
@@ -277,6 +334,13 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	}
 	if opt.Trace.Enabled() {
 		emitSigBuckets(opt.Trace, m.SigBucketsTried(), sigBase)
+	}
+	if g.NumNodes() >= gcAfterLabelNodes {
+		// Same reasoning as the post-labeling collection: construction
+		// just dropped its per-node arrays and the re-timing below
+		// builds a nets-sized arrival map; collect so the humps don't
+		// stack.
+		runtime.GC()
 	}
 	// Report the constructed netlist's delay. It equals the optimal
 	// label delay except under a relaxed RequiredTime, where it may
@@ -323,27 +387,33 @@ func labelSerial(g *subject.Graph, m *match.Matcher, opt Options, res *Result, c
 	start := time.Now()
 	defer func() { res.Stats.Phases.Label += time.Since(start) }()
 	var scratch matchScratch
-	for i, n := range g.Nodes {
+	var arena nodeArena
+	nn := g.NumNodes()
+	for i := 0; i < nn; i++ {
 		if i%cancelCheckStride == 0 {
 			if err := opt.Ctx.Err(); err != nil {
 				return fmt.Errorf("core: labeling interrupted: %w", err)
 			}
 		}
-		if n.Kind == subject.PI {
-			res.Labels[n.ID] = Label{Arrival: opt.Arrivals[n.Name]}
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
+			res.Labels[i] = Label{Arrival: opt.Arrivals[g.NameOf(n)]}
 			continue
 		}
-		best, err := bestMatch(g, m, n, opt, res.Labels, math.Inf(1), nil, &scratch, &res.Stats)
-		if err != nil {
+		if err := bestMatch(g, m, n, opt, res.Labels, math.Inf(1), nil, &scratch, &res.Stats); err != nil {
 			return err
 		}
-		arr := matchArrival(best, opt.Delay, res.Labels)
-		res.Labels[n.ID] = Label{Arrival: arr, Best: best}
+		res.Labels[i] = Label{
+			Arrival: scratch.arr,
+			Pat:     scratch.pat,
+			Leaves:  arena.save(scratch.leaves),
+			Covered: arena.save(scratch.covered),
+		}
 		res.Stats.NodesLabeled++
 		// Merge the class once its last member is labeled: every
 		// member takes the best member's label (consumers only appear
 		// later, so they see the merged value).
-		if opt.Choices != nil && classMax[n.ID] == n.ID {
+		if opt.Choices != nil && classMax[i] == i {
 			mergeClassLabels(res.Labels, opt.Choices.Members(n))
 		}
 	}
@@ -353,18 +423,18 @@ func labelSerial(g *subject.Graph, m *match.Matcher, opt Options, res *Result, c
 // mergeClassLabels gives every choice-class member the best member's
 // label. Member order decides float ties, so serial and parallel runs
 // merge identically.
-func mergeClassLabels(labels []Label, members []*subject.Node) {
+func mergeClassLabels(labels []Label, members []subject.Node) {
 	if members == nil {
 		return
 	}
 	best := members[0]
 	for _, mm := range members[1:] {
-		if labels[mm.ID].Arrival < labels[best.ID].Arrival {
+		if labels[mm].Arrival < labels[best].Arrival {
 			best = mm
 		}
 	}
 	for _, mm := range members {
-		labels[mm.ID] = labels[best.ID]
+		labels[mm] = labels[best]
 	}
 }
 
@@ -372,74 +442,101 @@ func mergeClassLabels(labels []Label, members []*subject.Node) {
 func matchArrival(mt *match.Match, dm genlib.DelayModel, labels []Label) float64 {
 	worst := math.Inf(-1)
 	for pin, leaf := range mt.Leaves {
-		if v := labels[leaf.ID].Arrival + dm.PinDelay(mt.Pattern.Gate, pin); v > worst {
+		if v := labels[leaf].Arrival + dm.PinDelay(mt.Pattern.Gate, pin); v > worst {
 			worst = v
 		}
 	}
 	return worst
 }
 
-// matchScratch holds the reusable backing slices of one bestMatch
-// caller (one per labeling worker): the in-flight best match is
-// staged here and copied out exactly once, so an enumeration that
-// improves its best k times costs one allocation, not k.
+// matchScratch stages the in-flight best match of one bestMatch caller
+// (one per labeling worker). The winner is held here — pattern,
+// arrival, and leaf/cover bindings in reusable slices — so an
+// enumeration that improves its best k times costs zero allocations;
+// the caller copies the winner into its arena exactly once.
 type matchScratch struct {
-	leaves  []*subject.Node
-	covered []*subject.Node
+	pat     *subject.Pattern
+	arr     float64
+	leaves  []subject.Node
+	covered []subject.Node
+
+	// Persistent enumeration callback and its per-call registers.
+	// bestMatch parameterizes the scratch and hands cb to Enumerate;
+	// binding the closure once per scratch (not once per node) keeps
+	// labeling free of per-node closure allocations.
+	cb       func(*match.Match) bool
+	delay    genlib.DelayModel
+	labels   []Label
+	limit    float64
+	areaCost func(*match.Match) float64
+	st       *Stats
+	bestArr  float64
+	bestArea float64
 }
 
+// onMatch is the Enumerate callback body; see bestMatch for the
+// selection rule.
+func (s *matchScratch) onMatch(mt *match.Match) bool {
+	s.st.MatchesEnumerated++
+	arr := matchArrival(mt, s.delay, s.labels)
+	if arr > s.limit+matchEps {
+		return true
+	}
+	area := mt.Pattern.Gate.Area
+	if s.areaCost != nil {
+		area = s.areaCost(mt)
+	}
+	better := false
+	switch {
+	case s.pat == nil:
+		better = true
+	case s.areaCost != nil:
+		better = area < s.bestArea || (area == s.bestArea && arr < s.bestArr)
+	default:
+		better = arr < s.bestArr || (arr == s.bestArr && area < s.bestArea)
+	}
+	if better {
+		s.pat = mt.Pattern
+		s.leaves = append(s.leaves[:0], mt.Leaves...)
+		s.covered = append(s.covered[:0], mt.Covered...)
+		s.bestArr, s.bestArea = arr, area
+	}
+	return true
+}
+
+// matchEps guards against float drift in required-time subtraction.
+const matchEps = 1e-9
+
 // bestMatch enumerates matches at n and selects the minimum-arrival
-// one (ties broken toward smaller gate area). Matches slower than
-// limit are discarded. When areaCost is non-nil the selection instead
-// minimizes the match's area cost among matches meeting the limit —
-// the area-recovery mode. Enumeration work is accumulated into st.
-func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options, labels []Label, limit float64, areaCost func(*match.Match) float64, scratch *matchScratch, st *Stats) (*match.Match, error) {
-	var bestPattern *subject.Pattern
-	var bestArr, bestArea float64
+// one (ties broken toward smaller gate area), staging the winner in
+// scratch. Matches slower than limit are discarded. When areaCost is
+// non-nil the selection instead minimizes the match's area cost among
+// matches meeting the limit — the area-recovery mode. Enumeration work
+// is accumulated into st.
+func bestMatch(g *subject.Graph, m *match.Matcher, n subject.Node, opt Options, labels []Label, limit float64, areaCost func(*match.Match) float64, scratch *matchScratch, st *Stats) error {
+	scratch.pat = nil
+	scratch.delay = opt.Delay
+	scratch.labels = labels
+	scratch.limit = limit
+	scratch.areaCost = areaCost
+	scratch.st = st
+	scratch.bestArr, scratch.bestArea = 0, 0
+	if scratch.cb == nil {
+		scratch.cb = scratch.onMatch
+	}
 	tried0 := m.PatternsTried()
 	hits0, misses0 := m.MemoHits(), m.MemoMisses()
-	const eps = 1e-9 // guards against float drift in required-time subtraction
-	m.Enumerate(n, opt.Class, func(mt *match.Match) bool {
-		st.MatchesEnumerated++
-		arr := matchArrival(mt, opt.Delay, labels)
-		if arr > limit+eps {
-			return true
-		}
-		area := mt.Pattern.Gate.Area
-		if areaCost != nil {
-			area = areaCost(mt)
-		}
-		better := false
-		switch {
-		case bestPattern == nil:
-			better = true
-		case areaCost != nil:
-			better = area < bestArea || (area == bestArea && arr < bestArr)
-		default:
-			better = arr < bestArr || (arr == bestArr && area < bestArea)
-		}
-		if better {
-			bestPattern = mt.Pattern
-			scratch.leaves = append(scratch.leaves[:0], mt.Leaves...)
-			scratch.covered = append(scratch.covered[:0], mt.Covered...)
-			bestArr, bestArea = arr, area
-		}
-		return true
-	})
+	m.Enumerate(g, n, opt.Class, scratch.cb)
 	st.PatternsTried += m.PatternsTried() - tried0
 	st.MemoHits += m.MemoHits() - hits0
 	st.MemoMisses += m.MemoMisses() - misses0
-	if bestPattern == nil {
-		return nil, fmt.Errorf(
+	if scratch.pat == nil {
+		return fmt.Errorf(
 			"core: no %v match at node %v of %q; the library must at least contain a 2-input NAND and an inverter",
 			opt.Class, n, g.Name)
 	}
-	return &match.Match{
-		Pattern: bestPattern,
-		Root:    n,
-		Leaves:  append(make([]*subject.Node, 0, len(scratch.leaves)), scratch.leaves...),
-		Covered: append(make([]*subject.Node, 0, len(scratch.covered)), scratch.covered...),
-	}, nil
+	scratch.arr = scratch.bestArr
+	return nil
 }
 
 // areaEstimates computes a min-area cover DP (sharing ignored):
@@ -448,33 +545,35 @@ func bestMatch(g *subject.Graph, m *match.Matcher, n *subject.Node, opt Options,
 func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options, st *Stats) ([]float64, error) {
 	start := time.Now()
 	span := opt.Trace.Start("core.area_estimates")
+	nn := g.NumNodes()
 	defer func() {
 		st.Phases.Area += time.Since(start)
-		span.Arg("nodes", len(g.Nodes)).End()
+		span.Arg("nodes", nn).End()
 	}()
-	est := make([]float64, len(g.Nodes))
+	est := make([]float64, nn)
 	tried0 := m.PatternsTried()
 	hits0, misses0 := m.MemoHits(), m.MemoMisses()
 	defer func() {
 		st.MemoHits += m.MemoHits() - hits0
 		st.MemoMisses += m.MemoMisses() - misses0
 	}()
-	for i, n := range g.Nodes {
+	for i := 0; i < nn; i++ {
 		if i%cancelCheckStride == 0 {
 			if err := opt.Ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: area estimation interrupted: %w", err)
 			}
 		}
-		if n.Kind == subject.PI {
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
 			continue
 		}
 		best := math.Inf(1)
 		found := false
-		m.Enumerate(n, opt.Class, func(mt *match.Match) bool {
+		m.Enumerate(g, n, opt.Class, func(mt *match.Match) bool {
 			st.MatchesEnumerated++
 			cost := mt.Pattern.Gate.Area
 			for _, leaf := range mt.Leaves {
-				cost += est[leaf.ID]
+				cost += est[leaf]
 			}
 			if cost < best {
 				best = cost
@@ -486,7 +585,7 @@ func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options, st *Stats) (
 			st.PatternsTried += m.PatternsTried() - tried0
 			return nil, fmt.Errorf("core: no %v match at node %v of %q", opt.Class, n, g.Name)
 		}
-		est[n.ID] = best
+		est[i] = best
 	}
 	st.PatternsTried += m.PatternsTried() - tried0
 	return est, nil
@@ -497,15 +596,16 @@ func areaEstimates(g *subject.Graph, m *match.Matcher, opt Options, st *Stats) (
 // topological order and re-selects the smallest sufficient match per
 // demanded node; otherwise it emits each node's labeled best match.
 func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, classMax []int) error {
+	nn := g.NumNodes()
 	// Required times per demanded node; +Inf = not demanded.
-	required := make([]float64, len(g.Nodes))
+	required := make([]float64, nn)
 	for i := range required {
 		required[i] = math.Inf(1)
 	}
 	// Global optimal delay = worst labeled output arrival.
 	delay := math.Inf(-1)
 	for _, o := range g.Outputs {
-		if a := res.Labels[o.Node.ID].Arrival; a > delay {
+		if a := res.Labels[o.Node].Arrival; a > delay {
 			delay = a
 		}
 	}
@@ -519,19 +619,19 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 		if !opt.AreaRecovery {
 			// Without recovery each output is demanded at its own
 			// optimal arrival; the chosen matches are the labels'.
-			req = res.Labels[o.Node.ID].Arrival
+			req = res.Labels[o.Node].Arrival
 		}
-		if req < required[o.Node.ID] {
-			required[o.Node.ID] = req
+		if req < required[o.Node] {
+			required[o.Node] = req
 		}
 	}
 
 	// Choose matches in reverse topological order of classMax: every
 	// match leaf lies strictly below its root's class maximum, so all
 	// demands on a node are known by the time it is visited.
-	order := make([]int, len(g.Nodes))
+	order := make([]int32, nn)
 	for i := range order {
-		order[i] = i
+		order[i] = int32(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
 		a, b := order[i], order[j]
@@ -551,7 +651,19 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 	coverStart := time.Now()
 	coverSpan := opt.Trace.Start("core.cover")
 	var scratch matchScratch
-	chosen := make([]*match.Match, len(g.Nodes))
+	var arena nodeArena
+	// chosen[id] is the match to emit at id: the node's label, or the
+	// area-recovery re-selection (Arrival is unused here). Without
+	// recovery every choice IS the label, so chosen aliases res.Labels
+	// rather than copying it — the copy would be a second 64B-per-node
+	// array held straight through emission, a real slice of the peak on
+	// million-node graphs. The emit loop filters by demand (finite
+	// required time), so the undemanded labels visible through the
+	// alias are never emitted.
+	chosen := res.Labels
+	if opt.AreaRecovery {
+		chosen = make([]Label, nn)
+	}
 	for oi := len(order) - 1; oi >= 0; oi-- {
 		if oi%cancelCheckStride == 0 {
 			if err := opt.Ctx.Err(); err != nil {
@@ -559,35 +671,38 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 			}
 		}
 		id := order[oi]
-		n := g.Nodes[id]
-		if math.IsInf(required[id], 1) || n.Kind == subject.PI {
+		n := subject.Node(id)
+		if math.IsInf(required[id], 1) || g.KindOf(n) == subject.PI {
 			continue
 		}
-		mt := res.Labels[id].Best
+		mt := res.Labels[id]
 		if opt.AreaRecovery {
 			// Score by incremental area: the gate itself plus the
 			// estimated cost of leaves nobody has demanded yet.
 			cost := func(cand *match.Match) float64 {
 				c := cand.Pattern.Gate.Area
 				for _, leaf := range cand.Leaves {
-					if leaf.Kind != subject.PI && math.IsInf(required[leaf.ID], 1) {
-						c += areaEst[leaf.ID]
+					if g.KindOf(leaf) != subject.PI && math.IsInf(required[leaf], 1) {
+						c += areaEst[leaf]
 					}
 				}
 				return c
 			}
-			rel, err := bestMatch(g, m, n, opt, res.Labels, required[id], cost, &scratch, &res.Stats)
-			if err == nil {
-				mt = rel
-			} else {
+			err := bestMatch(g, m, n, opt, res.Labels, required[id], cost, &scratch, &res.Stats)
+			if err != nil {
 				return err // cannot happen: the labeled match meets any required >= label
+			}
+			mt = Label{
+				Pat:     scratch.pat,
+				Leaves:  arena.save(scratch.leaves),
+				Covered: arena.save(scratch.covered),
 			}
 		}
 		chosen[id] = mt
 		for pin, leaf := range mt.Leaves {
-			r := required[id] - opt.Delay.PinDelay(mt.Pattern.Gate, pin)
-			if r < required[leaf.ID] {
-				required[leaf.ID] = r
+			r := required[id] - opt.Delay.PinDelay(mt.Pat.Gate, pin)
+			if r < required[leaf] {
+				required[leaf] = r
 			}
 		}
 	}
@@ -601,54 +716,60 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 	emitSpan := opt.Trace.Start("core.emit")
 	b := mapping.NewBuilder(g.Name)
 	for _, pi := range g.PIs {
-		if err := b.AddInput(pi.Name); err != nil {
+		if err := b.AddInput(g.NameOf(pi)); err != nil {
 			return err
 		}
 	}
 	// Reserve port names after the inputs: a port that sits directly
 	// on a PI shares the PI's net and needs no reservation of its own.
 	for _, o := range g.Outputs {
-		if o.Node.Kind != subject.PI {
+		if g.KindOf(o.Node) != subject.PI {
 			b.Reserve(o.Name)
 		}
 	}
 	// Preferred names: outputs keep their port name when they own it.
-	preferred := make([]string, len(g.Nodes))
+	// Keyed by node rather than a dense nn-sized string array — ports
+	// are few and the dense array is measurable at million-node scale.
+	preferred := make(map[subject.Node]string, len(g.Outputs))
 	for _, o := range g.Outputs {
-		if preferred[o.Node.ID] == "" {
-			preferred[o.Node.ID] = o.Name
+		if _, ok := preferred[o.Node]; !ok {
+			preferred[o.Node] = o.Name
 		}
 	}
-	nets := make([]string, len(g.Nodes))
-	coverUses := make([]int, len(g.Nodes))
+	nets := make([]string, nn)
+	coverUses := make([]int32, nn)
 	for _, id := range order {
-		mt := chosen[id]
-		if mt == nil {
+		// Demand filter: with chosen aliasing res.Labels, undemanded
+		// nodes still carry their labels and must be skipped here.
+		if math.IsInf(required[id], 1) {
 			continue
 		}
-		n := g.Nodes[id]
+		mt := chosen[id]
+		if mt.Pat == nil {
+			continue
+		}
 		inputs := make([]string, len(mt.Leaves))
 		for pin, leaf := range mt.Leaves {
-			if nets[leaf.ID] == "" {
-				if leaf.Kind == subject.PI {
-					nets[leaf.ID] = leaf.Name
+			if nets[leaf] == "" {
+				if g.KindOf(leaf) == subject.PI {
+					nets[leaf] = g.NameOf(leaf)
 				} else {
 					return fmt.Errorf("core: internal error: leaf %v demanded but not built", leaf)
 				}
 			}
-			inputs[pin] = nets[leaf.ID]
+			inputs[pin] = nets[leaf]
 		}
 		var net string
-		if preferred[id] != "" {
-			net = preferred[id]
+		if p, ok := preferred[subject.Node(id)]; ok {
+			net = p
 		} else {
 			net = b.FreshNet()
 		}
-		b.AddCell(mt.Pattern.Gate, inputs, net)
-		nets[n.ID] = net
+		b.AddCell(mt.Pat.Gate, inputs, net)
+		nets[id] = net
 		res.Stats.CellsEmitted++
 		for _, c := range mt.Covered {
-			coverUses[c.ID]++
+			coverUses[c]++
 		}
 	}
 	// A subject node realized inside two or more emitted matches has
@@ -659,12 +780,12 @@ func construct(g *subject.Graph, m *match.Matcher, opt Options, res *Result, cla
 		}
 	}
 	for _, o := range g.Outputs {
-		net := nets[o.Node.ID]
+		net := nets[o.Node]
 		if net == "" {
-			if o.Node.Kind != subject.PI {
+			if g.KindOf(o.Node) != subject.PI {
 				return fmt.Errorf("core: internal error: output %q not built", o.Name)
 			}
-			net = o.Node.Name
+			net = g.NameOf(o.Node)
 		}
 		b.MarkOutput(o.Name, net)
 	}

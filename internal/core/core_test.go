@@ -280,17 +280,18 @@ func TestUnitDelayDepthEqualsSubjectDepth(t *testing.T) {
 		// Depth of the demanded cones only: compute max depth over
 		// outputs.
 		depth := 0.0
-		lv := make([]float64, len(g.Nodes))
-		for _, n := range g.Nodes {
-			for _, fi := range n.Fanins() {
-				if lv[fi.ID]+1 > lv[n.ID] {
-					lv[n.ID] = lv[fi.ID] + 1
+		lv := make([]float64, g.NumNodes())
+		for i := 0; i < g.NumNodes(); i++ {
+			fis, k := g.Fanins(subject.Node(i))
+			for fi := 0; fi < k; fi++ {
+				if lv[fis[fi]]+1 > lv[i] {
+					lv[i] = lv[fis[fi]] + 1
 				}
 			}
 		}
 		for _, o := range g.Outputs {
-			if lv[o.Node.ID] > depth {
-				depth = lv[o.Node.ID]
+			if lv[o.Node] > depth {
+				depth = lv[o.Node]
 			}
 		}
 		if res.Delay != depth {

@@ -33,26 +33,29 @@ const minParallelWave = 16
 // serial label merge is: consumers of any class member appear after
 // the class's largest ID (see Map).
 func waveLevels(g *subject.Graph, opt Options, classMax []int) ([]int32, int32) {
-	lvl := make([]int32, len(g.Nodes))
+	nn := g.NumNodes()
+	lvl := make([]int32, nn)
 	maxLvl := int32(0)
-	for _, n := range g.Nodes {
+	for i := 0; i < nn; i++ {
+		n := subject.Node(i)
 		v := int32(0)
-		for _, fi := range n.Fanins() {
-			if lvl[fi.ID]+1 > v {
-				v = lvl[fi.ID] + 1
+		fis, k := g.Fanins(n)
+		for fi := 0; fi < k; fi++ {
+			if lvl[fis[fi]]+1 > v {
+				v = lvl[fis[fi]] + 1
 			}
 		}
-		lvl[n.ID] = v
-		if opt.Choices != nil && classMax[n.ID] == n.ID {
+		lvl[i] = v
+		if opt.Choices != nil && classMax[i] == i {
 			if members := opt.Choices.Members(n); members != nil {
 				top := int32(0)
 				for _, mm := range members {
-					if lvl[mm.ID] > top {
-						top = lvl[mm.ID]
+					if lvl[mm] > top {
+						top = lvl[mm]
 					}
 				}
 				for _, mm := range members {
-					lvl[mm.ID] = top
+					lvl[mm] = top
 				}
 				v = top
 			}
@@ -68,6 +71,7 @@ func waveLevels(g *subject.Graph, opt Options, classMax []int) ([]int32, int32) 
 type labelWorker struct {
 	m       *match.Matcher
 	scratch matchScratch
+	arena   nodeArena
 	stats   Stats
 	err     error
 }
@@ -76,7 +80,7 @@ type labelWorker struct {
 // are read-only here and each node writes only its own slot, so
 // workers never race. On error the worker keeps its first failure
 // (the chunk is ascending, so this is its smallest failing node).
-func (w *labelWorker) labelChunk(g *subject.Graph, opt Options, labels []Label, waveIdx int32, nodes []*subject.Node, lo, hi int) {
+func (w *labelWorker) labelChunk(g *subject.Graph, opt Options, labels []Label, waveIdx int32, nodes []subject.Node, lo, hi int) {
 	start := time.Now()
 	span := opt.Trace.Start("core.label.chunk")
 	defer func() {
@@ -90,12 +94,16 @@ func (w *labelWorker) labelChunk(g *subject.Graph, opt Options, labels []Label, 
 				return
 			}
 		}
-		best, err := bestMatch(g, w.m, n, opt, labels, math.Inf(1), nil, &w.scratch, &w.stats)
-		if err != nil {
+		if err := bestMatch(g, w.m, n, opt, labels, math.Inf(1), nil, &w.scratch, &w.stats); err != nil {
 			w.err = err
 			return
 		}
-		labels[n.ID] = Label{Arrival: matchArrival(best, opt.Delay, labels), Best: best}
+		labels[n] = Label{
+			Arrival: w.scratch.arr,
+			Pat:     w.scratch.pat,
+			Leaves:  w.arena.save(w.scratch.leaves),
+			Covered: w.arena.save(w.scratch.covered),
+		}
 		w.stats.NodesLabeled++
 	}
 }
@@ -103,35 +111,39 @@ func (w *labelWorker) labelChunk(g *subject.Graph, opt Options, labels []Label, 
 // labelParallel is the wavefront counterpart of labelSerial.
 func labelParallel(g *subject.Graph, m *match.Matcher, opt Options, res *Result, classMax []int) error {
 	lvl, maxLvl := waveLevels(g, opt, classMax)
+	nn := g.NumNodes()
 
 	// Bucket nodes by wave, ascending ID within each wave. Wave 0 is
 	// exactly the PIs (every gate node has a fanin); label them here.
 	counts := make([]int32, maxLvl+1)
-	for _, n := range g.Nodes {
-		if n.Kind == subject.PI {
-			res.Labels[n.ID] = Label{Arrival: opt.Arrivals[n.Name]}
+	for i := 0; i < nn; i++ {
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
+			res.Labels[i] = Label{Arrival: opt.Arrivals[g.NameOf(n)]}
 			continue
 		}
-		counts[lvl[n.ID]]++
+		counts[lvl[i]]++
 	}
-	waves := make([][]*subject.Node, maxLvl+1)
+	waves := make([][]subject.Node, maxLvl+1)
 	for w := range waves {
-		waves[w] = make([]*subject.Node, 0, counts[w])
+		waves[w] = make([]subject.Node, 0, counts[w])
 	}
-	for _, n := range g.Nodes {
-		if n.Kind != subject.PI {
-			waves[lvl[n.ID]] = append(waves[lvl[n.ID]], n)
+	for i := 0; i < nn; i++ {
+		n := subject.Node(i)
+		if g.KindOf(n) != subject.PI {
+			waves[lvl[i]] = append(waves[lvl[i]], n)
 		}
 	}
 	// Choice classes to merge at each wave boundary: the classes whose
 	// last member sits in that wave.
-	var merges [][]*subject.Node
+	var merges [][]subject.Node
 	if opt.Choices != nil {
-		merges = make([][]*subject.Node, maxLvl+1)
-		for _, n := range g.Nodes {
-			if n.Kind != subject.PI && classMax[n.ID] == n.ID {
+		merges = make([][]subject.Node, maxLvl+1)
+		for i := 0; i < nn; i++ {
+			n := subject.Node(i)
+			if g.KindOf(n) != subject.PI && classMax[i] == i {
 				if members := opt.Choices.Members(n); members != nil {
-					merges[lvl[n.ID]] = append(merges[lvl[n.ID]], n)
+					merges[lvl[i]] = append(merges[lvl[i]], n)
 				}
 			}
 		}

@@ -259,8 +259,8 @@ func BenchmarkLabelAllocs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := &Result{Labels: make([]Label, len(g.Nodes))}
-		classMax := make([]int, len(g.Nodes))
+		res := &Result{Labels: make([]Label, g.NumNodes())}
+		classMax := make([]int, g.NumNodes())
 		for j := range classMax {
 			classMax[j] = j
 		}

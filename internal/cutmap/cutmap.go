@@ -80,7 +80,7 @@ type Result struct {
 
 // cut is a set of leaves sorted by ID with a subsumption signature.
 type cut struct {
-	leaves []*subject.Node
+	leaves []subject.Node
 	sig    uint64
 	depth  int     // max leaf label + 1
 	flow   float64 // area flow estimate
@@ -103,30 +103,32 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("cutmap: subject graph %q has no outputs", g.Name)
 	}
+	nn := g.NumNodes()
 
 	// Fanout estimates for area flow (at least 1 to avoid division
 	// blowup on dangling nodes).
-	fanouts := make([]float64, len(g.Nodes))
-	for _, n := range g.Nodes {
-		f := len(n.Fanouts)
+	fanouts := make([]float64, nn)
+	for i := 0; i < nn; i++ {
+		f := g.FanoutCount(subject.Node(i))
 		if f < 1 {
 			f = 1
 		}
-		fanouts[n.ID] = float64(f)
+		fanouts[i] = float64(f)
 	}
 
 	enumSpan := opt.Trace.Start("cutmap.enumerate")
-	labels := make([]int, len(g.Nodes))
-	flows := make([]float64, len(g.Nodes))
-	cutsOf := make([][]cut, len(g.Nodes))
-	for i, n := range g.Nodes {
+	labels := make([]int, nn)
+	flows := make([]float64, nn)
+	cutsOf := make([][]cut, nn)
+	for i := 0; i < nn; i++ {
 		if i%64 == 0 {
 			if err := opt.Ctx.Err(); err != nil {
 				return nil, fmt.Errorf("cutmap: cut enumeration interrupted: %w", err)
 			}
 		}
-		if n.Kind == subject.PI {
-			cutsOf[n.ID] = []cut{unitCut(n, labels, flows)}
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
+			cutsOf[i] = []cut{unitCut(n, labels, flows)}
 			continue
 		}
 		merged := mergeCuts(g, n, cutsOf, opt, labels, flows)
@@ -144,30 +146,30 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 		if best == math.MaxInt32 {
 			return nil, fmt.Errorf("cutmap: node %v has no %d-feasible cut", n, opt.K)
 		}
-		labels[n.ID] = best
-		flows[n.ID] = bestFlow / fanouts[n.ID]
+		labels[i] = best
+		flows[i] = bestFlow / fanouts[i]
 		// Keep the trivial cut for the parents' merges.
 		merged = append(merged, unitCut(n, labels, flows))
-		cutsOf[n.ID] = merged
+		cutsOf[i] = merged
 	}
 
 	res := &Result{Labels: labels}
 	for _, o := range g.Outputs {
-		if labels[o.Node.ID] > res.OptimalDepth {
-			res.OptimalDepth = labels[o.Node.ID]
+		if labels[o.Node] > res.OptimalDepth {
+			res.OptimalDepth = labels[o.Node]
 		}
 	}
 	totalCuts := 0
 	for _, cs := range cutsOf {
 		totalCuts += len(cs)
 	}
-	enumSpan.Arg("nodes", len(g.Nodes)).Arg("cuts_kept", totalCuts).
+	enumSpan.Arg("nodes", nn).Arg("cuts_kept", totalCuts).
 		Arg("optimal_depth", res.OptimalDepth).End()
 
 	// Cover: choose one cut per demanded node in reverse topological
 	// order, respecting required depths.
 	coverSpan := opt.Trace.Start("cutmap.cover")
-	required := make([]int, len(g.Nodes))
+	required := make([]int, nn)
 	for i := range required {
 		required[i] = math.MaxInt32
 	}
@@ -176,21 +178,21 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 		bound += opt.Slack
 	}
 	for _, o := range g.Outputs {
-		if o.Node.Kind == subject.PI {
+		if g.KindOf(o.Node) == subject.PI {
 			continue
 		}
-		req := labels[o.Node.ID]
+		req := labels[o.Node]
 		if opt.Mode == ModeArea {
 			req = bound
 		}
-		if req < required[o.Node.ID] {
-			required[o.Node.ID] = req
+		if req < required[o.Node] {
+			required[o.Node] = req
 		}
 	}
-	chosen := make([][]*subject.Node, len(g.Nodes))
-	for id := len(g.Nodes) - 1; id >= 0; id-- {
-		n := g.Nodes[id]
-		if n.Kind == subject.PI || required[id] == math.MaxInt32 {
+	chosen := make([][]subject.Node, nn)
+	for id := nn - 1; id >= 0; id-- {
+		n := subject.Node(id)
+		if g.KindOf(n) == subject.PI || required[id] == math.MaxInt32 {
 			continue
 		}
 		var pick *cut
@@ -221,16 +223,16 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 		}
 		chosen[id] = pick.leaves
 		for _, leaf := range pick.leaves {
-			if leaf.Kind == subject.PI {
+			if g.KindOf(leaf) == subject.PI {
 				continue
 			}
 			r := required[id] - 1
-			if r < labels[leaf.ID] {
+			if r < labels[leaf] {
 				// Cannot happen when the pick respected its depth.
-				r = labels[leaf.ID]
+				r = labels[leaf]
 			}
-			if r < required[leaf.ID] {
-				required[leaf.ID] = r
+			if r < required[leaf] {
+				required[leaf] = r
 			}
 		}
 	}
@@ -249,18 +251,18 @@ func Map(g *subject.Graph, opt Options) (*Result, error) {
 	return res, nil
 }
 
-func unitCut(n *subject.Node, labels []int, flows []float64) cut {
+func unitCut(n subject.Node, labels []int, flows []float64) cut {
 	return cut{
-		leaves: []*subject.Node{n},
-		sig:    1 << uint(n.ID%64),
-		depth:  labels[n.ID], // a unit cut "costs" the node's own label
-		flow:   flows[n.ID],
+		leaves: []subject.Node{n},
+		sig:    1 << uint(int(n)%64),
+		depth:  labels[n], // a unit cut "costs" the node's own label
+		flow:   flows[n],
 	}
 }
 
 // mergeCuts combines the fanin cut lists into the node's k-feasible
 // cuts, with subsumption filtering and priority pruning.
-func mergeCuts(g *subject.Graph, n *subject.Node, cutsOf [][]cut, opt Options, labels []int, flows []float64) []cut {
+func mergeCuts(g *subject.Graph, n subject.Node, cutsOf [][]cut, opt Options, labels []int, flows []float64) []cut {
 	var raw []cut
 	appendMerge := func(a, b cut) {
 		leaves := mergeLeaves(a.leaves, b.leaves)
@@ -271,23 +273,23 @@ func mergeCuts(g *subject.Graph, n *subject.Node, cutsOf [][]cut, opt Options, l
 		d := 0
 		fl := 1.0
 		for _, l := range leaves {
-			if labels[l.ID] > d {
-				d = labels[l.ID]
+			if labels[l] > d {
+				d = labels[l]
 			}
-			fl += flows[l.ID]
+			fl += flows[l]
 		}
 		c.depth = d + 1
 		c.flow = fl
 		raw = append(raw, c)
 	}
-	switch n.NumFanins() {
+	switch g.NumFanins(n) {
 	case 1:
-		for _, a := range cutsOf[n.Fanin[0].ID] {
+		for _, a := range cutsOf[g.Fanin0(n)] {
 			appendMerge(a, cut{})
 		}
 	case 2:
-		for _, a := range cutsOf[n.Fanin[0].ID] {
-			for _, b := range cutsOf[n.Fanin[1].ID] {
+		for _, a := range cutsOf[g.Fanin0(n)] {
+			for _, b := range cutsOf[g.Fanin1(n)] {
 				appendMerge(a, b)
 			}
 		}
@@ -311,15 +313,15 @@ func mergeCuts(g *subject.Graph, n *subject.Node, cutsOf [][]cut, opt Options, l
 	return filtered
 }
 
-func mergeLeaves(a, b []*subject.Node) []*subject.Node {
-	out := make([]*subject.Node, 0, len(a)+len(b))
+func mergeLeaves(a, b []subject.Node) []subject.Node {
+	out := make([]subject.Node, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
-		case a[i].ID < b[j].ID:
+		case a[i] < b[j]:
 			out = append(out, a[i])
 			i++
-		case a[i].ID > b[j].ID:
+		case a[i] > b[j]:
 			out = append(out, b[j])
 			j++
 		default:
@@ -358,7 +360,7 @@ func filterDominated(cuts []cut) []cut {
 }
 
 // isSubsetOrEqual reports whether a ⊆ b (both sorted by ID).
-func isSubsetOrEqual(a, b []*subject.Node) bool {
+func isSubsetOrEqual(a, b []subject.Node) bool {
 	i := 0
 	for _, x := range b {
 		if i < len(a) && a[i] == x {
@@ -369,16 +371,16 @@ func isSubsetOrEqual(a, b []*subject.Node) bool {
 }
 
 // buildLUTs constructs the LUT network from the chosen cuts.
-func buildLUTs(g *subject.Graph, chosen [][]*subject.Node, labels []int) (*network.Network, int, int, error) {
+func buildLUTs(g *subject.Graph, chosen [][]subject.Node, labels []int) (*network.Network, int, int, error) {
 	nw := network.New(g.Name + "_cutluts")
 	used := map[string]bool{}
 	for _, pi := range g.PIs {
-		if _, err := nw.AddInput(pi.Name); err != nil {
+		if _, err := nw.AddInput(g.NameOf(pi)); err != nil {
 			return nil, 0, 0, err
 		}
-		used[pi.Name] = true
+		used[g.NameOf(pi)] = true
 	}
-	portOf := map[*subject.Node]string{}
+	portOf := map[subject.Node]string{}
 	for _, o := range g.Outputs {
 		if _, taken := portOf[o.Node]; !taken && !used[o.Name] {
 			portOf[o.Node] = o.Name
@@ -396,23 +398,23 @@ func buildLUTs(g *subject.Graph, chosen [][]*subject.Node, labels []int) (*netwo
 			}
 		}
 	}
-	names := map[*subject.Node]string{}
-	depthOf := map[*subject.Node]int{}
+	names := map[subject.Node]string{}
+	depthOf := map[subject.Node]int{}
 	luts := 0
-	var emit func(n *subject.Node) (string, error)
-	emit = func(n *subject.Node) (string, error) {
+	var emit func(n subject.Node) (string, error)
+	emit = func(n subject.Node) (string, error) {
 		if name, ok := names[n]; ok {
 			return name, nil
 		}
-		if n.Kind == subject.PI {
-			names[n] = n.Name
-			return n.Name, nil
+		if g.KindOf(n) == subject.PI {
+			names[n] = g.NameOf(n)
+			return names[n], nil
 		}
-		leaves := chosen[n.ID]
+		leaves := chosen[n]
 		if leaves == nil {
 			return "", fmt.Errorf("cutmap: node %v demanded without a chosen cut", n)
 		}
-		boundary := map[*subject.Node]string{}
+		boundary := map[subject.Node]string{}
 		var fanins []string
 		d := 0
 		for _, l := range leaves {
@@ -426,7 +428,7 @@ func buildLUTs(g *subject.Graph, chosen [][]*subject.Node, labels []int) (*netwo
 				d = depthOf[l]
 			}
 		}
-		fn, err := subject.Expr(n, boundary)
+		fn, err := subject.Expr(g, n, boundary)
 		if err != nil {
 			return "", err
 		}

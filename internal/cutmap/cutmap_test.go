@@ -82,10 +82,10 @@ func TestLabelsMatchFlowMapExhaustive(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, n := range g.Nodes {
-				if cm.Labels[n.ID] != fm.Labels[n.ID] {
+			for i := 0; i < g.NumNodes(); i++ {
+				if cm.Labels[i] != fm.Labels[i] {
 					t.Errorf("trial %d k=%d node %v: cutmap label %d, flowmap %d",
-						trial, k, n, cm.Labels[n.ID], fm.Labels[n.ID])
+						trial, k, subject.Node(i), cm.Labels[i], fm.Labels[i])
 				}
 			}
 		}
@@ -216,8 +216,8 @@ func TestCutHelpers(t *testing.T) {
 	a, _ := g.AddPI("a")
 	b, _ := g.AddPI("b")
 	c, _ := g.AddPI("c")
-	ab := []*subject.Node{a, b}
-	bc := []*subject.Node{b, c}
+	ab := []subject.Node{a, b}
+	bc := []subject.Node{b, c}
 	merged := mergeLeaves(ab, bc)
 	if len(merged) != 3 {
 		t.Errorf("merge = %v", merged)

@@ -134,7 +134,7 @@ func Run(spec TableSpec, opt Options) ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", c.Name, err)
 		}
-		row := Row{Circuit: c.Name, SubjectNodes: len(g.Nodes)}
+		row := Row{Circuit: c.Name, SubjectNodes: g.NumNodes()}
 
 		start := time.Now()
 		tres, err := treemap.Map(g, treeM, treemap.Options{Delay: spec.Delay, Trace: opt.Trace})
@@ -538,9 +538,9 @@ func DecompositionStudy(spec TableSpec, circuits []bench.Circuit) ([]DecompPoint
 				return nil, err
 			}
 			if chain {
-				p.ChainDelay, p.ChainNodes = res.Delay, len(g.Nodes)
+				p.ChainDelay, p.ChainNodes = res.Delay, g.NumNodes()
 			} else {
-				p.BalancedDelay, p.BalancedNodes = res.Delay, len(g.Nodes)
+				p.BalancedDelay, p.BalancedNodes = res.Delay, g.NumNodes()
 			}
 		}
 		out = append(out, p)
@@ -792,7 +792,7 @@ func ChoiceStudy(spec TableSpec, circuits []bench.Circuit) ([]ChoicePoint, error
 			return nil, err
 		}
 		p.ChoiceDelay = res.Delay
-		p.ChoiceNodes = len(g.Nodes)
+		p.ChoiceNodes = g.NumNodes()
 		out = append(out, p)
 	}
 	return out, nil

@@ -65,31 +65,34 @@ func MapTraced(ctx context.Context, g *subject.Graph, k int, tr *obs.Trace) (*Re
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("flowmap: subject graph %q has no outputs", g.Name)
 	}
+	nn := g.NumNodes()
 	labelSpan := tr.Start("flowmap.label")
-	labels := make([]int, len(g.Nodes))
-	cuts := make([][]*subject.Node, len(g.Nodes))
+	labels := make([]int, nn)
+	cuts := make([][]subject.Node, nn)
 	lb := &labeler{
 		k:      k,
+		g:      g,
 		labels: labels,
-		seen:   make([]uint64, len(g.Nodes)),
-		inID:   make([]int32, len(g.Nodes)),
-		outID:  make([]int32, len(g.Nodes)),
+		seen:   make([]uint64, nn),
+		inID:   make([]int32, nn),
+		outID:  make([]int32, nn),
 		fg:     maxflow.New(2),
 	}
-	for i, n := range g.Nodes {
+	for i := 0; i < nn; i++ {
 		if i%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("flowmap: labeling interrupted: %w", err)
 			}
 		}
-		if n.Kind == subject.PI {
-			labels[n.ID] = 0
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
+			labels[i] = 0
 			continue
 		}
-		labels[n.ID], cuts[n.ID] = lb.labelNode(n)
+		labels[i], cuts[i] = lb.labelNode(n)
 	}
 
-	labelSpan.Arg("nodes", len(g.Nodes)).Arg("k", k).End()
+	labelSpan.Arg("nodes", nn).Arg("k", k).End()
 
 	res := &Result{Labels: labels}
 	conSpan := tr.Start("flowmap.construct")
@@ -100,8 +103,8 @@ func MapTraced(ctx context.Context, g *subject.Graph, k int, tr *obs.Trace) (*Re
 	res.Network = nw
 	res.LUTs = luts
 	for _, o := range g.Outputs {
-		if labels[o.Node.ID] > res.Depth {
-			res.Depth = labels[o.Node.ID]
+		if labels[o.Node] > res.Depth {
+			res.Depth = labels[o.Node]
 		}
 	}
 	conSpan.Arg("luts", luts).Arg("depth", res.Depth).End()
@@ -114,28 +117,32 @@ func MapTraced(ctx context.Context, g *subject.Graph, k int, tr *obs.Trace) (*Re
 // it returns.
 type labeler struct {
 	k      int
+	g      *subject.Graph
 	labels []int
 	seen   []uint64
 	epoch  uint64
-	cone   []*subject.Node
+	cone   []subject.Node
 	inID   []int32
 	outID  []int32
 	fg     *maxflow.Graph
 }
 
 // collectCone fills l.cone with the transitive fanin of t (inclusive).
-func (l *labeler) collectCone(t *subject.Node) {
+func (l *labeler) collectCone(t subject.Node) {
+	g := l.g
 	l.epoch++
 	l.cone = l.cone[:0]
 	stack := append(l.cone[:0:0], t) // small local stack
-	l.seen[t.ID] = l.epoch
+	l.seen[t] = l.epoch
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		l.cone = append(l.cone, n)
-		for _, fi := range n.Fanins() {
-			if l.seen[fi.ID] != l.epoch {
-				l.seen[fi.ID] = l.epoch
+		fis, k := g.Fanins(n)
+		for i := 0; i < k; i++ {
+			fi := fis[i]
+			if l.seen[fi] != l.epoch {
+				l.seen[fi] = l.epoch
 				stack = append(stack, fi)
 			}
 		}
@@ -143,23 +150,24 @@ func (l *labeler) collectCone(t *subject.Node) {
 }
 
 // labelNode computes label(t) and the stored cut.
-func (l *labeler) labelNode(t *subject.Node) (int, []*subject.Node) {
-	k, labels := l.k, l.labels
+func (l *labeler) labelNode(t subject.Node) (int, []subject.Node) {
+	g, k, labels := l.g, l.k, l.labels
 	l.collectCone(t)
 	p := 0
-	for _, fi := range t.Fanins() {
-		if labels[fi.ID] > p {
-			p = labels[fi.ID]
+	tfis, tk := g.Fanins(t)
+	for i := 0; i < tk; i++ {
+		if labels[tfis[i]] > p {
+			p = labels[tfis[i]]
 		}
 	}
-	fanins := append([]*subject.Node(nil), t.Fanins()...)
+	fanins := append([]subject.Node(nil), tfis[:tk]...)
 	if p == 0 {
 		// All cone inputs are primary inputs with label 0; any cut
 		// yields depth 1. Prefer the whole PI support if k-feasible
 		// (maximally wide LUT), else the fanins.
-		var pis []*subject.Node
+		var pis []subject.Node
 		for _, n := range l.cone {
-			if n.Kind == subject.PI {
+			if g.KindOf(n) == subject.PI {
 				pis = append(pis, n)
 			}
 		}
@@ -175,35 +183,37 @@ func (l *labeler) labelNode(t *subject.Node) (int, []*subject.Node) {
 	fg := l.fg
 	fg.Reset(2)
 	const source, sink = 0, 1
-	collapsed := func(n *subject.Node) bool { return n == t || labels[n.ID] == p }
+	collapsed := func(n subject.Node) bool { return n == t || labels[n] == p }
 	for _, n := range l.cone {
 		if collapsed(n) {
 			continue
 		}
 		in := fg.AddNode()
 		out := fg.AddNode()
-		l.inID[n.ID], l.outID[n.ID] = int32(in), int32(out)
+		l.inID[n], l.outID[n] = int32(in), int32(out)
 		mustEdge(fg, in, out, 1)
-		if n.Kind == subject.PI {
+		if g.KindOf(n) == subject.PI {
 			mustEdge(fg, source, in, maxflow.Inf)
 		}
 	}
 	for _, n := range l.cone {
-		if n.Kind == subject.PI {
+		if g.KindOf(n) == subject.PI {
 			continue
 		}
-		for _, fi := range n.Fanins() {
+		fis, kf := g.Fanins(n)
+		for i := 0; i < kf; i++ {
+			fi := fis[i]
 			// Edge fi -> n within the cone.
 			if collapsed(fi) {
 				// fi collapsed implies n collapsed (labels are
 				// monotone along edges); no edge needed.
 				continue
 			}
-			from := int(l.outID[fi.ID])
+			from := int(l.outID[fi])
 			if collapsed(n) {
 				mustEdge(fg, from, sink, maxflow.Inf)
 			} else {
-				mustEdge(fg, from, int(l.inID[n.ID]), maxflow.Inf)
+				mustEdge(fg, from, int(l.inID[n]), maxflow.Inf)
 			}
 		}
 	}
@@ -213,12 +223,12 @@ func (l *labeler) labelNode(t *subject.Node) (int, []*subject.Node) {
 	}
 	// Extract the cut: nodes whose split edge crosses the source side.
 	side := fg.SourceSide(source)
-	var cut []*subject.Node
+	var cut []subject.Node
 	for _, n := range l.cone {
 		if collapsed(n) {
 			continue
 		}
-		if side[int(l.inID[n.ID])] && !side[int(l.outID[n.ID])] {
+		if side[int(l.inID[n])] && !side[int(l.outID[n])] {
 			cut = append(cut, n)
 		}
 	}
@@ -236,9 +246,9 @@ func mustEdge(fg *maxflow.Graph, u, v, cap int) {
 	}
 }
 
-func sortByID(nodes []*subject.Node) {
+func sortByID(nodes []subject.Node) {
 	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && nodes[j].ID < nodes[j-1].ID; j-- {
+		for j := i; j > 0 && nodes[j] < nodes[j-1]; j-- {
 			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
 		}
 	}
@@ -247,25 +257,25 @@ func sortByID(nodes []*subject.Node) {
 // construct builds the LUT network from the stored cuts, walking back
 // from the outputs (§2: intermediate nodes are duplicated in an
 // optimal way automatically).
-func construct(g *subject.Graph, cuts [][]*subject.Node) (*network.Network, int, error) {
+func construct(g *subject.Graph, cuts [][]subject.Node) (*network.Network, int, error) {
 	nw := network.New(g.Name + "_luts")
 	for _, pi := range g.PIs {
-		if _, err := nw.AddInput(pi.Name); err != nil {
+		if _, err := nw.AddInput(g.NameOf(pi)); err != nil {
 			return nil, 0, err
 		}
 	}
 	used := map[string]bool{}
 	for _, pi := range g.PIs {
-		used[pi.Name] = true
+		used[g.NameOf(pi)] = true
 	}
-	portOf := map[*subject.Node]string{}
+	portOf := map[subject.Node]string{}
 	for _, o := range g.Outputs {
 		if _, taken := portOf[o.Node]; !taken && !used[o.Name] {
 			portOf[o.Node] = o.Name
 			used[o.Name] = true
 		}
 	}
-	names := map[*subject.Node]string{}
+	names := map[subject.Node]string{}
 	ctr := 0
 	fresh := func() string {
 		for {
@@ -278,17 +288,17 @@ func construct(g *subject.Graph, cuts [][]*subject.Node) (*network.Network, int,
 		}
 	}
 	luts := 0
-	var emit func(n *subject.Node) (string, error)
-	emit = func(n *subject.Node) (string, error) {
+	var emit func(n subject.Node) (string, error)
+	emit = func(n subject.Node) (string, error) {
 		if name, ok := names[n]; ok {
 			return name, nil
 		}
-		if n.Kind == subject.PI {
-			names[n] = n.Name
-			return n.Name, nil
+		if g.KindOf(n) == subject.PI {
+			names[n] = g.NameOf(n)
+			return names[n], nil
 		}
-		cut := cuts[n.ID]
-		boundary := map[*subject.Node]string{}
+		cut := cuts[n]
+		boundary := map[subject.Node]string{}
 		var fanins []string
 		for _, c := range cut {
 			cn, err := emit(c)
@@ -298,7 +308,7 @@ func construct(g *subject.Graph, cuts [][]*subject.Node) (*network.Network, int,
 			boundary[c] = cn
 			fanins = append(fanins, cn)
 		}
-		fn, err := subject.Expr(n, boundary)
+		fn, err := subject.Expr(g, n, boundary)
 		if err != nil {
 			return "", err
 		}
@@ -345,18 +355,20 @@ func Check(g *subject.Graph, res *Result, k int) error {
 			return fmt.Errorf("flowmap: LUT %q has %d inputs > k=%d", n.Name, len(n.Fanins), k)
 		}
 	}
-	for _, n := range g.Nodes {
-		l := res.Labels[n.ID]
-		if n.Kind == subject.PI {
+	for i := 0; i < g.NumNodes(); i++ {
+		n := subject.Node(i)
+		l := res.Labels[i]
+		if g.KindOf(n) == subject.PI {
 			if l != 0 {
 				return fmt.Errorf("flowmap: PI %v labeled %d", n, l)
 			}
 			continue
 		}
 		p := 0
-		for _, fi := range n.Fanins() {
-			if res.Labels[fi.ID] > p {
-				p = res.Labels[fi.ID]
+		fis, k2 := g.Fanins(n)
+		for j := 0; j < k2; j++ {
+			if res.Labels[fis[j]] > p {
+				p = res.Labels[fis[j]]
 			}
 		}
 		if l != p && l != p+1 {

@@ -148,12 +148,13 @@ func TestDepthMonotoneInK(t *testing.T) {
 // bruteLabels computes optimal depth labels by explicit k-feasible cut
 // enumeration — exponential, for small graphs only.
 func bruteLabels(g *subject.Graph, k int) []int {
-	labels := make([]int, len(g.Nodes))
-	cutsets := make([][][]*subject.Node, len(g.Nodes))
-	key := func(c []*subject.Node) string {
+	nn := g.NumNodes()
+	labels := make([]int, nn)
+	cutsets := make([][][]subject.Node, nn)
+	key := func(c []subject.Node) string {
 		ids := make([]int, len(c))
 		for i, n := range c {
-			ids[i] = n.ID
+			ids[i] = int(n)
 		}
 		sort.Ints(ids)
 		var b strings.Builder
@@ -162,10 +163,10 @@ func bruteLabels(g *subject.Graph, k int) []int {
 		}
 		return b.String()
 	}
-	merge := func(a, b []*subject.Node) []*subject.Node {
-		seen := map[*subject.Node]bool{}
-		var out []*subject.Node
-		for _, n := range append(append([]*subject.Node{}, a...), b...) {
+	merge := func(a, b []subject.Node) []subject.Node {
+		seen := map[subject.Node]bool{}
+		var out []subject.Node
+		for _, n := range append(append([]subject.Node{}, a...), b...) {
 			if !seen[n] {
 				seen[n] = true
 				out = append(out, n)
@@ -173,16 +174,17 @@ func bruteLabels(g *subject.Graph, k int) []int {
 		}
 		return out
 	}
-	for _, n := range g.Nodes {
-		if n.Kind == subject.PI {
-			labels[n.ID] = 0
-			cutsets[n.ID] = [][]*subject.Node{{n}}
+	for i := 0; i < nn; i++ {
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
+			labels[i] = 0
+			cutsets[i] = [][]subject.Node{{n}}
 			continue
 		}
 		// All k-feasible cuts: products of fanin cutsets.
-		var all [][]*subject.Node
+		var all [][]subject.Node
 		seen := map[string]bool{}
-		addCut := func(c []*subject.Node) {
+		addCut := func(c []subject.Node) {
 			if len(c) > k {
 				return
 			}
@@ -192,14 +194,14 @@ func bruteLabels(g *subject.Graph, k int) []int {
 				all = append(all, c)
 			}
 		}
-		switch n.NumFanins() {
+		switch g.NumFanins(n) {
 		case 1:
-			for _, c := range cutsets[n.Fanin[0].ID] {
+			for _, c := range cutsets[g.Fanin0(n)] {
 				addCut(c)
 			}
 		case 2:
-			for _, c1 := range cutsets[n.Fanin[0].ID] {
-				for _, c2 := range cutsets[n.Fanin[1].ID] {
+			for _, c1 := range cutsets[g.Fanin0(n)] {
+				for _, c2 := range cutsets[g.Fanin1(n)] {
 					addCut(merge(c1, c2))
 				}
 			}
@@ -208,17 +210,17 @@ func bruteLabels(g *subject.Graph, k int) []int {
 		for _, c := range all {
 			h := 0
 			for _, x := range c {
-				if labels[x.ID] > h {
-					h = labels[x.ID]
+				if labels[x] > h {
+					h = labels[x]
 				}
 			}
 			if h+1 < best {
 				best = h + 1
 			}
 		}
-		labels[n.ID] = best
+		labels[i] = best
 		// The node's cutset: all cuts plus the trivial {n}.
-		cutsets[n.ID] = append(all, []*subject.Node{n})
+		cutsets[i] = append(all, []subject.Node{n})
 	}
 	return labels
 }
@@ -239,10 +241,10 @@ func TestLabelsOptimal(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := bruteLabels(g, k)
-			for _, n := range g.Nodes {
-				if res.Labels[n.ID] != want[n.ID] {
+			for i := 0; i < g.NumNodes(); i++ {
+				if res.Labels[i] != want[i] {
 					t.Errorf("trial %d k=%d node %v: FlowMap label %d, optimal %d",
-						trial, k, n, res.Labels[n.ID], want[n.ID])
+						trial, k, subject.Node(i), res.Labels[i], want[i])
 				}
 			}
 		}

@@ -259,6 +259,13 @@ func (n *Netlist) Summary(dm genlib.DelayModel) string {
 }
 
 // Builder incrementally constructs a valid netlist.
+//
+// Net-name bookkeeping is deliberately O(explicit names), not O(nets):
+// the used map records only names the caller chose (inputs, reserved
+// ports, NameNet claims), while FreshNet's generated "w<k>" names are
+// covered by the monotone counter — isGenerated tells whether a name
+// collides with an already-issued one. A million-cell netlist thus
+// costs the builder a few hundred map entries instead of millions.
 type Builder struct {
 	n    *Netlist
 	used map[string]bool
@@ -270,9 +277,35 @@ func NewBuilder(name string) *Builder {
 	return &Builder{n: &Netlist{Name: name}, used: map[string]bool{}}
 }
 
+// isGenerated reports whether name matches a "w<k>" net FreshNet has
+// already handed out (k < ctr, canonical decimal form).
+func (b *Builder) isGenerated(name string) bool {
+	if len(name) < 2 || name[0] != 'w' || b.ctr == 0 {
+		return false
+	}
+	k := 0
+	for i := 1; i < len(name); i++ {
+		d := name[i]
+		if d < '0' || d > '9' {
+			return false
+		}
+		if i == 1 && d == '0' && len(name) > 2 {
+			return false // "w007" is not a canonical counter name
+		}
+		k = k*10 + int(d-'0')
+		if k >= b.ctr {
+			return false
+		}
+	}
+	return true
+}
+
+// taken reports whether name is already claimed by any party.
+func (b *Builder) taken(name string) bool { return b.used[name] || b.isGenerated(name) }
+
 // AddInput declares a primary-input net.
 func (b *Builder) AddInput(name string) error {
-	if b.used[name] {
+	if b.taken(name) {
 		return fmt.Errorf("mapping: net %q already exists", name)
 	}
 	b.used[name] = true
@@ -290,7 +323,6 @@ func (b *Builder) FreshNet() string {
 		name := fmt.Sprintf("w%d", b.ctr)
 		b.ctr++
 		if !b.used[name] {
-			b.used[name] = true
 			return name
 		}
 	}
@@ -299,7 +331,7 @@ func (b *Builder) FreshNet() string {
 // NameNet returns name if it is still free (and claims it), otherwise
 // a fresh net.
 func (b *Builder) NameNet(name string) string {
-	if name != "" && !b.used[name] {
+	if name != "" && !b.taken(name) {
 		b.used[name] = true
 		return name
 	}
@@ -316,7 +348,9 @@ func (b *Builder) AddCell(g *genlib.Gate, inputs []string, output string) *Cell 
 		Inputs: append([]string(nil), inputs...),
 		Output: output,
 	}
-	b.used[output] = true
+	if !b.isGenerated(output) {
+		b.used[output] = true
+	}
 	b.n.Cells = append(b.n.Cells, c)
 	return c
 }
@@ -329,6 +363,13 @@ func (b *Builder) MarkOutput(port, net string) {
 // Netlist validates and returns the built netlist. Cells are sorted
 // topologically if they were not added in order.
 func (b *Builder) Netlist() (*Netlist, error) {
+	// Fast path: cells added driver-before-user (the mapper's emit
+	// order) pass Check directly — it verifies exactly that plus
+	// driver uniqueness in one map instead of the three the sort
+	// needs. Only an out-of-order build pays for the full sort.
+	if err := b.n.Check(); err == nil {
+		return b.n, nil
+	}
 	if err := b.topoSortCells(); err != nil {
 		return nil, err
 	}

@@ -12,13 +12,14 @@ import (
 
 // matchSet collects the canonical signatures of all matches at every
 // node of a graph, per node, in yield order.
-func matchSet(m *Matcher, nodes []*subject.Node, class Class) [][]string {
-	out := make([][]string, len(nodes))
-	for i, n := range nodes {
-		if n.Kind == subject.PI {
+func matchSet(m *Matcher, g *subject.Graph, class Class) [][]string {
+	out := make([][]string, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
 			continue
 		}
-		for _, mt := range m.AllMatches(n, class) {
+		for _, mt := range m.AllMatches(g, n, class) {
 			out[i] = append(out[i], signature(mt))
 		}
 	}
@@ -54,8 +55,8 @@ func TestSignatureIndexEquivalence(t *testing.T) {
 		g, _ := randomSubject(rng, 4+rng.Intn(4), 30+rng.Intn(40))
 		for _, class := range []Class{Exact, Standard, Extended} {
 			i0, f0 := indexed.PatternsTried(), full.PatternsTried()
-			a := matchSet(indexed, g.Nodes, class)
-			b := matchSet(full, g.Nodes, class)
+			a := matchSet(indexed, g, class)
+			b := matchSet(full, g, class)
 			if !equalSets(a, b) {
 				t.Fatalf("trial %d class %v: indexed and full enumerations differ", trial, class)
 			}
@@ -86,8 +87,8 @@ func TestSignatureIndexDisabledUnderChoices(t *testing.T) {
 	full := NewMatcher(pats, WithoutSignatureIndex())
 	full.SetChoices(ch)
 	top := g.Not(n1)
-	am := indexed.AllMatches(top, Standard)
-	bm := full.AllMatches(top, Standard)
+	am := indexed.AllMatches(g, top, Standard)
+	bm := full.AllMatches(g, top, Standard)
 	if len(am) != len(bm) {
 		t.Fatalf("choice enumeration differs: %d vs %d matches", len(am), len(bm))
 	}
@@ -106,7 +107,7 @@ func TestCloneConcurrentEnumeration(t *testing.T) {
 	parent := NewMatcher(pats)
 	rng := rand.New(rand.NewSource(11))
 	g, _ := randomSubject(rng, 6, 120)
-	want := matchSet(parent, g.Nodes, Standard)
+	want := matchSet(parent, g, Standard)
 
 	const clones = 4
 	got := make([][][]string, clones)
@@ -115,7 +116,7 @@ func TestCloneConcurrentEnumeration(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i] = matchSet(parent.Clone(), g.Nodes, Standard)
+			got[i] = matchSet(parent.Clone(), g, Standard)
 		}(i)
 	}
 	wg.Wait()
@@ -134,7 +135,7 @@ func TestClonePatternsTriedIndependent(t *testing.T) {
 	a, _ := g.AddPI("a")
 	b, _ := g.AddPI("b")
 	n := g.Nand(a, b)
-	m.AllMatches(n, Standard)
+	m.AllMatches(g, n, Standard)
 	if m.PatternsTried() == 0 {
 		t.Fatal("parent counted no pattern trials")
 	}
@@ -142,7 +143,7 @@ func TestClonePatternsTriedIndependent(t *testing.T) {
 	if c.PatternsTried() != 0 {
 		t.Errorf("clone starts with %d trials, want 0", c.PatternsTried())
 	}
-	c.AllMatches(n, Standard)
+	c.AllMatches(g, n, Standard)
 	if c.PatternsTried() != m.PatternsTried() {
 		t.Errorf("clone tried %d, parent %d — same work should count the same",
 			c.PatternsTried(), m.PatternsTried())

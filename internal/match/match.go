@@ -52,12 +52,12 @@ func (c Class) String() string {
 // Match is one successful embedding of a pattern at a subject node.
 type Match struct {
 	Pattern *subject.Pattern
-	Root    *subject.Node
+	Root    subject.Node
 	// Leaves[i] is the subject node feeding gate pin i.
-	Leaves []*subject.Node
+	Leaves []subject.Node
 	// Covered lists the distinct subject nodes bound to internal
 	// (non-leaf) pattern nodes; Root is always among them.
-	Covered []*subject.Node
+	Covered []subject.Node
 }
 
 // Matcher enumerates matches of a fixed pattern set. A Matcher is not
@@ -66,7 +66,7 @@ type Match struct {
 type Matcher struct {
 	Patterns []*subject.Pattern
 	// shapes[k] is the shape table of pattern k, indexed by pattern
-	// node ID.
+	// node handle.
 	shapes [][]uint64
 	// prune enables symmetric-sibling pruning (default true).
 	prune bool
@@ -114,23 +114,24 @@ type Matcher struct {
 	curPatIdx int
 
 	// scratch (reused across calls; a Matcher is single-goroutine)
-	binding []*subject.Node
-	stepSub []*subject.Node
+	binding []subject.Node
+	stepSub []subject.Node
 	stepOrd []uint8
 	// registers of the in-flight enumeration
+	g            *subject.Graph
 	curPattern   *subject.Pattern
 	curPlan      *plan
 	curClass     Class
 	curInjective bool
-	curRoot      *subject.Node
+	curRoot      subject.Node
 	curOut       *Match
 	curYield     func(*Match) bool
 	// usedBy implements the one-to-one check without a map: it is
-	// indexed by subject node ID and an entry is valid only when its
-	// stamp equals the current epoch, so no clearing is needed.
-	usedBy    []*subject.Node
-	usedStamp []uint64
-	epoch     uint64
+	// indexed by subject node handle and an entry is valid only when
+	// its stamp equals the current epoch, so no clearing is needed.
+	usedBy    []subject.Node
+	usedStamp []uint32
+	epoch     uint32
 }
 
 // SetChoices enables choice-aware matching: whenever the matcher
@@ -142,8 +143,8 @@ func (m *Matcher) SetChoices(c *subject.Choices) { m.choices = c }
 func (m *Matcher) Choices() *subject.Choices { return m.choices }
 
 // alts returns the candidate subject nodes for a structural descent
-// into sn: its choice-class members, or just sn itself.
-func (m *Matcher) alts(sn *subject.Node) []*subject.Node {
+// into sn: its choice-class members, or nil.
+func (m *Matcher) alts(sn subject.Node) []subject.Node {
 	if m.choices != nil {
 		if members := m.choices.Members(sn); members != nil {
 			return members
@@ -185,8 +186,8 @@ func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 	for i, p := range patterns {
 		m.shapes[i] = patternShapes(p)
 		m.plans[i] = compilePlan(p, m.shapes[i], m.prune)
-		if len(p.Graph.Nodes) > maxNodes {
-			maxNodes = len(p.Graph.Nodes)
+		if p.Graph.NumNodes() > maxNodes {
+			maxNodes = p.Graph.NumNodes()
 		}
 		if len(m.plans[i].steps) > maxSteps {
 			maxSteps = len(m.plans[i].steps)
@@ -199,13 +200,13 @@ func NewMatcher(patterns []*subject.Pattern, opts ...Option) *Matcher {
 		m.memoOn = true
 		m.cone = subject.NewConeEncoder()
 	}
-	m.binding = make([]*subject.Node, maxNodes)
-	m.stepSub = make([]*subject.Node, maxSteps)
+	m.binding = make([]subject.Node, maxNodes)
+	m.stepSub = make([]subject.Node, maxSteps)
 	m.stepOrd = make([]uint8, maxSteps)
 	if m.index {
 		m.sigIndex = make([][]int32, subject.NumSignatures)
 		for i, p := range patterns {
-			for _, sig := range subject.PatternSignatures(p.Root) {
+			for _, sig := range subject.PatternSignatures(p.Graph, p.Root) {
 				m.sigIndex[sig] = append(m.sigIndex[sig], int32(i))
 			}
 		}
@@ -229,8 +230,8 @@ func (m *Matcher) Clone() *Matcher {
 		memo:      m.memo, // shared: clones warm one table
 		memoOn:    m.memoOn,
 		memoDepth: m.memoDepth,
-		binding:   make([]*subject.Node, len(m.binding)),
-		stepSub:   make([]*subject.Node, len(m.stepSub)),
+		binding:   make([]subject.Node, len(m.binding)),
+		stepSub:   make([]subject.Node, len(m.stepSub)),
 		stepOrd:   make([]uint8, len(m.stepOrd)),
 	}
 	if m.index {
@@ -301,7 +302,7 @@ func (m *Matcher) memoActive() bool {
 // Reset clears the matcher's mutable scratch and counters without
 // recompiling pattern plans, making it behave exactly like a fresh
 // NewMatcher/Clone: PatternsTried restarts at zero and no subject-graph
-// pointers from earlier enumerations are retained (so pooled matchers
+// references from earlier enumerations are retained (so pooled matchers
 // don't pin finished requests' graphs in memory). The compiled plans,
 // shapes and signature index are untouched. Choices set with
 // SetChoices are cleared; re-set them after Reset if needed.
@@ -312,35 +313,35 @@ func (m *Matcher) Reset() {
 	}
 	m.choices = nil
 	for i := range m.binding {
-		m.binding[i] = nil
+		m.binding[i] = subject.None
 	}
 	for i := range m.stepSub {
-		m.stepSub[i] = nil
+		m.stepSub[i] = subject.None
 	}
 	for i := range m.stepOrd {
 		m.stepOrd[i] = 0
 	}
-	// Drop the one-to-one table entirely: zero the pointers first so
-	// the retained capacity holds no references, then truncate so a
-	// zero epoch can never alias a stale stamp.
-	for i := range m.usedBy {
-		m.usedBy[i] = nil
+	// Drop the one-to-one table entirely: truncate so a zero epoch can
+	// never alias a stale stamp.
+	for i := range m.usedStamp {
+		m.usedBy[i] = subject.None
 		m.usedStamp[i] = 0
 	}
 	m.usedBy = m.usedBy[:0]
 	m.usedStamp = m.usedStamp[:0]
 	m.epoch = 0
+	m.g = nil
 	m.curPattern = nil
 	m.curPlan = nil
 	m.curClass = 0
 	m.curInjective = false
-	m.curRoot = nil
+	m.curRoot = subject.None
 	m.curOut = nil
 	m.curYield = nil
 	// The memo table itself survives Reset by design — it holds cone
-	// indices, never node pointers, so it pins no graphs and stays warm
-	// for the next request. The per-run counters and the encoder's
-	// pointer-bearing scratch do not.
+	// indices, never node references, so it pins no graphs and stays
+	// warm for the next request. The per-run counters and the encoder's
+	// graph-bearing scratch do not.
 	m.memoHits = 0
 	m.memoMisses = 0
 	m.recStream = m.recStream[:0]
@@ -356,26 +357,26 @@ func (m *Matcher) Reset() {
 }
 
 // used reports the pattern node currently bound to sn, if any.
-func (m *Matcher) used(sn *subject.Node) (*subject.Node, bool) {
-	if sn.ID >= len(m.usedBy) || m.usedStamp[sn.ID] != m.epoch {
-		return nil, false
+func (m *Matcher) used(sn subject.Node) (subject.Node, bool) {
+	if int(sn) >= len(m.usedBy) || m.usedStamp[sn] != m.epoch {
+		return subject.None, false
 	}
-	return m.usedBy[sn.ID], true
+	return m.usedBy[sn], true
 }
 
-func (m *Matcher) setUsed(sn, pn *subject.Node) {
-	if sn.ID >= len(m.usedBy) {
-		grow := sn.ID + 1 - len(m.usedBy)
-		m.usedBy = append(m.usedBy, make([]*subject.Node, grow)...)
-		m.usedStamp = append(m.usedStamp, make([]uint64, grow)...)
+func (m *Matcher) setUsed(sn, pn subject.Node) {
+	if int(sn) >= len(m.usedBy) {
+		grow := int(sn) + 1 - len(m.usedBy)
+		m.usedBy = append(m.usedBy, make([]subject.Node, grow)...)
+		m.usedStamp = append(m.usedStamp, make([]uint32, grow)...)
 	}
-	m.usedBy[sn.ID] = pn
-	m.usedStamp[sn.ID] = m.epoch
+	m.usedBy[sn] = pn
+	m.usedStamp[sn] = m.epoch
 }
 
-func (m *Matcher) clearUsed(sn *subject.Node) {
-	if sn.ID < len(m.usedStamp) {
-		m.usedStamp[sn.ID] = 0
+func (m *Matcher) clearUsed(sn subject.Node) {
+	if int(sn) < len(m.usedStamp) {
+		m.usedStamp[sn] = 0
 	}
 }
 
@@ -388,24 +389,26 @@ func (m *Matcher) clearUsed(sn *subject.Node) {
 // is sound — only when every shared node maps to itself, which equal
 // shapes then guarantee.
 func patternShapes(p *subject.Pattern) []uint64 {
-	sh := make([]uint64, len(p.Graph.Nodes))
-	for _, n := range p.Graph.Nodes { // topological order
-		switch n.Kind {
+	pg := p.Graph
+	sh := make([]uint64, pg.NumNodes())
+	for i := 0; i < pg.NumNodes(); i++ { // topological order
+		n := subject.Node(i)
+		switch pg.KindOf(n) {
 		case subject.PI:
-			pin := p.LeafPin[n]
+			pin := p.LeafPin(n)
 			d := p.Gate.Pins[pin].Intrinsic()
-			sh[n.ID] = mix(0x9e3779b97f4a7c15, math.Float64bits(d))
+			sh[n] = mix(0x9e3779b97f4a7c15, math.Float64bits(d))
 		case subject.Inv:
-			sh[n.ID] = mix(0x85ebca6b3c6ef372, sh[n.Fanin[0].ID])
+			sh[n] = mix(0x85ebca6b3c6ef372, sh[pg.Fanin0(n)])
 		case subject.Nand2:
-			a, b := sh[n.Fanin[0].ID], sh[n.Fanin[1].ID]
+			a, b := sh[pg.Fanin0(n)], sh[pg.Fanin1(n)]
 			if a > b {
 				a, b = b, a
 			}
-			sh[n.ID] = mix(mix(0xc2b2ae3d27d4eb4f, a), b)
+			sh[n] = mix(mix(0xc2b2ae3d27d4eb4f, a), b)
 		}
-		if len(n.Fanouts) >= 2 {
-			sh[n.ID] = mix(sh[n.ID], uint64(n.ID)+0xdeadbeef)
+		if pg.FanoutCount(n) >= 2 {
+			sh[n] = mix(sh[n], uint64(n)+0xdeadbeef)
 		}
 	}
 	return sh
@@ -419,13 +422,14 @@ func mix(h, v uint64) uint64 {
 }
 
 // Enumerate calls yield for every match of every pattern rooted at
-// root under the given class. The *Match passed to yield is reused;
-// copy it (and its slices) if retained. Enumeration stops early when
-// yield returns false.
-func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) bool) {
-	if root.Kind == subject.PI {
+// root (a node of subject graph g) under the given class. The *Match
+// passed to yield is reused; copy it (and its slices) if retained.
+// Enumeration stops early when yield returns false.
+func (m *Matcher) Enumerate(g *subject.Graph, root subject.Node, class Class, yield func(*Match) bool) {
+	if g.KindOf(root) == subject.PI {
 		return
 	}
+	m.g = g
 	out := &Match{Root: root}
 	if m.memoActive() {
 		m.enumerateMemo(root, class, out, yield)
@@ -437,13 +441,13 @@ func (m *Matcher) Enumerate(root *subject.Node, class Class, yield func(*Match) 
 // enumerateWalk is the uncached enumeration. It reports whether the
 // enumeration ran to completion (false when yield stopped it early) —
 // the recording path must not insert a truncated recipe list.
-func (m *Matcher) enumerateWalk(root *subject.Node, class Class, out *Match, yield func(*Match) bool) bool {
+func (m *Matcher) enumerateWalk(root subject.Node, class Class, out *Match, yield func(*Match) bool) bool {
 	// The signature index is sound only for purely structural descent:
 	// with choices, a child position may bind a class member whose
 	// local shape differs from the child's, so fall back to the full
 	// root-kind scan.
 	if m.index && m.choices == nil {
-		sig := subject.Signature(root)
+		sig := subject.Signature(m.g, root)
 		for _, k := range m.sigIndex[sig] {
 			m.tried++
 			m.bucketTried[sig]++
@@ -453,8 +457,9 @@ func (m *Matcher) enumerateWalk(root *subject.Node, class Class, out *Match, yie
 		}
 		return true
 	}
+	rootKind := m.g.KindOf(root)
 	for k, p := range m.Patterns {
-		if p.Root.Kind != root.Kind {
+		if p.Graph.KindOf(p.Root) != rootKind {
 			continue
 		}
 		m.tried++
@@ -480,15 +485,15 @@ func memoKeyTag(class Class, index bool) byte {
 // enumerateMemo is the memoized enumeration: compute the root's cone
 // key, replay the recorded recipes on a hit, or run and record the
 // ordinary walk on a miss.
-func (m *Matcher) enumerateMemo(root *subject.Node, class Class, out *Match, yield func(*Match) bool) {
-	key, nodes := m.cone.Encode(root, m.memoDepth, class == Exact, memoKeyTag(class, m.index))
+func (m *Matcher) enumerateMemo(root subject.Node, class Class, out *Match, yield func(*Match) bool) {
+	key, nodes := m.cone.Encode(m.g, root, m.memoDepth, class == Exact, memoKeyTag(class, m.index))
 	if stream, tried, ok := m.memo.lookup(key); ok {
 		m.memoHits++
 		m.tried += tried
 		if m.index && m.bucketTried != nil {
 			// Attribute the skipped plans to the root's signature bucket
 			// exactly as the walk would have.
-			m.bucketTried[subject.Signature(root)] += uint32(tried)
+			m.bucketTried[subject.Signature(m.g, root)] += uint32(tried)
 		}
 		m.replay(stream, nodes, out, yield)
 		return
@@ -508,7 +513,7 @@ func (m *Matcher) enumerateMemo(root *subject.Node, class Class, out *Match, yie
 // replay resolves a recorded recipe stream against the current cone's
 // nodes and yields the matches in recorded (= fresh enumeration)
 // order.
-func (m *Matcher) replay(stream []int32, nodes []*subject.Node, out *Match, yield func(*Match) bool) {
+func (m *Matcher) replay(stream []int32, nodes []subject.Node, out *Match, yield func(*Match) bool) {
 	for i := 0; i < len(stream); {
 		p := m.Patterns[stream[i]]
 		nCov := int(stream[i+1])
@@ -558,14 +563,14 @@ func (m *Matcher) record(out *Match) {
 }
 
 // AllMatches collects copies of every match at root.
-func (m *Matcher) AllMatches(root *subject.Node, class Class) []*Match {
+func (m *Matcher) AllMatches(g *subject.Graph, root subject.Node, class Class) []*Match {
 	var out []*Match
-	m.Enumerate(root, class, func(mt *Match) bool {
+	m.Enumerate(g, root, class, func(mt *Match) bool {
 		cp := &Match{
 			Pattern: mt.Pattern,
 			Root:    mt.Root,
-			Leaves:  append([]*subject.Node(nil), mt.Leaves...),
-			Covered: append([]*subject.Node(nil), mt.Covered...),
+			Leaves:  append([]subject.Node(nil), mt.Leaves...),
+			Covered: append([]subject.Node(nil), mt.Covered...),
 		}
 		out = append(out, cp)
 		return true
@@ -576,7 +581,7 @@ func (m *Matcher) AllMatches(root *subject.Node, class Class) []*Match {
 // tryPattern enumerates embeddings of pattern k at subject node s by
 // running the pattern's precompiled plan with allocation-free
 // recursive backtracking. Returns false if yield requested a stop.
-func (m *Matcher) tryPattern(k int, s *subject.Node, class Class, out *Match, yield func(*Match) bool) bool {
+func (m *Matcher) tryPattern(k int, s subject.Node, class Class, out *Match, yield func(*Match) bool) bool {
 	p := m.Patterns[k]
 	m.curPattern = p
 	m.curPatIdx = k
@@ -587,6 +592,12 @@ func (m *Matcher) tryPattern(k int, s *subject.Node, class Class, out *Match, yi
 	m.curOut = out
 	m.curYield = yield
 	m.epoch++
+	if m.epoch == 0 {
+		// Stamp wrap: everything stamped in the previous 2^32-1 epochs
+		// must stop looking current.
+		clear(m.usedStamp)
+		m.epoch = 1
+	}
 	return m.matchStep(0)
 }
 
@@ -598,7 +609,9 @@ func (m *Matcher) matchStep(pi int) bool {
 		return m.complete()
 	}
 	st := &steps[pi]
-	var base *subject.Node
+	g := m.g
+	pg := m.curPattern.Graph
+	var base subject.Node
 	rootStep := st.parent < 0
 	if rootStep {
 		base = m.curRoot
@@ -608,25 +621,26 @@ func (m *Matcher) matchStep(pi int) bool {
 		if m.stepOrd[st.parent] == 1 {
 			slot ^= 1
 		}
-		base = ps.Fanin[slot]
+		base = g.Fanin(ps, slot)
 	}
 	// Choice alternatives apply to descents only: the root binds the
 	// node it was asked about (alternatives are realized through the
 	// mapper's per-class label merging).
-	var cands []*subject.Node
+	var cands []subject.Node
 	if !rootStep {
 		cands = m.alts(base)
 	}
-	single := [1]*subject.Node{base}
+	single := [1]subject.Node{base}
 	if cands == nil {
 		cands = single[:]
 	}
 	pn := st.pn
+	pnKind := pg.KindOf(pn)
 	for _, cand := range cands {
 		if !st.first {
 			// Shared DAG pattern node: must agree with the earlier
 			// binding; no descent (its subtree was matched then).
-			if m.binding[pn.ID] != cand {
+			if m.binding[pn] != cand {
 				continue
 			}
 			if !m.matchStep(pi + 1) {
@@ -634,13 +648,13 @@ func (m *Matcher) matchStep(pi int) bool {
 			}
 			continue
 		}
-		if pn.Kind != subject.PI {
-			if pn.Kind != cand.Kind {
+		if pnKind != subject.PI {
+			if pnKind != g.KindOf(cand) {
 				continue
 			}
 			// Definition 2: internally covered nodes keep their
 			// fanout count (the root, parent < 0, is exempt).
-			if m.curClass == Exact && st.parent >= 0 && len(cand.Fanouts) != st.patFanouts {
+			if m.curClass == Exact && st.parent >= 0 && g.FanoutCount(cand) != st.patFanouts {
 				continue
 			}
 		}
@@ -650,10 +664,10 @@ func (m *Matcher) matchStep(pi int) bool {
 			}
 			m.setUsed(cand, pn)
 		}
-		m.binding[pn.ID] = cand
+		m.binding[pn] = cand
 		m.stepSub[pi] = cand
 		orders := 1
-		if pn.Kind == subject.Nand2 && st.swap && cand.Fanin[0] != cand.Fanin[1] {
+		if pnKind == subject.Nand2 && st.swap && g.Fanin0(cand) != g.Fanin1(cand) {
 			orders = 2
 		}
 		ok := true
@@ -661,7 +675,7 @@ func (m *Matcher) matchStep(pi int) bool {
 			m.stepOrd[pi] = uint8(o)
 			ok = m.matchStep(pi + 1)
 		}
-		m.binding[pn.ID] = nil
+		m.binding[pn] = subject.None
 		if m.curInjective {
 			m.clearUsed(cand)
 		}
@@ -675,21 +689,20 @@ func (m *Matcher) matchStep(pi int) bool {
 // complete assembles the current binding into a Match and yields it.
 func (m *Matcher) complete() bool {
 	p := m.curPattern
+	pg := p.Graph
 	out := m.curOut
 	out.Pattern = p
 	out.Leaves = out.Leaves[:0]
 	out.Covered = out.Covered[:0]
-	for leaf, pin := range p.LeafPin {
-		for len(out.Leaves) <= pin {
-			out.Leaves = append(out.Leaves, nil)
-		}
-		out.Leaves[pin] = m.binding[leaf.ID]
+	for _, leaf := range p.PinLeaf { // pin order
+		out.Leaves = append(out.Leaves, m.binding[leaf])
 	}
-	for _, n := range p.Graph.Nodes {
-		if n.Kind == subject.PI {
+	for i := 0; i < pg.NumNodes(); i++ {
+		n := subject.Node(i)
+		if pg.KindOf(n) == subject.PI {
 			continue
 		}
-		b := m.binding[n.ID]
+		b := m.binding[n]
 		dup := false
 		for _, c := range out.Covered {
 			if c == b {
@@ -720,11 +733,11 @@ func Verify(mt *Match, class Class) error {
 		return fmt.Errorf("match: %d leaves for %d pins", len(mt.Leaves), p.Gate.NumInputs())
 	}
 	for i, l := range mt.Leaves {
-		if l == nil {
+		if l == subject.None {
 			return fmt.Errorf("match: pin %d unbound", i)
 		}
 	}
-	if len(mt.Covered) == 0 || mt.Covered[0] == nil {
+	if len(mt.Covered) == 0 || mt.Covered[0] == subject.None {
 		return fmt.Errorf("match: no covered nodes")
 	}
 	found := false

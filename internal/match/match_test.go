@@ -30,7 +30,7 @@ func TestNandAndInvMatch(t *testing.T) {
 	n := g.Nand(a, b)
 	i := g.Not(n)
 
-	matches := m.AllMatches(n, Standard)
+	matches := m.AllMatches(g, n, Standard)
 	if len(matches) == 0 {
 		t.Fatal("no matches at NAND node")
 	}
@@ -41,7 +41,7 @@ func TestNandAndInvMatch(t *testing.T) {
 			if len(mt.Leaves) != 2 {
 				t.Fatalf("nand2 leaves = %v", mt.Leaves)
 			}
-			got := map[*subject.Node]bool{mt.Leaves[0]: true, mt.Leaves[1]: true}
+			got := map[subject.Node]bool{mt.Leaves[0]: true, mt.Leaves[1]: true}
 			if !got[a] || !got[b] {
 				t.Errorf("nand2 leaves = %v, want {a,b}", mt.Leaves)
 			}
@@ -51,7 +51,7 @@ func TestNandAndInvMatch(t *testing.T) {
 		t.Error("nand2 gate did not match a NAND node")
 	}
 
-	matches = m.AllMatches(i, Standard)
+	matches = m.AllMatches(g, i, Standard)
 	names := map[string]bool{}
 	for _, mt := range matches {
 		names[mt.Pattern.Gate.Name] = true
@@ -62,7 +62,7 @@ func TestNandAndInvMatch(t *testing.T) {
 		t.Errorf("matches at inverter = %v, missing inv", names)
 	}
 	// No matches at a PI.
-	if ms := m.AllMatches(a, Standard); len(ms) != 0 {
+	if ms := m.AllMatches(g, a, Standard); len(ms) != 0 {
 		t.Errorf("matches at PI: %d", len(ms))
 	}
 }
@@ -75,12 +75,12 @@ func TestAOIMatchStructure(t *testing.T) {
 	x, _ := g.AddPI("x")
 	y, _ := g.AddPI("y")
 	z, _ := g.AddPI("z")
-	root, err := g.Build(logic.MustParse("!(x*y+z)"), map[string]*subject.Node{"x": x, "y": y, "z": z})
+	root, err := g.Build(logic.MustParse("!(x*y+z)"), map[string]subject.Node{"x": x, "y": y, "z": z})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var aoi *Match
-	for _, mt := range m.AllMatches(root, Standard) {
+	for _, mt := range m.AllMatches(g, root, Standard) {
 		if mt.Pattern.Gate.Name == "aoi21" {
 			aoi = mt
 			break
@@ -91,11 +91,11 @@ func TestAOIMatchStructure(t *testing.T) {
 	}
 	// Pins a,b -> {x,y}; pin c -> z.
 	gate := aoi.Pattern.Gate
-	pinOf := func(name string) *subject.Node { return aoi.Leaves[gate.PinIndex(name)] }
+	pinOf := func(name string) subject.Node { return aoi.Leaves[gate.PinIndex(name)] }
 	if pinOf("c") != z {
 		t.Errorf("pin c bound to %v, want z", pinOf("c"))
 	}
-	ab := map[*subject.Node]bool{pinOf("a"): true, pinOf("b"): true}
+	ab := map[subject.Node]bool{pinOf("a"): true, pinOf("b"): true}
 	if !ab[x] || !ab[y] {
 		t.Errorf("pins a,b bound to %v,%v, want {x,y}", pinOf("a"), pinOf("b"))
 	}
@@ -125,13 +125,13 @@ func TestFigure1StandardVsExtended(t *testing.T) {
 	n := sg.Nand(p, q)
 	top := sg.Nand(n, sg.Not(n))
 
-	std := m.AllMatches(top, Standard)
+	std := m.AllMatches(sg, top, Standard)
 	for _, mt := range std {
 		if mt.Pattern.Gate.Name == "andnot" {
 			t.Fatalf("standard match should not exist (one-to-one violated): %v", mt.Leaves)
 		}
 	}
-	ext := m.AllMatches(top, Extended)
+	ext := m.AllMatches(sg, top, Extended)
 	found := false
 	for _, mt := range ext {
 		if mt.Pattern.Gate.Name == "andnot" {
@@ -168,15 +168,15 @@ func TestExactVsStandardFanout(t *testing.T) {
 		}
 		return false
 	}
-	if !hasGate(m.AllMatches(and, Standard), "and2") {
+	if !hasGate(m.AllMatches(g, and, Standard), "and2") {
 		t.Error("standard match for and2 missing despite fanout")
 	}
-	if hasGate(m.AllMatches(and, Exact), "and2") {
+	if hasGate(m.AllMatches(g, and, Exact), "and2") {
 		t.Error("exact match for and2 found although nab fans out of the match")
 	}
 	// inv always matches at the INV node in both classes (nab is a
 	// leaf there, not covered).
-	if !hasGate(m.AllMatches(and, Exact), "inv") {
+	if !hasGate(m.AllMatches(g, and, Exact), "inv") {
 		t.Error("exact inv match missing")
 	}
 }
@@ -202,12 +202,12 @@ func TestXorPatternClasses(t *testing.T) {
 	g := subject.NewGraph("t", true)
 	a, _ := g.AddPI("a")
 	b, _ := g.AddPI("b")
-	root, err := g.Build(logic.MustParse("a^b"), map[string]*subject.Node{"a": a, "b": b})
+	root, err := g.Build(logic.MustParse("a^b"), map[string]subject.Node{"a": a, "b": b})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, class := range []Class{Exact, Standard, Extended} {
-		if !hasXor(m.AllMatches(root, class)) {
+		if !hasXor(m.AllMatches(g, root, class)) {
 			t.Errorf("xor2 should match a private XOR cone with class %v", class)
 		}
 	}
@@ -217,16 +217,16 @@ func TestXorPatternClasses(t *testing.T) {
 	a2, _ := g2.AddPI("a")
 	b2, _ := g2.AddPI("b")
 	c2, _ := g2.AddPI("c")
-	root2, err := g2.Build(logic.MustParse("a^b"), map[string]*subject.Node{"a": a2, "b": b2})
+	root2, err := g2.Build(logic.MustParse("a^b"), map[string]subject.Node{"a": a2, "b": b2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	side := g2.Nand(g2.Not(a2), c2) // second fanout on INV(a)
 	g2.MarkOutput("side", side)
-	if hasXor(m.AllMatches(root2, Exact)) {
+	if hasXor(m.AllMatches(g2, root2, Exact)) {
 		t.Error("exact xor2 match found although INV(a) fans out of the cover")
 	}
-	if !hasXor(m.AllMatches(root2, Standard)) {
+	if !hasXor(m.AllMatches(g2, root2, Standard)) {
 		t.Error("standard xor2 match missing despite only external fanout")
 	}
 }
@@ -240,12 +240,13 @@ func TestMatchSoundness(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		g, _ := randomSubject(rng, 4, 25)
 		checked := 0
-		for _, n := range g.Nodes {
-			if n.Kind == subject.PI {
+		for i := 0; i < g.NumNodes(); i++ {
+			n := subject.Node(i)
+			if g.KindOf(n) == subject.PI {
 				continue
 			}
 			for _, class := range []Class{Exact, Standard, Extended} {
-				for _, mt := range m.AllMatches(n, class) {
+				for _, mt := range m.AllMatches(g, n, class) {
 					if err := Verify(mt, class); err != nil {
 						t.Fatalf("trial %d: %v", trial, err)
 					}
@@ -269,11 +270,11 @@ func TestMatchSoundness(t *testing.T) {
 // value is by construction consistent with the internal node.)
 func checkMatchFunction(t *testing.T, g *subject.Graph, mt *Match) {
 	t.Helper()
-	rng := rand.New(rand.NewSource(int64(mt.Root.ID)*1315423911 + 7))
+	rng := rand.New(rand.NewSource(int64(mt.Root)*1315423911 + 7))
 	for round := 0; round < 4; round++ {
 		in := map[string]uint64{}
 		for _, pi := range g.PIs {
-			in[pi.Name] = rng.Uint64()
+			in[g.NameOf(pi)] = rng.Uint64()
 		}
 		vals, err := g.Eval(in)
 		if err != nil {
@@ -281,25 +282,25 @@ func checkMatchFunction(t *testing.T, g *subject.Graph, mt *Match) {
 		}
 		assign := map[string]uint64{}
 		for pin, leaf := range mt.Leaves {
-			assign[mt.Pattern.Gate.Pins[pin].Name] = vals[leaf.ID]
+			assign[mt.Pattern.Gate.Pins[pin].Name] = vals[leaf]
 		}
 		got := mt.Pattern.Gate.Expr.EvalBatch(assign)
-		if got != vals[mt.Root.ID] {
+		if got != vals[mt.Root] {
 			t.Fatalf("unsound match of %q at %v: gate output %x, root value %x",
-				mt.Pattern.Gate.Name, mt.Root, got, vals[mt.Root.ID])
+				mt.Pattern.Gate.Name, mt.Root, got, vals[mt.Root])
 		}
 	}
 }
 
 // randomSubject builds a random strashed subject graph.
-func randomSubject(rng *rand.Rand, nPI, nOps int) (*subject.Graph, []*subject.Node) {
+func randomSubject(rng *rand.Rand, nPI, nOps int) (*subject.Graph, []subject.Node) {
 	g := subject.NewGraph("rand", true)
-	var pool []*subject.Node
+	var pool []subject.Node
 	for i := 0; i < nPI; i++ {
 		pi, _ := g.AddPI(fmt.Sprintf("i%d", i))
 		pool = append(pool, pi)
 	}
-	for len(g.Nodes) < nPI+nOps {
+	for g.NumNodes() < nPI+nOps {
 		if rng.Intn(3) == 0 {
 			pool = append(pool, g.Not(pool[rng.Intn(len(pool))]))
 		} else {
@@ -319,12 +320,12 @@ func randomSubject(rng *rand.Rand, nPI, nOps int) (*subject.Graph, []*subject.No
 func signature(mt *Match) string {
 	var parts []string
 	for pin, leaf := range mt.Leaves {
-		parts = append(parts, fmt.Sprintf("%d@%v", leaf.ID, mt.Pattern.Gate.Pins[pin].Intrinsic()))
+		parts = append(parts, fmt.Sprintf("%d@%v", leaf, mt.Pattern.Gate.Pins[pin].Intrinsic()))
 	}
 	sort.Strings(parts)
 	var cov []string
 	for _, c := range mt.Covered {
-		cov = append(cov, fmt.Sprintf("%d", c.ID))
+		cov = append(cov, fmt.Sprintf("%d", c))
 	}
 	sort.Strings(cov)
 	return mt.Pattern.Gate.Name + "|" + strings.Join(parts, ",") + "|" + strings.Join(cov, ",")
@@ -339,14 +340,15 @@ func TestSymmetryPruningEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 10; trial++ {
 		g, _ := randomSubject(rng, 4, 30)
-		for _, n := range g.Nodes {
+		for i := 0; i < g.NumNodes(); i++ {
+			n := subject.Node(i)
 			for _, class := range []Class{Exact, Standard, Extended} {
 				a := map[string]bool{}
-				for _, mt := range pruned.AllMatches(n, class) {
+				for _, mt := range pruned.AllMatches(g, n, class) {
 					a[signature(mt)] = true
 				}
 				b := map[string]bool{}
-				for _, mt := range full.AllMatches(n, class) {
+				for _, mt := range full.AllMatches(g, n, class) {
 					b[signature(mt)] = true
 				}
 				for sig := range b {
@@ -372,7 +374,7 @@ func TestEnumerateEarlyStop(t *testing.T) {
 	c, _ := g.AddPI("c")
 	n := g.Nand(g.Not(g.Nand(a, b)), g.Not(g.Nand(b, c)))
 	count := 0
-	m.Enumerate(n, Standard, func(*Match) bool {
+	m.Enumerate(g, n, Standard, func(*Match) bool {
 		count++
 		return count < 3
 	})
@@ -388,8 +390,8 @@ func TestCloneIndependence(t *testing.T) {
 	a, _ := g.AddPI("a")
 	b, _ := g.AddPI("b")
 	n := g.Nand(a, b)
-	m1 := m.AllMatches(n, Standard)
-	m2 := c.AllMatches(n, Standard)
+	m1 := m.AllMatches(g, n, Standard)
+	m2 := c.AllMatches(g, n, Standard)
 	if len(m1) != len(m2) {
 		t.Errorf("clone found %d matches, original %d", len(m2), len(m1))
 	}
@@ -403,11 +405,11 @@ func TestTiedInputsExtendedOnly(t *testing.T) {
 	g := subject.NewGraph("t", false)
 	x, _ := g.AddPI("x")
 	n := g.Nand(x, x)
-	std := m.AllMatches(n, Standard)
+	std := m.AllMatches(g, n, Standard)
 	if len(std) != 0 {
 		t.Errorf("standard matched tied-input NAND: %v", std[0].Pattern.Gate.Name)
 	}
-	ext := m.AllMatches(n, Extended)
+	ext := m.AllMatches(g, n, Extended)
 	if len(ext) == 0 {
 		t.Error("extended match missing for tied-input NAND")
 	}

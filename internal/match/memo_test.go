@@ -41,13 +41,13 @@ func TestMemoReplayEquivalence(t *testing.T) {
 				g, _ := randomSubject(rng, 4+rng.Intn(4), 30+rng.Intn(50))
 				for _, class := range []Class{Exact, Standard, Extended} {
 					p0, m0 := plain.PatternsTried(), memo.PatternsTried()
-					want := matchSet(plain, g.Nodes, class)
-					cold := matchSet(memo, g.Nodes, class)
+					want := matchSet(plain, g, class)
+					cold := matchSet(memo, g, class)
 					if !equalSets(want, cold) {
 						t.Fatalf("trial %d class %v: cold memoized enumeration differs", trial, class)
 					}
 					coldTried := memo.PatternsTried() - m0
-					warm := matchSet(memo, g.Nodes, class)
+					warm := matchSet(memo, g, class)
 					if !equalSets(want, warm) {
 						t.Fatalf("trial %d class %v: warm memoized enumeration differs", trial, class)
 					}
@@ -68,11 +68,11 @@ func TestMemoReplayEquivalence(t *testing.T) {
 
 // coneRelative serializes a node's matches with every binding rewritten
 // to its cone index, making match lists comparable across roots.
-func coneRelative(t *testing.T, m *Matcher, e *subject.ConeEncoder, root *subject.Node, class Class) []string {
+func coneRelative(t *testing.T, m *Matcher, e *subject.ConeEncoder, g *subject.Graph, root subject.Node, class Class) []string {
 	t.Helper()
-	e.Encode(root, m.memoDepth, class == Exact, memoKeyTag(class, m.index))
+	e.Encode(g, root, m.memoDepth, class == Exact, memoKeyTag(class, m.index))
 	var out []string
-	for _, mt := range m.AllMatches(root, class) {
+	for _, mt := range m.AllMatches(g, root, class) {
 		var sb strings.Builder
 		sb.WriteString(mt.Pattern.Gate.Name)
 		for _, leaf := range mt.Leaves {
@@ -99,14 +99,15 @@ func TestMemoEqualKeysEqualMatches(t *testing.T) {
 		g, _ := randomSubject(rng, 5, 120)
 		for _, class := range []Class{Exact, Standard} {
 			e1, e2 := subject.NewConeEncoder(), subject.NewConeEncoder()
-			byKey := make(map[string]*subject.Node)
+			byKey := make(map[string]subject.Node)
 			byKeyMatches := make(map[string][]string)
-			for _, n := range g.Nodes {
-				if n.Kind == subject.PI {
+			for i := 0; i < g.NumNodes(); i++ {
+				n := subject.Node(i)
+				if g.KindOf(n) == subject.PI {
 					continue
 				}
-				key, _ := e1.Encode(n, depth, class == Exact, memoKeyTag(class, m.index))
-				ms := coneRelative(t, m, e2, n, class)
+				key, _ := e1.Encode(g, n, depth, class == Exact, memoKeyTag(class, m.index))
+				ms := coneRelative(t, m, e2, g, n, class)
 				if prev, ok := byKeyMatches[string(key)]; ok {
 					if len(prev) != len(ms) {
 						t.Fatalf("trial %d class %v: nodes %v and %v share a key but have %d vs %d matches",
@@ -134,7 +135,7 @@ func TestMemoCloneSharesTable(t *testing.T) {
 	parent := memoMatcher(t, pats, 0)
 	rng := rand.New(rand.NewSource(9))
 	g, _ := randomSubject(rng, 5, 60)
-	want := matchSet(parent, g.Nodes, Standard)
+	want := matchSet(parent, g, Standard)
 
 	clone := parent.Clone()
 	if clone.Memo() != parent.Memo() {
@@ -143,7 +144,7 @@ func TestMemoCloneSharesTable(t *testing.T) {
 	if clone.MemoHits() != 0 || clone.MemoMisses() != 0 {
 		t.Fatal("clone inherited per-matcher memo counters")
 	}
-	got := matchSet(clone, g.Nodes, Standard)
+	got := matchSet(clone, g, Standard)
 	if !equalSets(want, got) {
 		t.Fatal("clone's memoized enumeration differs from parent's")
 	}
@@ -164,8 +165,8 @@ func TestMemoEvictionBound(t *testing.T) {
 	plain := NewMatcher(pats)
 	rng := rand.New(rand.NewSource(77))
 	g, _ := randomSubject(rng, 8, 400)
-	want := matchSet(plain, g.Nodes, Standard)
-	got := matchSet(m, g.Nodes, Standard)
+	want := matchSet(plain, g, Standard)
+	got := matchSet(m, g, Standard)
 	if !equalSets(want, got) {
 		t.Fatal("enumeration under eviction pressure differs")
 	}
@@ -180,14 +181,14 @@ func TestMemoEvictionBound(t *testing.T) {
 
 // Reset clears the matcher's run state but keeps the shared table —
 // the pooled-mapper contract: a request's matcher goes back to the
-// pool holding no graph pointers, while the library's table stays
+// pool holding no graph references, while the library's table stays
 // warm for the next request.
 func TestMemoResetKeepsTable(t *testing.T) {
 	pats := compile(t, libgen.Lib441(), true)
 	m := memoMatcher(t, pats, 0)
 	rng := rand.New(rand.NewSource(13))
 	g, _ := randomSubject(rng, 4, 40)
-	matchSet(m, g.Nodes, Standard)
+	matchSet(m, g, Standard)
 	entries := m.Memo().Stats().Entries
 	if entries == 0 {
 		t.Fatal("nothing recorded before Reset")
@@ -205,7 +206,7 @@ func TestMemoResetKeepsTable(t *testing.T) {
 	// A fresh identical graph must now hit without recording anything new.
 	rng2 := rand.New(rand.NewSource(13))
 	g2, _ := randomSubject(rng2, 4, 40)
-	matchSet(m, g2.Nodes, Standard)
+	matchSet(m, g2, Standard)
 	if m.MemoMisses() != 0 {
 		t.Errorf("identical rebuilt graph missed %d times", m.MemoMisses())
 	}
@@ -220,7 +221,7 @@ func TestMemoDisable(t *testing.T) {
 	m := memoMatcher(t, pats, 0)
 	rng := rand.New(rand.NewSource(5))
 	g, _ := randomSubject(rng, 4, 30)
-	want := matchSet(m, g.Nodes, Standard)
+	want := matchSet(m, g, Standard)
 	entries := m.Memo().Stats().Entries
 	hits, misses := m.MemoHits(), m.MemoMisses()
 
@@ -228,7 +229,7 @@ func TestMemoDisable(t *testing.T) {
 	if m.MemoEnabled() {
 		t.Fatal("memo still enabled")
 	}
-	got := matchSet(m, g.Nodes, Standard)
+	got := matchSet(m, g, Standard)
 	if !equalSets(want, got) {
 		t.Fatal("memo-off enumeration differs")
 	}
@@ -255,12 +256,12 @@ func TestMemoPartialEnumerationNotRecorded(t *testing.T) {
 	c, _ := g.AddPI("c")
 	root := g.Nand(g.Nand(a, b), g.Not(c))
 	plain := NewMatcher(pats)
-	full := len(plain.AllMatches(root, Standard))
+	full := len(plain.AllMatches(g, root, Standard))
 	if full < 2 {
 		t.Skipf("need a root with >= 2 matches, got %d", full)
 	}
 	stopped := 0
-	m.Enumerate(root, Standard, func(*Match) bool {
+	m.Enumerate(g, root, Standard, func(*Match) bool {
 		stopped++
 		return false // stop after the first match
 	})
@@ -271,7 +272,7 @@ func TestMemoPartialEnumerationNotRecorded(t *testing.T) {
 		t.Fatalf("partial enumeration was recorded (%d entries)", got)
 	}
 	// The next full enumeration must record and still be complete.
-	if got := len(m.AllMatches(root, Standard)); got != full {
+	if got := len(m.AllMatches(g, root, Standard)); got != full {
 		t.Fatalf("post-stop enumeration found %d matches, want %d", got, full)
 	}
 	if got := m.Memo().Stats().Entries; got == 0 {

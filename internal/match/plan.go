@@ -7,7 +7,7 @@ import "dagcover/internal/subject"
 // binds (or re-checks, for shared DAG nodes) one pattern node against
 // a subject node determined by its parent step's binding.
 type planStep struct {
-	pn     *subject.Node
+	pn     subject.Node
 	parent int  // index of the parent step; -1 for the root
 	slot   int  // fanin slot of the parent pattern node this step fills
 	first  bool // first visit of pn (binds); otherwise agreement check
@@ -28,25 +28,27 @@ type plan struct {
 // compilePlan builds the DFS-preorder plan. shapes are the pattern's
 // shape hashes (for symmetric-sibling pruning).
 func compilePlan(p *subject.Pattern, shapes []uint64, prune bool) plan {
+	pg := p.Graph
 	var steps []planStep
-	visited := map[*subject.Node]bool{}
-	var dfs func(pn *subject.Node, parent, slot int)
-	dfs = func(pn *subject.Node, parent, slot int) {
+	visited := make([]bool, pg.NumNodes())
+	var dfs func(pn subject.Node, parent, slot int)
+	dfs = func(pn subject.Node, parent, slot int) {
 		idx := len(steps)
 		st := planStep{pn: pn, parent: parent, slot: slot, first: !visited[pn]}
 		if pn != p.Root {
-			st.patFanouts = len(pn.Fanouts)
+			st.patFanouts = pg.FanoutCount(pn)
 		}
-		if st.first && pn.Kind == subject.Nand2 {
-			st.swap = !prune || shapes[pn.Fanin[0].ID] != shapes[pn.Fanin[1].ID]
+		if st.first && pg.KindOf(pn) == subject.Nand2 {
+			st.swap = !prune || shapes[pg.Fanin0(pn)] != shapes[pg.Fanin1(pn)]
 		}
 		steps = append(steps, st)
 		if !st.first {
 			return
 		}
 		visited[pn] = true
-		for i, fi := range pn.Fanins() {
-			dfs(fi, idx, i)
+		fis, k := pg.Fanins(pn)
+		for i := 0; i < k; i++ {
+			dfs(fis[i], idx, i)
 		}
 	}
 	dfs(p.Root, -1, 0)

@@ -15,14 +15,15 @@ import (
 // byte.
 func snapshotMatches(m *Matcher, g *subject.Graph, class Class) string {
 	var sb strings.Builder
-	for _, n := range g.Nodes {
-		for _, mt := range m.AllMatches(n, class) {
-			fmt.Fprintf(&sb, "%d %s", n.ID, mt.Pattern.Gate.Name)
+	for i := 0; i < g.NumNodes(); i++ {
+		n := subject.Node(i)
+		for _, mt := range m.AllMatches(g, n, class) {
+			fmt.Fprintf(&sb, "%d %s", n, mt.Pattern.Gate.Name)
 			for _, l := range mt.Leaves {
-				fmt.Fprintf(&sb, " L%d", l.ID)
+				fmt.Fprintf(&sb, " L%d", l)
 			}
 			for _, c := range mt.Covered {
-				fmt.Fprintf(&sb, " C%d", c.ID)
+				fmt.Fprintf(&sb, " C%d", c)
 			}
 			sb.WriteByte('\n')
 		}

@@ -20,7 +20,7 @@ import (
 
 // lit is a literal in the new graph: a node plus a complement flag.
 type lit struct {
-	node *subject.Node
+	node subject.Node
 	neg  bool
 }
 
@@ -32,47 +32,79 @@ func (l lit) not() lit { return lit{l.node, !l.neg} }
 // original conjunctions.
 func Balance(g *subject.Graph) (*subject.Graph, error) {
 	out := subject.NewGraph(g.Name, true)
-	newLit := make([]lit, len(g.Nodes))
-	level := map[*subject.Node]int{}
+	nn := g.NumNodes()
+	newLit := make([]lit, nn)
+	// Levels in the NEW graph, computed lazily (the new graph grows as
+	// conjunctions materialize); -1 = not yet computed.
+	var level []int32
+	lvlOf := func(n subject.Node) int {
+		for int(n) >= len(level) {
+			level = append(level, -1)
+		}
+		if level[n] >= 0 {
+			return int(level[n])
+		}
+		// Iterative DFS over the new graph's fanins.
+		stack := []subject.Node{n}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			for int(x) >= len(level) {
+				level = append(level, -1)
+			}
+			if level[x] >= 0 {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			ready := true
+			l := int32(0)
+			fis, k := out.Fanins(x)
+			for i := 0; i < k; i++ {
+				fi := fis[i]
+				for int(fi) >= len(level) {
+					level = append(level, -1)
+				}
+				if level[fi] < 0 {
+					stack = append(stack, fi)
+					ready = false
+					continue
+				}
+				if level[fi]+1 > l {
+					l = level[fi] + 1
+				}
+			}
+			if ready {
+				level[x] = l
+				stack = stack[:len(stack)-1]
+			}
+		}
+		return int(level[n])
+	}
 
 	// Fanout pressure in the ORIGINAL graph decides what may be
 	// inlined: a conjunction feeding more than one parent (or an
 	// output) keeps its own node so sharing survives.
-	uses := make([]int, len(g.Nodes))
-	for _, n := range g.Nodes {
-		for _, fi := range n.Fanins() {
-			uses[fi.ID]++
+	uses := make([]int, nn)
+	for i := 0; i < nn; i++ {
+		fis, k := g.Fanins(subject.Node(i))
+		for j := 0; j < k; j++ {
+			uses[fis[j]]++
 		}
 	}
 	for _, o := range g.Outputs {
-		uses[o.Node.ID]++
+		uses[o.Node]++
 	}
 
-	materialize := func(l lit) *subject.Node {
+	materialize := func(l lit) subject.Node {
 		if l.neg {
 			return out.Not(l.node)
 		}
 		return l.node
 	}
-	var lvlOf func(n *subject.Node) int
-	lvlOf = func(n *subject.Node) int {
-		if l, ok := level[n]; ok {
-			return l
-		}
-		l := 0
-		for _, fi := range n.Fanins() {
-			if v := lvlOf(fi) + 1; v > l {
-				l = v
-			}
-		}
-		level[n] = l
-		return l
-	}
 
 	// buildAnd assembles a balanced conjunction of the literals,
 	// combining the two shallowest operands first (Huffman on levels).
 	buildAnd := func(ops []lit) lit {
-		nodes := make([]*subject.Node, len(ops))
+		nodes := make([]subject.Node, len(ops))
 		for i, op := range ops {
 			nodes[i] = materialize(op)
 		}
@@ -81,7 +113,7 @@ func Balance(g *subject.Graph) (*subject.Graph, error) {
 			a, b := nodes[0], nodes[1]
 			// AND(a,b) = INV(NAND(a,b)); levels resolve lazily.
 			andNode := out.Not(out.Nand(a, b))
-			nodes = append([]*subject.Node{andNode}, nodes[2:]...)
+			nodes = append([]subject.Node{andNode}, nodes[2:]...)
 		}
 		return lit{nodes[0], false}
 	}
@@ -90,23 +122,25 @@ func Balance(g *subject.Graph) (*subject.Graph, error) {
 	// at original node n (n is viewed as AND when reached through an
 	// even number of complements). Operands of single-use AND
 	// sub-nodes are inlined recursively.
-	var collect func(n *subject.Node) []lit
-	collect = func(n *subject.Node) []lit {
+	var collect func(n subject.Node) []lit
+	collect = func(n subject.Node) []lit {
 		// n must be a NAND2 node: its AND view has the two fanins as
 		// conjuncts.
 		var ops []lit
-		for _, fi := range n.Fanins() {
-			l := newLit[fi.ID]
+		fis, k := g.Fanins(n)
+		for i := 0; i < k; i++ {
+			fi := fis[i]
+			l := newLit[fi]
 			// Chase the original structure, not the new one: an
 			// original fanin that was INV(NAND(...)) with single use
 			// is an inlinable AND.
 			orig := fi
 			negs := 0
-			for orig.Kind == subject.Inv {
+			for g.KindOf(orig) == subject.Inv {
 				negs++
-				orig = orig.Fanin[0]
+				orig = g.Fanin0(orig)
 			}
-			if orig.Kind == subject.Nand2 && negs%2 == 1 && uses[fi.ID] <= 1 && uses[orig.ID] <= 1 && singleInvChain(fi, orig) {
+			if g.KindOf(orig) == subject.Nand2 && negs%2 == 1 && uses[fi] <= 1 && uses[orig] <= 1 && singleInvChain(g, fi, orig) {
 				ops = append(ops, collect(orig)...)
 				continue
 			}
@@ -115,27 +149,28 @@ func Balance(g *subject.Graph) (*subject.Graph, error) {
 		return ops
 	}
 
-	for _, n := range g.Nodes {
-		switch n.Kind {
+	for i := 0; i < nn; i++ {
+		n := subject.Node(i)
+		switch g.KindOf(n) {
 		case subject.PI:
-			pi, err := out.AddPI(n.Name)
+			pi, err := out.AddPI(g.NameOf(n))
 			if err != nil {
 				return nil, err
 			}
-			newLit[n.ID] = lit{pi, false}
+			newLit[i] = lit{pi, false}
 		case subject.Inv:
-			newLit[n.ID] = newLit[n.Fanin[0].ID].not()
+			newLit[i] = newLit[g.Fanin0(n)].not()
 		case subject.Nand2:
 			ops := collect(n)
 			if len(ops) < 2 {
 				return nil, fmt.Errorf("resynth: conjunction at %v collapsed to %d operands", n, len(ops))
 			}
 			andLit := buildAnd(ops)
-			newLit[n.ID] = andLit.not() // NAND = complemented AND
+			newLit[i] = andLit.not() // NAND = complemented AND
 		}
 	}
 	for _, o := range g.Outputs {
-		l := newLit[o.Node.ID]
+		l := newLit[o.Node]
 		out.MarkOutput(o.Name, materialize(l))
 	}
 	// Inlined conjunctions may have left dead intermediates behind.
@@ -148,16 +183,17 @@ func Balance(g *subject.Graph) (*subject.Graph, error) {
 
 // singleInvChain reports whether the inverter chain from fi down to
 // orig consists of single-use nodes (safe to absorb).
-func singleInvChain(fi, orig *subject.Node) bool {
+func singleInvChain(g *subject.Graph, fi, orig subject.Node) bool {
 	n := fi
 	for n != orig {
-		if n.Kind != subject.Inv {
+		if g.KindOf(n) != subject.Inv {
 			return false
 		}
-		if len(n.Fanin[0].Fanouts) > 1 && n.Fanin[0] != orig {
+		f0 := g.Fanin0(n)
+		if g.FanoutCount(f0) > 1 && f0 != orig {
 			return false
 		}
-		n = n.Fanin[0]
+		n = f0
 	}
 	return true
 }
@@ -166,37 +202,41 @@ func singleInvChain(fi, orig *subject.Node) bool {
 // (plus all PIs, which are interface-fixed). It returns the new graph
 // and the number of internal nodes dropped.
 func Sweep(g *subject.Graph) (*subject.Graph, int, error) {
-	live := map[*subject.Node]bool{}
+	var marker subject.Marker
+	marker.Begin(g)
 	for _, o := range g.Outputs {
-		for n := range subject.TransitiveFanin(o.Node) {
-			live[n] = true
-		}
+		g.TransitiveFanin(o.Node, &marker, nil)
 	}
+	nn := g.NumNodes()
 	out := subject.NewGraph(g.Name, true)
-	newNode := make([]*subject.Node, len(g.Nodes))
+	newNode := make([]subject.Node, nn)
+	for i := range newNode {
+		newNode[i] = subject.None
+	}
 	dropped := 0
-	for _, n := range g.Nodes {
-		if n.Kind == subject.PI {
-			pi, err := out.AddPI(n.Name)
+	for i := 0; i < nn; i++ {
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
+			pi, err := out.AddPI(g.NameOf(n))
 			if err != nil {
 				return nil, 0, err
 			}
-			newNode[n.ID] = pi
+			newNode[i] = pi
 			continue
 		}
-		if !live[n] {
+		if !marker.Marked(n) {
 			dropped++
 			continue
 		}
-		switch n.Kind {
+		switch g.KindOf(n) {
 		case subject.Inv:
-			newNode[n.ID] = out.Not(newNode[n.Fanin[0].ID])
+			newNode[i] = out.Not(newNode[g.Fanin0(n)])
 		case subject.Nand2:
-			newNode[n.ID] = out.Nand(newNode[n.Fanin[0].ID], newNode[n.Fanin[1].ID])
+			newNode[i] = out.Nand(newNode[g.Fanin0(n)], newNode[g.Fanin1(n)])
 		}
 	}
 	for _, o := range g.Outputs {
-		out.MarkOutput(o.Name, newNode[o.Node.ID])
+		out.MarkOutput(o.Name, newNode[o.Node])
 	}
 	return out, dropped, nil
 }

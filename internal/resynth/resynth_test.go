@@ -20,7 +20,7 @@ func equalFunctions(t *testing.T, a, b *subject.Graph, seed int64) bool {
 	for round := 0; round < 8; round++ {
 		in := map[string]uint64{}
 		for _, pi := range a.PIs {
-			in[pi.Name] = rng.Uint64()
+			in[a.NameOf(pi)] = rng.Uint64()
 		}
 		va, err := a.Eval(in)
 		if err != nil {
@@ -32,10 +32,10 @@ func equalFunctions(t *testing.T, a, b *subject.Graph, seed int64) bool {
 		}
 		outA := map[string]uint64{}
 		for _, o := range a.Outputs {
-			outA[o.Name] = va[o.Node.ID]
+			outA[o.Name] = va[o.Node]
 		}
 		for _, o := range b.Outputs {
-			if outA[o.Name] != vb[o.Node.ID] {
+			if outA[o.Name] != vb[o.Node] {
 				return false
 			}
 		}
@@ -149,7 +149,7 @@ func TestBalanceOnSuite(t *testing.T) {
 			t.Errorf("%s: balance increased depth %d -> %d", c.Name, g.Depth(), b.Depth())
 		}
 		t.Logf("%s: depth %d -> %d, nodes %d -> %d",
-			c.Name, g.Depth(), b.Depth(), len(g.Nodes), len(b.Nodes))
+			c.Name, g.Depth(), b.Depth(), g.NumNodes(), b.NumNodes())
 	}
 }
 
@@ -196,8 +196,8 @@ func TestSweepDropsDeadLogic(t *testing.T) {
 	if dropped != 1 {
 		t.Errorf("dropped = %d, want 1", dropped)
 	}
-	if len(out.Nodes) != 3 {
-		t.Errorf("nodes = %d, want 3", len(out.Nodes))
+	if out.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", out.NumNodes())
 	}
 	if !equalFunctions(t, g, out, 4) {
 		t.Error("sweep changed the function")

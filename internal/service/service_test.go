@@ -162,9 +162,9 @@ func TestMapEndpointRejectsMalformedInput(t *testing.T) {
 // completing.
 func TestCancelledRequestReturnsPromptly(t *testing.T) {
 	s := New(Config{Concurrency: 2})
-	// A 24x24 array multiplier takes long enough to map that a 25ms
+	// A 64x64 array multiplier takes long enough to map that a 25ms
 	// cancel always lands mid-labeling.
-	big := blifOf(t, bench.ArrayMultiplier(24))
+	big := blifOf(t, bench.ArrayMultiplier(64))
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(25 * time.Millisecond)
@@ -187,7 +187,7 @@ func TestCancelledRequestReturnsPromptly(t *testing.T) {
 
 func TestRequestTimeoutReturns504(t *testing.T) {
 	s := New(Config{Concurrency: 2})
-	big := blifOf(t, bench.ArrayMultiplier(24))
+	big := blifOf(t, bench.ArrayMultiplier(64))
 	code, _, body := post(t, s.Handler(), nil, MapRequest{BLIF: big, TimeoutMillis: 20, Memo: memoOff})
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("timed-out request = %d (%s), want 504", code, body)

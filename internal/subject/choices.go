@@ -12,25 +12,37 @@ import (
 // points at): each class groups nodes computing the same function,
 // typically produced by decomposing the same network node in several
 // ways into one shared graph. Mappers may realize any member.
+//
+// Membership is stored densely (classOf indexed by node handle) so
+// the per-descent Members probe on the matching hot path is an array
+// load, not a map lookup.
 type Choices struct {
-	classOf map[*Node]int
-	classes [][]*Node
+	classOf []int32 // node -> class index, -1 when unregistered
+	classes [][]Node
 }
 
 // NewChoices returns an empty choice set.
 func NewChoices() *Choices {
-	return &Choices{classOf: map[*Node]int{}}
+	return &Choices{}
+}
+
+// grow sizes classOf to cover node n.
+func (c *Choices) grow(n Node) {
+	for int(n) >= len(c.classOf) {
+		c.classOf = append(c.classOf, -1)
+	}
 }
 
 // Declare registers the nodes as functionally equivalent. Nodes
 // already in classes are merged.
-func (c *Choices) Declare(nodes ...*Node) error {
+func (c *Choices) Declare(nodes ...Node) error {
 	if len(nodes) < 2 {
 		return nil
 	}
-	target := -1
+	target := int32(-1)
 	for _, n := range nodes {
-		if id, ok := c.classOf[n]; ok {
+		c.grow(n)
+		if id := c.classOf[n]; id >= 0 {
 			if target == -1 || id == target {
 				target = id
 				continue
@@ -44,15 +56,12 @@ func (c *Choices) Declare(nodes ...*Node) error {
 		}
 	}
 	if target == -1 {
-		target = len(c.classes)
+		target = int32(len(c.classes))
 		c.classes = append(c.classes, nil)
 	}
 	for _, n := range nodes {
-		if id, ok := c.classOf[n]; ok && id == target {
-			continue
-		}
-		if _, ok := c.classOf[n]; ok {
-			continue // merged above
+		if c.classOf[n] >= 0 {
+			continue // already in target (or merged above)
 		}
 		c.classOf[n] = target
 		c.classes[target] = append(c.classes[target], n)
@@ -62,12 +71,12 @@ func (c *Choices) Declare(nodes ...*Node) error {
 
 // Members returns the equivalence class of n (including n), or nil
 // when n has no registered alternatives.
-func (c *Choices) Members(n *Node) []*Node {
-	if c == nil {
+func (c *Choices) Members(n Node) []Node {
+	if c == nil || int(n) >= len(c.classOf) {
 		return nil
 	}
-	id, ok := c.classOf[n]
-	if !ok {
+	id := c.classOf[n]
+	if id < 0 {
 		return nil
 	}
 	return c.classes[id]
@@ -98,7 +107,7 @@ func FromNetworkWithChoices(nw *network.Network) (*Graph, *Choices, error) {
 	}
 	g := NewGraph(nw.Name, true)
 	choices := NewChoices()
-	nodeOf := map[*network.Node]*Node{}
+	nodeOf := map[*network.Node]Node{}
 	constOf := map[*network.Node]*logic.Expr{}
 	for _, n := range topo {
 		if n.Func == nil {
@@ -120,7 +129,7 @@ func FromNetworkWithChoices(nw *network.Network) (*Graph, *Choices, error) {
 			constOf[n] = fn
 			continue
 		}
-		env := map[string]*Node{}
+		env := map[string]Node{}
 		for _, fi := range n.Fanins {
 			if sn, ok := nodeOf[fi]; ok {
 				env[fi.Name] = sn

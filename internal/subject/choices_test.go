@@ -71,21 +71,22 @@ func TestFromNetworkWithChoicesClassesAreEquivalent(t *testing.T) {
 		for round := 0; round < 4; round++ {
 			in := map[string]uint64{}
 			for _, pi := range g.PIs {
-				in[pi.Name] = rng.Uint64()
+				in[g.NameOf(pi)] = rng.Uint64()
 			}
 			vals, err := g.Eval(in)
 			if err != nil {
 				t.Fatal(err)
 			}
-			seen := map[*Node]bool{}
-			for _, n := range g.Nodes {
+			seen := map[Node]bool{}
+			for i := 0; i < g.NumNodes(); i++ {
+				n := Node(i)
 				members := choices.Members(n)
 				if members == nil || seen[n] {
 					continue
 				}
 				for _, m := range members {
 					seen[m] = true
-					if vals[m.ID] != vals[members[0].ID] {
+					if vals[m] != vals[members[0]] {
 						t.Fatalf("%s: class members %v and %v disagree", c.name, members[0], m)
 					}
 				}
@@ -119,7 +120,7 @@ func TestFromNetworkWithChoicesOutputsCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, o := range g.Outputs {
-		if vals[o.Node.ID] != want[o.Name] {
+		if vals[o.Node] != want[o.Name] {
 			t.Errorf("output %q differs", o.Name)
 		}
 	}

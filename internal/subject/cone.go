@@ -29,7 +29,7 @@ import "encoding/binary"
 //	prefix: [tag] [depth] [fanouts?1:0]
 //	stream: one record per DFS visit, children in slot order —
 //	  new node:   coneOpNew | kind | (coneOpExpand if interior)
-//	              { uvarint(len(Fanouts)) if fanouts && !PI && !root }
+//	              { uvarint(fanout count) if fanouts && !PI && !root }
 //	              { child records if expanded }
 //	  revisit:    coneOpRef, uvarint(first-visit index)
 //
@@ -49,28 +49,30 @@ const (
 // the slices have grown to the graph size. Not safe for concurrent
 // use; give each matcher its own encoder.
 type ConeEncoder struct {
-	// minDep[id] is the minimum path length from the current root,
-	// valid when depStamp[id] == epoch.
-	minDep   []int32
-	depStamp []uint64
-	// coneIdx[id] is the node's first-visit index in the DFS stream,
-	// valid when idxStamp[id] == epoch.
-	coneIdx  []int32
-	idxStamp []uint64
-	epoch    uint64
+	// One stamp array serves both passes: each Encode advances epoch by
+	// 2, the BFS stamps visited nodes with epoch (making minDep[id]
+	// valid) and the DFS re-stamps them with epoch+1 (making coneIdx[id]
+	// valid). The DFS only ever visits BFS-visited nodes — it expands a
+	// node exactly when the BFS did — so overwriting the BFS stamp loses
+	// nothing, and one uint32 per node replaces two.
+	minDep  []int32 // minimum path length from the current root
+	coneIdx []int32 // first-visit index in the DFS stream
+	stamp   []uint32
+	epoch   uint32
 
-	queue []*Node // BFS worklist (reused)
-	nodes []*Node // first-visit order; parallel to stream indices
-	key   []byte  // reused key buffer
+	queue []Node // BFS worklist (reused)
+	nodes []Node // first-visit order; parallel to stream indices
+	key   []byte // reused key buffer
 
 	// per-Encode registers
-	root        *Node
+	g           *Graph
+	root        Node
 	depth       int32
 	withFanouts bool
 }
 
 // NewConeEncoder returns an empty encoder.
-func NewConeEncoder() *ConeEncoder { return &ConeEncoder{} }
+func NewConeEncoder() *ConeEncoder { return &ConeEncoder{root: None} }
 
 // Encode computes the cone key of root for the given depth. The tag
 // byte is prepended verbatim (callers use it to separate key spaces —
@@ -80,11 +82,20 @@ func NewConeEncoder() *ConeEncoder { return &ConeEncoder{} }
 // nodes in first-visit order; both are valid only until the next
 // Encode or Reset call (the key aliases an internal buffer — copy it
 // to retain it).
-func (e *ConeEncoder) Encode(root *Node, depth int, withFanouts bool, tag byte) (key []byte, nodes []*Node) {
-	e.epoch++
-	// Fanins always precede their consumers in ID order, so growing to
-	// root.ID covers every node the cone can contain.
-	e.grow(root.ID)
+func (e *ConeEncoder) Encode(g *Graph, root Node, depth int, withFanouts bool, tag byte) (key []byte, nodes []Node) {
+	e.epoch += 2
+	if e.epoch == 0 {
+		// Stamp wrap: zero stamps could alias epoch 0, so clear them.
+		clear(e.stamp)
+		e.epoch = 2
+	}
+	// Size the scratch to the whole graph in one step. Labeling walks
+	// roots in ascending ID order, so growing to the current root
+	// would reallocate the four arrays log(n) times per worker —
+	// hundreds of MB of churn on million-node graphs. One exact-size
+	// allocation per graph instead.
+	e.grow(g.NumNodes() - 1)
+	e.g = g
 	e.root = root
 	e.depth = int32(depth)
 	e.withFanouts = withFanouts
@@ -99,19 +110,21 @@ func (e *ConeEncoder) Encode(root *Node, depth int, withFanouts bool, tag byte) 
 	// Pass 1: BFS computes each reachable node's minimum depth. The
 	// FIFO order is nondecreasing in depth (all edges cost 1), so the
 	// first visit records the minimum.
-	e.depStamp[root.ID] = e.epoch
-	e.minDep[root.ID] = 0
+	e.stamp[root] = e.epoch
+	e.minDep[root] = 0
 	e.queue = append(e.queue[:0], root)
 	for qi := 0; qi < len(e.queue); qi++ {
 		n := e.queue[qi]
-		d := e.minDep[n.ID]
-		if d >= e.depth || n.Kind == PI {
+		d := e.minDep[n]
+		if d >= e.depth || g.KindOf(n) == PI {
 			continue
 		}
-		for _, fi := range n.Fanins() {
-			if e.depStamp[fi.ID] != e.epoch {
-				e.depStamp[fi.ID] = e.epoch
-				e.minDep[fi.ID] = d + 1
+		fis, k := g.Fanins(n)
+		for s := 0; s < k; s++ {
+			fi := fis[s]
+			if e.stamp[fi] != e.epoch {
+				e.stamp[fi] = e.epoch
+				e.minDep[fi] = d + 1
 				e.queue = append(e.queue, fi)
 			}
 		}
@@ -123,40 +136,44 @@ func (e *ConeEncoder) Encode(root *Node, depth int, withFanouts bool, tag byte) 
 }
 
 // emit serializes n (and, if expanded, its cone below) into the key.
-func (e *ConeEncoder) emit(n *Node) {
-	if e.idxStamp[n.ID] == e.epoch {
+func (e *ConeEncoder) emit(n Node) {
+	if e.stamp[n] == e.epoch+1 {
 		e.key = append(e.key, coneOpRef)
-		e.key = binary.AppendUvarint(e.key, uint64(e.coneIdx[n.ID]))
+		e.key = binary.AppendUvarint(e.key, uint64(e.coneIdx[n]))
 		return
 	}
-	e.idxStamp[n.ID] = e.epoch
-	e.coneIdx[n.ID] = int32(len(e.nodes))
+	// minDep[n] was written by this Encode's BFS and stays valid after
+	// the re-stamp; only its stamp is consumed.
+	e.stamp[n] = e.epoch + 1
+	e.coneIdx[n] = int32(len(e.nodes))
 	e.nodes = append(e.nodes, n)
-	expand := n.Kind != PI && e.minDep[n.ID] < e.depth
-	tag := coneOpNew | byte(n.Kind)
+	kind := e.g.KindOf(n)
+	expand := kind != PI && e.minDep[n] < e.depth
+	tag := coneOpNew | byte(kind)
 	if expand {
 		tag |= coneOpExpand
 	}
 	e.key = append(e.key, tag)
-	if e.withFanouts && n.Kind != PI && n != e.root {
+	if e.withFanouts && kind != PI && n != e.root {
 		// Interior fanout counts gate Exact-class matches; the root is
 		// exempt from that check and so excluded from the key.
-		e.key = binary.AppendUvarint(e.key, uint64(len(n.Fanouts)))
+		e.key = binary.AppendUvarint(e.key, uint64(e.g.FanoutCount(n)))
 	}
 	if expand {
-		for _, fi := range n.Fanins() {
-			e.emit(fi)
+		fis, k := e.g.Fanins(n)
+		for s := 0; s < k; s++ {
+			e.emit(fis[s])
 		}
 	}
 }
 
 // ConeIndex returns the first-visit index the last Encode assigned to
 // n, or -1 if n is outside that cone.
-func (e *ConeEncoder) ConeIndex(n *Node) int32 {
-	if n.ID >= len(e.idxStamp) || e.idxStamp[n.ID] != e.epoch {
+func (e *ConeEncoder) ConeIndex(n Node) int32 {
+	if int(n) >= len(e.stamp) || e.stamp[n] != e.epoch+1 {
 		return -1
 	}
-	return e.coneIdx[n.ID]
+	return e.coneIdx[n]
 }
 
 // grow sizes the stamped scratch to cover node IDs up to id.
@@ -166,33 +183,23 @@ func (e *ConeEncoder) grow(id int) {
 	}
 	n := id + 1 - len(e.minDep)
 	e.minDep = append(e.minDep, make([]int32, n)...)
-	e.depStamp = append(e.depStamp, make([]uint64, n)...)
 	e.coneIdx = append(e.coneIdx, make([]int32, n)...)
-	e.idxStamp = append(e.idxStamp, make([]uint64, n)...)
+	e.stamp = append(e.stamp, make([]uint32, n)...)
 }
 
-// Reset drops every subject-graph pointer and truncates the stamped
+// Reset drops the subject-graph reference and truncates the stamped
 // scratch so a zero epoch can never alias a stale stamp — the same
 // contract as match.Matcher.Reset, and for the same reason: pooled
 // encoders must not pin finished requests' graphs in memory.
 func (e *ConeEncoder) Reset() {
-	for i := range e.queue {
-		e.queue[i] = nil
-	}
-	for i := range e.nodes {
-		e.nodes[i] = nil
-	}
 	e.queue = e.queue[:0]
 	e.nodes = e.nodes[:0]
-	for i := range e.depStamp {
-		e.depStamp[i] = 0
-		e.idxStamp[i] = 0
-	}
+	clear(e.stamp)
 	e.minDep = e.minDep[:0]
-	e.depStamp = e.depStamp[:0]
 	e.coneIdx = e.coneIdx[:0]
-	e.idxStamp = e.idxStamp[:0]
+	e.stamp = e.stamp[:0]
 	e.epoch = 0
-	e.root = nil
+	e.g = nil
+	e.root = None
 	e.key = e.key[:0]
 }

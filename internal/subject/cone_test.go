@@ -8,8 +8,8 @@ import (
 )
 
 // encodeCopy encodes and copies the key (Encode's buffer is reused).
-func encodeCopy(e *ConeEncoder, n *Node, depth int, fanouts bool, tag byte) []byte {
-	key, _ := e.Encode(n, depth, fanouts, tag)
+func encodeCopy(e *ConeEncoder, g *Graph, n Node, depth int, fanouts bool, tag byte) []byte {
+	key, _ := e.Encode(g, n, depth, fanouts, tag)
 	return append([]byte(nil), key...)
 }
 
@@ -22,16 +22,16 @@ func TestConeKeyDeterministic(t *testing.T) {
 	c, _ := g.AddPI("c")
 	root := g.Nand(g.Nand(a, b), g.Not(c))
 	e := NewConeEncoder()
-	k1 := encodeCopy(e, root, 3, true, 7)
-	k2 := encodeCopy(e, root, 3, true, 7)
-	k3 := encodeCopy(NewConeEncoder(), root, 3, true, 7)
+	k1 := encodeCopy(e, g, root, 3, true, 7)
+	k2 := encodeCopy(e, g, root, 3, true, 7)
+	k3 := encodeCopy(NewConeEncoder(), g, root, 3, true, 7)
 	if !bytes.Equal(k1, k2) || !bytes.Equal(k1, k3) {
 		t.Fatalf("same cone produced different keys: %x %x %x", k1, k2, k3)
 	}
-	if k4 := encodeCopy(e, root, 3, true, 8); bytes.Equal(k1, k4) {
+	if k4 := encodeCopy(e, g, root, 3, true, 8); bytes.Equal(k1, k4) {
 		t.Fatal("different tags produced equal keys")
 	}
-	if k5 := encodeCopy(e, root, 2, true, 7); bytes.Equal(k1, k5) {
+	if k5 := encodeCopy(e, g, root, 2, true, 7); bytes.Equal(k1, k5) {
 		t.Fatal("different depths produced equal keys")
 	}
 }
@@ -49,9 +49,9 @@ func TestConeKeyIsomorphism(t *testing.T) {
 	r2 := g.Nand(g.Nand(c, d), c)
 	r3 := g.Nand(g.Not(c), c)
 	e := NewConeEncoder()
-	k1 := encodeCopy(e, r1, 4, false, 0)
-	k2 := encodeCopy(e, r2, 4, false, 0)
-	k3 := encodeCopy(e, r3, 4, false, 0)
+	k1 := encodeCopy(e, g, r1, 4, false, 0)
+	k2 := encodeCopy(e, g, r2, 4, false, 0)
+	k3 := encodeCopy(e, g, r3, 4, false, 0)
 	if !bytes.Equal(k1, k2) {
 		t.Fatalf("isomorphic cones got different keys:\n%x\n%x", k1, k2)
 	}
@@ -73,10 +73,10 @@ func TestConeKeyDepthBound(t *testing.T) {
 	r1 := g.Nand(g.Nand(a, b), e0)
 	r2 := g.Nand(g.Nand(a, g.Not(c)), e0)
 	e := NewConeEncoder()
-	if k1, k2 := encodeCopy(e, r1, 1, false, 0), encodeCopy(e, r2, 1, false, 0); !bytes.Equal(k1, k2) {
+	if k1, k2 := encodeCopy(e, g, r1, 1, false, 0), encodeCopy(e, g, r2, 1, false, 0); !bytes.Equal(k1, k2) {
 		t.Fatalf("depth-1 keys see depth-2 structure:\n%x\n%x", k1, k2)
 	}
-	if k1, k2 := encodeCopy(e, r1, 2, false, 0), encodeCopy(e, r2, 2, false, 0); bytes.Equal(k1, k2) {
+	if k1, k2 := encodeCopy(e, g, r1, 2, false, 0), encodeCopy(e, g, r2, 2, false, 0); bytes.Equal(k1, k2) {
 		t.Fatal("depth-2 keys blind to depth-2 structure")
 	}
 }
@@ -99,8 +99,8 @@ func TestConeKeySharing(t *testing.T) {
 	rTree := tree.Nand(m1, tree.Not(m2))
 
 	e := NewConeEncoder()
-	kShared := encodeCopy(e, rShared, 4, false, 0)
-	kTree := encodeCopy(e, rTree, 4, false, 0)
+	kShared := encodeCopy(e, shared, rShared, 4, false, 0)
+	kTree := encodeCopy(e, tree, rTree, 4, false, 0)
 	if bytes.Equal(kShared, kTree) {
 		t.Fatal("shared and unfolded cones got the same key")
 	}
@@ -113,7 +113,7 @@ func TestConeKeySharing(t *testing.T) {
 // TestConeKeyFanouts: interior fanout counts are part of the key only
 // when requested, and the root's own fanout never is.
 func TestConeKeyFanouts(t *testing.T) {
-	build := func(extraInteriorFanout, extraRootFanout bool) (*Graph, *Node) {
+	build := func(extraInteriorFanout, extraRootFanout bool) (*Graph, Node) {
 		g := NewGraph("t", true)
 		a, _ := g.AddPI("a")
 		b, _ := g.AddPI("b")
@@ -129,12 +129,12 @@ func TestConeKeyFanouts(t *testing.T) {
 		return g, root
 	}
 	e := NewConeEncoder()
-	_, plain := build(false, false)
-	_, interior := build(true, false)
-	_, rootFO := build(false, true)
-	kPlain := encodeCopy(e, plain, 3, true, 0)
-	kInterior := encodeCopy(e, interior, 3, true, 0)
-	kRootFO := encodeCopy(e, rootFO, 3, true, 0)
+	gPlain, plain := build(false, false)
+	gInterior, interior := build(true, false)
+	gRootFO, rootFO := build(false, true)
+	kPlain := encodeCopy(e, gPlain, plain, 3, true, 0)
+	kInterior := encodeCopy(e, gInterior, interior, 3, true, 0)
+	kRootFO := encodeCopy(e, gRootFO, rootFO, 3, true, 0)
 	if bytes.Equal(kPlain, kInterior) {
 		t.Fatal("withFanouts key blind to an interior fanout difference")
 	}
@@ -142,8 +142,8 @@ func TestConeKeyFanouts(t *testing.T) {
 		t.Fatal("withFanouts key depends on the root's own fanout")
 	}
 	// Without fanouts, the interior difference must disappear.
-	k1 := encodeCopy(e, plain, 3, false, 0)
-	k2 := encodeCopy(e, interior, 3, false, 0)
+	k1 := encodeCopy(e, gPlain, plain, 3, false, 0)
+	k2 := encodeCopy(e, gInterior, interior, 3, false, 0)
 	if !bytes.Equal(k1, k2) {
 		t.Fatal("fanout-free key still sees interior fanouts")
 	}
@@ -159,7 +159,7 @@ func TestConeIndex(t *testing.T) {
 	root := g.Nand(g.Nand(a, b), c)
 	outside := g.Nand(a, c) // not reachable from root
 	e := NewConeEncoder()
-	_, nodes := e.Encode(root, 3, false, 0)
+	_, nodes := e.Encode(g, root, 3, false, 0)
 	if len(nodes) == 0 || nodes[0] != root {
 		t.Fatalf("first visited node is %v, want the root", nodes[0])
 	}
@@ -173,15 +173,15 @@ func TestConeIndex(t *testing.T) {
 	}
 }
 
-// TestConeEncoderReset: Reset drops node pointers and scratch, and the
-// encoder still produces identical keys afterwards.
+// TestConeEncoderReset: Reset drops the graph reference and scratch,
+// and the encoder still produces identical keys afterwards.
 func TestConeEncoderReset(t *testing.T) {
 	g := NewGraph("t", true)
 	a, _ := g.AddPI("a")
 	b, _ := g.AddPI("b")
 	root := g.Nand(g.Not(a), b)
 	e := NewConeEncoder()
-	before := encodeCopy(e, root, 2, true, 1)
+	before := encodeCopy(e, g, root, 2, true, 1)
 	e.Reset()
 	if got := e.ConeIndex(root); got != -1 {
 		t.Fatalf("ConeIndex after Reset = %d, want -1", got)
@@ -189,7 +189,10 @@ func TestConeEncoderReset(t *testing.T) {
 	if len(e.nodes) != 0 || len(e.queue) != 0 || len(e.minDep) != 0 {
 		t.Fatal("Reset left scratch populated")
 	}
-	after := encodeCopy(e, root, 2, true, 1)
+	if e.g != nil {
+		t.Fatal("Reset left the graph pinned")
+	}
+	after := encodeCopy(e, g, root, 2, true, 1)
 	if !bytes.Equal(before, after) {
 		t.Fatalf("key changed across Reset: %x vs %x", before, after)
 	}
@@ -203,12 +206,12 @@ func TestConeKeyRandomRebuildStability(t *testing.T) {
 	build := func(seed int64) *Graph {
 		rng := rand.New(rand.NewSource(seed))
 		g := NewGraph("r", true)
-		var pool []*Node
+		var pool []Node
 		for i := 0; i < 6; i++ {
 			pi, _ := g.AddPI(fmt.Sprintf("i%d", i))
 			pool = append(pool, pi)
 		}
-		for len(g.Nodes) < 6+80 {
+		for g.NumNodes() < 6+80 {
 			if rng.Intn(3) == 0 {
 				pool = append(pool, g.Not(pool[rng.Intn(len(pool))]))
 			} else {
@@ -223,13 +226,13 @@ func TestConeKeyRandomRebuildStability(t *testing.T) {
 	}
 	for seed := int64(1); seed <= 5; seed++ {
 		g1, g2 := build(seed), build(seed)
-		if len(g1.Nodes) != len(g2.Nodes) {
+		if g1.NumNodes() != g2.NumNodes() {
 			t.Fatalf("seed %d: rebuild sizes differ", seed)
 		}
 		e1, e2 := NewConeEncoder(), NewConeEncoder()
-		for i := range g1.Nodes {
-			k1 := encodeCopy(e1, g1.Nodes[i], 4, true, 0)
-			k2 := encodeCopy(e2, g2.Nodes[i], 4, true, 0)
+		for i := 0; i < g1.NumNodes(); i++ {
+			k1 := encodeCopy(e1, g1, Node(i), 4, true, 0)
+			k2 := encodeCopy(e2, g2, Node(i), 4, true, 0)
 			if !bytes.Equal(k1, k2) {
 				t.Fatalf("seed %d node %d: rebuilt key differs:\n%x\n%x", seed, i, k1, k2)
 			}

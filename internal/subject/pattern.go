@@ -16,14 +16,26 @@ type Pattern struct {
 	Gate *genlib.Gate
 	// Graph holds the pattern nodes; Root computes the gate output.
 	Graph *Graph
-	Root  *Node
-	// LeafPin maps each leaf node to its gate pin index.
-	LeafPin map[*Node]int
+	Root  Node
+	// PinLeaf maps each gate pin index to its leaf node; pins and
+	// leaves correspond one-to-one.
+	PinLeaf []Node
+	// leafPin is the inverse: node -> pin index, -1 for non-leaves.
+	leafPin []int32
 	// Size is the total number of pattern nodes (the p metric of the
 	// paper's complexity analysis counts these across the library).
 	Size int
 	// Depth is the pattern graph depth in NAND2/INV levels.
 	Depth int
+}
+
+// LeafPin returns the gate pin index of leaf node n, or -1 when n is
+// not a leaf.
+func (p *Pattern) LeafPin(n Node) int {
+	if int(n) >= len(p.leafPin) {
+		return -1
+	}
+	return int(p.leafPin[n])
 }
 
 // CompileOptions controls pattern compilation.
@@ -50,30 +62,38 @@ func CompilePattern(g *genlib.Gate, opt CompileOptions) (*Pattern, error) {
 	}
 	pg := NewGraph("pattern:"+g.Name, opt.Share)
 	pg.SetChainDecomposition(opt.Chain)
-	env := map[string]*Node{}
-	leafPin := map[*Node]int{}
+	env := map[string]Node{}
+	pinLeaf := make([]Node, len(g.Pins))
 	for i, p := range g.Pins {
 		leaf, err := pg.AddPI(p.Name)
 		if err != nil {
 			return nil, err
 		}
 		env[p.Name] = leaf
-		leafPin[leaf] = i
+		pinLeaf[i] = leaf
 	}
 	root, err := pg.Build(g.Expr, env)
 	if err != nil {
 		return nil, fmt.Errorf("subject: gate %q: %v", g.Name, err)
 	}
-	if root.Kind == PI {
+	if pg.KindOf(root) == PI {
 		return nil, fmt.Errorf("subject: gate %q is a wire (buffer); no pattern", g.Name)
 	}
 	pg.MarkOutput(g.Output, root)
+	leafPin := make([]int32, pg.NumNodes())
+	for i := range leafPin {
+		leafPin[i] = -1
+	}
+	for pin, leaf := range pinLeaf {
+		leafPin[leaf] = int32(pin)
+	}
 	return &Pattern{
 		Gate:    g,
 		Graph:   pg,
 		Root:    root,
-		LeafPin: leafPin,
-		Size:    len(pg.Nodes),
+		PinLeaf: pinLeaf,
+		leafPin: leafPin,
+		Size:    pg.NumNodes(),
 		Depth:   pg.Depth(),
 	}, nil
 }

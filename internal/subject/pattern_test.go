@@ -13,22 +13,28 @@ func TestCompilePatternNand2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Root.Kind != Nand2 {
-		t.Errorf("nand2 pattern root = %v", p.Root.Kind)
+	if p.Graph.KindOf(p.Root) != Nand2 {
+		t.Errorf("nand2 pattern root = %v", p.Graph.KindOf(p.Root))
 	}
 	if p.Size != 3 { // 2 leaves + 1 nand
 		t.Errorf("nand2 pattern size = %d, want 3", p.Size)
 	}
-	if len(p.LeafPin) != 2 {
-		t.Errorf("leaf pins = %d", len(p.LeafPin))
+	if len(p.PinLeaf) != 2 {
+		t.Errorf("leaf pins = %d", len(p.PinLeaf))
 	}
-	for leaf, pin := range p.LeafPin {
-		if leaf.Kind != PI {
+	for pin, leaf := range p.PinLeaf {
+		if p.Graph.KindOf(leaf) != PI {
 			t.Errorf("leaf %v is not a PI", leaf)
 		}
-		if p.Gate.Pins[pin].Name != leaf.Name {
-			t.Errorf("leaf %q mapped to pin %d (%q)", leaf.Name, pin, p.Gate.Pins[pin].Name)
+		if p.Gate.Pins[pin].Name != p.Graph.NameOf(leaf) {
+			t.Errorf("pin %d (%q) mapped to leaf %q", pin, p.Gate.Pins[pin].Name, p.Graph.NameOf(leaf))
 		}
+		if got := p.LeafPin(leaf); got != pin {
+			t.Errorf("LeafPin(%v) = %d, want %d", leaf, got, pin)
+		}
+	}
+	if got := p.LeafPin(p.Root); got != -1 {
+		t.Errorf("LeafPin(root) = %d, want -1", got)
 	}
 }
 
@@ -47,7 +53,7 @@ func TestCompilePatternFunctions(t *testing.T) {
 		t.Errorf("patterns = %d, want %d", len(pats), len(lib2.Gates)-1)
 	}
 	for _, p := range pats {
-		e, err := Expr(p.Root, nil)
+		e, err := Expr(p.Graph, p.Root, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,8 +87,8 @@ func TestCompileLibrary443(t *testing.T) {
 			if p.Depth > 7 {
 				t.Errorf("aoi4444 depth = %d, too deep for a balanced decomposition", p.Depth)
 			}
-			if len(p.LeafPin) != 16 {
-				t.Errorf("aoi4444 leaves = %d", len(p.LeafPin))
+			if len(p.PinLeaf) != 16 {
+				t.Errorf("aoi4444 leaves = %d", len(p.PinLeaf))
 			}
 		}
 	}
@@ -113,7 +119,7 @@ func TestSharedVsTreePatternSize(t *testing.T) {
 		t.Errorf("XOR pattern sizes = %d (shared), %d (tree); want 7", shared.Size, tree.Size)
 	}
 	for _, p := range []*Pattern{shared, tree} {
-		e, err := Expr(p.Root, nil)
+		e, err := Expr(p.Graph, p.Root, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

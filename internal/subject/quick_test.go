@@ -45,7 +45,7 @@ func TestQuickDecompositionEquivalence(t *testing.T) {
 		}
 		g := NewGraph("q", shared)
 		g.SetChainDecomposition(chain)
-		env := map[string]*Node{}
+		env := map[string]Node{}
 		for _, v := range e.Vars() {
 			pi, err := g.AddPI(v)
 			if err != nil {
@@ -62,12 +62,12 @@ func TestQuickDecompositionEquivalence(t *testing.T) {
 		if err := g.Check(); err != nil {
 			return false
 		}
-		for _, nd := range g.Nodes {
-			if nd.Kind != PI && nd.Kind != Inv && nd.Kind != Nand2 {
+		for i := 0; i < g.NumNodes(); i++ {
+			if k := g.KindOf(Node(i)); k != PI && k != Inv && k != Nand2 {
 				return false
 			}
 		}
-		back, err := Expr(n, nil)
+		back, err := Expr(g, n, nil)
 		if err != nil {
 			return false
 		}
@@ -86,7 +86,7 @@ func TestQuickStrashIdempotence(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		e := randQuickExpr(rng, 4, 4)
 		g := NewGraph("q", true)
-		env := map[string]*Node{}
+		env := map[string]Node{}
 		for _, v := range e.Vars() {
 			pi, err := g.AddPI(v)
 			if err != nil {
@@ -98,12 +98,12 @@ func TestQuickStrashIdempotence(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		size := len(g.Nodes)
+		size := g.NumNodes()
 		n2, err := g.Build(e, env)
 		if err != nil {
 			return false
 		}
-		return n1 == n2 && len(g.Nodes) == size
+		return n1 == n2 && g.NumNodes() == size
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -118,7 +118,7 @@ func TestQuickSharingNeverGrows(t *testing.T) {
 		e := randQuickExpr(rng, 5, 3)
 		build := func(share bool) (*Graph, bool) {
 			g := NewGraph("q", share)
-			env := map[string]*Node{}
+			env := map[string]Node{}
 			for _, v := range e.Vars() {
 				pi, err := g.AddPI(v)
 				if err != nil {
@@ -136,12 +136,14 @@ func TestQuickSharingNeverGrows(t *testing.T) {
 		if !ok1 || !ok2 {
 			return false
 		}
-		if len(gs.Nodes) > len(gu.Nodes) {
+		if gs.NumNodes() > gu.NumNodes() {
 			return false
 		}
-		for _, n := range gs.Nodes {
-			for _, fi := range n.Fanins() {
-				if fi.ID >= n.ID {
+		for i := 0; i < gs.NumNodes(); i++ {
+			n := Node(i)
+			fis, k := gs.Fanins(n)
+			for s := 0; s < k; s++ {
+				if fis[s] >= n {
 					return false
 				}
 			}

@@ -50,12 +50,12 @@ func pairIndex(a, b int) int {
 }
 
 // descriptor summarizes node c and its fanin kinds.
-func descriptor(c *Node) int {
-	switch c.Kind {
+func descriptor(g *Graph, c Node) int {
+	switch g.KindOf(c) {
 	case Inv:
-		return 1 + kindCode(c.Fanin[0].Kind)
+		return 1 + kindCode(g.KindOf(g.fanin0[c]))
 	case Nand2:
-		return 4 + pairIndex(kindCode(c.Fanin[0].Kind), kindCode(c.Fanin[1].Kind))
+		return 4 + pairIndex(kindCode(g.KindOf(g.fanin0[c])), kindCode(g.KindOf(g.fanin1[c])))
 	}
 	return 0
 }
@@ -63,31 +63,31 @@ func descriptor(c *Node) int {
 // Signature computes the local root signature of a non-PI subject
 // node. PIs have no signature (no match is ever rooted at a source);
 // callers must not pass one.
-func Signature(n *Node) int {
-	if n.Kind == Inv {
-		return descriptor(n.Fanin[0])
+func Signature(g *Graph, n Node) int {
+	if g.KindOf(n) == Inv {
+		return descriptor(g, g.fanin0[n])
 	}
-	a, b := descriptor(n.Fanin[0]), descriptor(n.Fanin[1])
+	a, b := descriptor(g, g.fanin0[n]), descriptor(g, g.fanin1[n])
 	if a > b {
 		a, b = b, a
 	}
 	return NumDescriptors + a*NumDescriptors + b
 }
 
-// allKinds enumerates the kind codes a pattern position can take on
-// the subject side: a pattern leaf binds any subject node, a concrete
-// pattern node only its own kind.
-func patternKindCodes(n *Node) []int {
-	if n.Kind == PI {
+// patternKindCodes enumerates the kind codes a pattern position can
+// take on the subject side: a pattern leaf binds any subject node, a
+// concrete pattern node only its own kind.
+func patternKindCodes(g *Graph, n Node) []int {
+	if g.KindOf(n) == PI {
 		return []int{0, 1, 2}
 	}
-	return []int{kindCode(n.Kind)}
+	return []int{kindCode(g.KindOf(n))}
 }
 
 // patternDescriptors returns every concrete descriptor a subject child
 // can have while remaining locally compatible with pattern child c.
-func patternDescriptors(c *Node) []int {
-	if c.Kind == PI {
+func patternDescriptors(g *Graph, c Node) []int {
+	if g.KindOf(c) == PI {
 		ds := make([]int, NumDescriptors)
 		for i := range ds {
 			ds[i] = i
@@ -102,14 +102,14 @@ func patternDescriptors(c *Node) []int {
 			out = append(out, d)
 		}
 	}
-	if c.Kind == Inv {
-		for _, k := range patternKindCodes(c.Fanin[0]) {
+	if g.KindOf(c) == Inv {
+		for _, k := range patternKindCodes(g, g.fanin0[c]) {
 			add(1 + k)
 		}
 		return out
 	}
-	for _, k1 := range patternKindCodes(c.Fanin[0]) {
-		for _, k2 := range patternKindCodes(c.Fanin[1]) {
+	for _, k1 := range patternKindCodes(g, g.fanin0[c]) {
+		for _, k2 := range patternKindCodes(g, g.fanin1[c]) {
 			add(4 + pairIndex(k1, k2))
 		}
 	}
@@ -117,20 +117,21 @@ func patternDescriptors(c *Node) []int {
 }
 
 // PatternSignatures returns, in ascending order, every concrete
-// subject signature the pattern rooted at root could possibly match,
-// obtained by expanding leaf positions as wildcards. The set is an
-// over-approximation: deeper structure, injectivity, or fanout
-// constraints may still reject a candidate, but a subject node whose
-// signature is absent can never host a match of this pattern.
-func PatternSignatures(root *Node) []int {
+// subject signature the pattern rooted at root (in pattern graph pg)
+// could possibly match, obtained by expanding leaf positions as
+// wildcards. The set is an over-approximation: deeper structure,
+// injectivity, or fanout constraints may still reject a candidate,
+// but a subject node whose signature is absent can never host a match
+// of this pattern.
+func PatternSignatures(pg *Graph, root Node) []int {
 	var seen [NumSignatures]bool
-	if root.Kind == Inv {
-		for _, d := range patternDescriptors(root.Fanin[0]) {
+	if pg.KindOf(root) == Inv {
+		for _, d := range patternDescriptors(pg, pg.fanin0[root]) {
 			seen[d] = true
 		}
 	} else {
-		d1 := patternDescriptors(root.Fanin[0])
-		d2 := patternDescriptors(root.Fanin[1])
+		d1 := patternDescriptors(pg, pg.fanin0[root])
+		d2 := patternDescriptors(pg, pg.fanin1[root])
 		for _, a := range d1 {
 			for _, b := range d2 {
 				lo, hi := a, b

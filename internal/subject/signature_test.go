@@ -11,12 +11,12 @@ import (
 func TestSignatureRanges(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := NewGraph("sig", true)
-	var pool []*Node
+	var pool []Node
 	for i := 0; i < 5; i++ {
 		pi, _ := g.AddPI(fmt.Sprintf("i%d", i))
 		pool = append(pool, pi)
 	}
-	for len(g.Nodes) < 150 {
+	for g.NumNodes() < 150 {
 		if rng.Intn(3) == 0 {
 			pool = append(pool, g.Not(pool[rng.Intn(len(pool))]))
 		} else {
@@ -27,18 +27,19 @@ func TestSignatureRanges(t *testing.T) {
 			pool = append(pool, g.Nand(x, y))
 		}
 	}
-	for _, n := range g.Nodes {
-		if n.Kind == PI {
+	for i := 0; i < g.NumNodes(); i++ {
+		n := Node(i)
+		if g.KindOf(n) == PI {
 			continue
 		}
-		s := Signature(n)
+		s := Signature(g, n)
 		if s < 0 || s >= NumSignatures {
 			t.Fatalf("node %v: signature %d out of [0, %d)", n, s, NumSignatures)
 		}
-		if n.Kind == Inv && s >= NumDescriptors {
+		if g.KindOf(n) == Inv && s >= NumDescriptors {
 			t.Errorf("node %v: Inv signature %d in the Nand2 range", n, s)
 		}
-		if n.Kind == Nand2 && s < NumDescriptors {
+		if g.KindOf(n) == Nand2 && s < NumDescriptors {
 			t.Errorf("node %v: Nand2 signature %d in the Inv range", n, s)
 		}
 	}
@@ -53,19 +54,19 @@ func TestSignatureCommutative(t *testing.T) {
 		a, _ := g.AddPI("a")
 		b, _ := g.AddPI("b")
 		c, _ := g.AddPI("c")
-		var inner *Node
+		var inner Node
 		if swapChild {
 			inner = g.Nand(b, a)
 		} else {
 			inner = g.Nand(a, b)
 		}
-		var root *Node
+		var root Node
 		if swapRoot {
 			root = g.Nand(g.Not(c), inner)
 		} else {
 			root = g.Nand(inner, g.Not(c))
 		}
-		return Signature(root)
+		return Signature(g, root)
 	}
 	ref := build(false, false)
 	for _, cfg := range []struct{ r, c bool }{{true, false}, {false, true}, {true, true}} {
@@ -109,8 +110,8 @@ func TestPatternSignaturesWildcardExpansion(t *testing.T) {
 	nandPat := pg.Nand(x, y)
 	invPat := pg.Not(x)
 
-	nandSigs := PatternSignatures(nandPat)
-	invSigs := PatternSignatures(invPat)
+	nandSigs := PatternSignatures(pg, nandPat)
+	invSigs := PatternSignatures(pg, invPat)
 	for name, sigs := range map[string][]int{"nand": nandSigs, "inv": invSigs} {
 		for i, s := range sigs {
 			if s < 0 || s >= NumSignatures {
@@ -142,12 +143,12 @@ func TestPatternSignaturesWildcardExpansion(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(17))
 	g := NewGraph("subj", true)
-	var pool []*Node
+	var pool []Node
 	for i := 0; i < 4; i++ {
 		pi, _ := g.AddPI(fmt.Sprintf("i%d", i))
 		pool = append(pool, pi)
 	}
-	for len(g.Nodes) < 80 {
+	for g.NumNodes() < 80 {
 		if rng.Intn(3) == 0 {
 			pool = append(pool, g.Not(pool[rng.Intn(len(pool))]))
 		} else {
@@ -158,15 +159,16 @@ func TestPatternSignaturesWildcardExpansion(t *testing.T) {
 			pool = append(pool, g.Nand(a, b))
 		}
 	}
-	for _, n := range g.Nodes {
-		switch n.Kind {
+	for i := 0; i < g.NumNodes(); i++ {
+		n := Node(i)
+		switch g.KindOf(n) {
 		case Nand2:
-			if !inSet(nandSigs, Signature(n)) {
-				t.Errorf("node %v: signature %d missing from bare NAND2 set", n, Signature(n))
+			if !inSet(nandSigs, Signature(g, n)) {
+				t.Errorf("node %v: signature %d missing from bare NAND2 set", n, Signature(g, n))
 			}
 		case Inv:
-			if !inSet(invSigs, Signature(n)) {
-				t.Errorf("node %v: signature %d missing from bare INV set", n, Signature(n))
+			if !inSet(invSigs, Signature(g, n)) {
+				t.Errorf("node %v: signature %d missing from bare INV set", n, Signature(g, n))
 			}
 		}
 	}
@@ -181,7 +183,7 @@ func TestPatternSignaturesNarrowWithStructure(t *testing.T) {
 	y, _ := pg.AddPI("y")
 	bare := pg.Nand(x, y)
 	deep := pg.Nand(pg.Not(x), y) // one child pinned to Inv
-	if b, d := len(PatternSignatures(bare)), len(PatternSignatures(deep)); d >= b {
+	if b, d := len(PatternSignatures(pg, bare)), len(PatternSignatures(pg, deep)); d >= b {
 		t.Errorf("structured pattern advertises %d signatures, bare %d — no narrowing", d, b)
 	}
 }

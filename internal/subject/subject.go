@@ -9,10 +9,25 @@
 // hashing (with inverter-pair folding) so that identical subexpressions
 // share nodes. Tree mapping and DAG mapping therefore always operate
 // on the same subject graph, as in the paper's experiments.
+//
+// # Representation
+//
+// A Node is a dense int32 handle; node 0 is created first and IDs grow
+// in topological order (every node after its fanins). The Graph stores
+// all per-node attributes in parallel flat arrays (struct-of-arrays):
+// kind bytes, fanin0/fanin1 handles, and fanout counts. A CSR-style
+// fanout index is built once on demand after construction. There are
+// no per-node heap allocations and no pointer-keyed side tables: a
+// million-node graph is a handful of large slices, which keeps both
+// the garbage collector and the cache happy during mapping. Algorithms
+// that need per-node scratch use dense slices indexed by Node, usually
+// generation-stamped (see Marker) so they can be reused without
+// clearing.
 package subject
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dagcover/internal/logic"
 	"dagcover/internal/network"
@@ -43,59 +58,53 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// Node is a subject-graph vertex.
-type Node struct {
-	ID      int
-	Kind    Kind
-	Fanin   [2]*Node // Fanin[1] is nil for Inv; both nil for PI
-	Fanouts []*Node
-	Name    string // source name for PI nodes; empty otherwise
-}
+// Node is a subject-graph vertex handle: a dense index into the
+// owning Graph's arrays. Handles are only meaningful together with
+// their Graph; they index naturally into per-node scratch slices
+// (labels[n], visited[n]).
+type Node = int32
 
-// NumFanins returns 0, 1 or 2 according to the node kind.
-func (n *Node) NumFanins() int {
-	switch n.Kind {
-	case PI:
-		return 0
-	case Inv:
-		return 1
-	}
-	return 2
-}
-
-// Fanins returns the fanin slice (length NumFanins).
-func (n *Node) Fanins() []*Node { return n.Fanin[:n.NumFanins()] }
-
-// String renders the node for diagnostics.
-func (n *Node) String() string {
-	switch n.Kind {
-	case PI:
-		return fmt.Sprintf("%d:pi(%s)", n.ID, n.Name)
-	case Inv:
-		return fmt.Sprintf("%d:inv(%d)", n.ID, n.Fanin[0].ID)
-	}
-	return fmt.Sprintf("%d:nand2(%d,%d)", n.ID, n.Fanin[0].ID, n.Fanin[1].ID)
-}
+// None is the null node handle.
+const None Node = -1
 
 // Output names a subject node that must be made available in the
 // mapped circuit (a primary output or a latch input).
 type Output struct {
 	Name string
-	Node *Node
+	Node Node
 }
 
-// Graph is a subject graph. Nodes appear in topological order (every
-// node after its fanins).
+// Graph is a subject graph in struct-of-arrays form. Nodes appear in
+// topological order (every node after its fanins).
 type Graph struct {
 	Name    string
-	Nodes   []*Node
-	PIs     []*Node
+	PIs     []Node
 	Outputs []Output
 
-	share  bool
-	chain  bool // left-leaning decomposition instead of balanced
-	strash map[[3]int64]*Node
-	byName map[string]*Node // PI lookup
+	// Parallel per-node arrays, indexed by Node. kind doubles as the
+	// packed per-node flag byte (the two low bits hold the Kind; the
+	// upper bits are reserved). fanin1 is None for Inv, both fanins
+	// are None for PI. nfo counts fanouts incrementally; tied NAND
+	// inputs count twice, matching the two fanin slots (Check relies
+	// on this symmetry).
+	kind   []Kind
+	fanin0 []Node
+	fanin1 []Node
+	nfo    []int32
+
+	// CSR fanout index: foList[foStart[n]:foStart[n+1]] lists the
+	// fanouts of n in creation order. Built once by Fanouts after
+	// construction; adding nodes invalidates it.
+	foStart []int32
+	foList  []Node
+	foOK    bool
+
+	share      bool
+	chain      bool // left-leaning decomposition instead of balanced
+	strash     strashTable
+	strashHits int64
+	piName     map[Node]string // PI names (sources only)
+	byName     map[string]Node // PI lookup
 }
 
 // SetChainDecomposition switches n-ary AND/OR/XOR decomposition from
@@ -121,94 +130,230 @@ func NewGraph(name string, share bool) *Graph {
 	return &Graph{
 		Name:   name,
 		share:  share,
-		strash: map[[3]int64]*Node{},
-		byName: map[string]*Node{},
+		piName: map[Node]string{},
+		byName: map[string]Node{},
 	}
 }
 
-// AddPI creates a source node.
-func (g *Graph) AddPI(name string) (*Node, error) {
-	if _, dup := g.byName[name]; dup {
-		return nil, fmt.Errorf("subject: duplicate source %q", name)
+// Reserve grows the node arrays to hold n nodes without reallocation.
+func (g *Graph) Reserve(n int) {
+	if n <= cap(g.kind) {
+		return
 	}
-	n := &Node{ID: len(g.Nodes), Kind: PI, Name: name}
-	g.Nodes = append(g.Nodes, n)
+	g.kind = append(make([]Kind, 0, n), g.kind...)
+	g.fanin0 = append(make([]Node, 0, n), g.fanin0...)
+	g.fanin1 = append(make([]Node, 0, n), g.fanin1...)
+	g.nfo = append(make([]int32, 0, n), g.nfo...)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.kind) }
+
+// KindOf returns the kind of n.
+func (g *Graph) KindOf(n Node) Kind { return g.kind[n] & 3 }
+
+// Fanin0 returns the first fanin of n (None for a PI).
+func (g *Graph) Fanin0(n Node) Node { return g.fanin0[n] }
+
+// Fanin1 returns the second fanin of n (None unless n is a NAND).
+func (g *Graph) Fanin1(n Node) Node { return g.fanin1[n] }
+
+// Fanin returns fanin slot 0 or 1 of n.
+func (g *Graph) Fanin(n Node, slot int) Node {
+	if slot == 0 {
+		return g.fanin0[n]
+	}
+	return g.fanin1[n]
+}
+
+// NumFanins returns 0, 1 or 2 according to the node kind.
+func (g *Graph) NumFanins(n Node) int {
+	switch g.KindOf(n) {
+	case PI:
+		return 0
+	case Inv:
+		return 1
+	}
+	return 2
+}
+
+// Fanins returns the fanins of n and their count.
+func (g *Graph) Fanins(n Node) ([2]Node, int) {
+	return [2]Node{g.fanin0[n], g.fanin1[n]}, g.NumFanins(n)
+}
+
+// FanoutCount returns the number of fanout references of n (tied NAND
+// inputs count twice).
+func (g *Graph) FanoutCount(n Node) int { return int(g.nfo[n]) }
+
+// Fanouts returns the fanouts of n in creation order, as a view into
+// the CSR index. The index is built on first use after construction;
+// adding nodes invalidates and rebuilds it.
+func (g *Graph) Fanouts(n Node) []Node {
+	if !g.foOK {
+		g.buildFanoutIndex()
+	}
+	return g.foList[g.foStart[n]:g.foStart[n+1]]
+}
+
+// buildFanoutIndex constructs the CSR fanout arrays from the fanin
+// arrays in one pass.
+func (g *Graph) buildFanoutIndex() {
+	nn := len(g.kind)
+	if cap(g.foStart) >= nn+1 {
+		g.foStart = g.foStart[:nn+1]
+		for i := range g.foStart {
+			g.foStart[i] = 0
+		}
+	} else {
+		g.foStart = make([]int32, nn+1)
+	}
+	total := int32(0)
+	for i := 0; i < nn; i++ {
+		g.foStart[i+1] = g.foStart[i] + g.nfo[i]
+		total += g.nfo[i]
+	}
+	if cap(g.foList) >= int(total) {
+		g.foList = g.foList[:total]
+	} else {
+		g.foList = make([]Node, total)
+	}
+	// fill positions; reuse a moving cursor per node
+	cursor := make([]int32, nn)
+	copy(cursor, g.foStart[:nn])
+	for i := 0; i < nn; i++ {
+		n := Node(i)
+		if f := g.fanin0[n]; f != None {
+			g.foList[cursor[f]] = n
+			cursor[f]++
+		}
+		if f := g.fanin1[n]; f != None {
+			g.foList[cursor[f]] = n
+			cursor[f]++
+		}
+	}
+	g.foOK = true
+}
+
+// NameOf returns the source name of a PI node ("" otherwise).
+func (g *Graph) NameOf(n Node) string { return g.piName[n] }
+
+// NodeString renders a node for diagnostics.
+func (g *Graph) NodeString(n Node) string {
+	if n == None {
+		return "none"
+	}
+	switch g.KindOf(n) {
+	case PI:
+		return fmt.Sprintf("%d:pi(%s)", n, g.piName[n])
+	case Inv:
+		return fmt.Sprintf("%d:inv(%d)", n, g.fanin0[n])
+	}
+	return fmt.Sprintf("%d:nand2(%d,%d)", n, g.fanin0[n], g.fanin1[n])
+}
+
+// newNode appends one node to the arrays.
+func (g *Graph) newNode(k Kind, f0, f1 Node) Node {
+	n := Node(len(g.kind))
+	g.kind = append(g.kind, k)
+	g.fanin0 = append(g.fanin0, f0)
+	g.fanin1 = append(g.fanin1, f1)
+	g.nfo = append(g.nfo, 0)
+	if f0 != None {
+		g.nfo[f0]++
+	}
+	if f1 != None {
+		g.nfo[f1]++
+	}
+	g.foOK = false
+	return n
+}
+
+// AddPI creates a source node.
+func (g *Graph) AddPI(name string) (Node, error) {
+	if _, dup := g.byName[name]; dup {
+		return None, fmt.Errorf("subject: duplicate source %q", name)
+	}
+	n := g.newNode(PI, None, None)
 	g.PIs = append(g.PIs, n)
+	g.piName[n] = name
 	g.byName[name] = n
 	return n, nil
 }
 
-// PI returns the source node with the given name, or nil.
-func (g *Graph) PI(name string) *Node { return g.byName[name] }
+// PI returns the source node with the given name, or None.
+func (g *Graph) PI(name string) Node {
+	if n, ok := g.byName[name]; ok {
+		return n
+	}
+	return None
+}
 
 // Not returns an inverter over x (folding double inversion when
 // sharing is enabled).
-func (g *Graph) Not(x *Node) *Node {
-	if g.share && x.Kind == Inv {
-		return x.Fanin[0]
+func (g *Graph) Not(x Node) Node {
+	if g.share && g.KindOf(x) == Inv {
+		return g.fanin0[x]
 	}
-	key := [3]int64{int64(Inv), int64(x.ID), -1}
 	if g.share {
-		if n, ok := g.strash[key]; ok {
+		key := strashInvKey(x)
+		if n, ok := g.strash.lookup(key); ok {
+			g.strashHits++
 			return n
 		}
+		n := g.newNode(Inv, x, None)
+		g.strash.insert(key, n)
+		return n
 	}
-	n := &Node{ID: len(g.Nodes), Kind: Inv, Fanin: [2]*Node{x, nil}}
-	x.Fanouts = append(x.Fanouts, n)
-	g.Nodes = append(g.Nodes, n)
-	if g.share {
-		g.strash[key] = n
-	}
-	return n
+	return g.newNode(Inv, x, None)
 }
 
 // Nand returns a 2-input NAND over x and y (commutatively hashed).
 // With sharing enabled, NAND(x,x) folds to NOT(x).
-func (g *Graph) Nand(x, y *Node) *Node {
+func (g *Graph) Nand(x, y Node) Node {
 	if g.share && x == y {
 		return g.Not(x)
 	}
 	a, b := x, y
-	if a.ID > b.ID {
+	if a > b {
 		a, b = b, a
 	}
-	key := [3]int64{int64(Nand2), int64(a.ID), int64(b.ID)}
 	if g.share {
-		if n, ok := g.strash[key]; ok {
+		key := strashNandKey(a, b)
+		if n, ok := g.strash.lookup(key); ok {
+			g.strashHits++
 			return n
 		}
+		n := g.newNode(Nand2, a, b)
+		g.strash.insert(key, n)
+		return n
 	}
-	n := &Node{ID: len(g.Nodes), Kind: Nand2, Fanin: [2]*Node{a, b}}
-	// Tied inputs (a == b) record two fanout entries, matching the two
-	// fanin slots; Check relies on this symmetry.
-	a.Fanouts = append(a.Fanouts, n)
-	b.Fanouts = append(b.Fanouts, n)
-	g.Nodes = append(g.Nodes, n)
-	if g.share {
-		g.strash[key] = n
-	}
-	return n
+	return g.newNode(Nand2, a, b)
 }
 
+// StrashHits returns how many Not/Nand constructions were answered by
+// the structural hash table instead of creating a node.
+func (g *Graph) StrashHits() int64 { return g.strashHits }
+
 // MarkOutput registers node as a required output with the given name.
-func (g *Graph) MarkOutput(name string, n *Node) {
+func (g *Graph) MarkOutput(name string, n Node) {
 	g.Outputs = append(g.Outputs, Output{Name: name, Node: n})
 }
 
 // Build decomposes expression e (over the named sources in env) into
 // the graph and returns the node computing e.
-func (g *Graph) Build(e *logic.Expr, env map[string]*Node) (*Node, error) {
+func (g *Graph) Build(e *logic.Expr, env map[string]Node) (Node, error) {
 	return g.build(e, false, env)
 }
 
-func (g *Graph) build(e *logic.Expr, neg bool, env map[string]*Node) (*Node, error) {
+func (g *Graph) build(e *logic.Expr, neg bool, env map[string]Node) (Node, error) {
 	switch e.Op {
 	case logic.OpConst:
-		return nil, fmt.Errorf("subject: constant functions cannot be decomposed (run constant propagation first)")
+		return None, fmt.Errorf("subject: constant functions cannot be decomposed (run constant propagation first)")
 	case logic.OpVar:
 		n, ok := env[e.Var]
 		if !ok {
-			return nil, fmt.Errorf("subject: unbound variable %q", e.Var)
+			return None, fmt.Errorf("subject: unbound variable %q", e.Var)
 		}
 		if neg {
 			n = g.Not(n)
@@ -228,23 +373,23 @@ func (g *Graph) build(e *logic.Expr, neg bool, env map[string]*Node) (*Node, err
 	case logic.OpXor:
 		return g.buildXor(e.Kids, neg, env)
 	}
-	return nil, fmt.Errorf("subject: invalid expression op %v", e.Op)
+	return None, fmt.Errorf("subject: invalid expression op %v", e.Op)
 }
 
 // buildAnd decomposes AND(kids) (negated if neg) into a balanced
 // NAND2/INV tree.
-func (g *Graph) buildAnd(kids []*logic.Expr, neg bool, env map[string]*Node) (*Node, error) {
+func (g *Graph) buildAnd(kids []*logic.Expr, neg bool, env map[string]Node) (Node, error) {
 	if len(kids) == 1 {
 		return g.build(kids[0], neg, env)
 	}
 	mid := g.splitPoint(len(kids))
 	l, err := g.buildAnd2(kids[:mid], env)
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	r, err := g.buildAnd2(kids[mid:], env)
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	n := g.Nand(l, r)
 	if !neg {
@@ -254,7 +399,7 @@ func (g *Graph) buildAnd(kids []*logic.Expr, neg bool, env map[string]*Node) (*N
 }
 
 // buildAnd2 builds the positive AND of kids.
-func (g *Graph) buildAnd2(kids []*logic.Expr, env map[string]*Node) (*Node, error) {
+func (g *Graph) buildAnd2(kids []*logic.Expr, env map[string]Node) (Node, error) {
 	return g.buildAnd(kids, false, env)
 }
 
@@ -264,18 +409,18 @@ func (g *Graph) buildAnd2(kids []*logic.Expr, env map[string]*Node) (*Node, erro
 // subgraphs are built once and reused for both polarities (only an
 // inverter separates them), so the expansion stays linear for n-ary
 // XOR.
-func (g *Graph) buildXor(kids []*logic.Expr, neg bool, env map[string]*Node) (*Node, error) {
+func (g *Graph) buildXor(kids []*logic.Expr, neg bool, env map[string]Node) (Node, error) {
 	if len(kids) == 1 {
 		return g.build(kids[0], neg, env)
 	}
 	mid := g.splitPoint(len(kids))
 	a, err := g.buildXor(kids[:mid], false, env)
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	b, err := g.buildXor(kids[mid:], false, env)
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	n := g.Nand(g.Nand(a, g.Not(b)), g.Nand(g.Not(a), b))
 	if neg {
@@ -286,36 +431,50 @@ func (g *Graph) buildXor(kids []*logic.Expr, neg bool, env map[string]*Node) (*N
 
 // Check validates fanin/fanout symmetry and topological node order.
 func (g *Graph) Check() error {
-	for i, n := range g.Nodes {
-		if n.ID != i {
-			return fmt.Errorf("subject: node %d has ID %d", i, n.ID)
-		}
-		for _, fi := range n.Fanins() {
-			if fi == nil {
-				return fmt.Errorf("subject: node %v has nil fanin", n)
+	nn := g.NumNodes()
+	for i := 0; i < nn; i++ {
+		n := Node(i)
+		fis, k := g.Fanins(n)
+		if g.KindOf(n) == PI {
+			if g.fanin0[n] != None || g.fanin1[n] != None {
+				return fmt.Errorf("subject: PI %v has fanins", g.NodeString(n))
 			}
-			if fi.ID >= n.ID {
-				return fmt.Errorf("subject: node %v not topologically after fanin %v", n, fi)
+		}
+		for s := 0; s < k; s++ {
+			fi := fis[s]
+			if fi == None {
+				return fmt.Errorf("subject: node %v has nil fanin", g.NodeString(n))
+			}
+			if fi >= n {
+				return fmt.Errorf("subject: node %v not topologically after fanin %v", g.NodeString(n), g.NodeString(fi))
 			}
 			count := 0
-			for _, fo := range fi.Fanouts {
+			for _, fo := range g.Fanouts(fi) {
 				if fo == n {
 					count++
 				}
 			}
 			uses := 0
-			for _, x := range n.Fanins() {
-				if x == fi {
+			for t := 0; t < k; t++ {
+				if fis[t] == fi {
 					uses++
 				}
 			}
 			if count != uses {
-				return fmt.Errorf("subject: fanout bookkeeping broken between %v and %v", fi, n)
+				return fmt.Errorf("subject: fanout bookkeeping broken between %v and %v", g.NodeString(fi), g.NodeString(n))
 			}
 		}
 	}
+	if !g.foOK {
+		g.buildFanoutIndex()
+	}
+	for i := 0; i < nn; i++ {
+		if int(g.foStart[i+1]-g.foStart[i]) != int(g.nfo[i]) {
+			return fmt.Errorf("subject: fanout count of %v disagrees with CSR index", g.NodeString(Node(i)))
+		}
+	}
 	for _, o := range g.Outputs {
-		if o.Node == nil || o.Node.ID >= len(g.Nodes) || g.Nodes[o.Node.ID] != o.Node {
+		if o.Node == None || int(o.Node) >= nn {
 			return fmt.Errorf("subject: output %q references foreign node", o.Name)
 		}
 	}
@@ -324,21 +483,23 @@ func (g *Graph) Check() error {
 
 // Depth returns the maximum level over all nodes (PIs at level 0).
 func (g *Graph) Depth() int {
-	lv := make([]int, len(g.Nodes))
-	max := 0
-	for _, n := range g.Nodes {
-		d := 0
-		for _, fi := range n.Fanins() {
-			if lv[fi.ID]+1 > d {
-				d = lv[fi.ID] + 1
-			}
+	lv := make([]int32, g.NumNodes())
+	max := int32(0)
+	for i := range lv {
+		n := Node(i)
+		d := int32(0)
+		if f := g.fanin0[n]; f != None && lv[f]+1 > d {
+			d = lv[f] + 1
 		}
-		lv[n.ID] = d
+		if f := g.fanin1[n]; f != None && lv[f]+1 > d {
+			d = lv[f] + 1
+		}
+		lv[n] = d
 		if d > max {
 			max = d
 		}
 	}
-	return max
+	return int(max)
 }
 
 // Stats summarizes a subject graph.
@@ -351,15 +512,15 @@ type Stats struct {
 
 // Stats computes summary statistics.
 func (g *Graph) Stats() Stats {
-	s := Stats{Nodes: len(g.Nodes), PIs: len(g.PIs), Outputs: len(g.Outputs), Depth: g.Depth()}
-	for _, n := range g.Nodes {
-		switch n.Kind {
+	s := Stats{Nodes: g.NumNodes(), PIs: len(g.PIs), Outputs: len(g.Outputs), Depth: g.Depth()}
+	for i := 0; i < g.NumNodes(); i++ {
+		switch g.KindOf(Node(i)) {
 		case Nand2:
 			s.Nands++
 		case Inv:
 			s.Invs++
 		}
-		if len(n.Fanouts) >= 2 {
+		if g.nfo[i] >= 2 {
 			s.MultiFanout++
 		}
 	}
@@ -391,8 +552,10 @@ func FromNetworkChained(nw *network.Network, chain bool) (*Graph, error) {
 	}
 	g := NewGraph(nw.Name, true)
 	g.SetChainDecomposition(chain)
-	nodeOf := map[*network.Node]*Node{}
+	g.Reserve(len(topo) * 2)
+	nodeOf := make(map[*network.Node]Node, len(topo))
 	constOf := map[*network.Node]*logic.Expr{} // constant nodes
+	env := map[string]Node{}
 	for _, n := range topo {
 		if n.Func == nil {
 			pi, err := g.AddPI(n.Name)
@@ -414,7 +577,7 @@ func FromNetworkChained(nw *network.Network, chain bool) (*Graph, error) {
 			constOf[n] = fn
 			continue
 		}
-		env := map[string]*Node{}
+		clear(env)
 		for _, fi := range n.Fanins {
 			if sn, ok := nodeOf[fi]; ok {
 				env[fi.Name] = sn
@@ -488,81 +651,228 @@ func simplify(e *logic.Expr) *logic.Expr {
 // (keyed by PI name) and returns the packed value of each node,
 // indexed by node ID.
 func (g *Graph) Eval(inputs map[string]uint64) ([]uint64, error) {
-	vals := make([]uint64, len(g.Nodes))
-	for _, n := range g.Nodes { // topological order
-		switch n.Kind {
+	vals := make([]uint64, g.NumNodes())
+	for i := range vals { // topological order
+		n := Node(i)
+		switch g.KindOf(n) {
 		case PI:
-			v, ok := inputs[n.Name]
+			v, ok := inputs[g.piName[n]]
 			if !ok {
-				return nil, fmt.Errorf("subject: evaluation input %q not supplied", n.Name)
+				return nil, fmt.Errorf("subject: evaluation input %q not supplied", g.piName[n])
 			}
-			vals[n.ID] = v
+			vals[n] = v
 		case Inv:
-			vals[n.ID] = ^vals[n.Fanin[0].ID]
+			vals[n] = ^vals[g.fanin0[n]]
 		case Nand2:
-			vals[n.ID] = ^(vals[n.Fanin[0].ID] & vals[n.Fanin[1].ID])
+			vals[n] = ^(vals[g.fanin0[n]] & vals[g.fanin1[n]])
 		}
 	}
 	return vals, nil
 }
 
-// TransitiveFanin returns the TFI cone of root (including root).
-func TransitiveFanin(root *Node) map[*Node]bool {
-	seen := map[*Node]bool{}
-	stack := []*Node{root}
+// Marker is a generation-stamped visited set over nodes: a dense
+// stamp slice plus an epoch counter, so repeated traversals reuse the
+// allocation without clearing (the idiom shared by the matcher
+// scratch and the cone encoder). The zero value is ready to use.
+type Marker struct {
+	stamp []uint64
+	epoch uint64
+}
+
+// Begin starts a fresh generation sized for g.
+func (m *Marker) Begin(g *Graph) {
+	if len(m.stamp) < g.NumNodes() {
+		m.stamp = append(m.stamp, make([]uint64, g.NumNodes()-len(m.stamp))...)
+	}
+	m.epoch++
+}
+
+// Mark marks n in the current generation, reporting whether it was
+// already marked.
+func (m *Marker) Mark(n Node) bool {
+	if m.stamp[n] == m.epoch {
+		return true
+	}
+	m.stamp[n] = m.epoch
+	return false
+}
+
+// Marked reports whether n is marked in the current generation.
+func (m *Marker) Marked(n Node) bool { return m.stamp[n] == m.epoch }
+
+// TransitiveFanin appends the TFI cone of root (including root) to
+// dst, using the marker's current generation as the visited set: call
+// m.Begin once, then accumulate cones of several roots without
+// revisiting shared structure.
+func (g *Graph) TransitiveFanin(root Node, m *Marker, dst []Node) []Node {
+	if m.Mark(root) {
+		return dst
+	}
+	dst = append(dst, root)
+	stack := []Node{root}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if seen[n] {
-			continue
+		if f := g.fanin0[n]; f != None && !m.Mark(f) {
+			dst = append(dst, f)
+			stack = append(stack, f)
 		}
-		seen[n] = true
-		stack = append(stack, n.Fanins()...)
+		if f := g.fanin1[n]; f != None && !m.Mark(f) {
+			dst = append(dst, f)
+			stack = append(stack, f)
+		}
 	}
-	return seen
+	return dst
 }
 
-// Expr reconstructs the Boolean expression computed by node n over the
-// PI names of its cone, stopping at the given boundary nodes (which
-// are treated as variables named by boundary[node]). Used for LUT
-// function extraction and verification.
-func Expr(n *Node, boundary map[*Node]string) (*logic.Expr, error) {
-	memo := map[*Node]*logic.Expr{}
-	var rec func(x *Node) (*logic.Expr, error)
-	rec = func(x *Node) (*logic.Expr, error) {
-		if e, ok := memo[x]; ok {
-			return e, nil
-		}
-		if name, ok := boundary[x]; ok {
-			e := logic.Variable(name)
-			memo[x] = e
-			return e, nil
-		}
-		var e *logic.Expr
-		switch x.Kind {
-		case PI:
-			e = logic.Variable(x.Name)
-		case Inv:
-			k, err := rec(x.Fanin[0])
-			if err != nil {
-				return nil, err
-			}
-			e = logic.Not(k)
-		case Nand2:
-			a, err := rec(x.Fanin[0])
-			if err != nil {
-				return nil, err
-			}
-			b, err := rec(x.Fanin[1])
-			if err != nil {
-				return nil, err
-			}
-			e = logic.Not(logic.And(a, b))
-		default:
-			return nil, fmt.Errorf("subject: invalid node kind %v", x.Kind)
-		}
-		memo[x] = e
+// ExprBuilder reconstructs Boolean expressions from subject cones.
+// Its memo is a dense generation-stamped slice, so one builder can be
+// reused across many extraction calls without per-call maps.
+type ExprBuilder struct {
+	memo  []*logic.Expr
+	stamp []uint64
+	epoch uint64
+}
+
+// Expr reconstructs the Boolean expression computed by node n over
+// the PI names of its cone, stopping at the given boundary nodes
+// (which are treated as variables named by boundary[node]). Used for
+// LUT function extraction and verification.
+func (b *ExprBuilder) Expr(g *Graph, n Node, boundary map[Node]string) (*logic.Expr, error) {
+	if len(b.memo) < g.NumNodes() {
+		b.memo = append(b.memo, make([]*logic.Expr, g.NumNodes()-len(b.memo))...)
+		b.stamp = append(b.stamp, make([]uint64, g.NumNodes()-len(b.stamp))...)
+	}
+	b.epoch++
+	return b.rec(g, n, boundary)
+}
+
+func (b *ExprBuilder) rec(g *Graph, x Node, boundary map[Node]string) (*logic.Expr, error) {
+	if b.stamp[x] == b.epoch {
+		return b.memo[x], nil
+	}
+	if name, ok := boundary[x]; ok {
+		e := logic.Variable(name)
+		b.stamp[x], b.memo[x] = b.epoch, e
 		return e, nil
 	}
-	return rec(n)
+	var e *logic.Expr
+	switch g.KindOf(x) {
+	case PI:
+		e = logic.Variable(g.piName[x])
+	case Inv:
+		k, err := b.rec(g, g.fanin0[x], boundary)
+		if err != nil {
+			return nil, err
+		}
+		e = logic.Not(k)
+	case Nand2:
+		a, err := b.rec(g, g.fanin0[x], boundary)
+		if err != nil {
+			return nil, err
+		}
+		c, err := b.rec(g, g.fanin1[x], boundary)
+		if err != nil {
+			return nil, err
+		}
+		e = logic.Not(logic.And(a, c))
+	default:
+		return nil, fmt.Errorf("subject: invalid node kind %v", g.KindOf(x))
+	}
+	b.stamp[x], b.memo[x] = b.epoch, e
+	return e, nil
+}
+
+// Expr is the one-shot convenience form of ExprBuilder.Expr.
+func Expr(g *Graph, n Node, boundary map[Node]string) (*logic.Expr, error) {
+	var b ExprBuilder
+	return b.Expr(g, n, boundary)
+}
+
+// strashTable is an open-addressed hash table from packed structural
+// keys to nodes. Keys are never 0 (see the key constructors), so 0
+// marks an empty slot; there are no deletions.
+type strashTable struct {
+	keys []uint64
+	vals []Node
+	n    int
+}
+
+// strashInvKey packs an inverter key: bit 63 tags inverters, the low
+// bits hold the fanin handle.
+func strashInvKey(x Node) uint64 { return 1<<63 | uint64(uint32(x)) }
+
+// strashNandKey packs a NAND key from the ordered fanin pair (a <= b,
+// both < 2^31, so the two fields cannot collide with the inverter
+// tag). The pair (0,0) never reaches the table: NAND(x,x) folds to
+// NOT(x) before hashing, so key 0 stays free as the empty marker.
+func strashNandKey(a, b Node) uint64 { return uint64(uint32(a))<<31 | uint64(uint32(b)) }
+
+// strashHash finalizes a key (splitmix64 mixer).
+func strashHash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (t *strashTable) lookup(key uint64) (Node, bool) {
+	if len(t.keys) == 0 {
+		return None, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := strashHash(key) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case key:
+			return t.vals[i], true
+		case 0:
+			return None, false
+		}
+	}
+}
+
+func (t *strashTable) insert(key uint64, v Node) {
+	if 4*(t.n+1) >= 3*len(t.keys) { // load factor 3/4
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := strashHash(key) & mask; ; i = (i + 1) & mask {
+		if t.keys[i] == 0 {
+			t.keys[i], t.vals[i] = key, v
+			t.n++
+			return
+		}
+		if t.keys[i] == key {
+			t.vals[i] = v
+			return
+		}
+	}
+}
+
+func (t *strashTable) grow() {
+	newCap := 64
+	if len(t.keys) > 0 {
+		newCap = 2 * len(t.keys)
+	}
+	// Keep capacity a power of two for mask arithmetic.
+	if newCap&(newCap-1) != 0 {
+		newCap = 1 << bits.Len(uint(newCap))
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, newCap)
+	t.vals = make([]Node, newCap)
+	mask := uint64(newCap - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		for j := strashHash(k) & mask; ; j = (j + 1) & mask {
+			if t.keys[j] == 0 {
+				t.keys[j], t.vals[j] = k, oldVals[i]
+				break
+			}
+		}
+	}
 }

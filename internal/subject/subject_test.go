@@ -13,16 +13,19 @@ func TestBuildGates(t *testing.T) {
 	a, _ := g.AddPI("a")
 	b, _ := g.AddPI("b")
 	n := g.Nand(a, b)
-	if n.Kind != Nand2 || n.NumFanins() != 2 {
-		t.Fatalf("nand wrong: %v", n)
+	if g.KindOf(n) != Nand2 || g.NumFanins(n) != 2 {
+		t.Fatalf("nand wrong: %v", g.NodeString(n))
 	}
 	i := g.Not(n)
-	if i.Kind != Inv || i.Fanin[0] != n {
-		t.Fatalf("inv wrong: %v", i)
+	if g.KindOf(i) != Inv || g.Fanin0(i) != n {
+		t.Fatalf("inv wrong: %v", g.NodeString(i))
 	}
 	// Strashing: same NAND again returns the same node.
 	if g.Nand(b, a) != n {
 		t.Error("commutative strash failed")
+	}
+	if g.StrashHits() == 0 {
+		t.Error("strash hit not counted")
 	}
 	// Inverter pair folds.
 	if g.Not(i) != n {
@@ -52,8 +55,8 @@ func TestTiedInputs(t *testing.T) {
 	g := NewGraph("t", true)
 	a, _ := g.AddPI("a")
 	n := g.Nand(a, a)
-	if n.Kind != Inv || n.Fanin[0] != a {
-		t.Fatalf("shared tied nand should fold to inverter, got %v", n)
+	if g.KindOf(n) != Inv || g.Fanin0(n) != a {
+		t.Fatalf("shared tied nand should fold to inverter, got %v", g.NodeString(n))
 	}
 	if err := g.Check(); err != nil {
 		t.Fatal(err)
@@ -62,11 +65,14 @@ func TestTiedInputs(t *testing.T) {
 	g2 := NewGraph("t", false)
 	b, _ := g2.AddPI("b")
 	n2 := g2.Nand(b, b)
-	if n2.Kind != Nand2 || n2.Fanin[0] != b || n2.Fanin[1] != b {
-		t.Fatalf("unshared tied nand wrong: %v", n2)
+	if g2.KindOf(n2) != Nand2 || g2.Fanin0(n2) != b || g2.Fanin1(n2) != b {
+		t.Fatalf("unshared tied nand wrong: %v", g2.NodeString(n2))
 	}
-	if len(b.Fanouts) != 2 {
-		t.Errorf("tied input fanout entries = %d, want 2", len(b.Fanouts))
+	if g2.FanoutCount(b) != 2 {
+		t.Errorf("tied input fanout entries = %d, want 2", g2.FanoutCount(b))
+	}
+	if got := g2.Fanouts(b); len(got) != 2 || got[0] != n2 || got[1] != n2 {
+		t.Errorf("tied input CSR fanouts = %v, want [%d %d]", got, n2, n2)
 	}
 	if err := g2.Check(); err != nil {
 		t.Fatal(err)
@@ -74,9 +80,9 @@ func TestTiedInputs(t *testing.T) {
 }
 
 // exprOf evaluates a subject node back to an expression over PIs.
-func exprOf(t *testing.T, n *Node) *logic.Expr {
+func exprOf(t *testing.T, g *Graph, n Node) *logic.Expr {
 	t.Helper()
-	e, err := Expr(n, nil)
+	e, err := Expr(g, n, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +100,7 @@ func TestBuildExpressionEquivalence(t *testing.T) {
 		for _, src := range cases {
 			e := logic.MustParse(src)
 			g := NewGraph("t", shared)
-			env := map[string]*Node{}
+			env := map[string]Node{}
 			for _, v := range e.Vars() {
 				pi, err := g.AddPI(v)
 				if err != nil {
@@ -109,7 +115,7 @@ func TestBuildExpressionEquivalence(t *testing.T) {
 			if err := g.Check(); err != nil {
 				t.Fatalf("Build(%q): %v", src, err)
 			}
-			back := exprOf(t, n)
+			back := exprOf(t, g, n)
 			eq, err := logic.Equivalent(e, back)
 			if err != nil {
 				t.Fatal(err)
@@ -118,9 +124,9 @@ func TestBuildExpressionEquivalence(t *testing.T) {
 				t.Errorf("decomposition of %q (share=%v) computes %q", src, shared, back)
 			}
 			// Only NAND2/INV nodes created.
-			for _, nd := range g.Nodes {
-				if nd.Kind != PI && nd.Kind != Inv && nd.Kind != Nand2 {
-					t.Errorf("non-NAND2/INV node %v", nd)
+			for i := 0; i < g.NumNodes(); i++ {
+				if k := g.KindOf(Node(i)); k != PI && k != Inv && k != Nand2 {
+					t.Errorf("non-NAND2/INV node %v", g.NodeString(Node(i)))
 				}
 			}
 		}
@@ -145,22 +151,22 @@ func TestXorDecompositionShape(t *testing.T) {
 		g := NewGraph("t", share)
 		a, _ := g.AddPI("a")
 		b, _ := g.AddPI("b")
-		env := map[string]*Node{"a": a, "b": b}
+		env := map[string]Node{"a": a, "b": b}
 		n, err := g.Build(logic.MustParse("a^b"), env)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(g.Nodes) != 7 {
-			t.Errorf("share=%v: XOR node count = %d, want 7", share, len(g.Nodes))
+		if g.NumNodes() != 7 {
+			t.Errorf("share=%v: XOR node count = %d, want 7", share, g.NumNodes())
 		}
-		if n.Kind != Nand2 {
-			t.Errorf("share=%v: XOR root kind = %v", share, n.Kind)
+		if g.KindOf(n) != Nand2 {
+			t.Errorf("share=%v: XOR root kind = %v", share, g.KindOf(n))
 		}
 	}
 	// n-ary XOR stays linear: XOR8 uses 7 XOR2 blocks = 7*5 internal
 	// nodes + inverters between stages, well under 64 nodes.
 	g := NewGraph("t", true)
-	env := map[string]*Node{}
+	env := map[string]Node{}
 	kids := make([]*logic.Expr, 8)
 	for i := 0; i < 8; i++ {
 		name := string(rune('a' + i))
@@ -171,8 +177,8 @@ func TestXorDecompositionShape(t *testing.T) {
 	if _, err := g.Build(logic.Xor(kids...), env); err != nil {
 		t.Fatal(err)
 	}
-	if len(g.Nodes) > 64 {
-		t.Errorf("XOR8 exploded to %d nodes; the SOP expansion must stay linear", len(g.Nodes))
+	if g.NumNodes() > 64 {
+		t.Errorf("XOR8 exploded to %d nodes; the SOP expansion must stay linear", g.NumNodes())
 	}
 }
 
@@ -228,7 +234,7 @@ func TestFromNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, o := range g.Outputs {
-		e := exprOf(t, o.Node)
+		e := exprOf(t, g, o.Node)
 		got := e.EvalBatch(in)
 		if got != want[o.Name] {
 			t.Errorf("output %q: subject graph %x, network %x", o.Name, got, want[o.Name])
@@ -256,7 +262,7 @@ func TestFromNetworkConstantPropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := exprOf(t, g.Outputs[0].Node)
+	e := exprOf(t, g, g.Outputs[0].Node)
 	eq, err := logic.Equivalent(e, logic.MustParse("!a"))
 	if err != nil {
 		t.Fatal(err)
@@ -338,7 +344,7 @@ func TestExprWithBoundary(t *testing.T) {
 	b, _ := g.AddPI("b")
 	n := g.Nand(a, b)
 	top := g.Not(n)
-	e, err := Expr(top, map[*Node]string{n: "cut"})
+	e, err := Expr(g, top, map[Node]string{n: "cut"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,5 +354,60 @@ func TestExprWithBoundary(t *testing.T) {
 	}
 	if !eq {
 		t.Errorf("boundary expr = %v", e)
+	}
+}
+
+func TestTransitiveFaninMarker(t *testing.T) {
+	g := NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	c, _ := g.AddPI("c")
+	n1 := g.Nand(a, b)
+	n2 := g.Nand(n1, c)
+	other := g.Nand(a, c)
+	var m Marker
+	m.Begin(g)
+	cone := g.TransitiveFanin(n2, &m, nil)
+	if len(cone) != 5 {
+		t.Fatalf("TFI(n2) = %v, want 5 nodes", cone)
+	}
+	for _, want := range []Node{n2, n1, a, b, c} {
+		if !m.Marked(want) {
+			t.Errorf("node %v missing from TFI", g.NodeString(want))
+		}
+	}
+	if m.Marked(other) {
+		t.Errorf("node %v wrongly in TFI", g.NodeString(other))
+	}
+	// Accumulating a second root in the same generation skips shared
+	// structure.
+	more := g.TransitiveFanin(other, &m, cone)
+	if len(more) != len(cone)+1 {
+		t.Errorf("accumulated TFI added %d nodes, want 1", len(more)-len(cone))
+	}
+	// A fresh generation starts empty.
+	m.Begin(g)
+	if m.Marked(n2) {
+		t.Error("stale mark visible after Begin")
+	}
+}
+
+func TestFanoutCSR(t *testing.T) {
+	g := NewGraph("t", true)
+	a, _ := g.AddPI("a")
+	b, _ := g.AddPI("b")
+	n1 := g.Nand(a, b)
+	n2 := g.Not(n1)
+	n3 := g.Nand(n1, a)
+	if got := g.Fanouts(n1); len(got) != 2 || got[0] != n2 || got[1] != n3 {
+		t.Errorf("fanouts of n1 = %v, want [%d %d]", got, n2, n3)
+	}
+	// Adding a node invalidates and rebuilds the index.
+	n4 := g.Nand(n1, b)
+	if got := g.Fanouts(n1); len(got) != 3 || got[2] != n4 {
+		t.Errorf("fanouts of n1 after add = %v", got)
+	}
+	if got := g.Fanouts(n4); len(got) != 0 {
+		t.Errorf("fanouts of sink = %v, want empty", got)
 	}
 }

@@ -76,6 +76,13 @@ type Result struct {
 	Cover, Emit time.Duration
 }
 
+// chosenMatch is the DP winner at one node: the pattern and its leaf
+// bindings in pin order.
+type chosenMatch struct {
+	pat    *subject.Pattern
+	leaves []subject.Node
+}
+
 // Map covers the subject graph tree by tree. The matcher should hold
 // tree-shaped patterns (subject.CompileOptions{Share: false}); shared
 // DAG patterns are legal but can never produce exact matches beyond
@@ -90,19 +97,21 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	if len(g.Outputs) == 0 {
 		return nil, fmt.Errorf("treemap: subject graph %q has no outputs", g.Name)
 	}
+	nn := g.NumNodes()
 
 	// Static partition: a node is a tree boundary ("visible") when it
 	// is a PI, an output root, or has multiple fanouts.
-	visible := make([]bool, len(g.Nodes))
-	for _, n := range g.Nodes {
-		visible[n.ID] = n.Kind == subject.PI || len(n.Fanouts) >= 2
+	visible := make([]bool, nn)
+	for i := 0; i < nn; i++ {
+		n := subject.Node(i)
+		visible[i] = g.KindOf(n) == subject.PI || g.FanoutCount(n) >= 2
 	}
 	trees := 0
 	for _, o := range g.Outputs {
-		visible[o.Node.ID] = true
+		visible[o.Node] = true
 	}
-	for _, n := range g.Nodes {
-		if visible[n.ID] && n.Kind != subject.PI {
+	for i := 0; i < nn; i++ {
+		if visible[i] && g.KindOf(subject.Node(i)) != subject.PI {
 			trees++
 		}
 	}
@@ -112,31 +121,33 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	// visible leaves cost nothing (their tree pays once).
 	dpStart := time.Now()
 	dpSpan := opt.Trace.Start("treemap.dp")
-	arr := make([]float64, len(g.Nodes))
-	areaCost := make([]float64, len(g.Nodes))
-	chosen := make([]*match.Match, len(g.Nodes))
-	for i, n := range g.Nodes {
+	arr := make([]float64, nn)
+	areaCost := make([]float64, nn)
+	chosen := make([]chosenMatch, nn)
+	var scratch []subject.Node
+	for i := 0; i < nn; i++ {
 		if i%cancelCheckStride == 0 {
 			if err := opt.Ctx.Err(); err != nil {
 				return nil, fmt.Errorf("treemap: covering interrupted: %w", err)
 			}
 		}
-		if n.Kind == subject.PI {
-			arr[n.ID] = opt.Arrivals[n.Name]
+		n := subject.Node(i)
+		if g.KindOf(n) == subject.PI {
+			arr[i] = opt.Arrivals[g.NameOf(n)]
 			continue
 		}
-		var best *match.Match
+		var bestPat *subject.Pattern
 		bestCost := math.Inf(1)
 		bestTie := math.Inf(1)
-		m.Enumerate(n, match.Exact, func(mt *match.Match) bool {
+		m.Enumerate(g, n, match.Exact, func(mt *match.Match) bool {
 			worst := math.Inf(-1)
 			area := mt.Pattern.Gate.Area
 			for pin, leaf := range mt.Leaves {
-				if v := arr[leaf.ID] + opt.Delay.PinDelay(mt.Pattern.Gate, pin); v > worst {
+				if v := arr[leaf] + opt.Delay.PinDelay(mt.Pattern.Gate, pin); v > worst {
 					worst = v
 				}
-				if !visible[leaf.ID] {
-					area += areaCost[leaf.ID]
+				if !visible[leaf] {
+					area += areaCost[leaf]
 				}
 			}
 			cost, tie := worst, area
@@ -145,36 +156,32 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 			}
 			if cost < bestCost || (cost == bestCost && tie < bestTie) {
 				bestCost, bestTie = cost, tie
-				best = &match.Match{
-					Pattern: mt.Pattern,
-					Root:    mt.Root,
-					Leaves:  append([]*subject.Node(nil), mt.Leaves...),
-					Covered: append([]*subject.Node(nil), mt.Covered...),
-				}
+				bestPat = mt.Pattern
+				scratch = append(scratch[:0], mt.Leaves...)
 			}
 			return true
 		})
-		if best == nil {
+		if bestPat == nil {
 			return nil, fmt.Errorf(
 				"treemap: no exact match at node %v of %q; the library must at least contain a 2-input NAND and an inverter",
 				n, g.Name)
 		}
-		chosen[n.ID] = best
+		chosen[i] = chosenMatch{pat: bestPat, leaves: append([]subject.Node(nil), scratch...)}
 		worst := math.Inf(-1)
-		area := best.Pattern.Gate.Area
-		for pin, leaf := range best.Leaves {
-			if v := arr[leaf.ID] + opt.Delay.PinDelay(best.Pattern.Gate, pin); v > worst {
+		area := bestPat.Gate.Area
+		for pin, leaf := range chosen[i].leaves {
+			if v := arr[leaf] + opt.Delay.PinDelay(bestPat.Gate, pin); v > worst {
 				worst = v
 			}
-			if !visible[leaf.ID] {
-				area += areaCost[leaf.ID]
+			if !visible[leaf] {
+				area += areaCost[leaf]
 			}
 		}
-		arr[n.ID] = worst
-		areaCost[n.ID] = area
+		arr[i] = worst
+		areaCost[i] = area
 	}
 
-	dpSpan.Arg("nodes", len(g.Nodes)).Arg("trees", trees).
+	dpSpan.Arg("nodes", nn).Arg("trees", trees).
 		Arg("objective", opt.Objective.String()).End()
 	coverTime := time.Since(dpStart)
 
@@ -184,46 +191,46 @@ func Map(g *subject.Graph, m *match.Matcher, opt Options) (*Result, error) {
 	emitSpan := opt.Trace.Start("treemap.emit")
 	b := mapping.NewBuilder(g.Name)
 	for _, pi := range g.PIs {
-		if err := b.AddInput(pi.Name); err != nil {
+		if err := b.AddInput(g.NameOf(pi)); err != nil {
 			return nil, err
 		}
 	}
 	for _, o := range g.Outputs {
-		if o.Node.Kind != subject.PI {
+		if g.KindOf(o.Node) != subject.PI {
 			b.Reserve(o.Name)
 		}
 	}
-	preferred := make([]string, len(g.Nodes))
+	preferred := make([]string, nn)
 	for _, o := range g.Outputs {
-		if preferred[o.Node.ID] == "" {
-			preferred[o.Node.ID] = o.Name
+		if preferred[o.Node] == "" {
+			preferred[o.Node] = o.Name
 		}
 	}
-	nets := make([]string, len(g.Nodes))
-	var emit func(n *subject.Node) (string, error)
-	emit = func(n *subject.Node) (string, error) {
-		if nets[n.ID] != "" {
-			return nets[n.ID], nil
+	nets := make([]string, nn)
+	var emit func(n subject.Node) (string, error)
+	emit = func(n subject.Node) (string, error) {
+		if nets[n] != "" {
+			return nets[n], nil
 		}
-		if n.Kind == subject.PI {
-			nets[n.ID] = n.Name
-			return n.Name, nil
+		if g.KindOf(n) == subject.PI {
+			nets[n] = g.NameOf(n)
+			return nets[n], nil
 		}
-		mt := chosen[n.ID]
-		inputs := make([]string, len(mt.Leaves))
-		for pin, leaf := range mt.Leaves {
+		mt := chosen[n]
+		inputs := make([]string, len(mt.leaves))
+		for pin, leaf := range mt.leaves {
 			net, err := emit(leaf)
 			if err != nil {
 				return "", err
 			}
 			inputs[pin] = net
 		}
-		net := preferred[n.ID]
+		net := preferred[n]
 		if net == "" {
 			net = b.FreshNet()
 		}
-		b.AddCell(mt.Pattern.Gate, inputs, net)
-		nets[n.ID] = net
+		b.AddCell(mt.pat.Gate, inputs, net)
+		nets[n] = net
 		return net, nil
 	}
 	for _, o := range g.Outputs {

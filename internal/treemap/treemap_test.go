@@ -184,8 +184,8 @@ func TestNoDuplication(t *testing.T) {
 		t.Fatal(err)
 	}
 	nonPI := 0
-	for _, n := range g.Nodes {
-		if n.Kind != subject.PI {
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.KindOf(subject.Node(i)) != subject.PI {
 			nonPI++
 		}
 	}
