@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	one := []float64{42}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := quantile(one, q); got != 42 {
+			t.Errorf("quantile(one, %v) = %v", q, got)
+		}
+	}
+	// 1..100: p50 interpolates to 50.5, p99 to 99.01, extremes clamp.
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(100 - i) // reversed: quantile must sort a copy
+	}
+	if got := quantile(s, 0.5); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 50.5", got)
+	}
+	if got := quantile(s, 0.99); math.Abs(got-99.01) > 1e-9 {
+		t.Errorf("p99 = %v, want 99.01", got)
+	}
+	if got := quantile(s, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := quantile(s, 1); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	if s[0] != 100 {
+		t.Error("quantile mutated its input")
+	}
+}
+
+func TestBuildReportAndSLO(t *testing.T) {
+	c := &counters{
+		syncSent: 10, syncOK: 8, syncShed: 1, syncFailed: 1,
+		syncLatencyMillis: []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		jobsSubmitted:     4, jobsDone: 3, jobsFailed: 1,
+		jobItems: 16, jobItemsOK: 12, streamRecords: 16,
+	}
+	slo := SLO{P99Millis: 100, MaxShedRate: 0.5, MinJobsPerSec: 0.1, MinOKRate: 0.5}
+	r := buildReport("http://x", 7, 20, 10*time.Second, c, slo)
+	if !r.Pass || len(r.Breaches) != 0 {
+		t.Fatalf("healthy run failed SLO: %v", r.Breaches)
+	}
+	if r.Jobs.PerSecond != 0.3 {
+		t.Errorf("job throughput = %v, want 0.3", r.Jobs.PerSecond)
+	}
+	// shed rate: 1 shed of (10 sync + 4 jobs submitted + 0 job sheds).
+	if want := 1.0 / 14.0; math.Abs(r.ShedRate-want) > 1e-9 {
+		t.Errorf("shed rate = %v, want %v", r.ShedRate, want)
+	}
+	// ok rate excludes sheds: 8 of 9 attempted.
+	if want := 8.0 / 9.0; math.Abs(r.OKRate-want) > 1e-9 {
+		t.Errorf("ok rate = %v, want %v", r.OKRate, want)
+	}
+
+	// Each target breached alone is reported.
+	tight := SLO{P50Millis: 0.5, P99Millis: 1, MaxShedRate: 0, MinJobsPerSec: 100, MinOKRate: 0.999}
+	r2 := buildReport("http://x", 7, 20, 10*time.Second, c, tight)
+	if r2.Pass {
+		t.Fatal("tight SLO passed")
+	}
+	if len(r2.Breaches) != 5 {
+		t.Fatalf("breaches = %v, want all 5 targets", r2.Breaches)
+	}
+	for _, want := range []string{"p50", "p99", "shed rate", "job throughput", "ok rate"} {
+		found := false
+		for _, b := range r2.Breaches {
+			if strings.Contains(b, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no breach mentions %q: %v", want, r2.Breaches)
+		}
+	}
+
+	// Disabled checks (zero / negative sentinels) never fire.
+	r3 := buildReport("http://x", 7, 20, 10*time.Second, c, SLO{MaxShedRate: -1})
+	if !r3.Pass {
+		t.Fatalf("disabled SLO produced breaches: %v", r3.Breaches)
+	}
+	// A run that shed everything must not judge latency quantiles.
+	allShed := &counters{syncSent: 5, syncShed: 5}
+	r4 := buildReport("http://x", 1, 5, time.Second, allShed, SLO{P99Millis: 1, MaxShedRate: -1})
+	for _, b := range r4.Breaches {
+		if strings.Contains(b, "p99") {
+			t.Errorf("latency judged on all-shed run: %v", b)
+		}
+	}
+}

@@ -6,10 +6,14 @@
 //
 // Endpoints:
 //
-//	POST /map      map a BLIF netlist (JSON request, see internal/service)
-//	GET  /healthz  liveness probe
-//	GET  /stats    request, cache, queue and per-library latency counters
-//	GET  /metrics  Prometheus text exposition of the same counters
+//	POST   /map               map a BLIF netlist (JSON request, see internal/service)
+//	POST   /jobs              submit an async batch job (many BLIFs, one library)
+//	GET    /jobs/{id}         poll job status (queued → running i/N → done/failed/cancelled)
+//	GET    /jobs/{id}/result  stream per-netlist results as NDJSON, incrementally
+//	DELETE /jobs/{id}         cancel a job; unfinished items settle as 499
+//	GET    /healthz           liveness probe
+//	GET    /stats             request, job, cache, queue and per-library latency counters
+//	GET    /metrics           Prometheus text exposition of the same counters
 //
 // With -debug-addr, a second listener serves net/http/pprof under
 // /debug/pprof/ — kept off the public address so profiling endpoints
@@ -54,6 +58,9 @@ func main() {
 		parallel    = flag.Int("parallel", 1, "labeling workers per request (1 = serial; concurrency across requests usually saturates the pool)")
 		maxBytes    = flag.Int64("maxbytes", 32<<20, "max request body size in bytes")
 		cacheSize   = flag.Int("cache", 128, "max compiled libraries kept in memory")
+		jobsMax     = flag.Int("jobs-max", 512, "max resident async jobs; at capacity the oldest finished job is evicted, and 429 when all are active")
+		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "how long finished async jobs stay pollable")
+		batchMax    = flag.Int("batch-max", 64, "max netlists per batch job")
 		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		slowMillis  = flag.Int("slow-ms", 0, "log requests slower than this many milliseconds at WARN (0 = disabled)")
@@ -74,6 +81,9 @@ func main() {
 		Parallelism:     *parallel,
 		MaxRequestBytes: *maxBytes,
 		CacheEntries:    *cacheSize,
+		MaxJobs:         *jobsMax,
+		JobTTL:          *jobTTL,
+		MaxBatchItems:   *batchMax,
 		Logger:          logger,
 		SlowRequest:     time.Duration(*slowMillis) * time.Millisecond,
 	})

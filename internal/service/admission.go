@@ -52,6 +52,23 @@ func (a *admitter) acquire(ctx context.Context) error {
 	}
 }
 
+// acquireBlocking waits for a run slot without consulting the shed
+// limit. Async batch jobs use it: their backpressure is the bounded
+// job store, not the sync queue, so an admitted job waits as long as
+// it takes (or until its context — a DELETE — fires). The wait still
+// counts into pending, so /stats queue depth stays honest and
+// synchronous requests shed earlier under combined load.
+func (a *admitter) acquireBlocking(ctx context.Context) error {
+	a.pending.Add(1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		a.pending.Add(-1)
+		return ctx.Err()
+	}
+}
+
 func (a *admitter) release() {
 	<-a.slots
 	a.pending.Add(-1)

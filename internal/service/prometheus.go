@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dagcover/internal/jobs"
 )
 
 // Prometheus text exposition (format version 0.0.4), hand-rolled: the
@@ -41,6 +43,7 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	}{
 		{"ok", m.ok.Load()},
 		{"bad_request", m.badRequest.Load()},
+		{"too_large", m.tooLarge.Load()},
 		{"overloaded", m.overloaded.Load()},
 		{"timeout", m.timeout.Load()},
 		{"canceled", m.canceled.Load()},
@@ -82,6 +85,44 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	sample(b, "mapd_queue_concurrency", nil, float64(concurrency))
 	family(b, "mapd_queue_capacity", "gauge", "Admission queue capacity.")
 	sample(b, "mapd_queue_capacity", nil, float64(capacity))
+
+	family(b, "mapd_jobs_submitted_total", "counter", "Batch jobs accepted by POST /jobs.")
+	sample(b, "mapd_jobs_submitted_total", nil, float64(m.jobs.submitted.Load()))
+	family(b, "mapd_jobs_completed_total", "counter", "Batch jobs finished, by terminal state.")
+	for _, jc := range []struct {
+		state string
+		v     uint64
+	}{
+		{"done", m.jobs.done.Load()},
+		{"failed", m.jobs.failed.Load()},
+		{"cancelled", m.jobs.cancelled.Load()},
+	} {
+		sample(b, "mapd_jobs_completed_total", labels{{"state", jc.state}}, float64(jc.v))
+	}
+	family(b, "mapd_jobs_evicted_total", "counter", "Jobs dropped from the store by TTL sweep or capacity eviction.")
+	sample(b, "mapd_jobs_evicted_total", nil, float64(s.jobs.Evictions()))
+	family(b, "mapd_jobs_current", "gauge", "Resident jobs in the store, by state.")
+	counts := s.jobs.CountsByState()
+	for _, state := range jobs.States() {
+		sample(b, "mapd_jobs_current", labels{{"state", state.String()}}, float64(counts[state]))
+	}
+	family(b, "mapd_job_items_total", "counter", "Batch job items settled, by result.")
+	for _, ic := range []struct {
+		result string
+		v      uint64
+	}{
+		{"ok", m.jobs.itemsOK.Load()},
+		{"failed", m.jobs.itemsFailed.Load()},
+		{"timeout", m.jobs.itemsTimeout.Load()},
+		{"cancelled", m.jobs.itemsCancelled.Load()},
+	} {
+		sample(b, "mapd_job_items_total", labels{{"result", ic.result}}, float64(ic.v))
+	}
+	m.jobs.mu.Lock()
+	itemLat := m.jobs.itemLatency.clone()
+	m.jobs.mu.Unlock()
+	family(b, "mapd_job_item_duration_seconds", "histogram", "Mapping latency per batch job item (mapped items only).")
+	writeHistogramLabeled(b, "mapd_job_item_duration_seconds", nil, &itemLat)
 
 	family(b, "mapd_phase_seconds_total", "counter", "Request wall time by phase, summed across requests.")
 	phases := m.phases.phaseSeconds()
@@ -179,14 +220,19 @@ func formatValue(v float64) string {
 // writeHistogram emits the cumulative bucket series, sum and count of
 // one library's histogram.
 func writeHistogram(b *strings.Builder, name, lib string, h *histogram) {
+	writeHistogramLabeled(b, name, labels{{"library", lib}}, h)
+}
+
+// writeHistogramLabeled is writeHistogram generalized over the base
+// label set (empty for the unlabeled job-item histogram).
+func writeHistogramLabeled(b *strings.Builder, name string, base labels, h *histogram) {
 	cum := uint64(0)
 	for i, bound := range h.bounds {
 		cum += h.counts[i]
-		sample(b, name+"_bucket",
-			labels{{"library", lib}, {"le", formatValue(bound)}}, float64(cum))
+		sample(b, name+"_bucket", append(base[:len(base):len(base)], [2]string{"le", formatValue(bound)}), float64(cum))
 	}
 	cum += h.counts[len(h.bounds)]
-	sample(b, name+"_bucket", labels{{"library", lib}, {"le", "+Inf"}}, float64(cum))
-	sample(b, name+"_sum", labels{{"library", lib}}, h.sum)
-	sample(b, name+"_count", labels{{"library", lib}}, float64(h.n))
+	sample(b, name+"_bucket", append(base[:len(base):len(base)], [2]string{"le", "+Inf"}), float64(cum))
+	sample(b, name+"_sum", base, h.sum)
+	sample(b, name+"_count", base, float64(h.n))
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dagcover"
+	"dagcover/internal/jobs"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -57,6 +58,15 @@ type Config struct {
 	Parallelism int
 	// CacheEntries bounds the compiled-library cache (default 128).
 	CacheEntries int
+	// MaxJobs bounds the async job store (default 512). At capacity the
+	// oldest finished job is evicted to admit a new one; when every
+	// resident job is still active, submissions are shed with 429.
+	MaxJobs int
+	// JobTTL is how long finished jobs (status and results) stay
+	// pollable before the store sweeps them (default 15m).
+	JobTTL time.Duration
+	// MaxBatchItems caps the netlists in one batch job (default 64).
+	MaxBatchItems int
 	// Logger, when non-nil, receives one structured access-log record
 	// per /map request (trace id, result, per-phase millis). nil keeps
 	// the server quiet.
@@ -87,6 +97,15 @@ func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
 		c.Parallelism = 1
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 512
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	return c
 }
 
@@ -97,7 +116,9 @@ type Server struct {
 	cache   *Cache
 	adm     *admitter
 	metrics *metrics
+	jobs    *jobs.Store
 	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // New builds a Server.
@@ -108,23 +129,31 @@ func New(cfg Config) *Server {
 		cache:   NewCache(cfg.CacheEntries),
 		adm:     newAdmitter(cfg.Concurrency, cfg.QueueDepth),
 		metrics: newMetrics(),
+		jobs:    jobs.NewStore(cfg.MaxJobs, cfg.JobTTL, nil),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/map", s.handleMap)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.handler = s.transport(s.mux)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the endpoint mux behind
+// the wire transport (request body bounds, gzip negotiation).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Cache exposes the compiled-library cache (tests, warm-up).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// Jobs exposes the async job store (tests, operators).
+func (s *Server) Jobs() *jobs.Store { return s.jobs }
+
 // Stats returns the current observability snapshot.
-func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.cache, s.adm) }
+func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.cache, s.adm, s.jobs) }
 
 // MapRequest is the POST /map body.
 type MapRequest struct {
@@ -259,8 +288,10 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 
 func (s *Server) failure(w http.ResponseWriter, status int, format string, args ...any) {
 	switch status {
-	case http.StatusBadRequest:
+	case http.StatusBadRequest, http.StatusNotFound, http.StatusMethodNotAllowed:
 		s.metrics.badRequest.Add(1)
+	case http.StatusRequestEntityTooLarge:
+		s.metrics.tooLarge.Add(1)
 	case http.StatusTooManyRequests:
 		s.metrics.overloaded.Add(1)
 	case http.StatusGatewayTimeout:
@@ -291,6 +322,11 @@ type reqPhases struct {
 	library  string
 	mode     string
 	cacheHit bool
+
+	// core is the engine's own phase breakdown (label/cover/emit wall
+	// times from the internal/obs instrumentation); the job API surfaces
+	// it per item, the access log keeps the coarse service phases.
+	core dagcover.PhaseBreakdown
 }
 
 // newTraceID returns a 16-hex-char per-request trace id. It appears
@@ -361,11 +397,17 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusMethodNotAllowed, "POST a JSON mapping request to /map")
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	// The transport middleware has already bounded (and, for
+	// Content-Encoding: gzip, transparently decompressed) the body.
 	var req MapRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		if isBodyTooLarge(err) {
+			fail(http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit (after decompression, if gzip)", s.cfg.MaxRequestBytes)
+			return
+		}
 		fail(http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -460,6 +502,15 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	return s.mapWith(ctx, req, nw, mode, cl, hit, ph)
+}
+
+// mapWith runs one gate-library mapping against an already-compiled
+// library. It is the shared tail of the synchronous /map path and the
+// batch job runner (which resolves the library once per batch), so a
+// batch item's netlist is byte-identical to what /map would return for
+// the same input.
+func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Network, mode string, cl *dagcover.CompiledLibrary, hit bool, ph *reqPhases) (*MapResponse, int, error) {
 	ph.library, ph.cacheHit = cl.Library().Name, hit
 	opt := &dagcover.MapOptions{
 		AreaRecovery: req.AreaRecovery,
@@ -487,7 +538,8 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 	}
 
 	var res *dagcover.MapResult
-	t0 = time.Now()
+	var err error
+	t0 := time.Now()
 	switch mode {
 	case "dag":
 		res, err = cl.MapCompiled(ctx, nw, opt)
@@ -503,6 +555,7 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 		// NAND2/INV basis).
 		return nil, http.StatusBadRequest, err
 	}
+	ph.core = res.Phases
 	resp := &MapResponse{
 		Circuit:           nw.Name,
 		Library:           cl.Library().Name,

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dagcover/internal/jobs"
 )
 
 // latencyBounds are the fixed upper bounds (seconds) of the request
@@ -104,6 +106,7 @@ type metrics struct {
 	total      atomic.Uint64 // every /map request received
 	ok         atomic.Uint64 // 200s
 	badRequest atomic.Uint64 // 400s (malformed BLIF/genlib/JSON)
+	tooLarge   atomic.Uint64 // 413s (body over MaxRequestBytes)
 	overloaded atomic.Uint64 // 429s
 	timeout    atomic.Uint64 // 504s (per-request deadline hit)
 	canceled   atomic.Uint64 // client disconnected mid-flight
@@ -119,8 +122,38 @@ type metrics struct {
 
 	phases phaseTimes
 
+	jobs jobMetrics
+
 	mu     sync.Mutex
 	perLib map[string]*libMetrics
+}
+
+// jobMetrics tracks the async job subsystem separately from the /map
+// request counters: a batch of 64 netlists is one job and 64 items,
+// never 64 synthetic /map requests.
+type jobMetrics struct {
+	submitted atomic.Uint64 // jobs accepted (202)
+	done      atomic.Uint64 // jobs finished with >= 1 mapped item
+	failed    atomic.Uint64 // jobs where every item failed (or the library did)
+	cancelled atomic.Uint64 // jobs ended by DELETE
+
+	itemsOK        atomic.Uint64 // items mapped (200)
+	itemsFailed    atomic.Uint64 // items rejected (400/500)
+	itemsTimeout   atomic.Uint64 // items past their deadline (504)
+	itemsCancelled atomic.Uint64 // items settled 499 by cancellation
+
+	mu          sync.Mutex
+	itemLatency histogram // seconds per mapped item
+}
+
+// recordJobItemWork folds one mapped batch item's pattern-matching and
+// memo work into the global work counters (shared with /map, since the
+// underlying engine work is the same) without touching the request
+// classification counters.
+func (m *metrics) recordJobItemWork(patternsTried, memoHits, memoMisses int) {
+	m.patternsTried.Add(uint64(patternsTried))
+	m.memoHits.Add(uint64(memoHits))
+	m.memoMisses.Add(uint64(memoMisses))
 }
 
 // libMetrics is the per-library slice of the stats: request count,
@@ -135,7 +168,9 @@ type libMetrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), perLib: make(map[string]*libMetrics)}
+	m := &metrics{start: time.Now(), perLib: make(map[string]*libMetrics)}
+	m.jobs.itemLatency = newHistogram(latencyBounds)
+	return m
 }
 
 // lib returns (creating if needed) the per-library metrics bucket.
@@ -195,11 +230,30 @@ type StatsSnapshot struct {
 		Total      uint64 `json:"total"`
 		OK         uint64 `json:"ok"`
 		BadRequest uint64 `json:"bad_request"`
+		TooLarge   uint64 `json:"too_large"`
 		Overloaded uint64 `json:"overloaded"`
 		Timeout    uint64 `json:"timeout"`
 		Canceled   uint64 `json:"canceled"`
 		Internal   uint64 `json:"internal"`
 	} `json:"requests"`
+	// Jobs is the async job subsystem: lifecycle counters, resident
+	// jobs per state, and per-item latency quantiles for mapped items.
+	Jobs struct {
+		Submitted      uint64         `json:"submitted"`
+		Done           uint64         `json:"done"`
+		Failed         uint64         `json:"failed"`
+		Cancelled      uint64         `json:"cancelled"`
+		Evicted        uint64         `json:"evicted"`
+		Resident       int            `json:"resident"`
+		Capacity       int            `json:"capacity"`
+		ByState        map[string]int `json:"by_state"`
+		ItemsOK        uint64         `json:"items_ok"`
+		ItemsFailed    uint64         `json:"items_failed"`
+		ItemsTimeout   uint64         `json:"items_timeout"`
+		ItemsCancelled uint64         `json:"items_cancelled"`
+		ItemP50Millis  float64        `json:"item_p50_ms"`
+		ItemP99Millis  float64        `json:"item_p99_ms"`
+	} `json:"jobs"`
 	Cache struct {
 		Libraries int    `json:"libraries"`
 		Hits      uint64 `json:"hits"`
@@ -261,16 +315,39 @@ func (p *phaseTimes) phaseSeconds() map[string]float64 {
 // locked exactly once: counters and histograms are snapshotted in the
 // same critical section (the earlier version re-locked for quantiles,
 // so counters and percentiles could straddle a concurrent record).
-func (m *metrics) snapshot(c *Cache, a *admitter) StatsSnapshot {
+func (m *metrics) snapshot(c *Cache, a *admitter, js *jobs.Store) StatsSnapshot {
 	var s StatsSnapshot
 	s.UptimeMillis = time.Since(m.start).Milliseconds()
 	s.Requests.Total = m.total.Load()
 	s.Requests.OK = m.ok.Load()
 	s.Requests.BadRequest = m.badRequest.Load()
+	s.Requests.TooLarge = m.tooLarge.Load()
 	s.Requests.Overloaded = m.overloaded.Load()
 	s.Requests.Timeout = m.timeout.Load()
 	s.Requests.Canceled = m.canceled.Load()
 	s.Requests.Internal = m.internal.Load()
+	s.Jobs.Submitted = m.jobs.submitted.Load()
+	s.Jobs.Done = m.jobs.done.Load()
+	s.Jobs.Failed = m.jobs.failed.Load()
+	s.Jobs.Cancelled = m.jobs.cancelled.Load()
+	s.Jobs.Evicted = js.Evictions()
+	s.Jobs.Resident = js.Len()
+	s.Jobs.Capacity, _ = js.Capacity()
+	s.Jobs.ByState = make(map[string]int)
+	for state, n := range js.CountsByState() {
+		s.Jobs.ByState[state.String()] = n
+	}
+	s.Jobs.ItemsOK = m.jobs.itemsOK.Load()
+	s.Jobs.ItemsFailed = m.jobs.itemsFailed.Load()
+	s.Jobs.ItemsTimeout = m.jobs.itemsTimeout.Load()
+	s.Jobs.ItemsCancelled = m.jobs.itemsCancelled.Load()
+	m.jobs.mu.Lock()
+	itemLat := m.jobs.itemLatency.clone()
+	m.jobs.mu.Unlock()
+	if itemLat.n > 0 {
+		s.Jobs.ItemP50Millis = roundMillis(itemLat.quantile(0.50) * 1e3)
+		s.Jobs.ItemP99Millis = roundMillis(itemLat.quantile(0.99) * 1e3)
+	}
 	s.Cache.Libraries = c.Len()
 	s.Cache.Hits, s.Cache.Misses, s.Cache.Compiles = c.Counters()
 	s.Cache.Entries = c.Entries()
