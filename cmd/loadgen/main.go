@@ -11,7 +11,12 @@
 // POST /map requests over a corpus of benchmark circuits (small
 // comparators through ISCAS'85 netlists) spread across the built-in
 // libraries, plus a configurable fraction of async batch jobs that are
-// submitted, polled, and their NDJSON result streams consumed. Request
+// submitted, polled, and their NDJSON result streams consumed. A
+// -sg-frac fraction of sync requests asks for supergate expansion
+// (pinned library and bounds, so they all share one artifact) — run
+// the target mapd with -store-dir and the report's sg_store_hits
+// shows the persistent artifact store absorbing the regeneration
+// cost. Request
 // bodies above -gzip-min bytes are gzip-compressed (exercising the
 // server's Content-Encoding path), and responses are requested with
 // Accept-Encoding: gzip.
@@ -86,6 +91,7 @@ func main() {
 		rps      = flag.Float64("rps", 20, "operations per second (open loop)")
 		seed     = flag.Int64("seed", 1, "RNG seed; same seed, same op sequence")
 		jobFrac  = flag.Float64("job-frac", 0.15, "fraction of ops that are async batch jobs")
+		sgFrac   = flag.Float64("sg-frac", 0, "fraction of sync ops that request supergate expansion (pins library 44-1, bounds 3/2/64 — exercises the artifact store when mapd runs with -store-dir)")
 		batch    = flag.Int("batch", 4, "netlists per batch job")
 		gzipMin  = flag.Int("gzip-min", 4096, "gzip request bodies larger than this many bytes (-1 = never)")
 		out      = flag.String("out", "", "write the JSON report to this file (empty = stdout only)")
@@ -98,8 +104,8 @@ func main() {
 		sloOK   = flag.Float64("slo-min-ok-rate", 0, "fail if the sync success rate falls below this fraction (0 = disabled)")
 	)
 	flag.Parse()
-	if *rps <= 0 || *batch < 1 || *jobFrac < 0 || *jobFrac > 1 {
-		log.Fatal("loadgen: need -rps > 0, -batch >= 1, 0 <= -job-frac <= 1")
+	if *rps <= 0 || *batch < 1 || *jobFrac < 0 || *jobFrac > 1 || *sgFrac < 0 || *sgFrac > 1 {
+		log.Fatal("loadgen: need -rps > 0, -batch >= 1, 0 <= -job-frac <= 1, 0 <= -sg-frac <= 1")
 	}
 
 	items := corpus()
@@ -135,10 +141,17 @@ func main() {
 			continue
 		}
 		item := items[rng.Intn(len(items))]
+		// Supergate requests pin the 44-1 library with fixed small
+		// bounds: every such op shares one artifact key, which is what
+		// turns a -store-dir on the server into hits under load.
+		super := rng.Float64() < *sgFrac
+		if super {
+			lib = "44-1"
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runSync(client, *addr, lib, item, *gzipMin, &mu, &c)
+			runSync(client, *addr, lib, item, super, *gzipMin, &mu, &c)
 		}()
 	}
 	wg.Wait()
@@ -159,8 +172,9 @@ func main() {
 	}
 	os.Stdout.Write(blob)
 
-	log.Printf("loadgen: sync %d ok / %d shed / %d failed; p50 %.2fms p99 %.2fms; jobs %d done (%.2f/s); shed rate %.4f",
+	log.Printf("loadgen: sync %d ok / %d shed / %d failed (%d supergate, %d store hits); p50 %.2fms p99 %.2fms; jobs %d done (%.2f/s); shed rate %.4f",
 		report.Sync.OK, report.Sync.Shed, report.Sync.Failed,
+		report.Sync.Supergate, report.Sync.SGHits,
 		report.Sync.P50Millis, report.Sync.P99Millis,
 		report.Jobs.Done, report.Jobs.PerSecond, report.ShedRate)
 	if !report.Pass {
@@ -216,23 +230,40 @@ func readBody(resp *http.Response) ([]byte, error) {
 	return io.ReadAll(rd)
 }
 
-// runSync issues one POST /map and records its outcome.
-func runSync(client *http.Client, addr, lib string, item workItem, gzipMin int, mu *sync.Mutex, c *counters) {
+// runSync issues one POST /map and records its outcome. Supergate
+// requests additionally record whether the server served the expanded
+// library from its persistent artifact store.
+func runSync(client *http.Client, addr, lib string, item workItem, super bool, gzipMin int, mu *sync.Mutex, c *counters) {
+	body := map[string]any{"blif": item.blif, "library": lib}
+	if super {
+		body["supergates"] = map[string]any{"max_inputs": 3, "max_depth": 2, "max_gates": 64}
+	}
 	t0 := time.Now()
-	resp, err := postJSON(client, addr+"/map", map[string]any{"blif": item.blif, "library": lib}, gzipMin)
+	resp, err := postJSON(client, addr+"/map", body, gzipMin)
 	mu.Lock()
 	defer mu.Unlock()
 	c.syncSent++
+	if super {
+		c.syncSG++
+	}
 	if err != nil {
 		c.syncFailed++
 		return
 	}
-	_, rerr := readBody(resp)
+	raw, rerr := readBody(resp)
 	latency := time.Since(t0)
 	switch {
 	case resp.StatusCode == http.StatusOK && rerr == nil:
 		c.syncOK++
 		c.syncLatencyMillis = append(c.syncLatencyMillis, float64(latency)/float64(time.Millisecond))
+		if super {
+			var mr struct {
+				SGStoreHit *bool `json:"sg_store_hit"`
+			}
+			if json.Unmarshal(raw, &mr) == nil && mr.SGStoreHit != nil && *mr.SGStoreHit {
+				c.syncSGStoreHits++
+			}
+		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		c.syncShed++
 	default:

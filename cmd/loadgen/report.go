@@ -39,6 +39,8 @@ type Report struct {
 		OK        int     `json:"ok"`
 		Shed      int     `json:"shed"`
 		Failed    int     `json:"failed"`
+		Supergate int     `json:"supergate"`
+		SGHits    int     `json:"sg_store_hits"`
 		P50Millis float64 `json:"p50_ms"`
 		P90Millis float64 `json:"p90_ms"`
 		P99Millis float64 `json:"p99_ms"`
@@ -91,6 +93,7 @@ func quantile(samples []float64, q float64) float64 {
 // flight (behind its own mutex; this struct is the plain data).
 type counters struct {
 	syncSent, syncOK, syncShed, syncFailed int
+	syncSG, syncSGStoreHits                int
 	syncLatencyMillis                      []float64
 
 	jobsSubmitted, jobsDone, jobsFailed, jobsShed int
@@ -109,6 +112,8 @@ func buildReport(target string, seed int64, rps float64, elapsed time.Duration, 
 	r.Sync.OK = c.syncOK
 	r.Sync.Shed = c.syncShed
 	r.Sync.Failed = c.syncFailed
+	r.Sync.Supergate = c.syncSG
+	r.Sync.SGHits = c.syncSGStoreHits
 	r.Sync.P50Millis = quantile(c.syncLatencyMillis, 0.50)
 	r.Sync.P90Millis = quantile(c.syncLatencyMillis, 0.90)
 	r.Sync.P99Millis = quantile(c.syncLatencyMillis, 0.99)

@@ -27,6 +27,13 @@
 //
 //	curl -s localhost:8080/map -d '{"blif":".model c\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n","library":"44-1"}'
 //
+// With -store-dir, expanded supergate libraries are kept in a
+// persistent content-addressed artifact store shared across processes
+// and restarts: the first request for a (library content, bounds)
+// pair generates and publishes the artifact, every later request —
+// from this or any other mapd or techmap on the machine — loads it
+// instead of re-enumerating.
+//
 // mapd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (up to -drain) before the listener closes.
 package main
@@ -45,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"dagcover"
 	"dagcover/internal/service"
 )
 
@@ -64,6 +72,8 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		slowMillis  = flag.Int("slow-ms", 0, "log requests slower than this many milliseconds at WARN (0 = disabled)")
+		storeDir    = flag.String("store-dir", "", "persistent artifact store directory, shared across processes and restarts (empty = disabled)")
+		storeMaxMB  = flag.Int64("store-max-mb", 1024, "artifact store disk budget in MiB; the LRU GC evicts past it")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -73,6 +83,15 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	var st *dagcover.ArtifactStore
+	if *storeDir != "" {
+		var err error
+		st, err = dagcover.OpenArtifactStore(*storeDir, dagcover.ArtifactStoreOptions{MaxBytes: *storeMaxMB << 20})
+		if err != nil {
+			log.Fatalf("mapd: opening artifact store: %v", err)
+		}
+		log.Printf("mapd: artifact store at %s (budget %d MiB)", *storeDir, *storeMaxMB)
+	}
 	svc := service.New(service.Config{
 		Concurrency:     *concurrency,
 		QueueDepth:      *queue,
@@ -86,6 +105,7 @@ func main() {
 		MaxBatchItems:   *batchMax,
 		Logger:          logger,
 		SlowRequest:     time.Duration(*slowMillis) * time.Millisecond,
+		Store:           st,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -10,7 +10,10 @@
 // The built-in libraries lib2, 44-1 and 44-3 may be named directly;
 // any other -lib value is read as a genlib file. -supergates expands
 // the library with composed supergates before mapping (bounds via
-// -sg-inputs/-sg-depth/-sg-max).
+// -sg-inputs/-sg-depth/-sg-max). With -sg-store-dir the expanded
+// library is served from a persistent content-addressed store — the
+// same directory a mapd runs with -store-dir, so a CLI run and the
+// fleet share one artifact per (library content, bounds) pair.
 package main
 
 import (
@@ -50,6 +53,8 @@ type config struct {
 	sgInputs   int
 	sgDepth    int
 	sgMax      int
+	sgStoreDir string
+	sgStoreMB  int64
 }
 
 func main() {
@@ -72,6 +77,8 @@ func main() {
 	flag.IntVar(&cfg.sgInputs, "sg-inputs", 0, "supergate max inputs (0 = default)")
 	flag.IntVar(&cfg.sgDepth, "sg-depth", 0, "supergate max composition depth (0 = default)")
 	flag.IntVar(&cfg.sgMax, "sg-max", 0, "supergate max emitted gates (0 = default)")
+	flag.StringVar(&cfg.sgStoreDir, "sg-store-dir", "", "persistent artifact store for expanded supergate libraries, shareable with mapd's -store-dir (empty = regenerate every run)")
+	flag.Int64Var(&cfg.sgStoreMB, "sg-store-max-mb", 1024, "artifact store disk budget in MiB")
 	timeout := flag.Duration("timeout", 0, "abort mapping after this duration (0 = no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -117,13 +124,34 @@ func run(ctx context.Context, cfg *config) error {
 			Parallelism: cfg.parallel,
 			Trace:       tr,
 		}
-		expanded, stats, err := dagcover.ExpandSupergates(lib, opt)
-		if err != nil {
-			return fmt.Errorf("supergate generation: %v", err)
+		var expanded *dagcover.Library
+		var stats dagcover.SupergateStats
+		var info dagcover.SupergateStoreInfo
+		if cfg.sgStoreDir != "" {
+			st, err := dagcover.OpenArtifactStore(cfg.sgStoreDir, dagcover.ArtifactStoreOptions{MaxBytes: cfg.sgStoreMB << 20})
+			if err != nil {
+				return fmt.Errorf("opening supergate store: %v", err)
+			}
+			expanded, stats, info, err = dagcover.ExpandSupergatesStored(st, lib, opt)
+			if err != nil {
+				return fmt.Errorf("supergate generation: %v", err)
+			}
+		} else {
+			expanded, stats, err = dagcover.ExpandSupergates(lib, opt)
+			if err != nil {
+				return fmt.Errorf("supergate generation: %v", err)
+			}
 		}
 		if cfg.verbose {
 			fmt.Printf("supergates: %d emitted from %d base gates (%d classes, %d dominated)\n",
 				stats.Emitted, stats.BaseGates, stats.Classes, stats.Dominated)
+			if cfg.sgStoreDir != "" {
+				if info.Hit {
+					fmt.Printf("supergate store: hit %s (saved %.0f ms of generation)\n", short(info.ArtifactSHA), info.GenMillis)
+				} else {
+					fmt.Printf("supergate store: miss, published %s (%.0f ms)\n", short(info.ArtifactSHA), info.GenMillis)
+				}
+			}
 		}
 		lib = expanded
 		libDesc = lib.Name
@@ -226,6 +254,14 @@ func run(ctx context.Context, cfg *config) error {
 		fmt.Printf("  wrote:         %s\n", cfg.output)
 	}
 	return nil
+}
+
+// short abbreviates a hex digest for log lines.
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
 }
 
 // writeStatsJSON emits the report ("-" means stdout).

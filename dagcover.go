@@ -38,6 +38,7 @@ import (
 	"dagcover/internal/retime"
 	"dagcover/internal/seqmap"
 	"dagcover/internal/sta"
+	"dagcover/internal/store"
 	"dagcover/internal/subject"
 	"dagcover/internal/supergate"
 	"dagcover/internal/treemap"
@@ -439,6 +440,41 @@ func CompileLibraryWithSupergates(lib *Library, opt SupergateOptions) (*Compiled
 		return nil, err
 	}
 	return CompileLibrary(expanded)
+}
+
+// ArtifactStore is a persistent content-addressed artifact store: a
+// directory of checksummed, atomically published blobs shared by
+// every process pointed at it. Expanded supergate genlibs are the
+// first artifact kind; the interface is generic over (kind, key,
+// bytes). See internal/store.
+type ArtifactStore = store.Store
+
+// ArtifactStoreOptions tunes an ArtifactStore (disk budget, tracing).
+type ArtifactStoreOptions = store.Options
+
+// ArtifactStoreStats is a point-in-time view of a store's counters
+// and disk usage.
+type ArtifactStoreStats = store.Stats
+
+// OpenArtifactStore creates (if needed) and opens the artifact store
+// rooted at dir.
+func OpenArtifactStore(dir string, opt ArtifactStoreOptions) (*ArtifactStore, error) {
+	return store.Open(dir, opt)
+}
+
+// SupergateStoreInfo describes how the persistent path satisfied one
+// supergate expansion: store hit or fresh generation, the artifact's
+// content identity, and the generation cost recorded with it.
+type SupergateStoreInfo = supergate.StoreInfo
+
+// ExpandSupergatesStored is ExpandSupergates behind an ArtifactStore:
+// on a hit the expanded library is loaded from the stored genlib
+// artifact and enumeration is skipped entirely; on a miss it is
+// generated once, published atomically, and shared with every process
+// using the same store. st may be nil (plain generation). Mapping
+// results are byte-identical with the store enabled or disabled.
+func ExpandSupergatesStored(st *ArtifactStore, lib *Library, opt SupergateOptions) (*Library, SupergateStats, SupergateStoreInfo, error) {
+	return supergate.GenerateStored(st, lib, opt)
 }
 
 func (o *MapOptions) normalize(defaultClass MatchClass) MapOptions {

@@ -344,11 +344,12 @@ func (s *Server) runJob(ctx context.Context, job *jobs.Job, req *JobRequest, ite
 	}
 	var cl *dagcover.CompiledLibrary
 	var hit bool
+	var sg *dagcover.SupergateStoreInfo
 	if mode != "lut" {
 		base := req.itemRequest("")
 		t0 := time.Now()
 		var err error
-		cl, hit, err = s.resolveLibrary(&base)
+		cl, hit, sg, err = s.resolveLibrary(&base)
 		var cph reqPhases
 		cph.compile = time.Since(t0)
 		s.metrics.phases.add(&cph)
@@ -364,7 +365,7 @@ func (s *Server) runJob(ctx context.Context, job *jobs.Job, req *JobRequest, ite
 			break
 		}
 		job.BeginItem(i)
-		job.FinishItem(i, s.runJobItem(ctx, req, &items[i], i, mode, cl, hit))
+		job.FinishItem(i, s.runJobItem(ctx, req, &items[i], i, mode, cl, hit, sg))
 	}
 	if ctx.Err() != nil {
 		job.CancelRemaining(time.Now())
@@ -376,7 +377,7 @@ func (s *Server) runJob(ctx context.Context, job *jobs.Job, req *JobRequest, ite
 
 // runJobItem maps one batch item and classifies the outcome the same
 // way the synchronous handler does (200/400/499/504/500).
-func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemRequest, idx int, mode string, cl *dagcover.CompiledLibrary, hit bool) jobs.Item {
+func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemRequest, idx int, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo) jobs.Item {
 	mreq := req.itemRequest(item.BLIF)
 	timeout := s.cfg.DefaultTimeout
 	if mreq.TimeoutMillis > 0 {
@@ -390,7 +391,7 @@ func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemR
 
 	var ph reqPhases
 	start := time.Now()
-	resp, _, err := s.serveItem(ictx, &mreq, mode, cl, hit, &ph)
+	resp, _, err := s.serveItem(ictx, &mreq, mode, cl, hit, sg, &ph)
 	elapsed := time.Since(start)
 	s.metrics.phases.add(&ph)
 
@@ -434,7 +435,7 @@ func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemR
 // serveItem is the per-item body of a batch run: parse, then map with
 // the batch's shared compiled library (or FlowMap for lut mode). It
 // mirrors serve minus library resolution.
-func (s *Server) serveItem(ctx context.Context, req *MapRequest, mode string, cl *dagcover.CompiledLibrary, hit bool, ph *reqPhases) (*MapResponse, int, error) {
+func (s *Server) serveItem(ctx context.Context, req *MapRequest, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo, ph *reqPhases) (*MapResponse, int, error) {
 	ph.mode = mode
 	t0 := time.Now()
 	nw, err := dagcover.ParseBLIF(strings.NewReader(req.BLIF))
@@ -448,7 +449,7 @@ func (s *Server) serveItem(ctx context.Context, req *MapRequest, mode string, cl
 		}
 		return s.serveLUT(ctx, req, nw, ph)
 	}
-	return s.mapWith(ctx, req, nw, mode, cl, hit, ph)
+	return s.mapWith(ctx, req, nw, mode, cl, hit, sg, ph)
 }
 
 // itemPhaseMillis renders one item's phase breakdown: the service

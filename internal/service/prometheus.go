@@ -86,6 +86,32 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	family(b, "mapd_queue_capacity", "gauge", "Admission queue capacity.")
 	sample(b, "mapd_queue_capacity", nil, float64(capacity))
 
+	if s.store != nil {
+		ss := s.store.Stats()
+		family(b, "mapd_store_hits_total", "counter", "Artifact store hits (expensive generations skipped).")
+		sample(b, "mapd_store_hits_total", nil, float64(ss.Hits))
+		family(b, "mapd_store_misses_total", "counter", "Artifact store misses (artifact generated).")
+		sample(b, "mapd_store_misses_total", nil, float64(ss.Misses))
+		family(b, "mapd_store_writes_total", "counter", "Artifacts published to the store.")
+		sample(b, "mapd_store_writes_total", nil, float64(ss.Writes))
+		family(b, "mapd_store_write_errors_total", "counter", "Artifact publications that failed (generation still served).")
+		sample(b, "mapd_store_write_errors_total", nil, float64(ss.WriteErrors))
+		family(b, "mapd_store_evictions_total", "counter", "Artifacts evicted by the size-budgeted LRU GC.")
+		sample(b, "mapd_store_evictions_total", nil, float64(ss.Evictions))
+		family(b, "mapd_store_quarantined_total", "counter", "Corrupt artifacts quarantined (and transparently regenerated).")
+		sample(b, "mapd_store_quarantined_total", nil, float64(ss.Quarantined))
+		family(b, "mapd_store_objects", "gauge", "Artifacts currently on disk.")
+		sample(b, "mapd_store_objects", nil, float64(ss.Objects))
+		family(b, "mapd_store_bytes", "gauge", "Bytes of artifacts currently on disk.")
+		sample(b, "mapd_store_bytes", nil, float64(ss.Bytes))
+		family(b, "mapd_store_max_bytes", "gauge", "Artifact store GC budget in bytes.")
+		sample(b, "mapd_store_max_bytes", nil, float64(ss.MaxBytes))
+		family(b, "mapd_store_generation_seconds_total", "counter", "Wall time spent generating artifacts on store misses.")
+		sample(b, "mapd_store_generation_seconds_total", nil, ss.GenSeconds)
+		family(b, "mapd_store_generation_seconds_saved_total", "counter", "Recorded generation time of artifacts served as store hits.")
+		sample(b, "mapd_store_generation_seconds_saved_total", nil, ss.SavedSeconds)
+	}
+
 	family(b, "mapd_jobs_submitted_total", "counter", "Batch jobs accepted by POST /jobs.")
 	sample(b, "mapd_jobs_submitted_total", nil, float64(m.jobs.submitted.Load()))
 	family(b, "mapd_jobs_completed_total", "counter", "Batch jobs finished, by terminal state.")

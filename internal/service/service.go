@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"dagcover"
@@ -67,6 +68,13 @@ type Config struct {
 	JobTTL time.Duration
 	// MaxBatchItems caps the netlists in one batch job (default 64).
 	MaxBatchItems int
+	// Store, when non-nil, is the persistent content-addressed artifact
+	// store consulted by supergate requests: expanded supergate
+	// libraries are loaded from it instead of regenerated, and fresh
+	// generations are published to it. Several servers (and the techmap
+	// CLI) may share one store directory; mapping output is
+	// byte-identical with or without it.
+	Store *dagcover.ArtifactStore
 	// Logger, when non-nil, receives one structured access-log record
 	// per /map request (trace id, result, per-phase millis). nil keeps
 	// the server quiet.
@@ -117,6 +125,13 @@ type Server struct {
 	adm     *admitter
 	metrics *metrics
 	jobs    *jobs.Store
+	store   *dagcover.ArtifactStore
+	// sgInfo remembers, per compiled-cache key, how the supergate
+	// expansion behind that entry was satisfied (store hit or fresh
+	// generation, artifact SHA), so every response against the entry
+	// can report the artifact identity — not just the request that
+	// compiled it.
+	sgInfo  sync.Map // cache key -> dagcover.SupergateStoreInfo
 	mux     *http.ServeMux
 	handler http.Handler
 }
@@ -130,6 +145,7 @@ func New(cfg Config) *Server {
 		adm:     newAdmitter(cfg.Concurrency, cfg.QueueDepth),
 		metrics: newMetrics(),
 		jobs:    jobs.NewStore(cfg.MaxJobs, cfg.JobTTL, nil),
+		store:   cfg.Store,
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/map", s.handleMap)
@@ -153,7 +169,11 @@ func (s *Server) Cache() *Cache { return s.cache }
 func (s *Server) Jobs() *jobs.Store { return s.jobs }
 
 // Stats returns the current observability snapshot.
-func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.cache, s.adm, s.jobs) }
+func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.cache, s.adm, s.jobs, s.store) }
+
+// Store exposes the artifact store (tests, operators); nil when the
+// server runs without one.
+func (s *Server) Store() *dagcover.ArtifactStore { return s.store }
 
 // MapRequest is the POST /map body.
 type MapRequest struct {
@@ -262,6 +282,18 @@ type MapResponse struct {
 	MemoMisses int `json:"memo_misses,omitempty"`
 	// CacheHit reports whether the library was already compiled.
 	CacheHit bool `json:"cache_hit"`
+	// SGStoreHit, for supergate requests served by a server with a
+	// persistent artifact store, reports whether the expanded library's
+	// artifact came from the store (true: enumeration was skipped, by
+	// this process or an earlier one) or was generated fresh (false).
+	// Absent when the request asked for no supergates or the server has
+	// no store.
+	SGStoreHit *bool `json:"sg_store_hit,omitempty"`
+	// SGArtifactSHA is the SHA-256 of the supergate genlib artifact —
+	// equal across every process that expands the same library under
+	// the same bounds, which is how a fleet (or a CI restart check)
+	// asserts it shares one artifact.
+	SGArtifactSHA string `json:"sg_artifact_sha,omitempty"`
 	Verified bool `json:"verified,omitempty"`
 	// ElapsedMillis is the serving time excluding queueing.
 	ElapsedMillis float64 `json:"elapsed_ms"`
@@ -497,12 +529,12 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 	}
 
 	t0 = time.Now()
-	cl, hit, err := s.resolveLibrary(req)
+	cl, hit, sg, err := s.resolveLibrary(req)
 	ph.compile = time.Since(t0)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	return s.mapWith(ctx, req, nw, mode, cl, hit, ph)
+	return s.mapWith(ctx, req, nw, mode, cl, hit, sg, ph)
 }
 
 // mapWith runs one gate-library mapping against an already-compiled
@@ -510,7 +542,7 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 // batch job runner (which resolves the library once per batch), so a
 // batch item's netlist is byte-identical to what /map would return for
 // the same input.
-func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Network, mode string, cl *dagcover.CompiledLibrary, hit bool, ph *reqPhases) (*MapResponse, int, error) {
+func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Network, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo, ph *reqPhases) (*MapResponse, int, error) {
 	ph.library, ph.cacheHit = cl.Library().Name, hit
 	opt := &dagcover.MapOptions{
 		AreaRecovery: req.AreaRecovery,
@@ -571,6 +603,11 @@ func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Netw
 		MemoMisses:        res.MemoMisses,
 		CacheHit:          hit,
 	}
+	if sg != nil {
+		h := sg.Hit
+		resp.SGStoreHit = &h
+		resp.SGArtifactSHA = sg.ArtifactSHA
+	}
 	t0 = time.Now()
 	defer func() { ph.respond = time.Since(t0) }()
 	if req.Verify {
@@ -629,8 +666,10 @@ func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Net
 // resolveLibrary returns the compiled library for the request, either
 // a built-in by name or uploaded genlib text by content hash. A
 // supergate request compiles (and caches) the expanded library under
-// the base key plus the normalized bounds.
-func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, bool, error) {
+// the base key plus the normalized bounds; when the server has an
+// artifact store, the expansion goes through it and the returned
+// SupergateStoreInfo (nil otherwise) carries the artifact identity.
+func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, bool, *dagcover.SupergateStoreInfo, error) {
 	var load func() (*dagcover.Library, error)
 	var key string
 	if req.Genlib != "" {
@@ -655,30 +694,53 @@ func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, boo
 		case "44-3":
 			builtin = dagcover.Lib443
 		default:
-			return nil, false, fmt.Errorf("unknown library %q (built-ins: lib2, 44-1, 44-3; or upload genlib text)", name)
+			return nil, false, nil, fmt.Errorf("unknown library %q (built-ins: lib2, 44-1, 44-3; or upload genlib text)", name)
 		}
 		key = BuiltinKey(name)
 		load = func() (*dagcover.Library, error) { return builtin(), nil }
 	}
 	if req.Supergates == nil {
-		return s.cache.Get(key, func() (*dagcover.CompiledLibrary, error) {
+		cl, hit, err := s.cache.Get(key, func() (*dagcover.CompiledLibrary, error) {
 			lib, err := load()
 			if err != nil {
 				return nil, err
 			}
 			return dagcover.CompileLibrary(lib)
 		})
+		return cl, hit, nil, err
 	}
 	sg := req.Supergates.normalize()
-	return s.cache.Get(key+sg.cacheSuffix(), func() (*dagcover.CompiledLibrary, error) {
+	cacheKey := key + sg.cacheSuffix()
+	cl, hit, err := s.cache.Get(cacheKey, func() (*dagcover.CompiledLibrary, error) {
 		lib, err := load()
 		if err != nil {
 			return nil, err
 		}
-		return dagcover.CompileLibraryWithSupergates(lib, dagcover.SupergateOptions{
+		opt := dagcover.SupergateOptions{
 			MaxInputs: sg.MaxInputs,
 			MaxDepth:  sg.MaxDepth,
 			MaxGates:  sg.MaxGates,
-		})
+		}
+		if s.store == nil {
+			return dagcover.CompileLibraryWithSupergates(lib, opt)
+		}
+		expanded, _, info, err := dagcover.ExpandSupergatesStored(s.store, lib, opt)
+		if err != nil {
+			return nil, err
+		}
+		// Remembered per cache key so every later request against this
+		// compiled entry (an in-memory cache hit that never touches the
+		// store) still reports the artifact identity.
+		s.sgInfo.Store(cacheKey, info)
+		return dagcover.CompileLibrary(expanded)
 	})
+	if err != nil {
+		return nil, hit, nil, err
+	}
+	var info *dagcover.SupergateStoreInfo
+	if v, ok := s.sgInfo.Load(cacheKey); ok {
+		i := v.(dagcover.SupergateStoreInfo)
+		info = &i
+	}
+	return cl, hit, info, nil
 }

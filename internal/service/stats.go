@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dagcover"
 	"dagcover/internal/jobs"
 )
 
@@ -280,10 +281,31 @@ type StatsSnapshot struct {
 		TableEntries int    `json:"table_entries"`
 		Evictions    uint64 `json:"evictions"`
 	} `json:"memo"`
+	// Store is the persistent artifact store's view: hit/miss/write
+	// counters, corruption quarantines, disk usage against the GC
+	// budget, and the generation seconds the store has saved. Absent
+	// when the server runs without a store.
+	Store *StoreSnapshot `json:"store,omitempty"`
 	// PhaseMillis breaks served wall time down by request phase,
 	// accumulated across all requests.
 	PhaseMillis   map[string]float64         `json:"phase_ms"`
 	Libraries     map[string]LibrarySnapshot `json:"libraries"`
+}
+
+// StoreSnapshot is the /stats view of the artifact store.
+type StoreSnapshot struct {
+	Dir          string  `json:"dir"`
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	Writes       uint64  `json:"writes"`
+	WriteErrors  uint64  `json:"write_errors"`
+	Evictions    uint64  `json:"evictions"`
+	Quarantined  uint64  `json:"quarantined"`
+	Objects      int     `json:"objects"`
+	Bytes        int64   `json:"bytes"`
+	MaxBytes     int64   `json:"max_bytes"`
+	GenSeconds   float64 `json:"generation_seconds"`
+	SavedSeconds float64 `json:"generation_seconds_saved"`
 }
 
 // phaseMillis renders the accumulated phase nanos as milliseconds.
@@ -315,7 +337,7 @@ func (p *phaseTimes) phaseSeconds() map[string]float64 {
 // locked exactly once: counters and histograms are snapshotted in the
 // same critical section (the earlier version re-locked for quantiles,
 // so counters and percentiles could straddle a concurrent record).
-func (m *metrics) snapshot(c *Cache, a *admitter, js *jobs.Store) StatsSnapshot {
+func (m *metrics) snapshot(c *Cache, a *admitter, js *jobs.Store, st *dagcover.ArtifactStore) StatsSnapshot {
 	var s StatsSnapshot
 	s.UptimeMillis = time.Since(m.start).Milliseconds()
 	s.Requests.Total = m.total.Load()
@@ -359,6 +381,23 @@ func (m *metrics) snapshot(c *Cache, a *admitter, js *jobs.Store) StatsSnapshot 
 	ms := c.MemoStats()
 	s.Memo.TableEntries = ms.Entries
 	s.Memo.Evictions = ms.Evictions
+	if st != nil {
+		ss := st.Stats()
+		s.Store = &StoreSnapshot{
+			Dir:          ss.Dir,
+			Hits:         ss.Hits,
+			Misses:       ss.Misses,
+			Writes:       ss.Writes,
+			WriteErrors:  ss.WriteErrors,
+			Evictions:    ss.Evictions,
+			Quarantined:  ss.Quarantined,
+			Objects:      ss.Objects,
+			Bytes:        ss.Bytes,
+			MaxBytes:     ss.MaxBytes,
+			GenSeconds:   ss.GenSeconds,
+			SavedSeconds: ss.SavedSeconds,
+		}
+	}
 	s.PhaseMillis = m.phases.phaseMillis()
 	s.Libraries = make(map[string]LibrarySnapshot)
 	for _, name := range m.libNames() {

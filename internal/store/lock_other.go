@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+// lockFile on platforms without advisory file locks degrades to no
+// cross-process exclusion: GetOrCreate still re-checks the disk
+// before generating, so the worst case is duplicated generation work,
+// never corruption (publication stays atomic via rename).
+func lockFile(path string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,147 @@
+package supergate
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"dagcover/internal/genlib"
+	"dagcover/internal/store"
+)
+
+// The persistent path: supergate expansion keyed by exactly what
+// determines its output — the base library's canonical genlib
+// serialization (content, not name), the normalized generation
+// bounds, and a format version — with the expanded library stored as
+// genlib text. Parallelism and tracing are deliberately absent from
+// the key: generation is byte-identical at any worker count, so they
+// cannot change the artifact.
+
+// ArtifactKind is the store kind under which expanded supergate
+// genlibs live.
+const ArtifactKind = "supergate-genlib"
+
+// artifactVersion is bumped whenever generation semantics or the
+// serialization change, orphaning (not corrupting) old artifacts.
+const artifactVersion = "sgv1"
+
+// StoreInfo describes how the persistent path satisfied one
+// expansion.
+type StoreInfo struct {
+	// Hit reports whether the expanded library came from the store
+	// (generation was skipped entirely).
+	Hit bool
+	// Key is the store key (hex digest of base content + bounds).
+	Key string
+	// ArtifactSHA is the SHA-256 of the stored genlib text — equal for
+	// every process that generates from the same inputs, which is what
+	// lets a fleet assert it is sharing one artifact.
+	ArtifactSHA string
+	// GenMillis is the recorded generation cost of the artifact; on a
+	// hit this is the time the store saved.
+	GenMillis float64
+}
+
+// artifactKey computes the content-addressed key for one expansion.
+// The base library is serialized and hashed — two differently-named
+// but byte-identical libraries share artifacts, and a changed library
+// can never alias a stale one.
+func artifactKey(base *genlib.Library, opt Options) (store.Key, error) {
+	var buf bytes.Buffer
+	if err := genlib.Write(&buf, base); err != nil {
+		return "", fmt.Errorf("supergate: serializing base library: %v", err)
+	}
+	// Hash the gate content only: genlib.Write's header comment carries
+	// the library name, and a rename must not orphan the artifact.
+	var content bytes.Buffer
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) > 0 && line[0] == '#' {
+			continue
+		}
+		content.Write(line)
+		content.WriteByte('\n')
+	}
+	sum := sha256.Sum256(content.Bytes())
+	return store.KeyOf(
+		artifactVersion,
+		hex.EncodeToString(sum[:]),
+		strconv.Itoa(opt.MaxInputs),
+		strconv.Itoa(opt.MaxDepth),
+		strconv.Itoa(opt.MaxGates),
+		strconv.Itoa(opt.MaxLeaves),
+		strconv.FormatBool(opt.NoConstants),
+		strconv.FormatBool(opt.NoMerge),
+		opt.Prefix,
+	), nil
+}
+
+// GenerateStored is Generate behind a persistent content-addressed
+// store: on a hit the expanded library is parsed straight from the
+// stored genlib artifact and enumeration is skipped; on a miss it is
+// generated, serialized, and published for every later process.
+//
+// Both paths return the library parsed from the artifact bytes, so a
+// cold run, a warm run, and a run that regenerated after corruption
+// produce the same in-memory library (and therefore byte-identical
+// mappings). st may be nil, which degrades to plain Generate.
+func GenerateStored(st *store.Store, base *genlib.Library, opt Options) (*genlib.Library, Stats, StoreInfo, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, Stats{}, StoreInfo{}, err
+	}
+	if st == nil {
+		res, err := Generate(base, opt)
+		if err != nil {
+			return nil, Stats{}, StoreInfo{}, err
+		}
+		return res.Library, res.Stats, StoreInfo{}, nil
+	}
+	key, err := artifactKey(base, opt)
+	if err != nil {
+		return nil, Stats{}, StoreInfo{}, err
+	}
+	span := opt.Trace.Start("supergate.store")
+	entry, err := st.GetOrCreate(ArtifactKind, key, func() ([]byte, map[string]string, error) {
+		res, err := Generate(base, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		var buf bytes.Buffer
+		if err := genlib.Write(&buf, res.Library); err != nil {
+			return nil, nil, err
+		}
+		statsBlob, err := json.Marshal(res.Stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		return buf.Bytes(), map[string]string{
+			"stats": string(statsBlob),
+			"name":  res.Library.Name,
+			"base":  base.Name,
+		}, nil
+	})
+	span.Arg("hit", err == nil && entry.Hit).End()
+	if err != nil {
+		return nil, Stats{}, StoreInfo{}, err
+	}
+	name := entry.Meta["name"]
+	if name == "" {
+		name = base.Name + "+sg"
+	}
+	lib, err := genlib.Parse(name, bytes.NewReader(entry.Data))
+	if err != nil {
+		// The artifact verified its checksum but does not parse: a
+		// format-version bug, not bit rot. Fail loudly rather than map
+		// against a wrong library.
+		return nil, Stats{}, StoreInfo{}, fmt.Errorf("supergate: stored artifact %s unparseable: %v", entry.SHA, err)
+	}
+	var stats Stats
+	if blob := entry.Meta["stats"]; blob != "" {
+		_ = json.Unmarshal([]byte(blob), &stats)
+	}
+	info := StoreInfo{Hit: entry.Hit, Key: string(key), ArtifactSHA: entry.SHA, GenMillis: entry.GenMillis}
+	return lib, stats, info, nil
+}

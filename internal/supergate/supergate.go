@@ -15,9 +15,14 @@
 // unchanged through the pattern compiler, the match index and both
 // mappers.
 //
-// Enumeration is parallelized across root gates with a worker pool;
-// the reduction into classes is serial and order-fixed, so the output
-// library is byte-identical at any parallelism.
+// Enumeration is data-parallel over (root gate, first-pin argument)
+// tasks with a worker pool — fine enough that a thin library with a
+// handful of roots still fills every core — and each task prunes its
+// own duplicates before the serial, order-fixed reduction into
+// classes, so the output library is byte-identical at any
+// parallelism. GenerateStored (persist.go) puts the whole run behind
+// a content-addressed on-disk store so it happens once per
+// (library content, bounds) per fleet, not once per process.
 package supergate
 
 import (
@@ -392,9 +397,21 @@ type generator struct {
 }
 
 // runRound enumerates every composition whose deepest argument has
-// depth round-1, in parallel across root gates, then reduces the
-// per-root results serially in root order so the outcome is
-// independent of Parallelism.
+// depth round-1, data-parallel over (root gate, first-pin argument)
+// tasks, then reduces the task results serially in enumeration order
+// so the outcome is independent of Parallelism.
+//
+// The task decomposition is fixed by the round's inputs, never by the
+// worker count: each task covers the sub-tree of assignments whose
+// first pin reads one specific pool argument, carries its own local
+// class map (the cross-worker half of dominance pruning — duplicates
+// within a task never leave it), and the serial merge walks tasks in
+// exactly the order a single-threaded enumeration would visit them.
+// Because the representative rule chooses the same winner for a class
+// no matter how its variants are grouped, the emitted library AND the
+// stats are byte-for-byte what the per-root (and the original serial)
+// scheme produced — while a thin library with a handful of root gates
+// now spreads each root's heavy argument sub-trees across every core.
 func (g *generator) runRound(round int) error {
 	// Argument pool: deterministic order — leaf, constants, then
 	// class representatives by insertion sequence.
@@ -406,30 +423,40 @@ func (g *generator) runRound(round int) error {
 		args = append(args, arg{kind: aRep, rep: r})
 	}
 
-	results := make([]rootResult, len(g.roots))
+	// Tasks in enumeration order: root-major, first-argument-minor.
+	type task struct{ root, firstArg int }
+	tasks := make([]task, 0, len(g.roots)*len(args))
+	for ri := range g.roots {
+		for ai := range args {
+			tasks = append(tasks, task{ri, ai})
+		}
+	}
+
+	results := make([]rootResult, len(tasks))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < g.opt.Parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ri := range jobs {
-				results[ri] = enumerateRoot(g.roots[ri], args, round, g.opt)
+			for ti := range jobs {
+				results[ti] = enumerateRoot(g.roots[tasks[ti].root], args, round, g.opt,
+					tasks[ti].firstArg, tasks[ti].firstArg+1)
 			}
 		}()
 	}
-	for ri := range g.roots {
-		jobs <- ri
+	for ti := range tasks {
+		jobs <- ti
 	}
 	close(jobs)
 	wg.Wait()
 
-	// Serial reduction in root order: deterministic winners.
-	for ri := range g.roots {
-		g.stats.Candidates += results[ri].candidates
-		g.stats.Variants += results[ri].raw
-		g.stats.Dominated += results[ri].dominated
-		for _, v := range results[ri].variants {
+	// Serial reduction in task order: deterministic winners.
+	for ti := range tasks {
+		g.stats.Candidates += results[ti].candidates
+		g.stats.Variants += results[ti].raw
+		g.stats.Dominated += results[ti].dominated
+		for _, v := range results[ti].variants {
 			if err := g.insert(v, round); err != nil {
 				return err
 			}
@@ -514,11 +541,15 @@ func (g *generator) insert(v *variant, round int) error {
 }
 
 // enumerateRoot produces the locally reduced, deterministically
-// ordered variants for one root gate: every assignment of pool
-// arguments to its pins whose deepest argument has depth round-1 and
-// whose fresh-leaf total fits the leaf budget, expanded into
-// partition (duplicated-input) variants and canonicalized.
-func enumerateRoot(ri *rootInfo, args []arg, round int, opt Options) rootResult {
+// ordered variants for one slice of a root gate's assignment space:
+// every assignment of pool arguments to its pins whose first pin
+// reads an argument in [firstLo, firstHi), whose deepest argument has
+// depth round-1 and whose fresh-leaf total fits the leaf budget,
+// expanded into partition (duplicated-input) variants and
+// canonicalized. Sharding on the first pin is safe because pin 0 is
+// always the leader of its symmetry group, so its choice is never
+// constrained by an earlier pin.
+func enumerateRoot(ri *rootInfo, args []arg, round int, opt Options, firstLo, firstHi int) rootResult {
 	k := len(ri.gate.Pins)
 	maxL := opt.MaxLeaves
 	if opt.NoMerge {
@@ -541,7 +572,10 @@ func enumerateRoot(ri *rootInfo, args []arg, round int, opt Options) rootResult 
 			emitCandidate(ri, args, chosen, width, opt, local, &res)
 			return
 		}
-		lo := 0
+		lo, hi := 0, len(args)
+		if pin == 0 {
+			lo, hi = firstLo, firstHi
+		}
 		if g := ri.symGroup[pin]; g != pin {
 			// Symmetric with an earlier pin: argument indices must be
 			// non-decreasing across the group.
@@ -552,7 +586,7 @@ func enumerateRoot(ri *rootInfo, args []arg, round int, opt Options) rootResult 
 				}
 			}
 		}
-		for ai := lo; ai < len(args); ai++ {
+		for ai := lo; ai < hi; ai++ {
 			chosen[pin] = ai
 			a := args[ai]
 			d := depth
