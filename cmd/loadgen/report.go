@@ -25,6 +25,26 @@ type SLO struct {
 	// MinOKRate bounds the fraction of sync requests that mapped
 	// successfully (excluding sheds, which MaxShedRate governs).
 	MinOKRate float64 `json:"min_ok_rate,omitempty"`
+	// MaxBurnRate bounds the server-reported SLO burn rate: after the
+	// run, every burn-rate window scraped from mapd's /stats must be at
+	// or under it. Negative disables (0 legitimately demands an
+	// untouched error budget).
+	MaxBurnRate float64 `json:"max_burn_rate,omitempty"`
+}
+
+// BurnWindow mirrors one window of the server's /stats slo block.
+type BurnWindow struct {
+	Window      string  `json:"window"`
+	Total       uint64  `json:"total"`
+	Bad         uint64  `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	Rate        float64 `json:"burn_rate"`
+}
+
+// ServerBurn is the server's own SLO view scraped after the run.
+type ServerBurn struct {
+	Goal    float64      `json:"goal"`
+	Windows []BurnWindow `json:"windows"`
 }
 
 // Report is the JSON document loadgen writes at the end of a run.
@@ -60,6 +80,10 @@ type Report struct {
 
 	ShedRate float64 `json:"shed_rate"`
 	OKRate   float64 `json:"ok_rate"`
+
+	// ServerSLO is mapd's burn-rate view scraped from /stats after the
+	// run (absent when the scrape failed and no burn gate was set).
+	ServerSLO *ServerBurn `json:"server_slo,omitempty"`
 
 	SLO      SLO      `json:"slo"`
 	Breaches []string `json:"breaches,omitempty"`
@@ -100,8 +124,9 @@ type counters struct {
 	jobItems, jobItemsOK, streamRecords           int
 }
 
-// buildReport assembles the run report from the raw counters.
-func buildReport(target string, seed int64, rps float64, elapsed time.Duration, c *counters, slo SLO) Report {
+// buildReport assembles the run report from the raw counters plus the
+// server's post-run burn-rate view (nil when not scraped).
+func buildReport(target string, seed int64, rps float64, elapsed time.Duration, c *counters, slo SLO, burn *ServerBurn) Report {
 	var r Report
 	r.Target = target
 	r.Seed = seed
@@ -139,6 +164,7 @@ func buildReport(target string, seed int64, rps float64, elapsed time.Duration, 
 		r.OKRate = float64(c.syncOK) / float64(attempted)
 	}
 
+	r.ServerSLO = burn
 	r.SLO = slo
 	r.Breaches = slo.breaches(&r)
 	r.Pass = len(r.Breaches) == 0
@@ -162,6 +188,18 @@ func (s SLO) breaches(r *Report) []string {
 	}
 	if s.MinOKRate > 0 && r.OKRate < s.MinOKRate {
 		out = append(out, fmt.Sprintf("sync ok rate %.4f below target %.4f", r.OKRate, s.MinOKRate))
+	}
+	if s.MaxBurnRate >= 0 {
+		if r.ServerSLO == nil {
+			out = append(out, "burn-rate gate set but the server's /stats slo block was not scraped")
+		} else {
+			for _, w := range r.ServerSLO.Windows {
+				if w.Rate > s.MaxBurnRate {
+					out = append(out, fmt.Sprintf("server burn rate %.3f over window %s exceeds target %.3f (%d/%d bad)",
+						w.Rate, w.Window, s.MaxBurnRate, w.Bad, w.Total))
+				}
+			}
+		}
 	}
 	return out
 }

@@ -46,8 +46,8 @@ func TestBuildReportAndSLO(t *testing.T) {
 		jobsSubmitted:     4, jobsDone: 3, jobsFailed: 1,
 		jobItems: 16, jobItemsOK: 12, streamRecords: 16,
 	}
-	slo := SLO{P99Millis: 100, MaxShedRate: 0.5, MinJobsPerSec: 0.1, MinOKRate: 0.5}
-	r := buildReport("http://x", 7, 20, 10*time.Second, c, slo)
+	slo := SLO{P99Millis: 100, MaxShedRate: 0.5, MinJobsPerSec: 0.1, MinOKRate: 0.5, MaxBurnRate: -1}
+	r := buildReport("http://x", 7, 20, 10*time.Second, c, slo, nil)
 	if !r.Pass || len(r.Breaches) != 0 {
 		t.Fatalf("healthy run failed SLO: %v", r.Breaches)
 	}
@@ -64,15 +64,19 @@ func TestBuildReportAndSLO(t *testing.T) {
 	}
 
 	// Each target breached alone is reported.
-	tight := SLO{P50Millis: 0.5, P99Millis: 1, MaxShedRate: 0, MinJobsPerSec: 100, MinOKRate: 0.999}
-	r2 := buildReport("http://x", 7, 20, 10*time.Second, c, tight)
+	tight := SLO{P50Millis: 0.5, P99Millis: 1, MaxShedRate: 0, MinJobsPerSec: 100, MinOKRate: 0.999, MaxBurnRate: 0}
+	hotBurn := &ServerBurn{Goal: 0.99, Windows: []BurnWindow{
+		{Window: "5m", Total: 100, Bad: 2, BadFraction: 0.02, Rate: 2},
+		{Window: "1h", Total: 100, Bad: 0},
+	}}
+	r2 := buildReport("http://x", 7, 20, 10*time.Second, c, tight, hotBurn)
 	if r2.Pass {
 		t.Fatal("tight SLO passed")
 	}
-	if len(r2.Breaches) != 5 {
-		t.Fatalf("breaches = %v, want all 5 targets", r2.Breaches)
+	if len(r2.Breaches) != 6 {
+		t.Fatalf("breaches = %v, want all 6 targets", r2.Breaches)
 	}
-	for _, want := range []string{"p50", "p99", "shed rate", "job throughput", "ok rate"} {
+	for _, want := range []string{"p50", "p99", "shed rate", "job throughput", "ok rate", "burn rate"} {
 		found := false
 		for _, b := range r2.Breaches {
 			if strings.Contains(b, want) {
@@ -85,16 +89,46 @@ func TestBuildReportAndSLO(t *testing.T) {
 	}
 
 	// Disabled checks (zero / negative sentinels) never fire.
-	r3 := buildReport("http://x", 7, 20, 10*time.Second, c, SLO{MaxShedRate: -1})
+	r3 := buildReport("http://x", 7, 20, 10*time.Second, c, SLO{MaxShedRate: -1, MaxBurnRate: -1}, nil)
 	if !r3.Pass {
 		t.Fatalf("disabled SLO produced breaches: %v", r3.Breaches)
 	}
 	// A run that shed everything must not judge latency quantiles.
 	allShed := &counters{syncSent: 5, syncShed: 5}
-	r4 := buildReport("http://x", 1, 5, time.Second, allShed, SLO{P99Millis: 1, MaxShedRate: -1})
+	r4 := buildReport("http://x", 1, 5, time.Second, allShed, SLO{P99Millis: 1, MaxShedRate: -1, MaxBurnRate: -1}, nil)
 	for _, b := range r4.Breaches {
 		if strings.Contains(b, "p99") {
 			t.Errorf("latency judged on all-shed run: %v", b)
 		}
+	}
+}
+
+func TestBurnRateGate(t *testing.T) {
+	c := &counters{syncSent: 10, syncOK: 10, syncLatencyMillis: []float64{1, 2}}
+	cool := &ServerBurn{Goal: 0.99, Windows: []BurnWindow{
+		{Window: "5m", Total: 100, Bad: 1, BadFraction: 0.01, Rate: 1},
+		{Window: "1h", Total: 400, Bad: 1, BadFraction: 0.0025, Rate: 0.25},
+	}}
+	// At the target is a pass; only strictly over fires.
+	r := buildReport("http://x", 1, 5, time.Second, c, SLO{MaxShedRate: -1, MaxBurnRate: 1}, cool)
+	if !r.Pass {
+		t.Fatalf("burn rate at target failed: %v", r.Breaches)
+	}
+	if r.ServerSLO == nil || len(r.ServerSLO.Windows) != 2 {
+		t.Fatal("report lost the scraped server SLO block")
+	}
+	hot := &ServerBurn{Goal: 0.99, Windows: []BurnWindow{
+		{Window: "5m", Total: 100, Bad: 10, BadFraction: 0.1, Rate: 10},
+		{Window: "1h", Total: 400, Bad: 10, BadFraction: 0.025, Rate: 2.5},
+	}}
+	r2 := buildReport("http://x", 1, 5, time.Second, c, SLO{MaxShedRate: -1, MaxBurnRate: 2}, hot)
+	if r2.Pass || len(r2.Breaches) != 2 {
+		t.Fatalf("hot burn: pass=%v breaches=%v, want 2 window breaches", r2.Pass, r2.Breaches)
+	}
+	// A gate without a scrape is itself a failure — the check must not
+	// silently pass because the server was unreachable.
+	r3 := buildReport("http://x", 1, 5, time.Second, c, SLO{MaxShedRate: -1, MaxBurnRate: 2}, nil)
+	if r3.Pass {
+		t.Fatal("burn gate passed without a server scrape")
 	}
 }

@@ -14,6 +14,7 @@
 //	GET    /healthz           liveness probe
 //	GET    /stats             request, job, cache, queue and per-library latency counters
 //	GET    /metrics           Prometheus text exposition of the same counters
+//	GET    /debug/events      recent requests as wide events, newest first (?result=, ?kind=, ?limit=)
 //
 // With -debug-addr, a second listener serves net/http/pprof under
 // /debug/pprof/ — kept off the public address so profiling endpoints
@@ -53,6 +54,7 @@ import (
 	"time"
 
 	"dagcover"
+	"dagcover/internal/obs"
 	"dagcover/internal/service"
 )
 
@@ -74,6 +76,13 @@ func main() {
 		slowMillis  = flag.Int("slow-ms", 0, "log requests slower than this many milliseconds at WARN (0 = disabled)")
 		storeDir    = flag.String("store-dir", "", "persistent artifact store directory, shared across processes and restarts (empty = disabled)")
 		storeMaxMB  = flag.Int64("store-max-mb", 1024, "artifact store disk budget in MiB; the LRU GC evicts past it")
+
+		diagDir      = flag.String("diag-dir", "", "publish a diagnostics bundle (trace, goroutine dump, wide event, runtime sample) here for every slow or SLO-violating request (empty = disabled)")
+		diagMaxMB    = flag.Int64("diag-max-mb", 64, "diagnostics directory disk budget in MiB; oldest bundles are evicted past it")
+		diagInterval = flag.Duration("diag-min-interval", 10*time.Second, "minimum spacing between diagnostics captures; breaches inside it are counted as dropped (0 = unlimited)")
+		sloP99Millis = flag.Int("slo-p99-ms", 0, "latency SLO target in milliseconds; served requests over it burn error budget and trigger capture (0 = disabled)")
+		sloGoal      = flag.Float64("slo-goal", 0.99, "availability goal behind the burn-rate windows (fraction of good requests)")
+		runtimeEvery = flag.Duration("runtime-sample", 10*time.Second, "runtime telemetry (mapd_go_*) polling interval")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -92,21 +101,38 @@ func main() {
 		}
 		log.Printf("mapd: artifact store at %s (budget %d MiB)", *storeDir, *storeMaxMB)
 	}
+	var diag *obs.DiagRecorder
+	if *diagDir != "" {
+		var err error
+		diag, err = obs.NewDiagRecorder(*diagDir, obs.DiagOptions{
+			MaxBytes:    *diagMaxMB << 20,
+			MinInterval: *diagInterval,
+		})
+		if err != nil {
+			log.Fatalf("mapd: opening diagnostics dir: %v", err)
+		}
+		log.Printf("mapd: slow-request capture into %s (budget %d MiB, min interval %v)", *diagDir, *diagMaxMB, *diagInterval)
+	}
 	svc := service.New(service.Config{
-		Concurrency:     *concurrency,
-		QueueDepth:      *queue,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		Parallelism:     *parallel,
-		MaxRequestBytes: *maxBytes,
-		CacheEntries:    *cacheSize,
-		MaxJobs:         *jobsMax,
-		JobTTL:          *jobTTL,
-		MaxBatchItems:   *batchMax,
-		Logger:          logger,
-		SlowRequest:     time.Duration(*slowMillis) * time.Millisecond,
-		Store:           st,
+		Concurrency:        *concurrency,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		Parallelism:        *parallel,
+		MaxRequestBytes:    *maxBytes,
+		CacheEntries:       *cacheSize,
+		MaxJobs:            *jobsMax,
+		JobTTL:             *jobTTL,
+		MaxBatchItems:      *batchMax,
+		Logger:             logger,
+		SlowRequest:        time.Duration(*slowMillis) * time.Millisecond,
+		Store:              st,
+		Diag:               diag,
+		SLOLatency:         time.Duration(*sloP99Millis) * time.Millisecond,
+		SLOGoal:            *sloGoal,
+		RuntimeSampleEvery: *runtimeEvery,
 	})
+	defer svc.Close()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

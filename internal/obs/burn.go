@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Multi-window SLO burn-rate tracking. The service defines an
+// availability goal (e.g. 99% of requests good, where "bad" means a
+// latency-SLO violation or a shed) and the tracker answers, per
+// rolling window, how fast the error budget is being spent: a burn
+// rate of 1 means the budget is consumed exactly at the rate that
+// exhausts it by the end of the SLO period; 10 means ten times that.
+// Two windows (a short one for paging, a long one for trend) are the
+// standard multi-window alerting setup; the service exports both as
+// mapd_slo_burn_rate{window=...} gauges and in /stats, and
+// cmd/loadgen can gate a run on them.
+
+// burnBucketSeconds is the tracker's time resolution: events land in
+// coarse per-bucket counters, so memory is bounded by
+// window/resolution regardless of traffic.
+const burnBucketSeconds = 10
+
+// WindowSpec names one rolling window ("5m", "1h" — the name is the
+// Prometheus label value, so keep it short and stable).
+type WindowSpec struct {
+	Name string
+	Dur  time.Duration
+}
+
+// BurnRate is one window's current reading.
+type BurnRate struct {
+	Window string `json:"window"`
+	// Total and Bad count events inside the window.
+	Total uint64 `json:"total"`
+	Bad   uint64 `json:"bad"`
+	// BadFraction is Bad/Total (0 when idle).
+	BadFraction float64 `json:"bad_fraction"`
+	// Rate is BadFraction divided by the error budget (1 - goal): the
+	// burn rate. 0 when the window saw no traffic.
+	Rate float64 `json:"burn_rate"`
+}
+
+type burnBucket struct {
+	epoch      int64 // bucket index (unix seconds / burnBucketSeconds)
+	total, bad uint64
+}
+
+// BurnTracker accumulates good/bad outcomes into a time-bucketed ring
+// and reports burn rates over its configured windows. Safe for
+// concurrent use.
+type BurnTracker struct {
+	mu      sync.Mutex
+	goal    float64
+	windows []WindowSpec
+	buckets []burnBucket
+}
+
+// NewBurnTracker builds a tracker for the given availability goal
+// (clamped into [0.5, 0.9999]; default 0.99 when out of range or
+// zero) and windows (default 5m and 1h when empty).
+func NewBurnTracker(goal float64, windows ...WindowSpec) *BurnTracker {
+	if goal <= 0 {
+		goal = 0.99
+	}
+	if goal < 0.5 {
+		goal = 0.5
+	}
+	if goal > 0.9999 {
+		goal = 0.9999
+	}
+	if len(windows) == 0 {
+		windows = []WindowSpec{{"5m", 5 * time.Minute}, {"1h", time.Hour}}
+	}
+	longest := time.Duration(0)
+	for _, w := range windows {
+		if w.Dur > longest {
+			longest = w.Dur
+		}
+	}
+	n := int(longest/(burnBucketSeconds*time.Second)) + 2
+	return &BurnTracker{goal: goal, windows: windows, buckets: make([]burnBucket, n)}
+}
+
+// Goal returns the availability goal.
+func (b *BurnTracker) Goal() float64 { return b.goal }
+
+// Windows returns the configured window specs.
+func (b *BurnTracker) Windows() []WindowSpec { return b.windows }
+
+// Record folds one finished request into the current bucket.
+func (b *BurnTracker) Record(now time.Time, bad bool) {
+	epoch := now.Unix() / burnBucketSeconds
+	b.mu.Lock()
+	bk := &b.buckets[int(epoch%int64(len(b.buckets)))]
+	if bk.epoch != epoch {
+		bk.epoch, bk.total, bk.bad = epoch, 0, 0
+	}
+	bk.total++
+	if bad {
+		bk.bad++
+	}
+	b.mu.Unlock()
+}
+
+// Rates reports every window's burn rate as of now, in the order the
+// windows were configured.
+func (b *BurnTracker) Rates(now time.Time) []BurnRate {
+	epoch := now.Unix() / burnBucketSeconds
+	budget := 1 - b.goal
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BurnRate, len(b.windows))
+	for wi, w := range b.windows {
+		span := int64(w.Dur / (burnBucketSeconds * time.Second))
+		if span < 1 {
+			span = 1
+		}
+		r := BurnRate{Window: w.Name}
+		for i := range b.buckets {
+			bk := &b.buckets[i]
+			if bk.epoch > epoch-span && bk.epoch <= epoch {
+				r.Total += bk.total
+				r.Bad += bk.bad
+			}
+		}
+		if r.Total > 0 {
+			r.BadFraction = float64(r.Bad) / float64(r.Total)
+			r.Rate = r.BadFraction / budget
+		}
+		out[wi] = r
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Slow-request capture: when a request breaches -slow-ms or the
+// latency SLO, the service assembles a DiagBundle — the request's
+// wide event, its Chrome trace spans, a full goroutine dump, and a
+// fresh runtime sample — and the recorder publishes it into a
+// size-budgeted directory using the same crash-safe idiom as
+// internal/store: temp file on the same filesystem, fsync, atomic
+// rename. A min-interval rate limiter and an LRU sweep keep a latency
+// storm from melting the disk; everything the limiter or a write
+// error drops is accounted in the dropped counter, so
+// captures + dropped always equals capture attempts.
+
+// DiagBundle is one self-contained diagnostics artifact, written as a
+// single JSON file.
+type DiagBundle struct {
+	// CapturedAt is stamped by the recorder.
+	CapturedAt time.Time `json:"captured_at"`
+	// TraceID is the breaching request's trace id (also in the file
+	// name, so a bundle can be found by grep or by name).
+	TraceID string `json:"trace_id"`
+	// Reason is "slow_request" (tripped -slow-ms) or "slo_violation"
+	// (tripped the latency SLO).
+	Reason string `json:"reason"`
+	// Event is the request's wide event.
+	Event WideEvent `json:"event"`
+	// Runtime is a fresh runtime sample taken at capture time.
+	Runtime RuntimeSample `json:"runtime"`
+	// GoroutineDump is the full runtime.Stack(all=true) text.
+	GoroutineDump string `json:"goroutine_dump"`
+	// Trace is the request's Chrome trace_event JSON (the same format
+	// the CLIs' -trace flag writes), when the request was traced.
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// DiagOptions tunes a DiagRecorder. The zero value is usable.
+type DiagOptions struct {
+	// MaxBytes is the LRU budget for the bundle directory; oldest
+	// bundles are evicted past it. <= 0 means 64 MiB.
+	MaxBytes int64
+	// MinInterval is the minimum spacing between captures; attempts
+	// inside it are dropped (counted, never queued). <= 0 disables
+	// rate limiting.
+	MinInterval time.Duration
+}
+
+// DiagRecorder publishes diagnostics bundles into one directory. Safe
+// for concurrent use.
+type DiagRecorder struct {
+	dir string
+	opt DiagOptions
+
+	mu   sync.Mutex
+	last time.Time // last successful capture (rate-limit clock)
+
+	captures  atomic.Uint64
+	dropped   atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// ErrDiagRateLimited reports a capture dropped by the rate limiter.
+var ErrDiagRateLimited = fmt.Errorf("obs: diagnostics capture rate-limited")
+
+// NewDiagRecorder creates (if needed) the bundle directory and its
+// tmp subdirectory and returns the recorder.
+func NewDiagRecorder(dir string, opt DiagOptions) (*DiagRecorder, error) {
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = 64 << 20
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
+		return nil, fmt.Errorf("obs: diag dir: %w", err)
+	}
+	return &DiagRecorder{dir: dir, opt: opt}, nil
+}
+
+// Dir returns the bundle directory.
+func (d *DiagRecorder) Dir() string { return d.dir }
+
+// Counters returns capture/dropped/eviction totals.
+func (d *DiagRecorder) Counters() (captures, dropped, evictions uint64) {
+	return d.captures.Load(), d.dropped.Load(), d.evictions.Load()
+}
+
+// Capture publishes one bundle and returns its path. A rate-limited
+// attempt returns ErrDiagRateLimited; any failure (including write
+// errors) increments the dropped counter, so captures + dropped
+// equals attempts.
+func (d *DiagRecorder) Capture(b *DiagBundle) (string, error) {
+	now := time.Now()
+	d.mu.Lock()
+	if d.opt.MinInterval > 0 && !d.last.IsZero() && now.Sub(d.last) < d.opt.MinInterval {
+		d.mu.Unlock()
+		d.dropped.Add(1)
+		return "", ErrDiagRateLimited
+	}
+	d.last = now
+	d.mu.Unlock()
+
+	b.CapturedAt = now
+	path, err := d.write(b, now)
+	if err != nil {
+		d.dropped.Add(1)
+		return "", err
+	}
+	d.captures.Add(1)
+	d.gc()
+	return path, nil
+}
+
+// write publishes the bundle crash-safely: temp file in the same
+// filesystem, fsync, rename into the directory.
+func (d *DiagRecorder) write(b *DiagBundle, now time.Time) (string, error) {
+	blob, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("obs: marshal bundle: %w", err)
+	}
+	name := fmt.Sprintf("%d-%s.json", now.UnixNano(), sanitizeID(b.TraceID))
+	final := filepath.Join(d.dir, name)
+	tmp, err := os.CreateTemp(filepath.Join(d.dir, "tmp"), name+"-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// sanitizeID keeps file names safe whatever ends up in a trace id.
+func sanitizeID(id string) string {
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id) && i < 64; i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "unknown"
+	}
+	return string(out)
+}
+
+// bundleFile is one on-disk bundle seen by a GC sweep.
+type bundleFile struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// gc evicts oldest bundles until the directory fits the budget and
+// sweeps abandoned temp files, mirroring internal/store's LRU sweep.
+func (d *DiagRecorder) gc() {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	var files []bundleFile
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, bundleFile{filepath.Join(d.dir, e.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total > d.opt.MaxBytes {
+		sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+		for _, f := range files {
+			if total <= d.opt.MaxBytes {
+				break
+			}
+			if err := os.Remove(f.path); err == nil || os.IsNotExist(err) {
+				total -= f.size
+				d.evictions.Add(1)
+			}
+		}
+	}
+	// Temp files older than an hour belong to crashed writers.
+	tdir := filepath.Join(d.dir, "tmp")
+	if tents, err := os.ReadDir(tdir); err == nil {
+		cutoff := time.Now().Add(-time.Hour)
+		for _, e := range tents {
+			if info, err := e.Info(); err == nil && !info.IsDir() && info.ModTime().Before(cutoff) {
+				_ = os.Remove(filepath.Join(tdir, e.Name()))
+			}
+		}
+	}
+}
+
+// GC runs one sweep immediately (tests, operators).
+func (d *DiagRecorder) GC() { d.gc() }
+
+// Usage walks the directory and returns resident bundle count and
+// bytes (tmp excluded).
+func (d *DiagRecorder) Usage() (files int, bytes int64) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			files++
+			bytes += info.Size()
+		}
+	}
+	return files, bytes
+}
+
+// MaxBytes returns the configured budget.
+func (d *DiagRecorder) MaxBytes() int64 { return d.opt.MaxBytes }
+
+// GoroutineDump returns the stacks of every goroutine, the same text
+// net/http/pprof's goroutine?debug=2 serves. The buffer grows until
+// the dump fits (capped at 64 MiB — enough for any sane process).
+func GoroutineDump() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		if len(buf) >= 64<<20 {
+			return string(buf[:n])
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}

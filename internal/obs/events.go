@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// The wide-event ring: one structured record per served request or
+// batch job item, held in a bounded in-memory ring so an operator
+// (or the slow-request capture path) can see the last N requests'
+// full context — trace id, library, phase breakdown, memo and store
+// behaviour, outcome — without log scraping. The service serves the
+// ring at /debug/events, newest first.
+
+// WideEvent is one request's (or job item's) structured record.
+type WideEvent struct {
+	// Time is when the request finished.
+	Time time.Time `json:"time"`
+	// TraceID joins the event to the X-Trace-ID header, the access
+	// log, and (for job items) the parent job id.
+	TraceID string `json:"trace_id"`
+	// Kind is "map" for synchronous /map requests, "job_item" for
+	// batch items.
+	Kind string `json:"kind"`
+	// ItemIndex / ItemName identify a job item within its batch.
+	ItemIndex int    `json:"item_index,omitempty"`
+	ItemName  string `json:"item_name,omitempty"`
+	// Library / Mode attribute the work.
+	Library string `json:"library,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	// Result is the outcome label (ok, bad_request, overloaded,
+	// timeout, canceled, too_large, internal); Status the HTTP-style
+	// code behind it.
+	Result string `json:"result"`
+	Status int    `json:"status"`
+	// Error carries the failure message for non-ok results.
+	Error string `json:"error,omitempty"`
+	// DurationMillis is total serving wall time; PhaseMillis breaks it
+	// down (queue/parse/compile/map/respond plus the engine's
+	// label/cover/emit when the mapper ran).
+	DurationMillis float64            `json:"duration_ms"`
+	PhaseMillis    map[string]float64 `json:"phase_ms,omitempty"`
+	// CacheHit, memo counters and supergate store info mirror the
+	// MapResponse fields.
+	CacheHit   bool  `json:"cache_hit"`
+	MemoHits   int   `json:"memo_hits,omitempty"`
+	MemoMisses int   `json:"memo_misses,omitempty"`
+	SGStoreHit *bool `json:"sg_store_hit,omitempty"`
+	// Slow marks events that tripped the slow-request threshold or the
+	// latency SLO — the ones that also produced a diagnostics bundle
+	// when capture is enabled.
+	Slow bool `json:"slow,omitempty"`
+}
+
+// EventRing is a bounded ring of WideEvents. Safe for concurrent use.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []WideEvent
+	next  int
+	total uint64
+}
+
+// NewEventRing returns a ring holding the most recent n events
+// (minimum 1).
+func NewEventRing(n int) *EventRing {
+	if n < 1 {
+		n = 1
+	}
+	return &EventRing{buf: make([]WideEvent, n)}
+}
+
+// Add records one event, overwriting the oldest when full.
+func (r *EventRing) Add(e WideEvent) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (resident count is
+// min(Total, Cap)).
+func (r *EventRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity.
+func (r *EventRing) Cap() int { return len(r.buf) }
+
+// Snapshot returns up to limit resident events, newest first. A nil
+// keep accepts everything; otherwise only events keep returns true
+// for are included (limit counts kept events).
+func (r *EventRing) Snapshot(limit int, keep func(*WideEvent) bool) []WideEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	resident := n
+	if r.total < uint64(n) {
+		resident = int(r.total)
+	}
+	if limit <= 0 || limit > resident {
+		limit = resident
+	}
+	out := make([]WideEvent, 0, limit)
+	for i := 1; i <= resident && len(out) < limit; i++ {
+		idx := (r.next - i + n) % n
+		e := &r.buf[idx]
+		if keep == nil || keep(e) {
+			out = append(out, *e)
+		}
+	}
+	return out
+}

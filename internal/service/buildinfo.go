@@ -1,0 +1,28 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the Go toolchain that
+// built it and the main module's version. It appears in /healthz, in
+// /stats, and as the mapd_build_info{go_version,version} gauge — the
+// standard way a fleet dashboard confirms every replica runs the same
+// build.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Version   string `json:"version"`
+}
+
+// buildInfo reads the embedded build metadata once. Binaries built
+// outside a module (go run ./... in tests) report "(devel)" or
+// "unknown" — still a truthful answer.
+var buildInfo = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version(), Version: "unknown"}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	return b
+})

@@ -120,10 +120,13 @@ type JobStatusResponse struct {
 // stream: the item's classification plus, for mapped items, the same
 // MapResponse the synchronous path returns.
 type JobItemRecord struct {
-	Index    int          `json:"index"`
-	Name     string       `json:"name,omitempty"`
-	Status   int          `json:"status"`
-	Error    string       `json:"error,omitempty"`
+	Index  int    `json:"index"`
+	Name   string `json:"name,omitempty"`
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// TraceID is the parent job's id (job ids are trace ids), so every
+	// NDJSON record joins the job's access-log lines and wide events.
+	TraceID  string       `json:"trace_id,omitempty"`
 	Response *MapResponse `json:"response,omitempty"`
 }
 
@@ -182,6 +185,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		cancel()
 		if errors.Is(err, jobs.ErrStoreFull) {
+			s.recordShedBurn()
 			s.failure(w, http.StatusTooManyRequests,
 				"job store full: %d jobs resident and none finished; retry later", s.cfg.MaxJobs)
 			return
@@ -301,7 +305,7 @@ func (s *Server) streamJobResult(w http.ResponseWriter, r *http.Request, job *jo
 		if rec == nil {
 			// Items settled in bulk (job-level failure, cancellation)
 			// have no prebuilt record; synthesize the classification.
-			rec, _ = json.Marshal(JobItemRecord{Index: i, Name: it.Name, Status: it.Status, Error: it.Err})
+			rec, _ = json.Marshal(JobItemRecord{Index: i, Name: it.Name, Status: it.Status, Error: it.Err, TraceID: job.ID})
 		}
 		if _, err := w.Write(append(rec, '\n')); err != nil {
 			return
@@ -365,7 +369,7 @@ func (s *Server) runJob(ctx context.Context, job *jobs.Job, req *JobRequest, ite
 			break
 		}
 		job.BeginItem(i)
-		job.FinishItem(i, s.runJobItem(ctx, req, &items[i], i, mode, cl, hit, sg))
+		job.FinishItem(i, s.runJobItem(ctx, job.ID, req, &items[i], i, mode, cl, hit, sg))
 	}
 	if ctx.Err() != nil {
 		job.CancelRemaining(time.Now())
@@ -376,8 +380,10 @@ func (s *Server) runJob(ctx context.Context, job *jobs.Job, req *JobRequest, ite
 }
 
 // runJobItem maps one batch item and classifies the outcome the same
-// way the synchronous handler does (200/400/499/504/500).
-func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemRequest, idx int, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo) jobs.Item {
+// way the synchronous handler does (200/400/499/504/500). jobID — a
+// trace id — attributes the item's NDJSON record, access-log line, and
+// wide event to its parent job.
+func (s *Server) runJobItem(ctx context.Context, jobID string, req *JobRequest, item *JobItemRequest, idx int, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo) jobs.Item {
 	mreq := req.itemRequest(item.BLIF)
 	timeout := s.cfg.DefaultTimeout
 	if mreq.TimeoutMillis > 0 {
@@ -390,6 +396,9 @@ func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemR
 	defer cancel()
 
 	var ph reqPhases
+	if s.diag != nil {
+		ph.trace = dagcover.NewTrace()
+	}
 	start := time.Now()
 	resp, _, err := s.serveItem(ictx, &mreq, mode, cl, hit, sg, &ph)
 	elapsed := time.Since(start)
@@ -399,10 +408,11 @@ func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemR
 		ElapsedMillis: millis(elapsed),
 		PhaseMillis:   itemPhaseMillis(&ph),
 	}
-	rec := JobItemRecord{Index: idx, Name: item.Name}
+	rec := JobItemRecord{Index: idx, Name: item.Name, TraceID: jobID}
 	switch {
 	case err == nil:
 		resp.ElapsedMillis = millis(elapsed)
+		resp.TraceID = jobID
 		out.State, out.Status = jobs.ItemDone, http.StatusOK
 		rec.Status, rec.Response = http.StatusOK, resp
 		// Items feed the work counters (patterns, memo) and the job-item
@@ -422,6 +432,9 @@ func (s *Server) runJobItem(ctx context.Context, req *JobRequest, item *JobItemR
 		out.State, out.Status, out.Err = jobs.ItemFailed, http.StatusBadRequest, err.Error()
 		rec.Status, rec.Error = out.Status, out.Err
 	}
+	ph.errMsg = out.Err
+	s.logItem(jobID, idx, item.Name, out.Status, elapsed, &ph)
+	s.recordFlight(jobID, "job_item", idx, item.Name, out.Status, elapsed, &ph)
 
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)

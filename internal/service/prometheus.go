@@ -33,6 +33,10 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	family(b, "mapd_uptime_seconds", "gauge", "Seconds since the server started.")
 	sample(b, "mapd_uptime_seconds", nil, time.Since(m.start).Seconds())
 
+	bi := buildInfo()
+	family(b, "mapd_build_info", "gauge", "Build identity of the running binary; value is always 1.")
+	sample(b, "mapd_build_info", labels{{"go_version", bi.GoVersion}, {"version", bi.Version}}, 1)
+
 	family(b, "mapd_requests_received_total", "counter", "Mapping requests received, before admission or parsing.")
 	sample(b, "mapd_requests_received_total", nil, float64(m.total.Load()))
 
@@ -154,6 +158,55 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 	phases := m.phases.phaseSeconds()
 	for _, phase := range []string{"queue", "parse", "compile", "map", "respond"} {
 		sample(b, "mapd_phase_seconds_total", labels{{"phase", phase}}, phases[phase])
+	}
+
+	// Flight recorder: runtime telemetry, burn rates, event ring, and
+	// (when enabled) slow-request capture counters.
+	rt := s.runtime.Latest()
+	family(b, "mapd_go_goroutines", "gauge", "Live goroutines (runtime/metrics).")
+	sample(b, "mapd_go_goroutines", nil, float64(rt.Goroutines))
+	family(b, "mapd_go_gomaxprocs", "gauge", "Scheduler processor limit.")
+	sample(b, "mapd_go_gomaxprocs", nil, float64(rt.GOMAXPROCS))
+	family(b, "mapd_go_heap_inuse_bytes", "gauge", "Bytes occupied by live heap objects plus unswept spans.")
+	sample(b, "mapd_go_heap_inuse_bytes", nil, float64(rt.HeapInuseBytes))
+	family(b, "mapd_go_total_bytes", "gauge", "All memory mapped by the Go runtime.")
+	sample(b, "mapd_go_total_bytes", nil, float64(rt.TotalBytes))
+	family(b, "mapd_go_heap_allocs_bytes_total", "counter", "Cumulative bytes allocated on the heap.")
+	sample(b, "mapd_go_heap_allocs_bytes_total", nil, float64(rt.HeapAllocsBytes))
+	family(b, "mapd_go_gc_cycles_total", "counter", "Completed GC cycles.")
+	sample(b, "mapd_go_gc_cycles_total", nil, float64(rt.GCCycles))
+	family(b, "mapd_go_gc_pause_seconds", "gauge", "GC stop-the-world pause quantiles from the runtime histogram.")
+	sample(b, "mapd_go_gc_pause_seconds", labels{{"quantile", "0.5"}}, rt.GCPauseP50)
+	sample(b, "mapd_go_gc_pause_seconds", labels{{"quantile", "0.99"}}, rt.GCPauseP99)
+	sample(b, "mapd_go_gc_pause_seconds", labels{{"quantile", "1"}}, rt.GCPauseMax)
+	family(b, "mapd_go_sched_latency_seconds", "gauge", "Scheduler latency quantiles: time runnable goroutines waited for a thread.")
+	sample(b, "mapd_go_sched_latency_seconds", labels{{"quantile", "0.5"}}, rt.SchedLatencyP50)
+	sample(b, "mapd_go_sched_latency_seconds", labels{{"quantile", "0.99"}}, rt.SchedLatencyP99)
+	sample(b, "mapd_go_sched_latency_seconds", labels{{"quantile", "1"}}, rt.SchedLatencyMax)
+
+	family(b, "mapd_slo_burn_rate", "gauge", "Error-budget burn rate per rolling window (1 = exactly exhausting the budget).")
+	for _, r := range s.burn.Rates(time.Now()) {
+		sample(b, "mapd_slo_burn_rate", labels{{"window", r.Window}}, r.Rate)
+	}
+	family(b, "mapd_slo_goal", "gauge", "Availability goal behind the burn rates (fraction of good requests).")
+	sample(b, "mapd_slo_goal", nil, s.burn.Goal())
+
+	family(b, "mapd_events_recorded_total", "counter", "Wide events recorded into the /debug/events ring.")
+	sample(b, "mapd_events_recorded_total", nil, float64(s.events.Total()))
+
+	if s.diag != nil {
+		captures, dropped, evictions := s.diag.Counters()
+		diagFiles, diagBytes := s.diag.Usage()
+		family(b, "mapd_diag_captures_total", "counter", "Diagnostics bundles published for slow or SLO-violating requests.")
+		sample(b, "mapd_diag_captures_total", nil, float64(captures))
+		family(b, "mapd_diag_dropped_total", "counter", "Diagnostics captures dropped by the rate limiter or write errors.")
+		sample(b, "mapd_diag_dropped_total", nil, float64(dropped))
+		family(b, "mapd_diag_evictions_total", "counter", "Diagnostics bundles evicted by the size-budgeted GC.")
+		sample(b, "mapd_diag_evictions_total", nil, float64(evictions))
+		family(b, "mapd_diag_bundles", "gauge", "Diagnostics bundles currently on disk.")
+		sample(b, "mapd_diag_bundles", nil, float64(diagFiles))
+		family(b, "mapd_diag_bytes", "gauge", "Bytes of diagnostics bundles currently on disk.")
+		sample(b, "mapd_diag_bytes", nil, float64(diagBytes))
 	}
 
 	names := m.libNames()

@@ -35,6 +35,7 @@ import (
 
 	"dagcover"
 	"dagcover/internal/jobs"
+	"dagcover/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -80,8 +81,29 @@ type Config struct {
 	// the server quiet.
 	Logger *slog.Logger
 	// SlowRequest, when positive, logs requests slower than this at
-	// Warn level with their full phase breakdown (requires Logger).
+	// Warn level with their full phase breakdown (requires Logger) and
+	// triggers a diagnostics capture when Diag is set.
 	SlowRequest time.Duration
+	// Diag, when non-nil, receives a diagnostics bundle (wide event,
+	// per-request trace spans, goroutine dump, runtime sample) for every
+	// request that trips SlowRequest or SLOLatency. nil disables
+	// capture (and per-request span recording).
+	Diag *obs.DiagRecorder
+	// SLOLatency is the latency SLO target: served requests over it
+	// count against the error budget tracked by the burn-rate windows
+	// (and trigger capture when Diag is set). <= 0 means sheds and
+	// timeouts alone burn budget.
+	SLOLatency time.Duration
+	// SLOGoal is the availability goal behind the burn rates (fraction
+	// of good requests; default 0.99).
+	SLOGoal float64
+	// EventBuffer bounds the in-memory wide-event ring served at
+	// /debug/events (default 1024).
+	EventBuffer int
+	// RuntimeSampleEvery is the runtime-telemetry polling interval
+	// (default 10s; negative disables the background sampler — the
+	// latest sample is then only refreshed by diagnostics captures).
+	RuntimeSampleEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +136,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 64
 	}
+	if c.SLOGoal <= 0 {
+		c.SLOGoal = 0.99
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 1024
+	}
+	if c.RuntimeSampleEvery == 0 {
+		c.RuntimeSampleEvery = 10 * time.Second
+	} else if c.RuntimeSampleEvery < 0 {
+		c.RuntimeSampleEvery = 0
+	}
 	return c
 }
 
@@ -134,6 +167,14 @@ type Server struct {
 	sgInfo  sync.Map // cache key -> dagcover.SupergateStoreInfo
 	mux     *http.ServeMux
 	handler http.Handler
+
+	// Flight recorder: the wide-event ring behind /debug/events, the
+	// runtime-telemetry sampler behind mapd_go_*, the SLO burn-rate
+	// tracker, and the (optional) slow-request diagnostics recorder.
+	events  *obs.EventRing
+	runtime *obs.RuntimeSampler
+	burn    *obs.BurnTracker
+	diag    *obs.DiagRecorder
 }
 
 // New builds a Server.
@@ -147,6 +188,10 @@ func New(cfg Config) *Server {
 		jobs:    jobs.NewStore(cfg.MaxJobs, cfg.JobTTL, nil),
 		store:   cfg.Store,
 		mux:     http.NewServeMux(),
+		events:  obs.NewEventRing(cfg.EventBuffer),
+		runtime: obs.NewRuntimeSampler(cfg.RuntimeSampleEvery),
+		burn:    obs.NewBurnTracker(cfg.SLOGoal, burnWindows...),
+		diag:    cfg.Diag,
 	}
 	s.mux.HandleFunc("/map", s.handleMap)
 	s.mux.HandleFunc("/jobs", s.handleJobs)
@@ -154,9 +199,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/events", s.handleDebugEvents)
 	s.handler = s.transport(s.mux)
 	return s
 }
+
+// Close stops the server's background work (the runtime sampler).
+// In-flight requests are unaffected; safe to call more than once.
+func (s *Server) Close() { s.runtime.Stop() }
 
 // Handler returns the service's HTTP handler: the endpoint mux behind
 // the wire transport (request body bounds, gzip negotiation).
@@ -169,7 +219,11 @@ func (s *Server) Cache() *Cache { return s.cache }
 func (s *Server) Jobs() *jobs.Store { return s.jobs }
 
 // Stats returns the current observability snapshot.
-func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.cache, s.adm, s.jobs, s.store) }
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.metrics.snapshot(s.cache, s.adm, s.jobs, s.store)
+	s.fillFlightStats(&snap)
+	return snap
+}
 
 // Store exposes the artifact store (tests, operators); nil when the
 // server runs without one.
@@ -335,9 +389,12 @@ func (s *Server) failure(w http.ResponseWriter, status int, format string, args 
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	bi := buildInfo()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": time.Since(s.metrics.start).Milliseconds(),
+		"status":     "ok",
+		"uptime_ms":  time.Since(s.metrics.start).Milliseconds(),
+		"go_version": bi.GoVersion,
+		"version":    bi.Version,
 	})
 }
 
@@ -359,6 +416,15 @@ type reqPhases struct {
 	// times from the internal/obs instrumentation); the job API surfaces
 	// it per item, the access log keeps the coarse service phases.
 	core dagcover.PhaseBreakdown
+
+	// Flight-recorder attribution: the failure message and per-request
+	// engine counters the wide event carries, and — when diagnostics
+	// capture is enabled — the request's span trace.
+	errMsg     string
+	memoHits   int
+	memoMisses int
+	sgStoreHit *bool
+	trace      *obs.Trace
 }
 
 // newTraceID returns a 16-hex-char per-request trace id. It appears
@@ -416,13 +482,21 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Trace-ID", traceID)
 	reqStart := time.Now()
 	var ph reqPhases
+	if s.diag != nil {
+		// Span recording costs little but is only useful when a breach
+		// can publish it, so traces exist exactly when capture does.
+		ph.trace = obs.New()
+	}
 	status := http.StatusOK
 	defer func() {
+		total := time.Since(reqStart)
 		s.metrics.phases.add(&ph)
-		s.logRequest(traceID, status, time.Since(reqStart), &ph)
+		s.logRequest(traceID, status, total, &ph)
+		s.recordFlight(traceID, "map", 0, "", status, total, &ph)
 	}()
 	fail := func(st int, format string, args ...any) {
 		status = st
+		ph.errMsg = fmt.Sprintf(format, args...)
 		s.failure(w, st, format, args...)
 	}
 	if r.Method != http.MethodPost {
@@ -463,6 +537,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		// Client went away while queued.
 		s.metrics.canceled.Add(1)
 		status = statusClientClosedRequest
+		ph.errMsg = "request cancelled while queued"
 		writeJSON(w, statusClientClosedRequest, errorResponse{Error: "request cancelled while queued"})
 		return
 	}
@@ -488,6 +563,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.Canceled):
 			s.metrics.canceled.Add(1)
 			status = statusClientClosedRequest
+			ph.errMsg = "request cancelled"
 			writeJSON(w, statusClientClosedRequest, errorResponse{Error: "request cancelled"})
 		default:
 			fail(st, "%v", err)
@@ -548,6 +624,7 @@ func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Netw
 		AreaRecovery: req.AreaRecovery,
 		RequiredTime: req.RequiredTime,
 		Parallelism:  s.cfg.Parallelism,
+		Trace:        ph.trace,
 	}
 	if req.Memo != nil && !*req.Memo {
 		opt.Memo = dagcover.MemoOff
@@ -588,6 +665,7 @@ func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Netw
 		return nil, http.StatusBadRequest, err
 	}
 	ph.core = res.Phases
+	ph.memoHits, ph.memoMisses = res.MemoHits, res.MemoMisses
 	resp := &MapResponse{
 		Circuit:           nw.Name,
 		Library:           cl.Library().Name,
@@ -607,6 +685,7 @@ func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Netw
 		h := sg.Hit
 		resp.SGStoreHit = &h
 		resp.SGArtifactSHA = sg.ArtifactSHA
+		ph.sgStoreHit = &h
 	}
 	t0 = time.Now()
 	defer func() { ph.respond = time.Since(t0) }()
@@ -632,7 +711,7 @@ func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Net
 	}
 	ph.library, ph.cacheHit = lutLibraryLabel(k), true
 	t0 := time.Now()
-	res, err := dagcover.MapLUTContext(ctx, nw, k)
+	res, err := dagcover.MapLUTTraced(ctx, nw, k, ph.trace)
 	ph.mapRun = time.Since(t0)
 	if err != nil {
 		return nil, http.StatusBadRequest, err

@@ -8,6 +8,7 @@ import (
 
 	"dagcover"
 	"dagcover/internal/jobs"
+	"dagcover/internal/obs"
 )
 
 // latencyBounds are the fixed upper bounds (seconds) of the request
@@ -288,8 +289,41 @@ type StatsSnapshot struct {
 	Store *StoreSnapshot `json:"store,omitempty"`
 	// PhaseMillis breaks served wall time down by request phase,
 	// accumulated across all requests.
-	PhaseMillis   map[string]float64         `json:"phase_ms"`
-	Libraries     map[string]LibrarySnapshot `json:"libraries"`
+	PhaseMillis map[string]float64         `json:"phase_ms"`
+	Libraries   map[string]LibrarySnapshot `json:"libraries"`
+	// Build identifies the running binary (also /healthz and the
+	// mapd_build_info gauge).
+	Build BuildInfo `json:"build"`
+	// Runtime is the latest Go-runtime telemetry sample (heap, GC
+	// pauses, goroutines, scheduler latency), at most one sampling
+	// interval old.
+	Runtime obs.RuntimeSample `json:"runtime"`
+	// SLO is the availability goal and the current multi-window burn
+	// rates over latency violations and sheds.
+	SLO struct {
+		Goal            float64        `json:"goal"`
+		LatencyTargetMS float64        `json:"latency_target_ms,omitempty"`
+		Windows         []obs.BurnRate `json:"windows"`
+	} `json:"slo"`
+	// Events describes the wide-event ring behind /debug/events.
+	Events struct {
+		Recorded uint64 `json:"recorded"`
+		Capacity int    `json:"capacity"`
+	} `json:"events"`
+	// Diag is the slow-request capture state. Absent when capture is
+	// disabled (no -diag-dir).
+	Diag *DiagSnapshot `json:"diag,omitempty"`
+}
+
+// DiagSnapshot is the /stats view of the diagnostics recorder.
+type DiagSnapshot struct {
+	Dir       string `json:"dir"`
+	Captures  uint64 `json:"captures"`
+	Dropped   uint64 `json:"dropped"`
+	Evictions uint64 `json:"evictions"`
+	Bundles   int    `json:"bundles"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
 }
 
 // StoreSnapshot is the /stats view of the artifact store.

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases of the fixed-bucket quantile estimator: the values /stats
+// and the per-library p50/p99 gauges are built from.
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram(latencyBounds)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.quantile(q); got != 0 {
+			t.Errorf("empty histogram quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAllMassFirstBucket(t *testing.T) {
+	// Every observation at or under the first bound: all quantiles must
+	// interpolate inside [0, bounds[0]], never report a later bucket.
+	h := newHistogram(latencyBounds)
+	for i := 0; i < 100; i++ {
+		h.observe(latencyBounds[0] / 2)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.quantile(q)
+		if got < 0 || got > latencyBounds[0] {
+			t.Errorf("quantile(%v) = %v, want within first bucket (0, %v]", q, got, latencyBounds[0])
+		}
+	}
+	// The interpolation is linear in rank: p50 lands at half the bound.
+	if got, want := h.quantile(0.5), latencyBounds[0]/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	h := newHistogram(latencyBounds)
+	h.observe(0.003) // falls in the (0.0025, 0.005] bucket
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.quantile(q)
+		if got <= 0.0025 || got > 0.005 {
+			t.Errorf("quantile(%v) = %v, want inside the single occupied bucket (0.0025, 0.005]", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	// Observations past the last bound clamp to it rather than
+	// extrapolating into the open-ended bucket.
+	h := newHistogram(latencyBounds)
+	last := latencyBounds[len(latencyBounds)-1]
+	for i := 0; i < 10; i++ {
+		h.observe(last * 100)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h.quantile(q); got != last {
+			t.Errorf("quantile(%v) = %v, want clamp to last bound %v", q, got, last)
+		}
+	}
+}
