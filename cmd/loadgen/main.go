@@ -70,6 +70,10 @@ func corpus() []workItem {
 		{"c432", bench.C432},
 		{"c880", bench.C880},
 		{"c2670", bench.C2670},
+		// One genuinely heavy circuit so the miss path's tail reflects
+		// real mapping work — it is what the hit-speedup gate measures
+		// the cache against.
+		{"c6288", bench.C6288},
 	}
 	items := make([]workItem, 0, len(gens))
 	for _, g := range gens {
@@ -91,22 +95,26 @@ func main() {
 		rps      = flag.Float64("rps", 20, "operations per second (open loop)")
 		seed     = flag.Int64("seed", 1, "RNG seed; same seed, same op sequence")
 		jobFrac  = flag.Float64("job-frac", 0.15, "fraction of ops that are async batch jobs")
+		repFrac  = flag.Float64("repeat-frac", 0, "fraction of sync ops that re-issue an earlier op of this run verbatim (deterministic duplicate traffic for the server's result cache)")
 		sgFrac   = flag.Float64("sg-frac", 0, "fraction of sync ops that request supergate expansion (pins library 44-1, bounds 3/2/64 — exercises the artifact store when mapd runs with -store-dir)")
 		batch    = flag.Int("batch", 4, "netlists per batch job")
-		gzipMin  = flag.Int("gzip-min", 4096, "gzip request bodies larger than this many bytes (-1 = never)")
+		closed   = flag.Bool("closed", false, "closed loop: at most one operation in flight, -rps becomes an upper bound — measures per-request serving cost instead of queueing under concurrency (use for the cache speedup probe, whose hit/miss latency split queueing would blur on a busy box)")
+		gzipMin  = flag.Int("gzip-min", 4096, "gzip request bodies larger than this many bytes (-1 = never, and ask for uncompressed responses too)")
 		out      = flag.String("out", "", "write the JSON report to this file (empty = stdout only)")
 		timeout  = flag.Duration("op-timeout", 30*time.Second, "per-operation HTTP timeout")
 
-		sloP50  = flag.Float64("slo-p50-ms", 0, "fail if sync p50 latency exceeds this (0 = disabled)")
-		sloP99  = flag.Float64("slo-p99-ms", 0, "fail if sync p99 latency exceeds this (0 = disabled)")
-		sloShed = flag.Float64("slo-max-shed", -1, "fail if the 429 shed rate exceeds this fraction (negative = disabled)")
-		sloJobs = flag.Float64("slo-min-jobs-per-sec", 0, "fail if completed-job throughput falls below this (0 = disabled)")
-		sloOK   = flag.Float64("slo-min-ok-rate", 0, "fail if the sync success rate falls below this fraction (0 = disabled)")
-		sloBurn = flag.Float64("slo-max-burn", -1, "fail if any of the server's /stats burn-rate windows exceeds this after the run (negative = disabled)")
+		sloP50     = flag.Float64("slo-p50-ms", 0, "fail if sync p50 latency exceeds this (0 = disabled)")
+		sloP99     = flag.Float64("slo-p99-ms", 0, "fail if sync p99 latency exceeds this (0 = disabled)")
+		sloShed    = flag.Float64("slo-max-shed", -1, "fail if the 429 shed rate exceeds this fraction (negative = disabled)")
+		sloJobs    = flag.Float64("slo-min-jobs-per-sec", 0, "fail if completed-job throughput falls below this (0 = disabled)")
+		sloOK      = flag.Float64("slo-min-ok-rate", 0, "fail if the sync success rate falls below this fraction (0 = disabled)")
+		sloBurn    = flag.Float64("slo-max-burn", -1, "fail if any of the server's /stats burn-rate windows exceeds this after the run (negative = disabled)")
+		sloHitRate = flag.Float64("slo-hit-rate-min", 0, "fail if the result-cache hit rate over successful sync requests falls below this fraction (0 = disabled)")
+		sloSpeedup = flag.Float64("slo-hit-speedup-min", 0, "fail if miss-path p99 divided by hit-path p99 falls below this factor (0 = disabled)")
 	)
 	flag.Parse()
-	if *rps <= 0 || *batch < 1 || *jobFrac < 0 || *jobFrac > 1 || *sgFrac < 0 || *sgFrac > 1 {
-		log.Fatal("loadgen: need -rps > 0, -batch >= 1, 0 <= -job-frac <= 1, 0 <= -sg-frac <= 1")
+	if *rps <= 0 || *batch < 1 || *jobFrac < 0 || *jobFrac > 1 || *sgFrac < 0 || *sgFrac > 1 || *repFrac < 0 || *repFrac > 1 {
+		log.Fatal("loadgen: need -rps > 0, -batch >= 1, and -job-frac, -sg-frac, -repeat-frac in [0, 1]")
 	}
 
 	items := corpus()
@@ -125,6 +133,25 @@ func main() {
 	defer ticker.Stop()
 	log.Printf("loadgen: %v of ~%.0f ops/s against %s (seed %d, job fraction %.2f)", *duration, *rps, *addr, *seed, *jobFrac)
 
+	// history records every materialized sync op so -repeat-frac can
+	// re-issue one verbatim — the duplicate is byte-identical traffic,
+	// which is exactly what the server's result cache keys on. Appended
+	// only in the single-threaded dispatch loop, so the same seed still
+	// produces the same op sequence.
+	var history []syncOp
+	// dispatch runs one materialized op: concurrently in the default
+	// open loop, inline when -closed.
+	dispatch := func(f func()) {
+		if *closed {
+			f()
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
 	for now := start; now.Before(deadline); now = <-ticker.C {
 		// All randomness happens here, single-threaded: the dispatched
 		// goroutine gets a fully materialized operation.
@@ -134,26 +161,23 @@ func main() {
 			for i := range picks {
 				picks[i] = items[rng.Intn(len(items))]
 			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				runJob(client, *addr, lib, picks, *gzipMin, &mu, &c)
-			}()
+			dispatch(func() { runJob(client, *addr, lib, picks, *gzipMin, &mu, &c) })
 			continue
 		}
-		item := items[rng.Intn(len(items))]
-		// Supergate requests pin the 44-1 library with fixed small
-		// bounds: every such op shares one artifact key, which is what
-		// turns a -store-dir on the server into hits under load.
-		super := rng.Float64() < *sgFrac
-		if super {
-			lib = "44-1"
+		var op syncOp
+		if len(history) > 0 && rng.Float64() < *repFrac {
+			op = history[rng.Intn(len(history))]
+		} else {
+			// Supergate requests pin the 44-1 library with fixed small
+			// bounds: every such op shares one artifact key, which is what
+			// turns a -store-dir on the server into hits under load.
+			op = syncOp{lib: lib, item: items[rng.Intn(len(items))]}
+			if rng.Float64() < *sgFrac {
+				op.super, op.lib = true, "44-1"
+			}
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			runSync(client, *addr, lib, item, super, *gzipMin, &mu, &c)
-		}()
+		history = append(history, op)
+		dispatch(func() { runSync(client, *addr, op, *gzipMin, &mu, &c) })
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -168,7 +192,7 @@ func main() {
 		}
 	}
 
-	slo := SLO{P50Millis: *sloP50, P99Millis: *sloP99, MaxShedRate: *sloShed, MinJobsPerSec: *sloJobs, MinOKRate: *sloOK, MaxBurnRate: *sloBurn}
+	slo := SLO{P50Millis: *sloP50, P99Millis: *sloP99, MaxShedRate: *sloShed, MinJobsPerSec: *sloJobs, MinOKRate: *sloOK, MaxBurnRate: *sloBurn, MinHitRate: *sloHitRate, MinHitSpeedup: *sloSpeedup}
 	report := buildReport(*addr, *seed, *rps, elapsed, &c, slo, burn)
 
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -188,6 +212,9 @@ func main() {
 		report.Sync.Supergate, report.Sync.SGHits,
 		report.Sync.P50Millis, report.Sync.P99Millis,
 		report.Jobs.Done, report.Jobs.PerSecond, report.ShedRate)
+	log.Printf("loadgen: result cache: %.4f hit rate (%d mem / %d disk / %d coalesced vs %d miss); hit-path p50 %.2fms p99 %.2fms, miss-path p50 %.2fms p99 %.2fms",
+		report.Sync.HitRate, report.Sync.ResultHitMem, report.Sync.ResultHitDisk, report.Sync.ResultCoalesced, report.Sync.ResultMiss,
+		report.Sync.HitP50Millis, report.Sync.HitP99Millis, report.Sync.MissP50Millis, report.Sync.MissP99Millis)
 	if !report.Pass {
 		for _, b := range report.Breaches {
 			log.Printf("loadgen: SLO BREACH: %s", b)
@@ -243,6 +270,14 @@ func postJSON(client *http.Client, url string, body any, gzipMin int) (*http.Res
 	if compressed {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
+	if gzipMin < 0 {
+		// -gzip-min -1 turns compression off in both directions (without
+		// this the stdlib transport transparently asks for gzip responses).
+		// A latency probe wants identity encoding: on large responses the
+		// compressor costs more than a cache hit, equally on both the hit
+		// and miss paths, which would blur the very split being measured.
+		req.Header.Set("Accept-Encoding", "identity")
+	}
 	return client.Do(req)
 }
 
@@ -261,12 +296,23 @@ func readBody(resp *http.Response) ([]byte, error) {
 	return io.ReadAll(rd)
 }
 
+// syncOp is one fully materialized sync /map operation; re-issuing the
+// same value produces byte-identical traffic (the repeat stream the
+// server's result cache keys on).
+type syncOp struct {
+	lib   string
+	item  workItem
+	super bool
+}
+
 // runSync issues one POST /map and records its outcome. Supergate
 // requests additionally record whether the server served the expanded
-// library from its persistent artifact store.
-func runSync(client *http.Client, addr, lib string, item workItem, super bool, gzipMin int, mu *sync.Mutex, c *counters) {
-	body := map[string]any{"blif": item.blif, "library": lib}
-	if super {
+// library from its persistent artifact store; every success is
+// classified by the response's result_cache tier so the report can
+// split hit-path from miss-path latency.
+func runSync(client *http.Client, addr string, op syncOp, gzipMin int, mu *sync.Mutex, c *counters) {
+	body := map[string]any{"blif": op.item.blif, "library": op.lib}
+	if op.super {
 		body["supergates"] = map[string]any{"max_inputs": 3, "max_depth": 2, "max_gates": 64}
 	}
 	t0 := time.Now()
@@ -274,7 +320,7 @@ func runSync(client *http.Client, addr, lib string, item workItem, super bool, g
 	mu.Lock()
 	defer mu.Unlock()
 	c.syncSent++
-	if super {
+	if op.super {
 		c.syncSG++
 	}
 	if err != nil {
@@ -286,14 +332,34 @@ func runSync(client *http.Client, addr, lib string, item workItem, super bool, g
 	switch {
 	case resp.StatusCode == http.StatusOK && rerr == nil:
 		c.syncOK++
-		c.syncLatencyMillis = append(c.syncLatencyMillis, float64(latency)/float64(time.Millisecond))
-		if super {
-			var mr struct {
-				SGStoreHit *bool `json:"sg_store_hit"`
-			}
-			if json.Unmarshal(raw, &mr) == nil && mr.SGStoreHit != nil && *mr.SGStoreHit {
-				c.syncSGStoreHits++
-			}
+		ms := float64(latency) / float64(time.Millisecond)
+		c.syncLatencyMillis = append(c.syncLatencyMillis, ms)
+		var mr struct {
+			SGStoreHit  *bool  `json:"sg_store_hit"`
+			ResultCache string `json:"result_cache"`
+		}
+		_ = json.Unmarshal(raw, &mr)
+		if op.super && mr.SGStoreHit != nil && *mr.SGStoreHit {
+			c.syncSGStoreHits++
+		}
+		switch mr.ResultCache {
+		case "hit-mem":
+			c.syncHitMem++
+			c.hitLatencyMillis = append(c.hitLatencyMillis, ms)
+		case "hit-disk":
+			c.syncHitDisk++
+			c.hitLatencyMillis = append(c.hitLatencyMillis, ms)
+		case "coalesced":
+			// No duplicate work happened (it counts toward the hit
+			// rate), but the request still waited out a full engine run,
+			// so its latency belongs with the miss path.
+			c.syncCoalesced++
+			c.missLatencyMillis = append(c.missLatencyMillis, ms)
+		default:
+			// "miss", or absent (result caching off / older server):
+			// either way the engine (or nothing cached) served it.
+			c.syncMiss++
+			c.missLatencyMillis = append(c.missLatencyMillis, ms)
 		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		c.syncShed++
@@ -386,8 +452,12 @@ func runJob(client *http.Client, addr, lib string, picks []workItem, gzipMin int
 		time.Sleep(25 * time.Millisecond)
 	}
 
-	// Consume the result stream and count records.
+	// Consume the result stream, count records, and sum the per-item
+	// response_bytes each record declares — the uncompressed payload
+	// volume, which against the gzipped wire size is the job-stream
+	// compression accounting.
 	records := 0
+	var respBytes int64
 	if res, err := client.Get(addr + acc.ResultURL); err == nil {
 		var rd io.Reader = res.Body
 		if res.Header.Get("Content-Encoding") == "gzip" {
@@ -399,8 +469,15 @@ func runJob(client *http.Client, addr, lib string, picks []workItem, gzipMin int
 		sc := bufio.NewScanner(rd)
 		sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
 		for sc.Scan() {
-			if len(bytes.TrimSpace(sc.Bytes())) > 0 {
-				records++
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			records++
+			var rec struct {
+				ResponseBytes int64 `json:"response_bytes"`
+			}
+			if json.Unmarshal(sc.Bytes(), &rec) == nil {
+				respBytes += rec.ResponseBytes
 			}
 		}
 		res.Body.Close()
@@ -409,6 +486,7 @@ func runJob(client *http.Client, addr, lib string, picks []workItem, gzipMin int
 	mu.Lock()
 	defer mu.Unlock()
 	c.streamRecords += records
+	c.jobRespBytes += respBytes
 	c.jobItemsOK += itemsOK
 	switch state {
 	case "done":

@@ -30,6 +30,13 @@ type SLO struct {
 	// or under it. Negative disables (0 legitimately demands an
 	// untouched error budget).
 	MaxBurnRate float64 `json:"max_burn_rate,omitempty"`
+	// MinHitRate bounds the result-cache hit rate (hit-mem + hit-disk +
+	// coalesced over successful sync requests) from below. 0 disables.
+	MinHitRate float64 `json:"min_hit_rate,omitempty"`
+	// MinHitSpeedup demands the miss-path p99 be at least this many
+	// times the hit-path p99 — the cache must actually buy latency, not
+	// just report hits. 0 disables.
+	MinHitSpeedup float64 `json:"min_hit_speedup,omitempty"`
 }
 
 // BurnWindow mirrors one window of the server's /stats slo block.
@@ -65,6 +72,20 @@ type Report struct {
 		P90Millis float64 `json:"p90_ms"`
 		P99Millis float64 `json:"p99_ms"`
 		MaxMillis float64 `json:"max_ms"`
+		// Result-cache classification of successful requests, from each
+		// response's result_cache field. The latency quantiles split by
+		// serving path: hit quantiles cover responses replayed from cache
+		// memory or disk, miss quantiles cover responses that waited on
+		// an engine run — misses and coalesced followers alike.
+		ResultHitMem    int     `json:"result_hit_mem"`
+		ResultHitDisk   int     `json:"result_hit_disk"`
+		ResultCoalesced int     `json:"result_coalesced"`
+		ResultMiss      int     `json:"result_miss"`
+		HitRate         float64 `json:"hit_rate"`
+		HitP50Millis    float64 `json:"hit_p50_ms"`
+		HitP99Millis    float64 `json:"hit_p99_ms"`
+		MissP50Millis   float64 `json:"miss_p50_ms"`
+		MissP99Millis   float64 `json:"miss_p99_ms"`
 	} `json:"sync"`
 
 	Jobs struct {
@@ -76,6 +97,10 @@ type Report struct {
 		ItemsOK    int     `json:"items_ok"`
 		PerSecond  float64 `json:"per_second"`
 		StreamRecs int     `json:"stream_records"`
+		// ResponseBytes sums the response_bytes field of every consumed
+		// NDJSON record: uncompressed per-item payload volume (compare
+		// against wire bytes for the stream's gzip ratio).
+		ResponseBytes int64 `json:"response_bytes"`
 	} `json:"jobs"`
 
 	ShedRate float64 `json:"shed_rate"`
@@ -120,8 +145,15 @@ type counters struct {
 	syncSG, syncSGStoreHits                int
 	syncLatencyMillis                      []float64
 
+	// Result-cache classification: per-tier counts plus the latency
+	// samples split by serving path (hit = replayed from cache, miss =
+	// waited on an engine run, which includes coalesced followers).
+	syncHitMem, syncHitDisk, syncCoalesced, syncMiss int
+	hitLatencyMillis, missLatencyMillis              []float64
+
 	jobsSubmitted, jobsDone, jobsFailed, jobsShed int
 	jobItems, jobItemsOK, streamRecords           int
+	jobRespBytes                                  int64
 }
 
 // buildReport assembles the run report from the raw counters plus the
@@ -143,6 +175,17 @@ func buildReport(target string, seed int64, rps float64, elapsed time.Duration, 
 	r.Sync.P90Millis = quantile(c.syncLatencyMillis, 0.90)
 	r.Sync.P99Millis = quantile(c.syncLatencyMillis, 0.99)
 	r.Sync.MaxMillis = quantile(c.syncLatencyMillis, 1)
+	r.Sync.ResultHitMem = c.syncHitMem
+	r.Sync.ResultHitDisk = c.syncHitDisk
+	r.Sync.ResultCoalesced = c.syncCoalesced
+	r.Sync.ResultMiss = c.syncMiss
+	if c.syncOK > 0 {
+		r.Sync.HitRate = float64(c.syncHitMem+c.syncHitDisk+c.syncCoalesced) / float64(c.syncOK)
+	}
+	r.Sync.HitP50Millis = quantile(c.hitLatencyMillis, 0.50)
+	r.Sync.HitP99Millis = quantile(c.hitLatencyMillis, 0.99)
+	r.Sync.MissP50Millis = quantile(c.missLatencyMillis, 0.50)
+	r.Sync.MissP99Millis = quantile(c.missLatencyMillis, 0.99)
 
 	r.Jobs.Submitted = c.jobsSubmitted
 	r.Jobs.Done = c.jobsDone
@@ -151,6 +194,7 @@ func buildReport(target string, seed int64, rps float64, elapsed time.Duration, 
 	r.Jobs.Items = c.jobItems
 	r.Jobs.ItemsOK = c.jobItemsOK
 	r.Jobs.StreamRecs = c.streamRecords
+	r.Jobs.ResponseBytes = c.jobRespBytes
 	if elapsed > 0 {
 		r.Jobs.PerSecond = float64(c.jobsDone) / elapsed.Seconds()
 	}
@@ -188,6 +232,21 @@ func (s SLO) breaches(r *Report) []string {
 	}
 	if s.MinOKRate > 0 && r.OKRate < s.MinOKRate {
 		out = append(out, fmt.Sprintf("sync ok rate %.4f below target %.4f", r.OKRate, s.MinOKRate))
+	}
+	if s.MinHitRate > 0 && r.Sync.OK > 0 && r.Sync.HitRate < s.MinHitRate {
+		out = append(out, fmt.Sprintf("result-cache hit rate %.4f below target %.4f", r.Sync.HitRate, s.MinHitRate))
+	}
+	if s.MinHitSpeedup > 0 {
+		switch {
+		case r.Sync.ResultMiss+r.Sync.ResultCoalesced == 0 || r.Sync.ResultHitMem+r.Sync.ResultHitDisk == 0:
+			out = append(out, "hit-speedup gate set but the run lacks both hit-path and miss-path samples")
+		case r.Sync.HitP99Millis <= 0:
+			// A hit path too fast to measure trivially satisfies any
+			// speedup target; not a breach.
+		case r.Sync.MissP99Millis/r.Sync.HitP99Millis < s.MinHitSpeedup:
+			out = append(out, fmt.Sprintf("hit-path p99 %.3fms is only %.2fx under miss-path p99 %.3fms, want %.2fx",
+				r.Sync.HitP99Millis, r.Sync.MissP99Millis/r.Sync.HitP99Millis, r.Sync.MissP99Millis, s.MinHitSpeedup))
+		}
 	}
 	if s.MaxBurnRate >= 0 {
 		if r.ServerSLO == nil {

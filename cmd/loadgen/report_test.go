@@ -103,6 +103,74 @@ func TestBuildReportAndSLO(t *testing.T) {
 	}
 }
 
+func TestResultCacheGates(t *testing.T) {
+	// 8 OK requests: 5 hits across the three tiers, 3 misses, with the
+	// hit path an order of magnitude faster than the miss path. The
+	// coalesced request counts as a hit but waited on the engine, so
+	// its latency sample rides with the misses.
+	c := &counters{
+		syncSent: 8, syncOK: 8,
+		syncHitMem: 3, syncHitDisk: 1, syncCoalesced: 1, syncMiss: 3,
+		syncLatencyMillis: []float64{1, 1, 1, 2, 30, 40, 50, 60},
+		hitLatencyMillis:  []float64{1, 1, 1, 2},
+		missLatencyMillis: []float64{30, 40, 50, 60},
+	}
+	slo := SLO{MaxShedRate: -1, MaxBurnRate: -1, MinHitRate: 0.5, MinHitSpeedup: 10}
+	r := buildReport("http://x", 1, 5, time.Second, c, slo, nil)
+	if !r.Pass {
+		t.Fatalf("healthy cached run failed: %v", r.Breaches)
+	}
+	if want := 5.0 / 8.0; math.Abs(r.Sync.HitRate-want) > 1e-9 {
+		t.Errorf("hit rate = %v, want %v", r.Sync.HitRate, want)
+	}
+	if r.Sync.ResultHitMem != 3 || r.Sync.ResultHitDisk != 1 || r.Sync.ResultCoalesced != 1 || r.Sync.ResultMiss != 3 {
+		t.Errorf("tier counts = %d/%d/%d/%d, want 3/1/1/3",
+			r.Sync.ResultHitMem, r.Sync.ResultHitDisk, r.Sync.ResultCoalesced, r.Sync.ResultMiss)
+	}
+	if r.Sync.HitP99Millis >= r.Sync.MissP50Millis {
+		t.Errorf("hit p99 %v not below miss p50 %v", r.Sync.HitP99Millis, r.Sync.MissP50Millis)
+	}
+
+	// Hit rate below the floor breaches.
+	r2 := buildReport("http://x", 1, 5, time.Second, c, SLO{MaxShedRate: -1, MaxBurnRate: -1, MinHitRate: 0.9}, nil)
+	if r2.Pass || !strings.Contains(strings.Join(r2.Breaches, ";"), "hit rate") {
+		t.Fatalf("hit-rate floor not enforced: pass=%v %v", r2.Pass, r2.Breaches)
+	}
+
+	// Speedup below the floor breaches: miss p99 / hit p99 ≈ 59.8/2.
+	r3 := buildReport("http://x", 1, 5, time.Second, c, SLO{MaxShedRate: -1, MaxBurnRate: -1, MinHitSpeedup: 100}, nil)
+	if r3.Pass || !strings.Contains(strings.Join(r3.Breaches, ";"), "hit-path p99") {
+		t.Fatalf("speedup floor not enforced: pass=%v %v", r3.Pass, r3.Breaches)
+	}
+
+	// A speedup gate on a run with no hits (or no misses) must fail
+	// loudly, not silently pass on missing samples.
+	noHits := &counters{syncSent: 3, syncOK: 3, syncMiss: 3,
+		syncLatencyMillis: []float64{40, 50, 60}, missLatencyMillis: []float64{40, 50, 60}}
+	r4 := buildReport("http://x", 1, 5, time.Second, noHits, SLO{MaxShedRate: -1, MaxBurnRate: -1, MinHitSpeedup: 10}, nil)
+	if r4.Pass {
+		t.Fatal("speedup gate passed with zero hit-path samples")
+	}
+
+	// A sub-measurable hit path (p99 rounds to 0) satisfies any target.
+	instant := &counters{
+		syncSent: 4, syncOK: 4, syncHitMem: 2, syncMiss: 2,
+		syncLatencyMillis: []float64{0, 0, 40, 50},
+		hitLatencyMillis:  []float64{0, 0},
+		missLatencyMillis: []float64{40, 50},
+	}
+	r5 := buildReport("http://x", 1, 5, time.Second, instant, SLO{MaxShedRate: -1, MaxBurnRate: -1, MinHitSpeedup: 1000}, nil)
+	if !r5.Pass {
+		t.Fatalf("immeasurably fast hit path breached speedup gate: %v", r5.Breaches)
+	}
+
+	// Disabled gates (zero values) never fire, even hitless.
+	r6 := buildReport("http://x", 1, 5, time.Second, noHits, SLO{MaxShedRate: -1, MaxBurnRate: -1}, nil)
+	if !r6.Pass {
+		t.Fatalf("disabled cache gates produced breaches: %v", r6.Breaches)
+	}
+}
+
 func TestBurnRateGate(t *testing.T) {
 	c := &counters{syncSent: 10, syncOK: 10, syncLatencyMillis: []float64{1, 2}}
 	cool := &ServerBurn{Goal: 0.99, Windows: []BurnWindow{

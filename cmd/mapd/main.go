@@ -76,6 +76,8 @@ func main() {
 		slowMillis  = flag.Int("slow-ms", 0, "log requests slower than this many milliseconds at WARN (0 = disabled)")
 		storeDir    = flag.String("store-dir", "", "persistent artifact store directory, shared across processes and restarts (empty = disabled)")
 		storeMaxMB  = flag.Int64("store-max-mb", 1024, "artifact store disk budget in MiB; the LRU GC evicts past it")
+		resultCache = flag.Bool("result-cache", true, "cache whole mapping results keyed by subject-graph digest, library and options (with -store-dir they also persist across restarts)")
+		resultMB    = flag.Int64("result-cache-mb", 64, "in-memory result cache budget in MiB")
 
 		diagDir      = flag.String("diag-dir", "", "publish a diagnostics bundle (trace, goroutine dump, wide event, runtime sample) here for every slow or SLO-violating request (empty = disabled)")
 		diagMaxMB    = flag.Int64("diag-max-mb", 64, "diagnostics directory disk budget in MiB; oldest bundles are evicted past it")
@@ -113,6 +115,10 @@ func main() {
 		}
 		log.Printf("mapd: slow-request capture into %s (budget %d MiB, min interval %v)", *diagDir, *diagMaxMB, *diagInterval)
 	}
+	resultBytes := *resultMB << 20
+	if !*resultCache || resultBytes <= 0 {
+		resultBytes = -1
+	}
 	svc := service.New(service.Config{
 		Concurrency:        *concurrency,
 		QueueDepth:         *queue,
@@ -131,6 +137,7 @@ func main() {
 		SLOLatency:         time.Duration(*sloP99Millis) * time.Millisecond,
 		SLOGoal:            *sloGoal,
 		RuntimeSampleEvery: *runtimeEvery,
+		ResultCacheBytes:   resultBytes,
 	})
 	defer svc.Close()
 	srv := &http.Server{

@@ -238,6 +238,11 @@ type MapResult struct {
 	CPU time.Duration
 	// SubjectNodes is the size of the subject graph.
 	SubjectNodes int
+	// SubjectSHA is the canonical content digest of the subject graph
+	// (SubjectGraph.Digest): equal digests mean byte-identical netlists
+	// for the same library and options, which is what makes whole-result
+	// caching sound.
+	SubjectSHA string
 	// Phases breaks the run down by pipeline phase. Tree covering
 	// reports only Cover and Emit; DAG covering fills every field.
 	Phases PhaseBreakdown
@@ -406,6 +411,34 @@ func (cl *CompiledLibrary) MapTreeCompiled(ctx context.Context, nw *Network, opt
 	return m.MapTree(nw, &o)
 }
 
+// MapSubjectCompiled maps an already-built subject graph by DAG
+// covering with a pooled mapper. Building the subject once (see
+// BuildSubject) and mapping it here is byte-identical to MapCompiled,
+// which decomposes internally — the service uses this split to digest
+// the subject for the result cache before committing to an engine run.
+func (cl *CompiledLibrary) MapSubjectCompiled(ctx context.Context, g *SubjectGraph, opt *MapOptions) (*MapResult, error) {
+	m := cl.Acquire()
+	defer cl.Release(m)
+	var o MapOptions
+	if opt != nil {
+		o = *opt
+	}
+	o.Ctx = ctx
+	return m.MapSubjectDAG(g, &o)
+}
+
+// MapSubjectTreeCompiled is MapSubjectCompiled's tree-covering twin.
+func (cl *CompiledLibrary) MapSubjectTreeCompiled(ctx context.Context, g *SubjectGraph, opt *MapOptions) (*MapResult, error) {
+	m := cl.Acquire()
+	defer cl.Release(m)
+	var o MapOptions
+	if opt != nil {
+		o = *opt
+	}
+	o.Ctx = ctx
+	return m.MapSubjectTree(g, &o)
+}
+
 // SupergateOptions bounds supergate generation: composition depth,
 // input count, emitted-gate budget, and enumeration parallelism. The
 // zero value selects sensible defaults (4 inputs, depth 2, 512 gates,
@@ -541,6 +574,7 @@ func (m *Mapper) MapSubjectDAG(g *SubjectGraph, opt *MapOptions) (*MapResult, er
 		MemoEntries:       res.Stats.MemoEntries,
 		CPU:               time.Since(start),
 		SubjectNodes:      g.NumNodes(),
+		SubjectSHA:        g.Digest(),
 		Phases:            phaseBreakdown(res.Stats.Phases),
 	}, nil
 }
@@ -584,6 +618,7 @@ func (m *Mapper) MapDAGWithChoices(nw *Network, opt *MapOptions) (*MapResult, er
 		PatternsTried:     res.Stats.PatternsTried,
 		CPU:               time.Since(start),
 		SubjectNodes:      g.NumNodes(),
+		SubjectSHA:        g.Digest(),
 		Phases:            phaseBreakdown(res.Stats.Phases),
 	}, nil
 }
@@ -624,6 +659,7 @@ func (m *Mapper) MapSubjectTree(g *SubjectGraph, opt *MapOptions) (*MapResult, e
 		MemoEntries:  memoEntries(m.treeMatcher),
 		CPU:          time.Since(start),
 		SubjectNodes: g.NumNodes(),
+		SubjectSHA:   g.Digest(),
 		Phases:       treePhaseBreakdown(res.Cover, res.Emit),
 	}, nil
 }

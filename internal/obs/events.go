@@ -46,6 +46,12 @@ type WideEvent struct {
 	MemoHits   int   `json:"memo_hits,omitempty"`
 	MemoMisses int   `json:"memo_misses,omitempty"`
 	SGStoreHit *bool `json:"sg_store_hit,omitempty"`
+	// SubjectSHA is the subject graph's canonical digest (the result
+	// cache key's circuit component); ResultCache how the whole-result
+	// cache served the request (hit-mem/hit-disk/miss/coalesced). Both
+	// empty off the cached path.
+	SubjectSHA  string `json:"subject_sha,omitempty"`
+	ResultCache string `json:"result_cache,omitempty"`
 	// Slow marks events that tripped the slow-request threshold or the
 	// latency SLO — the ones that also produced a diagnostics bundle
 	// when capture is enabled.

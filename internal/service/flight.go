@@ -98,6 +98,8 @@ func (s *Server) recordFlight(traceID, kind string, itemIndex int, itemName stri
 		MemoHits:       ph.memoHits,
 		MemoMisses:     ph.memoMisses,
 		SGStoreHit:     ph.sgStoreHit,
+		SubjectSHA:     ph.subjectSHA,
+		ResultCache:    ph.resultCache,
 		Slow:           slow || violation,
 	}
 	s.events.Add(ev)

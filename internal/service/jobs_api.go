@@ -126,8 +126,14 @@ type JobItemRecord struct {
 	Error  string `json:"error,omitempty"`
 	// TraceID is the parent job's id (job ids are trace ids), so every
 	// NDJSON record joins the job's access-log lines and wide events.
-	TraceID  string       `json:"trace_id,omitempty"`
-	Response *MapResponse `json:"response,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// ResponseBytes is the serialized size of Response within this
+	// record (pre-compression), so clients accounting transfer volume
+	// per item — loadgen's gzip accounting, capacity models — don't
+	// have to re-marshal each response to measure it. 0 when the item
+	// carried no response.
+	ResponseBytes int          `json:"response_bytes,omitempty"`
+	Response      *MapResponse `json:"response,omitempty"`
 }
 
 // handleJobs serves POST /jobs.
@@ -385,13 +391,7 @@ func (s *Server) runJob(ctx context.Context, job *jobs.Job, req *JobRequest, ite
 // wide event to its parent job.
 func (s *Server) runJobItem(ctx context.Context, jobID string, req *JobRequest, item *JobItemRequest, idx int, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo) jobs.Item {
 	mreq := req.itemRequest(item.BLIF)
-	timeout := s.cfg.DefaultTimeout
-	if mreq.TimeoutMillis > 0 {
-		timeout = time.Duration(mreq.TimeoutMillis) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
+	timeout := s.requestTimeout(&mreq)
 	ictx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
@@ -415,10 +415,17 @@ func (s *Server) runJobItem(ctx context.Context, jobID string, req *JobRequest, 
 		resp.TraceID = jobID
 		out.State, out.Status = jobs.ItemDone, http.StatusOK
 		rec.Status, rec.Response = http.StatusOK, resp
+		if body, err := json.Marshal(resp); err == nil {
+			rec.ResponseBytes = len(body)
+		}
 		// Items feed the work counters (patterns, memo) and the job-item
 		// families, but not the /map request counters — batch work must
-		// not inflate the synchronous serving stats.
-		s.metrics.recordJobItemWork(resp.PatternsTried, resp.MemoHits, resp.MemoMisses)
+		// not inflate the synchronous serving stats. Result-cache hits
+		// carry the recorded run's counters but did no work here, so
+		// they are excluded too.
+		if ph.resultCache == "" || ph.resultCache == resultMiss {
+			s.metrics.recordJobItemWork(resp.PatternsTried, resp.MemoHits, resp.MemoMisses)
+		}
 	case ctx.Err() != nil:
 		// The job-level context fired: DELETE (or shutdown), not a
 		// per-item deadline.
@@ -462,7 +469,14 @@ func (s *Server) serveItem(ctx context.Context, req *MapRequest, mode string, cl
 		}
 		return s.serveLUT(ctx, req, nw, ph)
 	}
-	return s.mapWith(ctx, req, nw, mode, cl, hit, sg, ph)
+	// Batch items share the result cache with /map (same keys, same
+	// tiers) but never join a coalescing flight: the batch already
+	// holds the admission slot a /map leader would need, so waiting on
+	// one could deadlock the pool.
+	if s.resultCache != nil {
+		return s.mapItemCached(ctx, req, nw, mode, cl, hit, sg, ph)
+	}
+	return s.mapWith(ctx, req, nw, nil, mode, cl, hit, sg, ph)
 }
 
 // itemPhaseMillis renders one item's phase breakdown: the service

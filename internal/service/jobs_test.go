@@ -102,7 +102,11 @@ func TestBatchJobMatchesSyncAndCompilesOnce(t *testing.T) {
 	items := iscasBatch(t)
 
 	// Reference results from the synchronous path on its own server.
-	syncSrv := New(Config{Concurrency: 2})
+	// Both servers run with the whole-result cache off: the point here
+	// is engine-path equivalence, and the duplicate c432 item must map
+	// (with full phase breakdowns), not replay a cached result
+	// (resultcache_test.go covers batch cache hits).
+	syncSrv := New(Config{Concurrency: 2, ResultCacheBytes: -1})
 	want := make([]MapResponse, len(items))
 	for i, it := range items {
 		code, resp, body := post(t, syncSrv.Handler(), nil, MapRequest{BLIF: it.BLIF, Library: "44-1"})
@@ -113,7 +117,7 @@ func TestBatchJobMatchesSyncAndCompilesOnce(t *testing.T) {
 	}
 
 	// Fresh server: the batch must trigger exactly one compile.
-	s := New(Config{Concurrency: 2})
+	s := New(Config{Concurrency: 2, ResultCacheBytes: -1})
 	code, acc, body := postJob(t, s.Handler(), JobRequest{Items: items, Library: "44-1"})
 	if code != http.StatusAccepted {
 		t.Fatalf("POST /jobs = %d: %s", code, body)

@@ -116,6 +116,27 @@ func (s *Server) writeMetrics(b *strings.Builder) {
 		sample(b, "mapd_store_generation_seconds_saved_total", nil, ss.SavedSeconds)
 	}
 
+	if s.resultCache != nil {
+		rc := s.resultCache.stats()
+		family(b, "mapd_result_cache_hits_total", "counter", "Whole-result cache hits, by tier (mem = in-process SLRU, disk = artifact store).")
+		sample(b, "mapd_result_cache_hits_total", labels{{"tier", "mem"}}, float64(m.rcMemHits.Load()))
+		sample(b, "mapd_result_cache_hits_total", labels{{"tier", "disk"}}, float64(m.rcDiskHits.Load()))
+		family(b, "mapd_result_cache_misses_total", "counter", "Whole-result cache misses (engine runs that published a result).")
+		sample(b, "mapd_result_cache_misses_total", nil, float64(m.rcMisses.Load()))
+		family(b, "mapd_result_cache_coalesced_total", "counter", "Requests served by waiting on an identical concurrent request's run.")
+		sample(b, "mapd_result_cache_coalesced_total", nil, float64(m.rcCoalesced.Load()))
+		family(b, "mapd_result_cache_stores_total", "counter", "Mapping results published to the artifact store.")
+		sample(b, "mapd_result_cache_stores_total", nil, float64(m.rcStores.Load()))
+		family(b, "mapd_result_cache_store_errors_total", "counter", "Result publications that failed (the response was still served).")
+		sample(b, "mapd_result_cache_store_errors_total", nil, float64(m.rcStoreErrors.Load()))
+		family(b, "mapd_result_cache_entries", "gauge", "Results held by the in-memory cache.")
+		sample(b, "mapd_result_cache_entries", nil, float64(rc.entries))
+		family(b, "mapd_result_cache_bytes", "gauge", "Bytes of serialized results held by the in-memory cache.")
+		sample(b, "mapd_result_cache_bytes", nil, float64(rc.bytes))
+		family(b, "mapd_result_cache_max_bytes", "gauge", "In-memory result cache budget in bytes.")
+		sample(b, "mapd_result_cache_max_bytes", nil, float64(rc.maxBytes))
+	}
+
 	family(b, "mapd_jobs_submitted_total", "counter", "Batch jobs accepted by POST /jobs.")
 	sample(b, "mapd_jobs_submitted_total", nil, float64(m.jobs.submitted.Load()))
 	family(b, "mapd_jobs_completed_total", "counter", "Batch jobs finished, by terminal state.")

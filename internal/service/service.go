@@ -104,6 +104,14 @@ type Config struct {
 	// (default 10s; negative disables the background sampler — the
 	// latest sample is then only refreshed by diagnostics captures).
 	RuntimeSampleEvery time.Duration
+	// ResultCacheBytes bounds the in-memory mapping result cache: whole
+	// serialized responses keyed by (subject-graph digest, library key,
+	// normalized options), so repeated identical requests skip the
+	// engine entirely. 0 selects the 64 MiB default; negative disables
+	// result caching altogether (memory tier, the mapres1 disk tier,
+	// and request coalescing). The mapper is deterministic, so a cached
+	// response's netlist is byte-identical to a recomputed one.
+	ResultCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +155,11 @@ func (c Config) withDefaults() Config {
 	} else if c.RuntimeSampleEvery < 0 {
 		c.RuntimeSampleEvery = 0
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	} else if c.ResultCacheBytes < 0 {
+		c.ResultCacheBytes = 0
+	}
 	return c
 }
 
@@ -167,6 +180,12 @@ type Server struct {
 	sgInfo  sync.Map // cache key -> dagcover.SupergateStoreInfo
 	mux     *http.ServeMux
 	handler http.Handler
+
+	// Whole-result cache (nil when disabled): the in-memory SLRU tier
+	// plus the single-flight group that coalesces identical misses.
+	// The disk tier rides the artifact store (kind mapres1).
+	resultCache *resultCache
+	flights     *flightGroup
 
 	// Flight recorder: the wide-event ring behind /debug/events, the
 	// runtime-telemetry sampler behind mapd_go_*, the SLO burn-rate
@@ -192,6 +211,10 @@ func New(cfg Config) *Server {
 		runtime: obs.NewRuntimeSampler(cfg.RuntimeSampleEvery),
 		burn:    obs.NewBurnTracker(cfg.SLOGoal, burnWindows...),
 		diag:    cfg.Diag,
+	}
+	if cfg.ResultCacheBytes > 0 {
+		s.resultCache = newResultCache(cfg.ResultCacheBytes)
+		s.flights = newFlightGroup()
 	}
 	s.mux.HandleFunc("/map", s.handleMap)
 	s.mux.HandleFunc("/jobs", s.handleJobs)
@@ -221,6 +244,22 @@ func (s *Server) Jobs() *jobs.Store { return s.jobs }
 // Stats returns the current observability snapshot.
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.metrics.snapshot(s.cache, s.adm, s.jobs, s.store)
+	if s.resultCache != nil {
+		rc := s.resultCache.stats()
+		snap.ResultCache = &ResultCacheSnapshot{
+			MemHits:          s.metrics.rcMemHits.Load(),
+			DiskHits:         s.metrics.rcDiskHits.Load(),
+			Misses:           s.metrics.rcMisses.Load(),
+			Coalesced:        s.metrics.rcCoalesced.Load(),
+			Stores:           s.metrics.rcStores.Load(),
+			StoreErrors:      s.metrics.rcStoreErrors.Load(),
+			Entries:          rc.entries,
+			Bytes:            rc.bytes,
+			MaxBytes:         rc.maxBytes,
+			ProtectedEntries: rc.protectedEntries,
+			ProtectedBytes:   rc.protectedBytes,
+		}
+	}
 	s.fillFlightStats(&snap)
 	return snap
 }
@@ -348,7 +387,25 @@ type MapResponse struct {
 	// the same bounds, which is how a fleet (or a CI restart check)
 	// asserts it shares one artifact.
 	SGArtifactSHA string `json:"sg_artifact_sha,omitempty"`
-	Verified bool `json:"verified,omitempty"`
+	// SubjectSHA is the canonical content digest of the subject graph
+	// the request mapped (see dagcover.MapResult.SubjectSHA); with the
+	// library key and normalized options it fully determines the
+	// response, which is what makes whole-result caching sound. Absent
+	// in lut mode.
+	SubjectSHA string `json:"subject_sha,omitempty"`
+	// ResultCache reports how the whole-result cache served this
+	// response: hit-mem (in-process SLRU), hit-disk (artifact store,
+	// e.g. after a restart or from a sibling replica), miss (computed
+	// and published), or coalesced (waited on an identical concurrent
+	// request's run). Absent when result caching is disabled or the
+	// mode is not cacheable (lut).
+	ResultCache string `json:"result_cache,omitempty"`
+	// ResultSHA is the SHA-256 of the canonical serialized result (the
+	// response with volatile per-request fields zeroed). Identical
+	// requests get identical ResultSHA whether served cold, warm, or
+	// coalesced — the cheap way to assert byte-level determinism.
+	ResultSHA string `json:"result_sha,omitempty"`
+	Verified  bool   `json:"verified,omitempty"`
 	// ElapsedMillis is the serving time excluding queueing.
 	ElapsedMillis float64 `json:"elapsed_ms"`
 	// TraceID echoes the per-request trace id (also the X-Trace-ID
@@ -425,6 +482,12 @@ type reqPhases struct {
 	memoMisses int
 	sgStoreHit *bool
 	trace      *obs.Trace
+
+	// Result-cache attribution: the subject-graph digest (when one was
+	// computed) and how the whole-result cache served the request
+	// (hit-mem/hit-disk/miss/coalesced; empty off the cached path).
+	subjectSHA  string
+	resultCache string
 }
 
 // newTraceID returns a 16-hex-char per-request trace id. It appears
@@ -522,6 +585,14 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cacheable modes go through the result cache: parse and digest
+	// before admission, serve hits without a run slot, single-flight
+	// identical misses. LUT and unknown modes keep the legacy path.
+	if s.resultCache != nil && resultCacheable(&req) {
+		status = s.serveMapCached(w, r, &req, traceID, &ph)
+		return
+	}
+
 	// Admission: hold a run slot for everything downstream — library
 	// compilation and BLIF parsing are also work an overload must not
 	// multiply.
@@ -544,13 +615,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	ph.queue = time.Since(queueStart)
 	defer s.adm.release()
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMillis > 0 {
-		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
+	timeout := s.requestTimeout(&req)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
@@ -610,15 +675,17 @@ func (s *Server) serve(ctx context.Context, req *MapRequest, ph *reqPhases) (*Ma
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	return s.mapWith(ctx, req, nw, mode, cl, hit, sg, ph)
+	return s.mapWith(ctx, req, nw, nil, mode, cl, hit, sg, ph)
 }
 
 // mapWith runs one gate-library mapping against an already-compiled
 // library. It is the shared tail of the synchronous /map path and the
 // batch job runner (which resolves the library once per batch), so a
 // batch item's netlist is byte-identical to what /map would return for
-// the same input.
-func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Network, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo, ph *reqPhases) (*MapResponse, int, error) {
+// the same input. When the caller already built (and digested) the
+// subject graph for cache keying, it passes g and the engine maps that
+// graph directly instead of rebuilding it from nw.
+func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Network, g *dagcover.SubjectGraph, mode string, cl *dagcover.CompiledLibrary, hit bool, sg *dagcover.SupergateStoreInfo, ph *reqPhases) (*MapResponse, int, error) {
 	ph.library, ph.cacheHit = cl.Library().Name, hit
 	opt := &dagcover.MapOptions{
 		AreaRecovery: req.AreaRecovery,
@@ -651,9 +718,17 @@ func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Netw
 	t0 := time.Now()
 	switch mode {
 	case "dag":
-		res, err = cl.MapCompiled(ctx, nw, opt)
+		if g != nil {
+			res, err = cl.MapSubjectCompiled(ctx, g, opt)
+		} else {
+			res, err = cl.MapCompiled(ctx, nw, opt)
+		}
 	case "tree":
-		res, err = cl.MapTreeCompiled(ctx, nw, opt)
+		if g != nil {
+			res, err = cl.MapSubjectTreeCompiled(ctx, g, opt)
+		} else {
+			res, err = cl.MapTreeCompiled(ctx, nw, opt)
+		}
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want dag, tree, or lut)", mode)
 	}
@@ -666,6 +741,7 @@ func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Netw
 	}
 	ph.core = res.Phases
 	ph.memoHits, ph.memoMisses = res.MemoHits, res.MemoMisses
+	ph.subjectSHA = res.SubjectSHA
 	resp := &MapResponse{
 		Circuit:           nw.Name,
 		Library:           cl.Library().Name,
@@ -680,6 +756,7 @@ func (s *Server) mapWith(ctx context.Context, req *MapRequest, nw *dagcover.Netw
 		MemoHits:          res.MemoHits,
 		MemoMisses:        res.MemoMisses,
 		CacheHit:          hit,
+		SubjectSHA:        res.SubjectSHA,
 	}
 	if sg != nil {
 		h := sg.Hit
@@ -749,13 +826,18 @@ func (s *Server) serveLUT(ctx context.Context, req *MapRequest, nw *dagcover.Net
 // artifact store, the expansion goes through it and the returned
 // SupergateStoreInfo (nil otherwise) carries the artifact identity.
 func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, bool, *dagcover.SupergateStoreInfo, error) {
+	// libraryCacheKey is the single source of truth for compiled-cache
+	// keys — the result cache keys off the same string, so the two
+	// caches can never disagree about which compilation a request uses.
+	cacheKey, err := libraryCacheKey(req)
+	if err != nil {
+		return nil, false, nil, err
+	}
 	var load func() (*dagcover.Library, error)
-	var key string
 	if req.Genlib != "" {
-		key = HashGenlib(req.Genlib)
 		// Name uploads by content-hash prefix so per-library stats
 		// distinguish different uploads without trusting client names.
-		name := "upload-" + strings.TrimPrefix(key, "sha256:")[:8]
+		name := "upload-" + strings.TrimPrefix(HashGenlib(req.Genlib), "sha256:")[:8]
 		load = func() (*dagcover.Library, error) {
 			return dagcover.LoadLibrary(name, strings.NewReader(req.Genlib))
 		}
@@ -772,14 +854,12 @@ func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, boo
 			builtin = dagcover.Lib441
 		case "44-3":
 			builtin = dagcover.Lib443
-		default:
-			return nil, false, nil, fmt.Errorf("unknown library %q (built-ins: lib2, 44-1, 44-3; or upload genlib text)", name)
 		}
-		key = BuiltinKey(name)
+		// libraryCacheKey already rejected unknown names.
 		load = func() (*dagcover.Library, error) { return builtin(), nil }
 	}
 	if req.Supergates == nil {
-		cl, hit, err := s.cache.Get(key, func() (*dagcover.CompiledLibrary, error) {
+		cl, hit, err := s.cache.Get(cacheKey, func() (*dagcover.CompiledLibrary, error) {
 			lib, err := load()
 			if err != nil {
 				return nil, err
@@ -789,7 +869,6 @@ func (s *Server) resolveLibrary(req *MapRequest) (*dagcover.CompiledLibrary, boo
 		return cl, hit, nil, err
 	}
 	sg := req.Supergates.normalize()
-	cacheKey := key + sg.cacheSuffix()
 	cl, hit, err := s.cache.Get(cacheKey, func() (*dagcover.CompiledLibrary, error) {
 		lib, err := load()
 		if err != nil {

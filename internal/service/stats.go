@@ -124,6 +124,15 @@ type metrics struct {
 
 	phases phaseTimes
 
+	// Whole-result cache counters: hits per tier, misses (engine runs
+	// that published a result), coalesced waits, and disk publications.
+	rcMemHits     atomic.Uint64
+	rcDiskHits    atomic.Uint64
+	rcMisses      atomic.Uint64
+	rcCoalesced   atomic.Uint64
+	rcStores      atomic.Uint64
+	rcStoreErrors atomic.Uint64
+
 	jobs jobMetrics
 
 	mu     sync.Mutex
@@ -287,6 +296,10 @@ type StatsSnapshot struct {
 	// budget, and the generation seconds the store has saved. Absent
 	// when the server runs without a store.
 	Store *StoreSnapshot `json:"store,omitempty"`
+	// ResultCache is the whole-result cache: tiered hit/miss/coalesce
+	// counters plus the in-memory SLRU's occupancy. Absent when result
+	// caching is disabled.
+	ResultCache *ResultCacheSnapshot `json:"result_cache,omitempty"`
 	// PhaseMillis breaks served wall time down by request phase,
 	// accumulated across all requests.
 	PhaseMillis map[string]float64         `json:"phase_ms"`
@@ -324,6 +337,23 @@ type DiagSnapshot struct {
 	Bundles   int    `json:"bundles"`
 	Bytes     int64  `json:"bytes"`
 	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// ResultCacheSnapshot is the /stats view of the whole-result cache.
+type ResultCacheSnapshot struct {
+	MemHits     uint64 `json:"mem_hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	Misses      uint64 `json:"misses"`
+	Coalesced   uint64 `json:"coalesced"`
+	Stores      uint64 `json:"stores"`
+	StoreErrors uint64 `json:"store_errors"`
+	// In-memory SLRU occupancy; the protected segment holds entries
+	// that have repeated at least once.
+	Entries          int   `json:"entries"`
+	Bytes            int64 `json:"bytes"`
+	MaxBytes         int64 `json:"max_bytes"`
+	ProtectedEntries int   `json:"protected_entries"`
+	ProtectedBytes   int64 `json:"protected_bytes"`
 }
 
 // StoreSnapshot is the /stats view of the artifact store.

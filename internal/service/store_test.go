@@ -51,8 +51,11 @@ func TestMapSupergatesWarmRestartHitsStore(t *testing.T) {
 		t.Error("store-disabled response carries store fields")
 	}
 
-	// Cold process: miss, generate, publish.
-	s1 := New(Config{Concurrency: 2, Store: openStore(t, dir)})
+	// Cold process: miss, generate, publish. These tests exercise the
+	// supergate-artifact path specifically, so the whole-result cache —
+	// which would satisfy repeats before the library is ever resolved —
+	// is disabled (resultcache_test.go covers the cache-on paths).
+	s1 := New(Config{Concurrency: 2, Store: openStore(t, dir), ResultCacheBytes: -1})
 	code, r1, body := post(t, s1.Handler(), nil, req)
 	if code != http.StatusOK {
 		t.Fatalf("cold request = %d: %s", code, body)
@@ -82,7 +85,7 @@ func TestMapSupergatesWarmRestartHitsStore(t *testing.T) {
 
 	// Warm restart: a fresh server and store handle on the same
 	// directory skips generation entirely.
-	s2 := New(Config{Concurrency: 2, Store: openStore(t, dir)})
+	s2 := New(Config{Concurrency: 2, Store: openStore(t, dir), ResultCacheBytes: -1})
 	code, r2, body := post(t, s2.Handler(), nil, req)
 	if code != http.StatusOK {
 		t.Fatalf("warm request = %d: %s", code, body)
@@ -126,7 +129,7 @@ func TestMapSupergatesStoreCorruptionRegenerates(t *testing.T) {
 	dir := t.TempDir()
 	req := sgStoreReq(t)
 
-	s1 := New(Config{Concurrency: 2, Store: openStore(t, dir)})
+	s1 := New(Config{Concurrency: 2, Store: openStore(t, dir), ResultCacheBytes: -1})
 	code, r1, body := post(t, s1.Handler(), nil, req)
 	if code != http.StatusOK {
 		t.Fatalf("cold request = %d: %s", code, body)
@@ -159,7 +162,7 @@ func TestMapSupergatesStoreCorruptionRegenerates(t *testing.T) {
 
 	// A fresh process detects the damage, quarantines the object, and
 	// regenerates the identical artifact.
-	s2 := New(Config{Concurrency: 2, Store: openStore(t, dir)})
+	s2 := New(Config{Concurrency: 2, Store: openStore(t, dir), ResultCacheBytes: -1})
 	code, r2, body := post(t, s2.Handler(), nil, req)
 	if code != http.StatusOK {
 		t.Fatalf("post-corruption request = %d: %s", code, body)
@@ -179,7 +182,7 @@ func TestMapSupergatesStoreCorruptionRegenerates(t *testing.T) {
 	}
 
 	// And the regenerated artifact serves hits again.
-	s3 := New(Config{Concurrency: 2, Store: openStore(t, dir)})
+	s3 := New(Config{Concurrency: 2, Store: openStore(t, dir), ResultCacheBytes: -1})
 	code, r3, body := post(t, s3.Handler(), nil, req)
 	if code != http.StatusOK {
 		t.Fatalf("recovered request = %d: %s", code, body)

@@ -324,3 +324,36 @@ func TestNoTempLeftovers(t *testing.T) {
 		t.Fatalf("tmp dir holds %d leftovers", len(ents))
 	}
 }
+
+func TestPutThenGet(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	key := KeyOf("put", "v1")
+	data := []byte("cached result payload")
+	if err := s.Put("mapres1", key, data, 12.5, map[string]string{"circuit": "c17"}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Get("mapres1", key)
+	if !ok {
+		t.Fatal("Put object not found by Get")
+	}
+	if !bytes.Equal(e.Data, data) {
+		t.Errorf("payload mismatch: %q", e.Data)
+	}
+	if e.GenMillis != 12.5 {
+		t.Errorf("gen millis %v, want 12.5", e.GenMillis)
+	}
+	if e.Meta["circuit"] != "c17" {
+		t.Errorf("meta lost: %v", e.Meta)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 {
+		t.Errorf("writes=%d hits=%d, want 1/1", st.Writes, st.Hits)
+	}
+	// A second store instance on the same directory sees the object —
+	// the warm-restart property the result cache relies on.
+	s2 := mustOpen(t, dir)
+	if e2, ok := s2.Get("mapres1", key); !ok || !bytes.Equal(e2.Data, data) || e2.SHA != e.SHA {
+		t.Error("restarted store does not serve the Put object")
+	}
+}

@@ -105,6 +105,12 @@ type Graph struct {
 	strashHits int64
 	piName     map[Node]string // PI names (sources only)
 	byName     map[string]Node // PI lookup
+
+	// Cached canonical digest (see Digest); trusted only while the
+	// node and output counts still match the graph that computed it.
+	digest      string
+	digestNodes int
+	digestOuts  int
 }
 
 // SetChainDecomposition switches n-ary AND/OR/XOR decomposition from

@@ -53,20 +53,21 @@ func treePhaseBreakdown(cover, emit time.Duration) PhaseBreakdown {
 // run. techmap renders the same struct as text (-v) and as JSON
 // (-stats-json), so the two views cannot drift.
 type MapReport struct {
-	Circuit           string         `json:"circuit"`
-	Library           string         `json:"library"`
-	Mode              string         `json:"mode"`
-	DelayModel        string         `json:"delay_model"`
-	SubjectNodes      int            `json:"subject_nodes"`
-	Delay             float64        `json:"delay"`
-	Area              float64        `json:"area"`
-	Cells             int            `json:"cells"`
-	DuplicatedNodes   int            `json:"duplicated_nodes"`
-	LibraryGates      int            `json:"library_gates"`
-	PatternsTried     int            `json:"patterns_tried"`
-	MatchesEnumerated int            `json:"matches_enumerated"`
-	MemoHits          int            `json:"memo_hits"`
-	MemoMisses        int            `json:"memo_misses"`
+	Circuit           string  `json:"circuit"`
+	Library           string  `json:"library"`
+	Mode              string  `json:"mode"`
+	DelayModel        string  `json:"delay_model"`
+	SubjectNodes      int     `json:"subject_nodes"`
+	SubjectSHA        string  `json:"subject_sha,omitempty"`
+	Delay             float64 `json:"delay"`
+	Area              float64 `json:"area"`
+	Cells             int     `json:"cells"`
+	DuplicatedNodes   int     `json:"duplicated_nodes"`
+	LibraryGates      int     `json:"library_gates"`
+	PatternsTried     int     `json:"patterns_tried"`
+	MatchesEnumerated int     `json:"matches_enumerated"`
+	MemoHits          int     `json:"memo_hits"`
+	MemoMisses        int     `json:"memo_misses"`
 	// MemoHitRate is hits/(hits+misses), 0 when the memo was off.
 	MemoHitRate float64        `json:"memo_hit_rate"`
 	MemoEntries int            `json:"memo_entries"`
@@ -84,6 +85,7 @@ func NewMapReport(circuit, mode, delayModel string, lib *Library, res *MapResult
 		Mode:              mode,
 		DelayModel:        delayModel,
 		SubjectNodes:      res.SubjectNodes,
+		SubjectSHA:        res.SubjectSHA,
 		Delay:             res.Delay,
 		Area:              res.Area,
 		Cells:             res.Cells,
@@ -123,6 +125,9 @@ func (r *MapReport) WriteText(w io.Writer, verbose bool) {
 		fmt.Fprintf(w, "  duplicated:    %d subject nodes\n", r.DuplicatedNodes)
 	}
 	if verbose {
+		if r.SubjectSHA != "" {
+			fmt.Fprintf(w, "  subject sha:   %s\n", r.SubjectSHA)
+		}
 		fmt.Fprintf(w, "  library gates: %d\n", r.LibraryGates)
 		fmt.Fprintf(w, "  patterns tried:     %d\n", r.PatternsTried)
 		fmt.Fprintf(w, "  matches enumerated: %d\n", r.MatchesEnumerated)
